@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Dsp Fixpt Fixrefine Float Format Hashtbl Interval List Measure Option Printf Refine Scenarios Sfg Sim Staged Stats String Sys Test Time Toolkit Vhdl

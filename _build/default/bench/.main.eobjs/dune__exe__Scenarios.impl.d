@@ -1,0 +1,1 @@
+bench/scenarios.ml: Array Dsp Fixpt Fixrefine Refine Sim Stats

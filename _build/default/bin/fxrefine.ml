@@ -1,0 +1,285 @@
+(* fxrefine — command-line front end to the fixed-point refinement
+   library.
+
+   Subcommands:
+     equalizer  — refine the paper's LMS equalizer (Fig. 1, Tables 1-2)
+     timing     — refine the PAM timing-recovery loop (Fig. 5, §6.1)
+     cordic     — refine a CORDIC rotator
+     quantize   — quantize one value through a dtype (scriptable helper)
+     sfg        — analyze a built-in flowgraph analytically, export DOT
+
+   Each refinement subcommand prints the paper-style MSB/LSB tables and
+   a flow summary; options control workload size, k_LSB and seeds so the
+   tool doubles as the experiment driver. *)
+
+open Fixrefine
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+(* --- shared report printing ------------------------------------------- *)
+
+let print_flow_result env (result : Refine.Flow.result) =
+  Format.printf "=== MSB analysis ===@.";
+  Refine.Report.print_msb env;
+  Format.printf "@.=== LSB analysis ===@.";
+  Refine.Report.print_lsb env;
+  Format.printf "@.=== flow ===@.";
+  List.iter
+    (fun it -> Format.printf "%a@." Refine.Flow.pp_iteration it)
+    result.Refine.Flow.iterations;
+  Format.printf "%s@."
+    (Refine.Report.summary env result.Refine.Flow.msb_decisions
+       result.Refine.Flow.lsb_decisions);
+  match
+    (result.Refine.Flow.sqnr_before_db, result.Refine.Flow.sqnr_after_db)
+  with
+  | Some b, Some a -> Format.printf "SQNR: %.1f dB -> %.1f dB@." b a
+  | _ -> ()
+
+(* --- common options ---------------------------------------------------- *)
+
+let symbols_t =
+  Arg.(value & opt int 4000 & info [ "n"; "symbols" ] ~doc:"Workload size.")
+
+let seed_t = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Stimulus seed.")
+
+let k_lsb_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "k-lsb" ] ~doc:"The \\$(i,k_LSB) constant of the sigma rule.")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log actions.")
+
+let config_of k_lsb =
+  {
+    Refine.Flow.default_config with
+    Refine.Flow.lsb = { Refine.Lsb_rules.default_config with k_lsb };
+  }
+
+(* --- equalizer --------------------------------------------------------- *)
+
+let run_equalizer n seed k_lsb verbose =
+  setup_logs verbose;
+  let env = Sim.Env.create ~seed:11 () in
+  let rng = Stats.Rng.create ~seed in
+  let stimulus, sent = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:n () in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "decisions" in
+  let x_dtype = Fixpt.Dtype.make "T_input" ~n:7 ~f:5 () in
+  let eq = Dsp.Lms_equalizer.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Lms_equalizer.x eq) (-1.5) 1.5;
+  let design =
+    {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Lms_equalizer.run eq ~cycles:n);
+    }
+  in
+  let result =
+    Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:"v[3]" design
+  in
+  print_flow_result env result;
+  let decided = Array.of_list (Sim.Channel.recorded output) in
+  Format.printf "SER: %.4f@." (Dsp.Pam.best_ser ~skip:100 ~sent ~decided ())
+
+let equalizer_cmd =
+  Cmd.v
+    (Cmd.info "equalizer" ~doc:"Refine the LMS equalizer (Fig. 1).")
+    Term.(const run_equalizer $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+
+(* --- timing recovery --------------------------------------------------- *)
+
+let run_timing n seed k_lsb verbose =
+  setup_logs verbose;
+  let env = Sim.Env.create ~seed:5 () in
+  let rng = Stats.Rng.create ~seed in
+  let stimulus, sent, n_samples =
+    Dsp.Channel_model.timing_offset_pam ~rng ~n_symbols:n ~tau:0.3 ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "symbols" in
+  let x_dtype = Fixpt.Dtype.make "T_input" ~n:10 ~f:8 () in
+  let tr = Dsp.Timing_recovery.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Timing_recovery.input_signal tr) (-1.6) 1.6;
+  Sim.Signal.range (Dsp.Nco.mu (Dsp.Timing_recovery.nco tr)) 0.0 1.0;
+  Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+  Sim.Signal.range (Sim.Env.find_exn env "ted_err") (-4.0) 4.0;
+  let design =
+    {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Timing_recovery.run tr ~samples:n_samples);
+    }
+  in
+  let config =
+    { (config_of k_lsb) with Refine.Flow.auto_error_lsb = -8 }
+  in
+  let result = Refine.Flow.refine ~config ~sqnr_signal:"out" design in
+  print_flow_result env result;
+  let decided = Array.of_list (Sim.Channel.recorded output) in
+  Format.printf "SER after lock: %.4f@."
+    (Dsp.Pam.best_ser ~skip:500 ~sent ~decided ())
+
+let timing_cmd =
+  Cmd.v
+    (Cmd.info "timing" ~doc:"Refine the PAM timing-recovery loop (Fig. 5).")
+    Term.(const run_timing $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+
+(* --- cordic ------------------------------------------------------------ *)
+
+let run_cordic n seed k_lsb verbose =
+  setup_logs verbose;
+  let env = Sim.Env.create ~seed:31 () in
+  let rng = Stats.Rng.create ~seed in
+  let iters = 12 in
+  let cordic = Dsp.Cordic.create env ~iters () in
+  let in_dtype = Fixpt.Dtype.make "T_in" ~n:12 ~f:10 () in
+  let xin = Sim.Signal.create env ~dtype:in_dtype "xin" in
+  let yin = Sim.Signal.create env ~dtype:in_dtype "yin" in
+  let zin = Sim.Signal.create env ~dtype:in_dtype "zin" in
+  Sim.Signal.range xin (-1.0) 1.0;
+  Sim.Signal.range yin (-1.0) 1.0;
+  Sim.Signal.range zin (-1.6) 1.6;
+  let design =
+    {
+      Refine.Flow.env;
+      reset = (fun () -> Sim.Env.reset env);
+      run =
+        (fun () ->
+          let local = Stats.Rng.copy rng in
+          Sim.Engine.run env ~cycles:n (fun _ ->
+              let open Sim.Ops in
+              let phi = Stats.Rng.uniform local ~lo:0.0 ~hi:6.28318 in
+              xin <-- Sim.Value.of_float (cos phi);
+              yin <-- Sim.Value.of_float (sin phi);
+              zin
+              <-- Sim.Value.of_float (Stats.Rng.uniform local ~lo:(-1.5) ~hi:1.5);
+              ignore (Dsp.Cordic.rotate cordic ~x:!!xin ~y:!!yin ~z:!!zin)));
+    }
+  in
+  let probe = Printf.sprintf "cor_x[%d]" iters in
+  let result =
+    Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:probe design
+  in
+  print_flow_result env result
+
+let cordic_cmd =
+  Cmd.v
+    (Cmd.info "cordic" ~doc:"Refine a 12-stage CORDIC rotator.")
+    Term.(const run_cordic $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+
+(* --- quantize ----------------------------------------------------------- *)
+
+let run_quantize value type_str n f sat floor_mode =
+  let dt =
+    match type_str with
+    | Some s -> (
+        match Fixpt.Dtype.of_string s with
+        | Some dt -> dt
+        | None ->
+            Format.eprintf "cannot parse type %S (expected name<n,f,...>)@." s;
+            exit 1)
+    | None ->
+        Fixpt.Dtype.make "cli" ~n ~f
+          ~overflow:
+            (if sat then Fixpt.Overflow_mode.Saturate
+             else Fixpt.Overflow_mode.Wrap)
+          ~round:
+            (if floor_mode then Fixpt.Round_mode.Floor
+             else Fixpt.Round_mode.Round)
+          ()
+  in
+  let out = Fixpt.Quantize.quantize dt value in
+  Format.printf "%.10g -> %.10g through %s (err %.3g%s)@." value
+    out.Fixpt.Quantize.value (Fixpt.Dtype.to_string dt)
+    (out.Fixpt.Quantize.value -. value)
+    (match out.Fixpt.Quantize.overflow with
+    | Some _ -> ", overflowed"
+    | None -> "")
+
+let quantize_cmd =
+  let value_t =
+    Arg.(required & pos 0 (some float) None & info [] ~docv:"VALUE")
+  in
+  let type_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "type" ] ~doc:"Full dtype, e.g. 'acc<10,8,tc,sat,fl>'.")
+  in
+  let n_t = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Total bits.") in
+  let f_t = Arg.(value & opt int 6 & info [ "f" ] ~doc:"Fractional bits.") in
+  let sat_t = Arg.(value & flag & info [ "sat" ] ~doc:"Saturate on overflow.") in
+  let floor_t = Arg.(value & flag & info [ "floor" ] ~doc:"Floor rounding.") in
+  Cmd.v
+    (Cmd.info "quantize" ~doc:"Quantize a value through a fixed-point type.")
+    Term.(const run_quantize $ value_t $ type_t $ n_t $ f_t $ sat_t $ floor_t)
+
+(* --- sfg ---------------------------------------------------------------- *)
+
+let run_sfg auto dot_path =
+  let g =
+    if auto then begin
+      (* extract the flowgraph automatically from one executed cycle *)
+      let env = Sim.Env.create ~seed:11 () in
+      let rng = Stats.Rng.create ~seed:2024 in
+      let stimulus, _ = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:200 () in
+      let input = Sim.Channel.of_fun "rx" stimulus in
+      let output = Sim.Channel.create "y" in
+      let eq = Dsp.Lms_equalizer.create env ~input ~output () in
+      Sim.Signal.range (Dsp.Lms_equalizer.x eq) (-1.5) 1.5;
+      Sim.Signal.range (Dsp.Lms_equalizer.b eq) (-0.2) 0.2;
+      Dsp.Lms_equalizer.run eq ~cycles:100;
+      Sim.Extract.graph env ~outputs:[ "y"; "w" ]
+        ~step:(fun () -> Dsp.Lms_equalizer.step eq)
+        ()
+    end
+    else Dsp.Lms_equalizer.to_sfg ~b_range:(-0.2, 0.2) ()
+  in
+  let ranges = Sfg.Range_analysis.run g in
+  let noise = Sfg.Noise_analysis.run g ~ranges in
+  Format.printf "=== analytical ranges (equalizer SFG) ===@.%a@."
+    Sfg.Range_analysis.pp ranges;
+  Format.printf "=== analytical noise ===@.%a@." Sfg.Noise_analysis.pp noise;
+  match dot_path with
+  | Some path ->
+      Sfg.Dot.write_file g path ~ranges ();
+      Format.printf "wrote %s@." path
+  | None -> ()
+
+let sfg_cmd =
+  let dot_t =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"DOT output path.")
+  in
+  let auto_t =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:
+            "Extract the flowgraph automatically from the running design \
+             instead of using the hand-written one.")
+  in
+  Cmd.v
+    (Cmd.info "sfg" ~doc:"Static analysis of the equalizer flowgraph.")
+    Term.(const run_sfg $ auto_t $ dot_t)
+
+let () =
+  let info =
+    Cmd.info "fxrefine" ~version:"1.0.0"
+      ~doc:"DSP ASIC fixed-point refinement (DATE 1999 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd ]))

@@ -1,0 +1,1 @@
+examples/cordic_refine.ml: Array Dsp Fixpt Fixrefine Float Format Printf Refine Sim Stats

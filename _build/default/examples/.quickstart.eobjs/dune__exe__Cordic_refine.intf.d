@@ -1,0 +1,1 @@
+examples/cordic_refine.mli:

@@ -1,0 +1,1 @@
+examples/ddc_frontend.ml: Array Dsp Fixpt Fixrefine Float Format List Refine Sim Stats String

@@ -1,0 +1,1 @@
+examples/ddc_frontend.mli:

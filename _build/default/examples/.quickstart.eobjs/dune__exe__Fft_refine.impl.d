@@ -1,0 +1,1 @@
+examples/fft_refine.ml: Array Dsp Fixpt Fixrefine Format List Printf Refine Sim Stats String

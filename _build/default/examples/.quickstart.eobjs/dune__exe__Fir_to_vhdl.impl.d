@@ -1,0 +1,1 @@
+examples/fir_to_vhdl.ml: Dsp Fixpt Fixrefine Format List Refine Sfg Sim Stats String Vhdl

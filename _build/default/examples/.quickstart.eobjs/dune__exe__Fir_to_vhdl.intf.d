@@ -1,0 +1,1 @@
+examples/fir_to_vhdl.mli:

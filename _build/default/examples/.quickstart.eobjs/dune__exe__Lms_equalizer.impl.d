@@ -1,0 +1,1 @@
+examples/lms_equalizer.ml: Array Dsp Fixpt Fixrefine Format List Refine Sim Stats String

@@ -1,0 +1,1 @@
+examples/lms_equalizer.mli:

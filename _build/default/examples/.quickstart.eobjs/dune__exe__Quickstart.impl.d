@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsp Fixpt Fixrefine Format List Refine Sim Stats

@@ -1,0 +1,1 @@
+examples/timing_recovery.ml: Array Dsp Fixpt Fixrefine Format List Refine Sim Stats String

@@ -1,0 +1,131 @@
+(* The complex evaluation example (§6.1, Fig. 5): fixed-point refinement
+   of a PAM timing-recovery loop (interpolator + Gardner timing-error
+   detector + PI loop filter + NCO).
+
+   The §6.1 phenomena to look for in the output:
+   - the loop-filter integrator and the NCO phase are the feedback
+     signals whose range propagation explodes (the paper's "2 feedback
+     signals required saturation due to the MSB explosion");
+   - the NCO phase is the signal whose error monitoring diverges and
+     needs the error() overruling (the paper's "D signal inside of
+     NCO");
+   - MSB resolves in 2 iterations, LSB in 1 after the overruling;
+   - the non-saturated signals carry a small MSB overhead (bits/signal)
+     over the statistic-based estimate (paper: 0.22).
+
+   Run with:  dune exec examples/timing_recovery.exe *)
+
+open Fixrefine
+
+let n_symbols = 4000
+let tau = 0.3 (* static timing offset, symbol periods *)
+
+let make_design () =
+  let env = Sim.Env.create ~seed:5 () in
+  let rng = Stats.Rng.create ~seed:99 in
+  let stimulus, sent, n_samples =
+    Dsp.Channel_model.timing_offset_pam ~rng ~n_symbols ~tau ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "symbols" in
+  let x_dtype = Fixpt.Dtype.make "T_input" ~n:10 ~f:8 () in
+  let tr = Dsp.Timing_recovery.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Timing_recovery.input_signal tr) (-1.6) 1.6;
+  let design =
+    {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Timing_recovery.run tr ~samples:n_samples);
+    }
+  in
+  (tr, design, sent, output)
+
+let () =
+  let tr, design, sent, output = make_design () in
+  let env = design.Refine.Flow.env in
+  Format.printf "design declares %d signals subject to refinement@.@."
+    (List.length (Sim.Env.signals env));
+
+  (* first monitored run: who explodes? *)
+  design.Refine.Flow.reset ();
+  design.Refine.Flow.run ();
+  Format.printf "=== 1st iteration: MSB explosions ===@.";
+  List.iter
+    (fun s -> Format.printf "  exploded: %s@." (Sim.Signal.name s))
+    (Refine.Msb_rules.exploded_signals env);
+  Format.printf "=== 1st iteration: LSB divergences ===@.";
+  List.iter
+    (fun s -> Format.printf "  diverged: %s@." (Sim.Signal.name s))
+    (Refine.Lsb_rules.diverged_signals env);
+
+  (* knowledge-based saturation choices (the paper put 5 signals in
+     saturation mode beyond the 2 forced ones): bound the loop's control
+     signals at their physical ranges *)
+  Sim.Signal.range (Dsp.Nco.mu (Dsp.Timing_recovery.nco tr)) 0.0 1.0;
+  Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+  Sim.Signal.range (Sim.Env.find_exn env "ted_err") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_out") (-2.0) 2.0;
+  Sim.Signal.range (Sim.Env.find_exn env "out") (-2.0) 2.0;
+
+  let config =
+    {
+      Refine.Flow.default_config with
+      (* the paper ties the error() overruling of the NCO phase to the
+         input precision: LSB −8 here *)
+      Refine.Flow.auto_error_lsb = -8;
+    }
+  in
+  let result = Refine.Flow.refine ~config ~sqnr_signal:"out" design in
+
+  Format.printf "@.=== MSB analysis (final) ===@.";
+  Refine.Report.print_msb env;
+  Format.printf "@.=== LSB analysis (final) ===@.";
+  Refine.Report.print_lsb env;
+
+  Format.printf "@.=== flow log ===@.";
+  List.iter
+    (fun it -> Format.printf "%a@." Refine.Flow.pp_iteration it)
+    result.Refine.Flow.iterations;
+
+  (* §6.1 summary numbers *)
+  let msbs = result.Refine.Flow.msb_decisions in
+  let saturated =
+    List.filter
+      (fun (d : Refine.Decision.msb) ->
+        Fixpt.Overflow_mode.is_saturating d.Refine.Decision.mode)
+      msbs
+  in
+  Format.printf "@.=== Section 6.1 summary ===@.";
+  Format.printf "signals: %d, saturated: %d (%s)@." (List.length msbs)
+    (List.length saturated)
+    (String.concat ", "
+       (List.map (fun (d : Refine.Decision.msb) -> d.Refine.Decision.signal)
+          saturated));
+  Format.printf "MSB overhead of propagation vs statistic: %.2f bits/signal@."
+    (Refine.Msb_rules.overhead_bits_per_signal
+       (List.filter
+          (fun (d : Refine.Decision.msb) ->
+            not (Fixpt.Overflow_mode.is_saturating d.Refine.Decision.mode))
+          msbs));
+  Format.printf "MSB iterations: %d, LSB iterations: %d, runs: %d@."
+    result.Refine.Flow.msb_iterations result.Refine.Flow.lsb_iterations
+    result.Refine.Flow.simulation_runs;
+  (match
+     (result.Refine.Flow.sqnr_before_db, result.Refine.Flow.sqnr_after_db)
+   with
+  | Some b, Some a -> Format.printf "SQNR at out: %.1f dB -> %.1f dB@." b a
+  | _ -> ());
+
+  (* does the refined loop still recover timing? *)
+  let decided = Array.of_list (Sim.Channel.recorded output) in
+  let ser = Dsp.Pam.best_ser ~skip:500 ~sent ~decided () in
+  Format.printf "strobes: %d, decisions: %d, SER after lock: %.4f@."
+    (Dsp.Timing_recovery.strobes tr)
+    (Array.length decided) ser;
+  let nco_mu = Sim.Env.find_exn env "nco_mu" in
+  Format.printf "NCO mu settled at %.3f (timing offset tau = %.2f)@."
+    (Sim.Signal.peek_fx nco_mu) tau

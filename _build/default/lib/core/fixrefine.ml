@@ -1,0 +1,31 @@
+(** Fixrefine — fixed-point refinement for DSP hardware design.
+
+    An OCaml reproduction of the methodology and design environment of
+    R. Cmar, L. Rijnders, P. Schaumont, S. Vernalde and I. Bolsens,
+    "A Methodology and Design Environment for DSP ASIC Fixed-Point
+    Refinement", DATE 1999.
+
+    This umbrella module re-exports the public API:
+
+    - {!Fixpt}: fixed-point formats, types and quantization semantics;
+    - {!Interval}: the interval arithmetic behind range propagation;
+    - {!Stats}: running statistics, error statistics, SQNR, RNG;
+    - {!Sim}: the simulation environment — dual fixed/float signals,
+      overloaded operators, monitors, clocking, channels, VCD;
+    - {!Sfg}: signal-flow graphs and the pure analytical analyses;
+    - {!Refine}: the refinement rules, the design flow driver, and the
+      two literature baselines;
+    - {!Dsp}: the paper's example designs (LMS equalizer, PAM timing
+      recovery) and a block library;
+    - {!Vhdl}: VHDL generation for refined datapaths.
+
+    Quickstart: see [examples/quickstart.ml]. *)
+
+module Fixpt = Fixpt
+module Interval = Interval
+module Stats = Stats
+module Sim = Sim
+module Sfg = Sfg
+module Refine = Refine
+module Dsp = Dsp
+module Vhdl = Vhdl

@@ -1,0 +1,1 @@
+lib/dsp/agc.mli: Sim

@@ -1,0 +1,1 @@
+lib/dsp/biquad.ml: Array Float Sfg Sim

@@ -1,0 +1,1 @@
+lib/dsp/biquad.mli: Sfg Sim

@@ -1,0 +1,1 @@
+lib/dsp/channel_model.mli: Stats

@@ -1,0 +1,1 @@
+lib/dsp/cic.ml: Array Float Sim

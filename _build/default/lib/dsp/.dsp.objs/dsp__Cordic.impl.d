@@ -1,0 +1,1 @@
+lib/dsp/cordic.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/dsp/ddc.ml: Array Cic Cordic Float Sim

@@ -1,0 +1,1 @@
+lib/dsp/ddc.mli: Sim

@@ -1,0 +1,1 @@
+lib/dsp/fir.mli: Fixpt Sfg Sim

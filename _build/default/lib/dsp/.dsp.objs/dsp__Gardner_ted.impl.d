@@ -1,0 +1,1 @@
+lib/dsp/gardner_ted.ml: Sim

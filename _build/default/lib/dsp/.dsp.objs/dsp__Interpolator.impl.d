@@ -1,0 +1,1 @@
+lib/dsp/interpolator.ml: Array Sim

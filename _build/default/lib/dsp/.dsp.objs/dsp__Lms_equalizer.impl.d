@@ -1,0 +1,1 @@
+lib/dsp/lms_equalizer.ml: Fir List Sfg Sim Slicer

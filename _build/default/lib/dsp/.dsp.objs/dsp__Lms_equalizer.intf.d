@@ -1,0 +1,1 @@
+lib/dsp/lms_equalizer.mli: Fir Fixpt Sfg Sim

@@ -1,0 +1,1 @@
+lib/dsp/lms_fir.ml: Array Float Sim

@@ -1,0 +1,1 @@
+lib/dsp/lms_fir.mli: Fixpt Sim

@@ -1,0 +1,1 @@
+lib/dsp/loop_filter.ml: Array Sim

@@ -1,0 +1,1 @@
+lib/dsp/moving_average.ml: Array Float Sim

@@ -1,0 +1,1 @@
+lib/dsp/nco.ml: Array Float Sim

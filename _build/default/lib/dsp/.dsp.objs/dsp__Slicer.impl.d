@@ -1,0 +1,1 @@
+lib/dsp/slicer.ml: Float Interval Sim

@@ -1,0 +1,1 @@
+lib/dsp/slicer.mli: Fixpt Sim

@@ -1,0 +1,1 @@
+lib/dsp/timing_recovery.mli: Fixpt Gardner_ted Interpolator Loop_filter Nco Sim

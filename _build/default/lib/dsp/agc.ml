@@ -1,0 +1,77 @@
+(** Automatic gain control loop.
+
+    Normalizes the input amplitude to a target level:
+
+    [y_n = g_n·x_n],
+    [p_n = (1−α)·p_{n-1} + α·|y_n|]   (one-pole level estimate),
+    [g_{n+1} = g_n + μ·(target − p_n)]
+
+    Two coupled feedback states, both refinement-interesting: the gain
+    register [g] has no intrinsic bound (weak input → large gain), so
+    its range propagation explodes and a designer [range()] (the
+    hardware's gain clamp) is mandatory; the level estimator [p] is a
+    damped accumulator that converges under propagation once [g] is
+    bounded. *)
+
+type t = {
+  target : float;
+  alpha : float;
+  mu : float;
+  g : Sim.Signal.t;  (** gain register *)
+  p : Sim.Signal.t;  (** level estimate register *)
+  y : Sim.Signal.t;  (** normalized output *)
+  dev : Sim.Signal.t;  (** target − p *)
+}
+
+let create env ?(prefix = "agc_") ?(target = 1.0) ?(alpha = 0.05) ?(mu = 0.05)
+    () =
+  let t =
+    {
+      target;
+      alpha;
+      mu;
+      g = Sim.Signal.create_reg env (prefix ^ "g");
+      p = Sim.Signal.create_reg env (prefix ^ "p");
+      y = Sim.Signal.create env (prefix ^ "y");
+      dev = Sim.Signal.create env (prefix ^ "dev");
+    }
+  in
+  (* the gain register starts at unity (and restarts there on reset) *)
+  Sim.Env.at_reset env (fun () -> Sim.Signal.init t.g 1.0);
+  t
+
+let gain t = t.g
+let level t = t.p
+let output t = t.y
+let signals t = [ t.g; t.p; t.y; t.dev ]
+
+(** One sample; drives and returns the normalized output. *)
+let step t (x : Sim.Value.t) : Sim.Value.t =
+  let open Sim.Ops in
+  t.y <-- !!(t.g) *: x;
+  (* the deviation uses the fresh level estimate (the register read
+     would be one sample stale) *)
+  let p_new =
+    (cst (1.0 -. t.alpha) *: !!(t.p)) +: (cst t.alpha *: abs !!(t.y))
+  in
+  t.p <-- p_new;
+  t.dev <-- cst t.target -: p_new;
+  t.g <-- !!(t.g) +: (cst t.mu *: !!(t.dev));
+  !!(t.y)
+
+(** Float reference with the same register timing. *)
+let reference ?(target = 1.0) ?(alpha = 0.05) ?(mu = 0.05) input =
+  let g = ref 1.0 and p = ref 0.0 in
+  Array.map
+    (fun x ->
+      let y = !g *. x in
+      let p' = ((1.0 -. alpha) *. !p) +. (alpha *. Float.abs y) in
+      let g' = !g +. (mu *. (target -. p')) in
+      p := p';
+      g := g';
+      y)
+    input
+
+(** Steady-state level estimate: for a ±A input, |y| averages g·A, so
+    the loop settles at g ≈ target/E[|x|]. *)
+let expected_gain t ~mean_abs_input = t.target /. mean_abs_input

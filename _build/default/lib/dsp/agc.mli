@@ -1,0 +1,25 @@
+(** Automatic gain control loop: [y = g·x] with a one-pole level
+    estimate driving the gain register toward [target].  The gain has no
+    intrinsic bound (weak input → large gain): its range propagation is
+    rule-(b) pessimistic and the designer's gain clamp ([range()]) is
+    mandatory. *)
+
+type t
+
+val create :
+  Sim.Env.t -> ?prefix:string -> ?target:float -> ?alpha:float -> ?mu:float ->
+  unit -> t
+
+val gain : t -> Sim.Signal.t
+val level : t -> Sim.Signal.t
+val output : t -> Sim.Signal.t
+val signals : t -> Sim.Signal.t list
+
+(** One sample; drives and returns the normalized output. *)
+val step : t -> Sim.Value.t -> Sim.Value.t
+
+val reference : ?target:float -> ?alpha:float -> ?mu:float -> float array ->
+  float array
+
+(** The loop's settling point [target / E|x|]. *)
+val expected_gain : t -> mean_abs_input:float -> float

@@ -1,0 +1,61 @@
+(** Transmission-channel models producing receiver input streams.
+
+    The paper evaluates on "relevant input stimuli" from its cable-modem
+    context; we substitute deterministic synthetic equivalents (see
+    DESIGN.md): binary PAM through a short ISI channel with additive
+    white Gaussian noise for the equalizer, and a pulse-shaped PAM
+    waveform with a static timing offset for the timing-recovery loop. *)
+
+(** ISI + AWGN channel at symbol rate:
+    [x_n = Σ_j taps_j · a_{n-j} + w_n], [w ~ N(0, noise_sigma²)].
+
+    Returns a stimulus function suitable for {!Sim.Channel.of_fun}
+    together with the transmitted symbol array (for SER scoring).
+    Samples beyond [n_symbols] repeat the tail symbol pattern of zeros —
+    callers should not read past the end. *)
+let isi_awgn ?(taps = [| 0.15; 0.8; 0.12 |]) ?(noise_sigma = 0.02) ~rng
+    ~n_symbols () =
+  let syms = Pam.symbols rng n_symbols in
+  let gauss = Stats.Rng.gauss_state (Stats.Rng.split rng) in
+  let nt = Array.length taps in
+  let sample n =
+    if n < 0 || n >= n_symbols then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for j = 0 to nt - 1 do
+        if n - j >= 0 then acc := !acc +. (taps.(j) *. syms.(n - j))
+      done;
+      !acc +. Stats.Rng.gauss_ms gauss ~mean:0.0 ~sigma:noise_sigma
+    end
+  in
+  (* precompute so repeated reads of the same index are consistent *)
+  let table = Array.init n_symbols sample in
+  let stimulus n = if n < n_symbols then table.(n) else 0.0 in
+  (stimulus, syms)
+
+(** Pulse-shaped PAM waveform sampled at [sps] samples per symbol with a
+    static fractional timing offset [tau] (in symbol periods) and AWGN —
+    the Fig. 5 timing-recovery workload.  Sample [n] is
+    [s(n/sps − tau) + w_n]. *)
+let timing_offset_pam ?(beta = 0.35) ?(sps = 2) ?(noise_sigma = 0.01)
+    ?(tau = 0.3) ~rng ~n_symbols () =
+  let syms = Pam.symbols rng n_symbols in
+  let gauss = Stats.Rng.gauss_state (Stats.Rng.split rng) in
+  let n_samples = n_symbols * sps in
+  let table =
+    Array.init n_samples (fun n ->
+        let t = (Float.of_int n /. Float.of_int sps) -. tau in
+        Pam.waveform_sample ~beta syms t
+        +. Stats.Rng.gauss_ms gauss ~mean:0.0 ~sigma:noise_sigma)
+  in
+  let stimulus n = if n >= 0 && n < n_samples then table.(n) else 0.0 in
+  (stimulus, syms, n_samples)
+
+(** Peak magnitude of a stimulus over its support — used to choose input
+    signal [range()] annotations the way a designer reads a datasheet. *)
+let peak stimulus ~n =
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (stimulus i))
+  done;
+  !m

@@ -1,0 +1,30 @@
+(** Transmission-channel models producing receiver input streams — the
+    deterministic synthetic substitutes for the paper's unavailable
+    stimuli (see DESIGN.md §2). *)
+
+(** ISI + AWGN at symbol rate: [x_n = Σ_j taps_j·a_{n-j} + w_n].
+    Returns the stimulus function (precomputed; consistent on repeated
+    reads) and the transmitted symbols. *)
+val isi_awgn :
+  ?taps:float array ->
+  ?noise_sigma:float ->
+  rng:Stats.Rng.t ->
+  n_symbols:int ->
+  unit ->
+  (int -> float) * float array
+
+(** Pulse-shaped PAM at [sps] samples/symbol with a static fractional
+    timing offset [tau] and AWGN — the Fig. 5 workload.  Returns
+    [(stimulus, symbols, n_samples)]. *)
+val timing_offset_pam :
+  ?beta:float ->
+  ?sps:int ->
+  ?noise_sigma:float ->
+  ?tau:float ->
+  rng:Stats.Rng.t ->
+  n_symbols:int ->
+  unit ->
+  (int -> float) * float array * int
+
+(** Peak magnitude over the first [n] samples. *)
+val peak : (int -> float) -> n:int -> float

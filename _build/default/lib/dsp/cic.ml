@@ -1,0 +1,121 @@
+(** Cascaded integrator-comb (CIC) decimator.
+
+    The block that motivates the {e wrap-around} MSB mode: a CIC's
+    integrator registers grow without bound on any non-zero-mean input,
+    and the architecture is {e designed} to let them overflow — two's
+    complement modular arithmetic guarantees the comb differences are
+    exact as long as every register holds at least
+    [N·log2(R·M) + B_in] bits (Hogenauer's theorem).
+
+    For the refinement methodology this is the sharpest test of §5.1:
+    - the statistic range of the integrators grows with the simulation
+      length, and range propagation explodes immediately — yet neither
+      saturation nor an error-type is the right answer: the correct
+      decision is {e wrap-around at the Hogenauer width};
+    - everything after the combs is bounded and refines normally.
+
+    Order [n], decimation [r], differential delay 1. *)
+
+type t = {
+  order : int;
+  rate : int;
+  integ : Sim.Sig_array.t;  (** integrator registers, input rate *)
+  comb_state : Sim.Sig_array.t;  (** comb delay registers, output rate *)
+  comb_out : Sim.Sig_array.t;  (** comb stage outputs *)
+  out : Sim.Signal.t;
+  mutable phase : int;  (** decimation phase counter *)
+}
+
+let create env ?(prefix = "cic_") ~order ~rate () =
+  if order < 1 || order > 8 then invalid_arg "Cic.create: order";
+  if rate < 2 then invalid_arg "Cic.create: rate";
+  {
+    order;
+    rate;
+    integ = Sim.Sig_array.create_reg env (prefix ^ "i") order;
+    comb_state = Sim.Sig_array.create_reg env (prefix ^ "cs") order;
+    comb_out = Sim.Sig_array.create env (prefix ^ "c") order;
+    out = Sim.Signal.create env (prefix ^ "y");
+    phase = 0;
+  }
+
+let order t = t.order
+let rate t = t.rate
+let output t = t.out
+let integrators t = Sim.Sig_array.to_list t.integ
+
+(** DC gain [(R·M)^N] of the structure. *)
+let gain t = Float.of_int t.rate ** Float.of_int t.order
+
+(** Hogenauer register width for an input of [input_bits] bits: every
+    internal register must hold [N·log2(R) + input_bits] bits for the
+    modular arithmetic to be exact. *)
+let hogenauer_bits t ~input_bits =
+  input_bits
+  + Float.to_int
+      (Float.ceil
+         (Float.of_int t.order *. Float.log2 (Float.of_int t.rate)))
+
+(** Advance one input sample; returns [Some output] on decimation
+    instants (every [rate] samples), [None] otherwise. *)
+let step t (x : Sim.Value.t) =
+  let open Sim.Ops in
+  (* integrator chain at input rate: thread the fresh (this-cycle)
+     integrator values downstream so the cascade has no extra delays *)
+  let acc = ref x in
+  for i = 0 to t.order - 1 do
+    let s = Sim.Sig_array.get t.integ i in
+    let fresh = !!s +: !acc in
+    s <-- fresh;
+    (* downstream sees the register's quantized (e.g. wrapped) value,
+       bit-accurate with the unpipelined RTL *)
+    acc :=
+      (match Sim.Signal.dtype s with
+      | Some dt -> cast dt fresh
+      | None -> fresh)
+  done;
+  t.phase <- (t.phase + 1) mod t.rate;
+  if t.phase <> 0 then None
+  else begin
+    (* comb chain at output rate, fed with the fresh integrator value *)
+    let v = ref !acc in
+    for i = 0 to t.order - 1 do
+      let state = Sim.Sig_array.get t.comb_state i in
+      let outs = Sim.Sig_array.get t.comb_out i in
+      outs <-- !v -: !!state;
+      state <-- !v;
+      v := !!outs
+    done;
+    t.out <-- !v;
+    Some !!(t.out)
+  end
+
+(** Float reference: order-[n] boxcar cascade — decimated output [k] is
+    the [n]-fold iterated sum over the last [r] samples.  Computed
+    directly from the definition (integrate n times, decimate,
+    difference n times). *)
+let reference ~order ~rate input =
+  let len = Array.length input in
+  (* n cascaded integrators *)
+  let stage = Array.copy input in
+  for _ = 1 to order do
+    let acc = ref 0.0 in
+    for i = 0 to len - 1 do
+      acc := !acc +. stage.(i);
+      stage.(i) <- !acc
+    done
+  done;
+  (* decimate: take every rate-th sample (1-indexed instants) *)
+  let n_out = len / rate in
+  let dec = Array.init n_out (fun k -> stage.(((k + 1) * rate) - 1)) in
+  (* n cascaded combs at the output rate *)
+  let combed = Array.copy dec in
+  for _ = 1 to order do
+    let prev = ref 0.0 in
+    for i = 0 to n_out - 1 do
+      let v = combed.(i) in
+      combed.(i) <- v -. !prev;
+      prev := v
+    done
+  done;
+  combed

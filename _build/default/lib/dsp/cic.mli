@@ -1,0 +1,29 @@
+(** Cascaded integrator-comb (CIC) decimator — the block that motivates
+    the wrap-around MSB mode: its integrators are {e designed} to
+    overflow, and modular two's-complement arithmetic keeps the comb
+    differences exact at the Hogenauer register width.  The sharpest
+    test of §5.1: neither saturation nor error-typing is the right
+    answer for the integrators. *)
+
+type t
+
+(** Order in [[1, 8]], decimation [rate >= 2], differential delay 1. *)
+val create : Sim.Env.t -> ?prefix:string -> order:int -> rate:int -> unit -> t
+
+val order : t -> int
+val rate : t -> int
+val output : t -> Sim.Signal.t
+val integrators : t -> Sim.Signal.t list
+
+(** DC gain [(R·M)^N]. *)
+val gain : t -> float
+
+(** Hogenauer register width: [N·log2 R + input_bits]. *)
+val hogenauer_bits : t -> input_bits:int -> int
+
+(** Advance one input sample; [Some output] every [rate] samples. *)
+val step : t -> Sim.Value.t -> Sim.Value.t option
+
+(** Float reference: integrate [order] times, decimate by [rate],
+    difference [order] times. *)
+val reference : order:int -> rate:int -> float array -> float array

@@ -1,0 +1,115 @@
+(** CORDIC rotator (circular, rotation mode).
+
+    A classic shift-and-add DSP kernel, included as a third refinement
+    scenario: its per-iteration signals have predictable shrinking
+    ranges and its quantization error grows with iteration count, so it
+    exercises the MSB and LSB rules on a structure very different from
+    the two paper examples (deep feed-forward, no feedback).
+
+    Computes [(x·cos z − y·sin z, x·sin z + y·cos z)] for [z] in
+    [[-π/2, π/2]] with [iters] iterations and the usual gain
+    [K = Π √(1+2^{-2i}) ≈ 1.6468]. *)
+
+type t = {
+  iters : int;
+  xs : Sim.Sig_array.t;
+  ys : Sim.Sig_array.t;
+  zs : Sim.Sig_array.t;
+}
+
+let gain iters =
+  let k = ref 1.0 in
+  for i = 0 to iters - 1 do
+    k := !k *. sqrt (1.0 +. (2.0 ** Float.of_int (-2 * i)))
+  done;
+  !k
+
+let angle i = Float.atan (2.0 ** Float.of_int (-i))
+
+let create env ?(prefix = "cor_") ~iters () =
+  if iters < 1 || iters > 48 then invalid_arg "Cordic.create: iters";
+  {
+    iters;
+    xs = Sim.Sig_array.create env (prefix ^ "x") (iters + 1);
+    ys = Sim.Sig_array.create env (prefix ^ "y") (iters + 1);
+    zs = Sim.Sig_array.create env (prefix ^ "z") (iters + 1);
+  }
+
+let signals t =
+  Sim.Sig_array.to_list t.xs @ Sim.Sig_array.to_list t.ys
+  @ Sim.Sig_array.to_list t.zs
+
+let stage_signals t i =
+  (Sim.Sig_array.get t.xs i, Sim.Sig_array.get t.ys i, Sim.Sig_array.get t.zs i)
+
+(** One full rotation (combinational cascade): drives every stage signal
+    and returns [(x_out, y_out)] (scaled by the CORDIC gain). *)
+let rotate t ~(x : Sim.Value.t) ~(y : Sim.Value.t) ~(z : Sim.Value.t) =
+  let open Sim.Ops in
+  Sim.Sig_array.get t.xs 0 <-- x;
+  Sim.Sig_array.get t.ys 0 <-- y;
+  Sim.Sig_array.get t.zs 0 <-- z;
+  for i = 0 to t.iters - 1 do
+    let xi = !!(Sim.Sig_array.get t.xs i)
+    and yi = !!(Sim.Sig_array.get t.ys i)
+    and zi = !!(Sim.Sig_array.get t.zs i) in
+    let positive = zi >=: cst 0.0 in
+    let xshift = shift_right xi i and yshift = shift_right yi i in
+    let alpha = cst (angle i) in
+    if positive then begin
+      Sim.Sig_array.get t.xs (i + 1) <-- xi -: yshift;
+      Sim.Sig_array.get t.ys (i + 1) <-- yi +: xshift;
+      Sim.Sig_array.get t.zs (i + 1) <-- zi -: alpha
+    end
+    else begin
+      Sim.Sig_array.get t.xs (i + 1) <-- xi +: yshift;
+      Sim.Sig_array.get t.ys (i + 1) <-- yi -: xshift;
+      Sim.Sig_array.get t.zs (i + 1) <-- zi +: alpha
+    end
+  done;
+  (!!(Sim.Sig_array.get t.xs t.iters), !!(Sim.Sig_array.get t.ys t.iters))
+
+(** Float reference: exact rotation scaled by the CORDIC gain. *)
+let reference ~iters ~x ~y ~z =
+  let k = gain iters in
+  let c = cos z and s = sin z in
+  (k *. ((x *. c) -. (y *. s)), k *. ((x *. s) +. (y *. c)))
+
+(** Vectoring mode: rotate [(x, y)] onto the positive x-axis, driving
+    [y → 0] and accumulating the applied angle into the z chain.
+    Returns [(K·magnitude, atan2 y x)] for [x > 0] — the AGC /
+    carrier-phase kernel.  Drives the same stage signals as
+    {!rotate}. *)
+let vectorize t ~(x : Sim.Value.t) ~(y : Sim.Value.t) =
+  let open Sim.Ops in
+  Sim.Sig_array.get t.xs 0 <-- x;
+  Sim.Sig_array.get t.ys 0 <-- y;
+  Sim.Sig_array.get t.zs 0 <-- cst 0.0;
+  for i = 0 to t.iters - 1 do
+    let xi = !!(Sim.Sig_array.get t.xs i)
+    and yi = !!(Sim.Sig_array.get t.ys i)
+    and zi = !!(Sim.Sig_array.get t.zs i) in
+    (* drive y toward 0: rotate by -sign(y)·angle(i) *)
+    let y_negative = yi <: cst 0.0 in
+    let xshift = shift_right xi i and yshift = shift_right yi i in
+    let alpha = cst (angle i) in
+    if y_negative then begin
+      Sim.Sig_array.get t.xs (i + 1) <-- xi -: yshift;
+      Sim.Sig_array.get t.ys (i + 1) <-- yi +: xshift;
+      Sim.Sig_array.get t.zs (i + 1) <-- zi -: alpha
+    end
+    else begin
+      Sim.Sig_array.get t.xs (i + 1) <-- xi +: yshift;
+      Sim.Sig_array.get t.ys (i + 1) <-- yi -: xshift;
+      Sim.Sig_array.get t.zs (i + 1) <-- zi +: alpha
+    end
+  done;
+  (!!(Sim.Sig_array.get t.xs t.iters), !!(Sim.Sig_array.get t.zs t.iters))
+
+(** Float reference for vectoring: [(K·√(x²+y²), atan2 y x)], valid for
+    [x > 0]. *)
+let vectorize_reference ~iters ~x ~y =
+  (gain iters *. sqrt ((x *. x) +. (y *. y)), Float.atan2 y x)
+
+(** Residual-angle bound after [iters] iterations (convergence test). *)
+let angle_error_bound iters = angle (iters - 1)

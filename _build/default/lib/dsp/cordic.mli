@@ -1,0 +1,33 @@
+(** CORDIC (circular): rotation mode — [(x·cos z − y·sin z, x·sin z +
+    y·cos z)] scaled by the gain [K ≈ 1.6468] — and vectoring mode —
+    [(K·magnitude, atan2 y x)].  A deep feed-forward refinement
+    scenario: the z chain shrinks per stage, the x/y chains grow by
+    [K]. *)
+
+type t
+
+val gain : int -> float
+val angle : int -> float
+
+(** [iters] in [[1, 48]]. *)
+val create : Sim.Env.t -> ?prefix:string -> iters:int -> unit -> t
+
+val signals : t -> Sim.Signal.t list
+
+(** [(x, y, z)] stage signals at index [i] (0 = input). *)
+val stage_signals : t -> int -> Sim.Signal.t * Sim.Signal.t * Sim.Signal.t
+
+(** Rotation mode, [z ∈ [-π/2, π/2]]; returns [(x_out, y_out)]. *)
+val rotate :
+  t -> x:Sim.Value.t -> y:Sim.Value.t -> z:Sim.Value.t ->
+  Sim.Value.t * Sim.Value.t
+
+val reference : iters:int -> x:float -> y:float -> z:float -> float * float
+
+(** Vectoring mode, [x > 0]; returns [(K·magnitude, angle)]. *)
+val vectorize : t -> x:Sim.Value.t -> y:Sim.Value.t -> Sim.Value.t * Sim.Value.t
+
+val vectorize_reference : iters:int -> x:float -> y:float -> float * float
+
+(** Residual-angle bound after [iters] iterations. *)
+val angle_error_bound : int -> float

@@ -1,0 +1,98 @@
+(** Digital down-converter: the cable-modem front end the paper's
+    introduction motivates (§1: "integrated cable modems").
+
+    Composition of the block library into a third complex system:
+
+    {v
+      IF input ──▶ CORDIC mixer ──▶ I ──▶ CIC ↓R ──▶ I out
+                      ▲ phase  └──▶ Q ──▶ CIC ↓R ──▶ Q out
+                 free-running NCO
+    v}
+
+    - a free-running phase accumulator (modulo-1 register — wrap-around
+      by design, like the CIC integrators);
+    - a CORDIC rotator as the quadrature mixer (with the quadrant
+      pre-rotation needed to keep the rotation angle inside CORDIC's
+      ±π/2 convergence range);
+    - two order-[n] CIC decimators for the rate change.
+
+    Everything is built from monitored signals, so the whole subsystem
+    refines with the standard flow. *)
+
+type t = {
+  fcw : float;  (** frequency control word: cycles per input sample *)
+  phase : Sim.Signal.t;  (** modulo-1 phase register *)
+  pre_x : Sim.Signal.t;  (** quadrant-corrected mixer input *)
+  pre_a : Sim.Signal.t;  (** quadrant-corrected rotation angle *)
+  cordic : Cordic.t;
+  cic_i : Cic.t;
+  cic_q : Cic.t;
+  i_out : Sim.Signal.t;
+  q_out : Sim.Signal.t;
+}
+
+let cordic_iters = 14
+
+let create env ?(prefix = "ddc_") ~fcw ~rate ~order () =
+  if fcw <= 0.0 || fcw >= 0.5 then invalid_arg "Ddc.create: fcw in (0, 0.5)";
+  {
+    fcw;
+    phase = Sim.Signal.create_reg env (prefix ^ "phase");
+    pre_x = Sim.Signal.create env (prefix ^ "pre_x");
+    pre_a = Sim.Signal.create env (prefix ^ "pre_a");
+    cordic = Cordic.create env ~prefix:(prefix ^ "rot_") ~iters:cordic_iters ();
+    cic_i = Cic.create env ~prefix:(prefix ^ "ci_") ~order ~rate ();
+    cic_q = Cic.create env ~prefix:(prefix ^ "cq_") ~order ~rate ();
+    i_out = Sim.Signal.create env (prefix ^ "i");
+    q_out = Sim.Signal.create env (prefix ^ "q");
+  }
+
+let phase t = t.phase
+let outputs t = (t.i_out, t.q_out)
+
+(** Advance one input sample; [Some (i, q)] on decimated output
+    instants. *)
+let step t (x : Sim.Value.t) =
+  let open Sim.Ops in
+  (* free-running modulo-1 phase: the wrap is explicit arithmetic here
+     (in hardware it is the register's natural wrap-around overflow) *)
+  let nxt = !!(t.phase) +: cst t.fcw in
+  t.phase <-- select (nxt >=: cst 1.0) (nxt -: cst 1.0) nxt;
+  (* rotation angle -2π·phase mapped into (-π, π] *)
+  let ph = !!(t.phase) in
+  let angle =
+    select (ph <: cst 0.5)
+      (cst (-2.0 *. Float.pi) *: ph)
+      (cst (-2.0 *. Float.pi) *: (ph -: cst 1.0))
+  in
+  (* quadrant pre-rotation: fold into ±π/2, negating the input *)
+  let halfpi = Float.pi /. 2.0 in
+  let too_pos = angle >: cst halfpi and too_neg = angle <: cst (-.halfpi) in
+  let scale = cst (1.0 /. Cordic.gain cordic_iters) in
+  let x_scaled = x *: scale in
+  t.pre_x <-- select (too_pos || too_neg) (~-:x_scaled) x_scaled;
+  t.pre_a
+  <-- select too_pos (angle -: cst Float.pi)
+        (select too_neg (angle +: cst Float.pi) angle);
+  let i_mix, q_mix =
+    Cordic.rotate t.cordic ~x:!!(t.pre_x) ~y:(cst 0.0) ~z:!!(t.pre_a)
+  in
+  match (Cic.step t.cic_i i_mix, Cic.step t.cic_q q_mix) with
+  | Some i, Some q ->
+      t.i_out <-- i;
+      t.q_out <-- q;
+      Some (!!(t.i_out), !!(t.q_out))
+  | None, None -> None
+  | _ -> assert false (* both CICs share the decimation phase *)
+
+(** Float reference: mix [input] with [e^{-2πi·fcw·n}] and run the CIC
+    reference on both rails. *)
+let reference ~fcw ~rate ~order input =
+  let mix k (x : float) =
+    let a = -2.0 *. Float.pi *. fcw *. Float.of_int k in
+    (x *. cos a, x *. sin a)
+  in
+  let mixed = Array.mapi mix input in
+  let i_ref = Cic.reference ~order ~rate (Array.map fst mixed) in
+  let q_ref = Cic.reference ~order ~rate (Array.map snd mixed) in
+  (i_ref, q_ref)

@@ -1,0 +1,26 @@
+(** Digital down-converter — the cable-modem front end the paper's
+    introduction motivates: free-running modulo-1 NCO, CORDIC quadrature
+    mixer (with quadrant pre-rotation), and two CIC decimators. *)
+
+type t
+
+val cordic_iters : int
+
+(** [fcw ∈ (0, 0.5)] cycles per input sample. *)
+val create :
+  Sim.Env.t -> ?prefix:string -> fcw:float -> rate:int -> order:int -> unit ->
+  t
+
+val phase : t -> Sim.Signal.t
+
+(** [(i_out, q_out)] signals. *)
+val outputs : t -> Sim.Signal.t * Sim.Signal.t
+
+(** Advance one input sample; [Some (i, q)] on decimated instants. *)
+val step : t -> Sim.Value.t -> (Sim.Value.t * Sim.Value.t) option
+
+(** Float reference: exact mix with [e^{-2πi·fcw·n}] + CIC reference on
+    both rails; returns [(i_ref, q_ref)]. *)
+val reference :
+  fcw:float -> rate:int -> order:int -> float array ->
+  float array * float array

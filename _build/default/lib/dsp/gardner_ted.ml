@@ -1,0 +1,48 @@
+(** Gardner timing-error detector.
+
+    The "Timing error detector" block of Fig. 5.  Gardner's detector
+    works at two samples per symbol and is decision-independent:
+
+    [err = (y_k − y_{k−1}) · y_{k−½}]
+
+    where [y_k] is the current symbol-instant (strobe) sample, [y_{k−1}]
+    the previous one and [y_{k−½}] the mid-symbol sample between them.
+    Registers hold the two delayed samples; the error signal feeds the
+    loop filter only at symbol strobes (and holds otherwise). *)
+
+type t = {
+  prev_sym : Sim.Signal.t;  (** y_{k−1}, registered *)
+  mid : Sim.Signal.t;  (** y_{k−½}, registered *)
+  diff : Sim.Signal.t;  (** y_k − y_{k−1} *)
+  err : Sim.Signal.t;  (** detector output *)
+}
+
+let create env ?(prefix = "ted_") () =
+  {
+    prev_sym = Sim.Signal.create_reg env (prefix ^ "prev");
+    mid = Sim.Signal.create_reg env (prefix ^ "mid");
+    diff = Sim.Signal.create env (prefix ^ "diff");
+    err = Sim.Signal.create env (prefix ^ "err");
+  }
+
+let error t = t.err
+let signals t = [ t.prev_sym; t.mid; t.diff; t.err ]
+
+(** Record the mid-symbol sample (call at mid strobes). *)
+let capture_mid t (sample : Sim.Value.t) =
+  let open Sim.Ops in
+  t.mid <-- sample
+
+(** Compute the timing error from the symbol-instant sample (call at
+    symbol strobes); drives and returns [err]. *)
+let detect t (sample : Sim.Value.t) : Sim.Value.t =
+  let open Sim.Ops in
+  t.diff <-- sample -: !!(t.prev_sym);
+  t.err <-- !!(t.diff) *: !!(t.mid);
+  t.prev_sym <-- sample;
+  !!(t.err)
+
+(** Float reference: S-curve slope check for tests — for input
+    [y(t) = sin(2π·(t−τ)/2)] sampled at strobes, the detector output
+    averages to a value whose sign follows [τ]. *)
+let reference ~current ~previous ~mid = (current -. previous) *. mid

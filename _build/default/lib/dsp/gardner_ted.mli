@@ -1,0 +1,19 @@
+(** Gardner timing-error detector — the "Timing error detector" block of
+    Fig. 5: [err = (y_k − y_{k−1})·y_{k−½}], decision-independent, two
+    samples per symbol. *)
+
+type t
+
+val create : Sim.Env.t -> ?prefix:string -> unit -> t
+val error : t -> Sim.Signal.t
+val signals : t -> Sim.Signal.t list
+
+(** Record a mid-symbol sample (a register: at the next strobe it holds
+    the previous sample's interpolant). *)
+val capture_mid : t -> Sim.Value.t -> unit
+
+(** Compute the timing error at a symbol strobe; drives and returns
+    [err]. *)
+val detect : t -> Sim.Value.t -> Sim.Value.t
+
+val reference : current:float -> previous:float -> mid:float -> float

@@ -1,0 +1,18 @@
+(** Goertzel single-bin DFT detector — the tone-detection kernel of
+    modem signalling.  Its resonator pole sits on the unit circle, so
+    the state registers grow with the block length: their MSB is set by
+    [N], not by the input range. *)
+
+type t
+
+(** Detect DFT bin [bin] of an [n]-sample block. *)
+val create : Sim.Env.t -> ?prefix:string -> bin:int -> n:int -> unit -> t
+
+val state_signals : t -> Sim.Signal.t list
+val power_signal : t -> Sim.Signal.t
+
+(** Advance one sample; [Some power] at block ends (state resets). *)
+val step : t -> Sim.Value.t -> Sim.Value.t option
+
+(** |DFT bin|² of one [n]-sample block. *)
+val reference : bin:int -> n:int -> float array -> float

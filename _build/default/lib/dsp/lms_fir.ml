@@ -1,0 +1,121 @@
+(** Full N-tap adaptive LMS FIR filter.
+
+    The paper's motivational example adapts a single feedback
+    coefficient; this block is the general case — an N-tap transversal
+    filter whose {e every} coefficient adapts:
+
+    [y_n = Σ w_i·x_{n-i}],  [e_n = d_n − y_n],  [w_i ← w_i + μ·e_n·x_{n-i}]
+
+    Fixed-point adaptation has its own refinement phenomenon beyond the
+    paper's two: {e gradient stalling}.  When the coefficient registers
+    are quantized, updates smaller than half an LSB round to zero and
+    adaptation stops at a misadjustment floor set by the coefficient
+    wordlength — so the coefficient LSB is dictated by the adaptation
+    dynamics, not by the σ-rule on the data path.  The
+    [ablate-adaptive-lsb] bench quantifies it.
+
+    Signals: coefficient registers [w[i]], data delay line [x[i]], the
+    accumulator chain [acc[i]], output [y], error [e], and the per-tap
+    update terms [upd[i]]. *)
+
+type t = {
+  n : int;
+  mu : float;
+  w : Sim.Sig_array.t;  (** adapted coefficients (regs) *)
+  x : Sim.Sig_array.t;  (** data delay line (regs) *)
+  acc : Sim.Sig_array.t;  (** accumulator chain *)
+  y : Sim.Signal.t;
+  e : Sim.Signal.t;
+  upd : Sim.Sig_array.t;  (** μ·e·x_{n-i} update terms *)
+}
+
+let create env ?(prefix = "lf_") ~taps ~mu () =
+  if taps < 1 then invalid_arg "Lms_fir.create: taps";
+  {
+    n = taps;
+    mu;
+    w = Sim.Sig_array.create_reg env (prefix ^ "w") taps;
+    x = Sim.Sig_array.create_reg env (prefix ^ "x") taps;
+    acc = Sim.Sig_array.create env (prefix ^ "acc") (taps + 1);
+    y = Sim.Signal.create env (prefix ^ "y");
+    e = Sim.Signal.create env (prefix ^ "e");
+    upd = Sim.Sig_array.create env (prefix ^ "upd") taps;
+  }
+
+let taps t = t.n
+let coefficients t = t.w
+let output t = t.y
+let error_signal t = t.e
+
+(** Apply a dtype to the coefficient registers only (the stalling
+    knob). *)
+let set_coef_dtype t dt = Sim.Sig_array.set_dtype t.w dt
+
+(** Current coefficient values. *)
+let coefs t =
+  Array.init t.n (fun i -> Sim.Signal.peek_fx (Sim.Sig_array.get t.w i))
+
+(** One sample: filter [input], compare with [desired], adapt.
+    Returns [(y, e)]. *)
+let step t ~(input : Sim.Value.t) ~(desired : Sim.Value.t) =
+  let open Sim.Ops in
+  (* shift the delay line *)
+  for i = t.n - 1 downto 1 do
+    Sim.Sig_array.get t.x i <-- !!(Sim.Sig_array.get t.x (i - 1))
+  done;
+  Sim.Sig_array.get t.x 0 <-- input;
+  (* filter over the pre-shift line values (registers read old values,
+     so tap i sees x_{n-1-i}; the input contributes next cycle) *)
+  Sim.Sig_array.get t.acc 0 <-- cst 0.0;
+  for i = 1 to t.n do
+    Sim.Sig_array.get t.acc i
+    <-- !!(Sim.Sig_array.get t.acc (i - 1))
+        +: (!!(Sim.Sig_array.get t.x (i - 1))
+            *: !!(Sim.Sig_array.get t.w (i - 1)));
+  done;
+  t.y <-- !!(Sim.Sig_array.get t.acc t.n);
+  t.e <-- desired -: !!(t.y);
+  (* adaptation *)
+  for i = 0 to t.n - 1 do
+    let u = Sim.Sig_array.get t.upd i in
+    u <-- cst t.mu *: !!(t.e) *: !!(Sim.Sig_array.get t.x i);
+    Sim.Sig_array.get t.w i <-- !!(Sim.Sig_array.get t.w i) +: !!u
+  done;
+  (!!(t.y), !!(t.e))
+
+(** Float reference (same register timing as {!step}). *)
+let reference ~taps ~mu ~input ~desired =
+  let len = Array.length input in
+  if Array.length desired <> len then invalid_arg "Lms_fir.reference";
+  let w = Array.make taps 0.0 in
+  let x = Array.make taps 0.0 in
+  let ys = Array.make len 0.0 and es = Array.make len 0.0 in
+  for nsample = 0 to len - 1 do
+    let y = ref 0.0 in
+    for i = 0 to taps - 1 do
+      y := !y +. (x.(i) *. w.(i))
+    done;
+    let e = desired.(nsample) -. !y in
+    ys.(nsample) <- !y;
+    es.(nsample) <- e;
+    for i = 0 to taps - 1 do
+      w.(i) <- w.(i) +. (mu *. e *. x.(i))
+    done;
+    (* registers commit: shift the line *)
+    for i = taps - 1 downto 1 do
+      x.(i) <- x.(i - 1)
+    done;
+    x.(0) <- input.(nsample)
+  done;
+  (ys, es, w)
+
+(** Steady-state mean-square error over the last [tail] samples of a
+    run — the misadjustment probe used by the stalling bench. *)
+let tail_mse errors ~tail =
+  let len = Array.length errors in
+  let tail = min tail len in
+  let acc = ref 0.0 in
+  for i = len - tail to len - 1 do
+    acc := !acc +. (errors.(i) *. errors.(i))
+  done;
+  !acc /. Float.of_int tail

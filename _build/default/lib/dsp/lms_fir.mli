@@ -1,0 +1,32 @@
+(** Full N-tap adaptive LMS FIR — the general case of the paper's
+    single-coefficient adaptation, exhibiting {e gradient stalling}:
+    quantized coefficient registers stop adapting once updates fall
+    below half an LSB, so the coefficient LSB is set by the loop
+    dynamics, not the data-path σ-rule. *)
+
+type t
+
+val create : Sim.Env.t -> ?prefix:string -> taps:int -> mu:float -> unit -> t
+val taps : t -> int
+val coefficients : t -> Sim.Sig_array.t
+val output : t -> Sim.Signal.t
+val error_signal : t -> Sim.Signal.t
+
+(** Quantize the coefficient registers only (the stalling knob). *)
+val set_coef_dtype : t -> Fixpt.Dtype.t -> unit
+
+val coefs : t -> float array
+
+(** One sample: filter, compare, adapt; returns [(y, e)]. *)
+val step : t -> input:Sim.Value.t -> desired:Sim.Value.t ->
+  Sim.Value.t * Sim.Value.t
+
+(** Float reference with the same register timing;
+    [(outputs, errors, final coefficients)]. *)
+val reference :
+  taps:int -> mu:float -> input:float array -> desired:float array ->
+  float array * float array * float array
+
+(** Mean-square error over the last [tail] samples (misadjustment
+    probe). *)
+val tail_mse : float array -> tail:int -> float

@@ -1,0 +1,53 @@
+(** Recursive moving-average (boxcar) filter.
+
+    [y_n = y_{n-1} + (x_n − x_{n−N})/N] — implemented with a running
+    accumulator, the canonical "accumulation variable" of the paper's
+    §5.1 case (b): its statistic range is small but pure range
+    propagation keeps adding the error of the recursive form, so the
+    accumulator is exactly the signal the refinement rules recommend
+    switching to saturation mode. *)
+
+type t = {
+  n : int;
+  line : Sim.Sig_array.t;  (** x delay line, regs *)
+  diff : Sim.Signal.t;  (** x_n − x_{n−N} *)
+  acc : Sim.Signal.t;  (** running sum, reg *)
+  out : Sim.Signal.t;  (** acc / N *)
+}
+
+let create env ?(prefix = "ma_") ~n () =
+  if n < 1 then invalid_arg "Moving_average.create";
+  {
+    n;
+    line = Sim.Sig_array.create_reg env (prefix ^ "z") n;
+    diff = Sim.Signal.create env (prefix ^ "diff");
+    acc = Sim.Signal.create_reg env (prefix ^ "acc");
+    out = Sim.Signal.create env (prefix ^ "y");
+  }
+
+let output t = t.out
+let accumulator t = t.acc
+let signals t = Sim.Sig_array.to_list t.line @ [ t.diff; t.acc; t.out ]
+
+let step t (x : Sim.Value.t) : Sim.Value.t =
+  let open Sim.Ops in
+  t.diff <-- x -: !!(Sim.Sig_array.get t.line (t.n - 1));
+  for i = t.n - 1 downto 1 do
+    Sim.Sig_array.get t.line i <-- !!(Sim.Sig_array.get t.line (i - 1))
+  done;
+  Sim.Sig_array.get t.line 0 <-- x;
+  t.acc <-- !!(t.acc) +: !!(t.diff);
+  (* the register read sees the pre-update sum; add the fresh increment
+     so the output includes the current sample *)
+  t.out <-- (!!(t.acc) +: !!(t.diff)) /: cst (Float.of_int t.n);
+  !!(t.out)
+
+(** Float reference. *)
+let reference ~n input =
+  let len = Array.length input in
+  Array.init len (fun i ->
+      let acc = ref 0.0 in
+      for j = max 0 (i - n + 1) to i do
+        acc := !acc +. input.(j)
+      done;
+      !acc /. Float.of_int n)

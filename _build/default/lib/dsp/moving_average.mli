@@ -1,0 +1,12 @@
+(** Recursive moving-average (boxcar) filter — its running accumulator
+    is the canonical §5.1 case-(b) signal (small statistic range,
+    unbounded propagated range). *)
+
+type t
+
+val create : Sim.Env.t -> ?prefix:string -> n:int -> unit -> t
+val output : t -> Sim.Signal.t
+val accumulator : t -> Sim.Signal.t
+val signals : t -> Sim.Signal.t list
+val step : t -> Sim.Value.t -> Sim.Value.t
+val reference : n:int -> float array -> float array

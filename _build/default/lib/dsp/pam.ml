@@ -1,0 +1,66 @@
+(** Pulse-amplitude modulation utilities.
+
+    Both paper examples work on binary PAM (±1) signalling: the LMS
+    equalizer slices ±1 decisions, and the timing-recovery loop of Fig. 5
+    recovers the symbol clock of a PAM stream.  This module generates
+    symbol streams, maps them through transmit pulses, and scores
+    receiver decisions. *)
+
+(** Deterministic ±1 symbol stream. *)
+let symbols rng n = Array.init n (fun _ -> Stats.Rng.pam2 rng)
+
+(** Raised-cosine pulse with roll-off [beta], evaluated at [t] in symbol
+    periods.  The classic Nyquist pulse used by the timing-recovery
+    stimulus; [p 0 = 1], zero at nonzero integers. *)
+let raised_cosine ~beta t =
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Pam.raised_cosine: beta";
+  let abs_t = Float.abs t in
+  if abs_t < 1e-9 then 1.0
+  else if
+    beta > 0.0 && Float.abs (abs_t -. (1.0 /. (2.0 *. beta))) < 1e-9
+  then
+    (* the removable singularity at t = ±1/(2β) *)
+    Float.pi /. 4.0 *. (sin (Float.pi /. (2.0 *. beta)) /. (Float.pi /. (2.0 *. beta)))
+  else
+    let sinc x = if Float.abs x < 1e-12 then 1.0 else sin (Float.pi *. x) /. (Float.pi *. x) in
+    let denom = 1.0 -. (2.0 *. beta *. abs_t) ** 2.0 in
+    sinc abs_t *. cos (Float.pi *. beta *. abs_t) /. denom
+
+(** Transmit waveform sample: [s(t) = Σ_k a_k · p(t − k)], [t] in symbol
+    periods, pulse truncated to ±[span] symbols. *)
+let waveform_sample ?(beta = 0.35) ?(span = 4) (syms : float array) t =
+  let n = Array.length syms in
+  let k0 = Float.to_int (Float.floor t) in
+  let acc = ref 0.0 in
+  for k = k0 - span to k0 + span do
+    if k >= 0 && k < n then
+      acc := !acc +. (syms.(k) *. raised_cosine ~beta (t -. Float.of_int k))
+  done;
+  !acc
+
+(** Hard ±1 decision. *)
+let slice v = if v >= 0.0 then 1.0 else -1.0
+
+(** Symbol error count between a decision array and the transmitted
+    symbols, ignoring the first [skip] decisions (filter/loop
+    transients) and allowing a constant integer [lag]. *)
+let symbol_errors ?(skip = 0) ?(lag = 0) ~sent ~decided () =
+  let n = min (Array.length decided - skip) (Array.length sent - skip - lag) in
+  let errors = ref 0 and total = ref 0 in
+  for i = skip to skip + n - 1 do
+    if i + lag >= 0 && i + lag < Array.length sent then begin
+      incr total;
+      if slice decided.(i) <> sent.(i + lag) then incr errors
+    end
+  done;
+  (!errors, !total)
+
+(** Best-lag symbol error rate over a small lag window (receivers have an
+    a-priori-unknown integer delay). *)
+let best_ser ?(skip = 0) ?(max_lag = 8) ~sent ~decided () =
+  let best = ref 1.0 in
+  for lag = -max_lag to max_lag do
+    let e, t = symbol_errors ~skip ~lag ~sent ~decided () in
+    if t > 0 then best := Float.min !best (Float.of_int e /. Float.of_int t)
+  done;
+  !best

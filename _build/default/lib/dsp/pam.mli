@@ -1,0 +1,27 @@
+(** Pulse-amplitude modulation utilities: symbol streams, Nyquist
+    pulses, decision scoring — the signalling of both paper examples. *)
+
+(** Deterministic ±1 symbol stream. *)
+val symbols : Stats.Rng.t -> int -> float array
+
+(** Raised-cosine pulse at [t] (symbol periods), roll-off [beta] in
+    [[0, 1]]; [p 0 = 1], zero at nonzero integers. *)
+val raised_cosine : beta:float -> float -> float
+
+(** Transmit waveform sample [s(t) = Σ_k a_k·p(t − k)], pulse truncated
+    to ±[span] symbols. *)
+val waveform_sample : ?beta:float -> ?span:int -> float array -> float -> float
+
+(** Hard ±1 decision. *)
+val slice : float -> float
+
+(** Symbol error count at a given integer [lag], ignoring the first
+    [skip] decisions; returns [(errors, counted)]. *)
+val symbol_errors :
+  ?skip:int -> ?lag:int -> sent:float array -> decided:float array -> unit ->
+  int * int
+
+(** Best symbol error rate over a ±[max_lag] window. *)
+val best_ser :
+  ?skip:int -> ?max_lag:int -> sent:float array -> decided:float array ->
+  unit -> float

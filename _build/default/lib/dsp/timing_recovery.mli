@@ -1,0 +1,41 @@
+(** The complex evaluation example (§6.1, Fig. 5): a PAM timing-recovery
+    loop at two samples per symbol — interpolator, Gardner TED, PI loop
+    filter, NCO.  The fixed-point phenomena the paper reports live where
+    it says: the loop-filter integrator and the NCO phase are the
+    feedback signals whose range propagation explodes, and the NCO phase
+    is the divergence-prone one. *)
+
+type t
+
+val sps : int
+val default_kp : float
+val default_ki : float
+
+val create :
+  Sim.Env.t ->
+  ?kp:float ->
+  ?ki:float ->
+  ?x_dtype:Fixpt.Dtype.t ->
+  input:Sim.Channel.t ->
+  output:Sim.Channel.t ->
+  unit ->
+  t
+
+val env : t -> Sim.Env.t
+val input_signal : t -> Sim.Signal.t
+val output_signal : t -> Sim.Signal.t
+val interpolator : t -> Interpolator.t
+val ted : t -> Gardner_ted.t
+val loop_filter : t -> Loop_filter.t
+val nco : t -> Nco.t
+
+(** Every signal of the design, declaration order. *)
+val all_signals : t -> Sim.Signal.t list
+
+(** One input-sample clock cycle. *)
+val step : t -> unit
+
+val run : t -> samples:int -> unit
+
+(** Symbol strobes seen (reset with the environment). *)
+val strobes : t -> int

@@ -1,0 +1,1 @@
+lib/fixpt/dtype.ml: Format List Option Overflow_mode Printf Qformat Round_mode Sign_mode String

@@ -1,0 +1,1 @@
+lib/fixpt/dtype.mli: Format Overflow_mode Qformat Round_mode Sign_mode

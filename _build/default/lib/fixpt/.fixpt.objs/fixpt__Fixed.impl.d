@@ -1,0 +1,1 @@
+lib/fixpt/fixed.ml: Dtype Float Format Int64 List Printf Qformat Quantize Sign_mode

@@ -1,0 +1,1 @@
+lib/fixpt/overflow_mode.mli: Format

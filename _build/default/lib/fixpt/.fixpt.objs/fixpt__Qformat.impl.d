@@ -1,0 +1,1 @@
+lib/fixpt/qformat.ml: Float Format Printf Sign_mode

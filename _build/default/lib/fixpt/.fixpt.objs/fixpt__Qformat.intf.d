@@ -1,0 +1,1 @@
+lib/fixpt/qformat.mli: Format Sign_mode

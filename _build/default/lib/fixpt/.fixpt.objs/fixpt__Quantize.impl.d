@@ -1,0 +1,1 @@
+lib/fixpt/quantize.ml: Dtype Float Int64 Overflow_mode Qformat Round_mode Sign_mode

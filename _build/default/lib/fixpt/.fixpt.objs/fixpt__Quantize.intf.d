@@ -1,0 +1,1 @@
+lib/fixpt/quantize.mli: Dtype Qformat

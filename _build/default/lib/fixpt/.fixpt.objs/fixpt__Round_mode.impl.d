@@ -1,0 +1,1 @@
+lib/fixpt/round_mode.ml: Format

@@ -1,0 +1,1 @@
+lib/fixpt/sign_mode.mli: Format

@@ -1,0 +1,62 @@
+(** Fixed-point data types — the paper's
+    [dtype(name, n, f, vtype, msbspec, lsbspec)] object (§2.1): a
+    {!Qformat.t} plus MSB overflow mode and LSB rounding mode, under a
+    name used in reports. *)
+
+type t
+
+(** Defaults: two's complement, wrap-around, round-off. *)
+val make :
+  string ->
+  n:int ->
+  f:int ->
+  ?sign:Sign_mode.t ->
+  ?overflow:Overflow_mode.t ->
+  ?round:Round_mode.t ->
+  unit ->
+  t
+
+val of_format :
+  ?overflow:Overflow_mode.t -> ?round:Round_mode.t -> string -> Qformat.t -> t
+
+val name : t -> string
+val fmt : t -> Qformat.t
+val overflow : t -> Overflow_mode.t
+val round : t -> Round_mode.t
+val n : t -> int
+val f : t -> int
+val sign : t -> Sign_mode.t
+val msb_pos : t -> int
+val lsb_pos : t -> int
+val step : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** Representable range [(min, max)] — what seeds range propagation for
+    declared signals (§4.1). *)
+val range : t -> float * float
+
+val with_overflow : t -> Overflow_mode.t -> t
+val with_round : t -> Round_mode.t -> t
+val with_fmt : t -> Qformat.t -> t
+
+(** Move the MSB position, keeping LSB and modes. *)
+val with_msb : t -> int -> t
+
+(** Move the LSB position, keeping MSB and modes. *)
+val with_lsb : t -> int -> t
+
+val equal : t -> t -> bool
+
+(** Same representation and behaviour, ignoring the name. *)
+val same_behaviour : t -> t -> bool
+
+(** ["name<n,f,sign,msbspec,lsbspec>"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse ["name<n,f[,sign[,msbspec[,lsbspec]]]>"] (name and trailing
+    fields optional, defaulting as in {!make}); inverse of
+    {!to_string}.  [None] on malformed input. *)
+val of_string : string -> t option

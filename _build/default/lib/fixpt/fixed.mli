@@ -1,0 +1,51 @@
+(** Bit-true fixed-point values: an [int64] mantissa with an
+    interpretation format ([value = mant · 2^lsb_pos fmt]).
+
+    The float-based simulation (quantize-on-assign, §2.2) is exact for
+    wordlengths below the double mantissa; this module is the ground
+    truth that claim is tested against, and the value representation the
+    VHDL back end reasons with.  Arithmetic follows hardware semantics:
+    results get the full-precision derived format; {!resize} is the
+    explicit rounding/overflow step. *)
+
+type t
+
+val fmt : t -> Qformat.t
+val mant : t -> int64
+
+(** Raises [Invalid_argument] if the mantissa does not fit the format. *)
+val create : mant:int64 -> fmt:Qformat.t -> t
+
+val zero : Qformat.t -> t
+val to_float : t -> float
+
+(** Quantize a float through a dtype; returns the bit-true value and the
+    quantization outcome. *)
+val of_float : Dtype.t -> float -> t * Quantize.outcome
+
+val equal : t -> t -> bool
+
+(** Exact addition in the full-precision derived format (one growth bit,
+    finest LSB).  Raises [Invalid_argument] beyond 62 bits. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val neg : t -> t
+
+(** Exact product: widths add, LSB positions add. *)
+val mul : t -> t -> t
+
+(** Re-quantize into a dtype — the hardware register-write step. *)
+val resize : Dtype.t -> t -> t * Quantize.outcome
+
+val compare_value : t -> t -> int
+
+(** Two's-complement bit pattern, LSB first. *)
+val bits : t -> bool list
+
+(** Inverse of {!bits} (sign-extending for two's complement).  Raises
+    [Invalid_argument] on a length mismatch. *)
+val of_bits : Qformat.t -> bool list -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

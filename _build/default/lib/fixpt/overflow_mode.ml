@@ -1,0 +1,41 @@
+(** MSB-side overflow behaviour of a fixed-point type.
+
+    The paper's [msbspec] argument selects what happens when a value
+    exceeds the representable range of the type:
+
+    - [Wrap]: drop the bits above the MSB (modular two's-complement
+      wrap-around), the cheapest hardware;
+    - [Saturate]: clamp to the largest/smallest representable value,
+      requires a saturation circuit but bounds the error;
+    - [Error]: report an overflow event during simulation.  This is a
+      *refinement-time* mode: it tells the designer the wordlength is too
+      small or another MSB mode must be chosen.  The value itself is
+      wrapped so simulation can continue deterministically. *)
+
+type t =
+  | Wrap
+  | Saturate
+  | Error
+
+let equal a b =
+  match (a, b) with
+  | Wrap, Wrap | Saturate, Saturate | Error, Error -> true
+  | (Wrap | Saturate | Error), _ -> false
+
+let to_string = function
+  | Wrap -> "wrap"
+  | Saturate -> "sat"
+  | Error -> "err"
+
+let of_string = function
+  | "wrap" | "wr" -> Some Wrap
+  | "sat" | "saturate" -> Some Saturate
+  | "err" | "error" -> Some Error
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(** [is_saturating t] — [true] only for [Saturate].  Used by the MSB
+    refinement rules: saturated signals additionally report guard-range
+    boundaries for a safe hardware implementation (paper §5.1). *)
+let is_saturating = function Saturate -> true | Wrap | Error -> false

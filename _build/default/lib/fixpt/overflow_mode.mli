@@ -1,0 +1,22 @@
+(** MSB-side overflow behaviour of a fixed-point type — the paper's
+    [msbspec] argument (§2.1): wrap-around, saturation, or error
+    reporting during refinement. *)
+
+type t =
+  | Wrap  (** modular two's-complement wrap-around (cheapest hardware) *)
+  | Saturate  (** clamp to the representable extremes *)
+  | Error
+      (** report an overflow event during simulation; the value wraps so
+          simulation can continue deterministically *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Parses ["wrap"]/["wr"], ["sat"]/["saturate"], ["err"]/["error"]. *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** [true] only for {!Saturate}.  Saturated signals additionally report
+    guard-range boundaries in the refinement reports (§5.1). *)
+val is_saturating : t -> bool

@@ -1,0 +1,119 @@
+(** Positional bookkeeping for fixed-point formats.
+
+    A format is [n] total bits of which [f] are fractional, with a
+    signedness.  Following the paper (§2.1), bit positions are absolute
+    weights with respect to the binary point:
+
+    - LSB position [lsb_pos = -f]; the quantization step is [2^lsb_pos];
+    - MSB position [msb_pos = n - f - 1]: the weight of the top bit
+      (the sign bit for two's complement).
+
+    Two's complement [n,f] represents [[-2^m, 2^m - 2^lsb]] and unsigned
+    represents [[0, 2^(m+1) - 2^lsb]], where [m = msb_pos].  All format
+    arithmetic in the library goes through this module so the
+    position/width conversions are written (and tested) exactly once. *)
+
+type t = { n : int; f : int; sign : Sign_mode.t }
+
+let equal a b = a.n = b.n && a.f = b.f && Sign_mode.equal a.sign b.sign
+
+(** [make ~n ~f sign] — [n] total bits ([>= 1]), [f] fractional bits
+    (any integer: negative [f] scales by powers of two upward, [f > n]
+    gives a pure fraction with leading zero weights). *)
+let make ~n ~f sign =
+  if n < 1 then invalid_arg "Qformat.make: wordlength must be >= 1";
+  { n; f; sign }
+
+let n t = t.n
+let f t = t.f
+let sign t = t.sign
+let lsb_pos t = -t.f
+let msb_pos t = t.n - t.f - 1
+
+(** [of_positions ~msb ~lsb sign] builds the format spanning bit weights
+    [msb] down to [lsb] inclusive. *)
+let of_positions ~msb ~lsb sign =
+  if msb < lsb then
+    invalid_arg
+      (Printf.sprintf "Qformat.of_positions: msb (%d) < lsb (%d)" msb lsb);
+  make ~n:(msb - lsb + 1) ~f:(-lsb) sign
+
+let step t = 2.0 ** Float.of_int (lsb_pos t)
+
+let max_value t =
+  let m = Float.of_int (msb_pos t) in
+  match t.sign with
+  | Sign_mode.Tc -> (2.0 ** m) -. step t
+  | Sign_mode.Us -> (2.0 ** (m +. 1.0)) -. step t
+
+let min_value t =
+  match t.sign with
+  | Sign_mode.Tc -> -.(2.0 ** Float.of_int (msb_pos t))
+  | Sign_mode.Us -> 0.0
+
+(** Number of representable codes, as a float ([2^n] can exceed
+    [max_int] for wide accumulator formats). *)
+let cardinal t = 2.0 ** Float.of_int t.n
+
+let contains t v = v >= min_value t && v <= max_value t
+
+(** [is_exact t v] — [v] is exactly representable in [t] (lies on the
+    grid and inside the range). *)
+let is_exact t v =
+  contains t v
+  &&
+  let scaled = v /. step t in
+  Float.is_integer scaled
+
+(** Smallest MSB position [m] such that a two's-complement (resp.
+    unsigned) format with that MSB covers the value [v]:
+    [-2^m <= v < 2^m] for tc, [0 <= v < 2^(m+1)] for us.
+
+    Computed exactly via [frexp]; no float logarithms.  The paper's
+    [F(vmin, vmax)] (§5.1) is [required_msb] of the whole range. *)
+let required_msb_of_value sign v =
+  if Float.is_nan v then invalid_arg "Qformat.required_msb_of_value: nan";
+  if v = 0.0 then min_int (* no integer bits needed; caller joins with max *)
+  else
+    let mant, e = Float.frexp (Float.abs v) in
+    match sign with
+    | Sign_mode.Tc ->
+        if v > 0.0 then e (* v in [2^(e-1), 2^e) => need m = e *)
+        else if mant = 0.5 then e - 1 (* v = -2^(e-1), representable at m = e-1 *)
+        else e
+    | Sign_mode.Us ->
+        if v < 0.0 then
+          invalid_arg "Qformat.required_msb_of_value: negative value, unsigned"
+        else e - 1 (* v in [2^(e-1), 2^e) => top bit weight e-1 *)
+
+(** [required_msb sign ~vmin ~vmax] is the paper's [F(vmin, vmax)]:
+    the minimum MSB position whose range covers [[vmin, vmax]].
+    Raises [Invalid_argument] on NaN, an empty range, or a negative
+    [vmin] with an unsigned format.  Infinite bounds yield no finite
+    answer: [None]. *)
+let required_msb sign ~vmin ~vmax =
+  if Float.is_nan vmin || Float.is_nan vmax then
+    invalid_arg "Qformat.required_msb: nan bound";
+  if vmin > vmax then invalid_arg "Qformat.required_msb: vmin > vmax";
+  if Float.abs vmin = Float.infinity || Float.abs vmax = Float.infinity then
+    None
+  else if vmin = 0.0 && vmax = 0.0 then Some 0
+  else
+    let m1 = required_msb_of_value sign vmin
+    and m2 = required_msb_of_value sign vmax in
+    Some (max m1 m2)
+
+(** [widen_for_range t ~vmin ~vmax] grows the integer part of [t] (keeping
+    the LSB position) until the range fits; used when refinement decides
+    a larger MSB.  [None] if the range is unbounded. *)
+let widen_for_range t ~vmin ~vmax =
+  match required_msb t.sign ~vmin ~vmax with
+  | None -> None
+  | Some m ->
+      let m = max m (msb_pos t) in
+      Some (of_positions ~msb:m ~lsb:(lsb_pos t) t.sign)
+
+let to_string t =
+  Printf.sprintf "<%d,%d,%s>" t.n t.f (Sign_mode.to_string t.sign)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

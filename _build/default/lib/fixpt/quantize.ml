@@ -1,0 +1,136 @@
+(** Quantization of ideal (float) values through a {!Dtype.t}.
+
+    This is the operation the design environment performs on every signal
+    assignment (§2.2): arithmetic runs in floating point, and the result
+    is cast through the destination type's quantization scheme — LSB
+    rounding first, then MSB overflow handling.
+
+    Quantization is performed on an integer grid held in [int64] whenever
+    the scaled value fits (exact semantics); values beyond the [int64]
+    range — which occur during range-propagation explosions — fall back
+    to a float path with the same wrap/saturate behaviour. *)
+
+type overflow_event = {
+  raw : float;  (** value after rounding, before overflow handling *)
+  direction : [ `Above | `Below ];
+}
+
+type outcome = {
+  value : float;  (** the representable result *)
+  rounding_error : float;  (** [value_after_rounding - input] *)
+  overflow : overflow_event option;
+}
+
+let round_scaled (mode : Round_mode.t) scaled =
+  match mode with
+  | Round_mode.Floor -> Float.floor scaled
+  | Round_mode.Round ->
+      (* round half away from zero, like C's round(3) *)
+      Float.round scaled
+
+(* Integer code range of a format. *)
+let code_bounds (fmt : Qformat.t) =
+  let n = Qformat.n fmt in
+  match Qformat.sign fmt with
+  | Sign_mode.Tc ->
+      let hi = Int64.sub (Int64.shift_left 1L (n - 1)) 1L in
+      let lo = Int64.neg (Int64.shift_left 1L (n - 1)) in
+      (lo, hi)
+  | Sign_mode.Us ->
+      let hi = Int64.sub (Int64.shift_left 1L n) 1L in
+      (0L, hi)
+
+let wrap_code fmt code =
+  let n = Qformat.n fmt in
+  if n >= 63 then code
+  else
+    let span = Int64.shift_left 1L n in
+    let lo, _ = code_bounds fmt in
+    let off = Int64.rem (Int64.sub code lo) span in
+    let off = if Int64.compare off 0L < 0 then Int64.add off span else off in
+    Int64.add lo off
+
+(* Largest float magnitude we trust to round-trip through int64. *)
+let int64_safe = 4.0e18
+
+let apply fmt (overflow_mode : Overflow_mode.t) rounded_scaled =
+  let lo, hi = code_bounds fmt in
+  let step = Qformat.step fmt in
+  if Float.abs rounded_scaled <= int64_safe && Qformat.n fmt <= 62 then begin
+    let code = Int64.of_float rounded_scaled in
+    let below = Int64.compare code lo < 0 and above = Int64.compare code hi > 0 in
+    if not (below || above) then (Int64.to_float code *. step, None)
+    else
+      let event =
+        {
+          raw = rounded_scaled *. step;
+          direction = (if above then `Above else `Below);
+        }
+      in
+      let code' =
+        match overflow_mode with
+        | Overflow_mode.Saturate -> if above then hi else lo
+        | Overflow_mode.Wrap | Overflow_mode.Error -> wrap_code fmt code
+      in
+      (Int64.to_float code' *. step, Some event)
+  end
+  else begin
+    (* Float fallback for astronomically large values (range explosion):
+       saturate clamps; wrap reduces modulo the span, which is
+       meaningless at this magnitude but keeps simulation total. *)
+    let flo = Int64.to_float lo and fhi = Int64.to_float hi in
+    let above = rounded_scaled > fhi and below = rounded_scaled < flo in
+    if not (above || below) then (rounded_scaled *. step, None)
+    else
+      let event =
+        {
+          raw = rounded_scaled *. step;
+          direction = (if above then `Above else `Below);
+        }
+      in
+      let code' =
+        match overflow_mode with
+        | Overflow_mode.Saturate -> if above then fhi else flo
+        | Overflow_mode.Wrap | Overflow_mode.Error ->
+            let span = Int64.to_float hi -. Int64.to_float lo +. 1.0 in
+            let off = Float.rem (rounded_scaled -. flo) span in
+            let off = if off < 0.0 then off +. span else off in
+            flo +. Float.round off
+      in
+      (code' *. step, Some event)
+  end
+
+(** [quantize dtype v] casts [v] through [dtype]'s quantization scheme.
+    NaN input raises [Invalid_argument]; infinities saturate (or wrap to
+    an unspecified in-range code) and report an overflow event. *)
+let quantize (dt : Dtype.t) v : outcome =
+  if Float.is_nan v then invalid_arg "Quantize.quantize: nan";
+  let fmt = Dtype.fmt dt in
+  let step = Qformat.step fmt in
+  let v_clamped =
+    (* keep the scaled value finite for the float fallback *)
+    if v = Float.infinity then Float.max_float
+    else if v = Float.neg_infinity then -.Float.max_float
+    else v
+  in
+  let scaled = v_clamped /. step in
+  let rounded = round_scaled (Dtype.round dt) scaled in
+  let value, overflow = apply fmt (Dtype.overflow dt) rounded in
+  { value; rounding_error = (rounded *. step) -. v_clamped; overflow }
+
+(** [cast dtype v] — just the representable value (the paper's [cast]
+    operator for intermediate results). *)
+let cast dt v = (quantize dt v).value
+
+(** [error dt v] — total quantization error [cast dt v -. v]. *)
+let error dt v = cast dt v -. v
+
+(** Theoretical error-model parameters for a type (used by the analytical
+    noise propagation and by tests): the quantization step [q], the error
+    variance [q^2/12] of the uniform model, and the mean bias of the
+    rounding mode. *)
+let noise_model dt =
+  let q = Dtype.step dt in
+  let variance = q *. q /. 12.0 in
+  let mean = Round_mode.expected_bias (Dtype.round dt) ~step:q in
+  (q, mean, variance)

@@ -1,0 +1,36 @@
+(** Quantization of ideal (float) values through a {!Dtype.t} — the cast
+    the design environment performs on every signal assignment (§2.2):
+    LSB rounding first, then MSB overflow handling.
+
+    Performed on an exact [int64] integer grid whenever the scaled value
+    fits; astronomically large values (range-propagation explosions)
+    take a float fallback with the same wrap/saturate behaviour. *)
+
+type overflow_event = {
+  raw : float;  (** value after rounding, before overflow handling *)
+  direction : [ `Above | `Below ];
+}
+
+type outcome = {
+  value : float;  (** the representable result *)
+  rounding_error : float;  (** [value_after_rounding - input] *)
+  overflow : overflow_event option;
+}
+
+(** Integer code range [(lo, hi)] of a format. *)
+val code_bounds : Qformat.t -> int64 * int64
+
+(** Full quantization outcome.  NaN raises [Invalid_argument];
+    infinities saturate/wrap and report an overflow event. *)
+val quantize : Dtype.t -> float -> outcome
+
+(** Just the representable value (the paper's explicit [cast]). *)
+val cast : Dtype.t -> float -> float
+
+(** Total quantization error [cast dt v -. v]. *)
+val error : Dtype.t -> float -> float
+
+(** Uniform-model error parameters [(step, mean_bias, variance)]:
+    step [q], bias of the rounding mode, variance [q²/12].  Used by the
+    analytical noise propagation. *)
+val noise_model : Dtype.t -> float * float * float

@@ -1,0 +1,38 @@
+(** LSB-side rounding behaviour of a fixed-point type.
+
+    The paper's [lsbspec] argument: round-off ([Round], round to nearest,
+    ties away from zero as in C's [round]) or [Floor] (truncate towards
+    minus infinity — a plain bit-drop in two's complement and therefore
+    the cheapest hardware).
+
+    Retyping a signal from round to floor shifts the mean error [mu] by
+    half a quantization step (paper §5.2); the LSB refinement rules check
+    whether that bias is acceptable before recommending floor. *)
+
+type t =
+  | Round
+  | Floor
+
+let equal a b =
+  match (a, b) with
+  | Round, Round | Floor, Floor -> true
+  | (Round | Floor), _ -> false
+
+let to_string = function Round -> "rd" | Floor -> "fl"
+
+let of_string = function
+  | "rd" | "round" -> Some Round
+  | "fl" | "floor" -> Some Floor
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(** Expected mean of the quantization error for a quantization step [q],
+    under the usual uniform-input model: 0 for round, [-q/2] for floor. *)
+let expected_bias t ~step =
+  match t with Round -> 0.0 | Floor -> -.step /. 2.0
+
+(** Hardware-cost ordering: floor is cheaper than round (no adder on the
+    rounding path). *)
+let is_cheaper_than a b =
+  match (a, b) with Floor, Round -> true | _, _ -> false

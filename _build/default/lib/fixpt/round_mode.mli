@@ -1,0 +1,26 @@
+(** LSB-side rounding behaviour of a fixed-point type — the paper's
+    [lsbspec] argument (§2.1).
+
+    Retyping a signal from round to floor shifts the mean error by half
+    a quantization step (§5.2); the LSB refinement rules check whether
+    that bias is acceptable before recommending floor (which is the
+    cheaper hardware). *)
+
+type t =
+  | Round  (** round to nearest, ties away from zero (C's [round]) *)
+  | Floor  (** truncate towards −∞ (a plain bit-drop in two's complement) *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Parses ["rd"]/["round"], ["fl"]/["floor"]. *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** Expected mean quantization error at step [step] under the uniform
+    input model: [0] for round, [-step/2] for floor. *)
+val expected_bias : t -> step:float -> float
+
+(** Hardware-cost ordering: floor is cheaper than round. *)
+val is_cheaper_than : t -> t -> bool

@@ -1,0 +1,24 @@
+(** Signedness of a fixed-point representation.
+
+    The paper's [vtype] constructor argument: two's complement ([Tc]) or
+    unsigned ([Us]).  Two's complement reserves the top bit as a sign bit
+    at weight [-2^msb]; unsigned uses all bits as magnitude. *)
+
+type t =
+  | Tc  (** two's complement *)
+  | Us  (** unsigned *)
+
+let equal a b =
+  match (a, b) with Tc, Tc | Us, Us -> true | (Tc | Us), _ -> false
+
+let to_string = function Tc -> "tc" | Us -> "us"
+
+let of_string = function
+  | "tc" -> Some Tc
+  | "us" -> Some Us
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(** [is_signed t] is [true] for two's complement. *)
+let is_signed = function Tc -> true | Us -> false

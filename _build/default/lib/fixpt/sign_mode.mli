@@ -1,0 +1,17 @@
+(** Signedness of a fixed-point representation — the paper's [vtype]
+    constructor argument (§2.1). *)
+
+type t =
+  | Tc  (** two's complement *)
+  | Us  (** unsigned *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Parses ["tc"] / ["us"]; [None] otherwise. *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** [true] for two's complement. *)
+val is_signed : t -> bool

@@ -1,0 +1,206 @@
+(** Closed-interval arithmetic over floats.
+
+    This is the numeric substrate of both range-propagation techniques in
+    the paper (§4.1): the *quasi-analytical* method (ranges flow through
+    the overloaded operators during simulation) and the *analytical*
+    method (the same propagation applied to a signal flow graph).
+
+    Intervals are closed: [{lo; hi}] represents [[lo, hi]], [lo <= hi].
+    Infinite endpoints are allowed — they are precisely what "MSB
+    explosion" on a feedback loop looks like, and {!is_exploded} is how
+    the refinement flow detects it.  The empty interval is represented by
+    a dedicated constructor so that monitoring can start from "nothing
+    observed yet" and [join] observations in. *)
+
+type t =
+  | Empty
+  | Range of { lo : float; hi : float }
+
+let empty = Empty
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: nan";
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo (%g) > hi (%g)" lo hi);
+  Range { lo; hi }
+
+let of_point v = make v v
+let entire = Range { lo = Float.neg_infinity; hi = Float.infinity }
+
+let is_empty = function Empty -> true | Range _ -> false
+
+let lo = function Empty -> invalid_arg "Interval.lo: empty" | Range r -> r.lo
+let hi = function Empty -> invalid_arg "Interval.hi: empty" | Range r -> r.hi
+
+let bounds = function
+  | Empty -> None
+  | Range r -> Some (r.lo, r.hi)
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Range a, Range b -> a.lo = b.lo && a.hi = b.hi
+  | (Empty | Range _), _ -> false
+
+let mem v = function
+  | Empty -> false
+  | Range r -> r.lo <= v && v <= r.hi
+
+let subset a b =
+  match (a, b) with
+  | Empty, _ -> true
+  | Range _, Empty -> false
+  | Range a, Range b -> b.lo <= a.lo && a.hi <= b.hi
+
+let width = function
+  | Empty -> 0.0
+  | Range r -> r.hi -. r.lo
+
+(** Largest absolute value contained in the interval. *)
+let mag = function
+  | Empty -> 0.0
+  | Range r -> Float.max (Float.abs r.lo) (Float.abs r.hi)
+
+(** Union hull — used by the statistic and propagation monitors to
+    accumulate observed/derived ranges over assignments
+    ([c.min = MIN(c.min, a.min)] in the paper's table). *)
+let join a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Range a, Range b ->
+      Range { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range a, Range b ->
+      let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+      if lo > hi then Empty else Range { lo; hi }
+
+let add a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range a, Range b -> Range { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let neg = function
+  | Empty -> Empty
+  | Range r -> Range { lo = -.r.hi; hi = -.r.lo }
+
+let sub a b = add a (neg b)
+
+(* inf * 0 = nan under IEEE; for interval endpoints the correct
+   convention is 0 (the zero endpoint wins). *)
+let endpoint_mul x y =
+  let p = x *. y in
+  if Float.is_nan p then 0.0 else p
+
+let mul a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range a, Range b ->
+      let p1 = endpoint_mul a.lo b.lo
+      and p2 = endpoint_mul a.lo b.hi
+      and p3 = endpoint_mul a.hi b.lo
+      and p4 = endpoint_mul a.hi b.hi in
+      Range
+        {
+          lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+          hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+        }
+
+(** Interval division.  If the divisor straddles zero the quotient is
+    unbounded: we return {!entire} (the sound answer, and exactly the
+    explosion signal the MSB analysis wants to see). *)
+let div a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range _, Range bz when bz.lo <= 0.0 && bz.hi >= 0.0 -> entire
+  | Range a, Range b ->
+      let q1 = a.lo /. b.lo
+      and q2 = a.lo /. b.hi
+      and q3 = a.hi /. b.lo
+      and q4 = a.hi /. b.hi in
+      Range
+        {
+          lo = Float.min (Float.min q1 q2) (Float.min q3 q4);
+          hi = Float.max (Float.max q1 q2) (Float.max q3 q4);
+        }
+
+let abs = function
+  | Empty -> Empty
+  | Range r ->
+      if r.lo >= 0.0 then Range r
+      else if r.hi <= 0.0 then Range { lo = -.r.hi; hi = -.r.lo }
+      else Range { lo = 0.0; hi = Float.max (-.r.lo) r.hi }
+
+let min_ a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range a, Range b ->
+      Range { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+
+let max_ a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range a, Range b ->
+      Range { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(** Multiplication by a scalar. *)
+let scale k = function
+  | Empty -> Empty
+  | Range r ->
+      let a = endpoint_mul k r.lo and b = endpoint_mul k r.hi in
+      Range { lo = Float.min a b; hi = Float.max a b }
+
+(** [shift_left i k] multiplies by [2^k] ([k] may be negative). *)
+let shift_left i k = scale (2.0 ** Float.of_int k) i
+
+(** Clamp into another interval — the effect of a saturating assignment
+    on a propagated range: saturation is what breaks feedback explosions
+    (§4.1). *)
+let clamp ~into:limits v =
+  match (v, limits) with
+  | Empty, _ -> Empty
+  | _, Empty -> Empty
+  | Range r, Range l ->
+      let lo = Float.min (Float.max r.lo l.lo) l.hi
+      and hi = Float.max (Float.min r.hi l.hi) l.lo in
+      Range { lo; hi }
+
+(** Widening: if [b] escapes [a] on a side, that side jumps to infinity.
+    Standard abstract-interpretation device used by the analytical
+    fixpoint ({!Sfg.Range_analysis}) to force termination on feedback
+    loops — escaping to infinity is then reported as MSB explosion. *)
+let widen a b =
+  match (a, b) with
+  | Empty, x -> x
+  | x, Empty -> x
+  | Range a, Range b ->
+      Range
+        {
+          lo = (if b.lo < a.lo then Float.neg_infinity else a.lo);
+          hi = (if b.hi > a.hi then Float.infinity else a.hi);
+        }
+
+(** An interval with an infinite endpoint, or wider than [threshold]
+    (default [2^64]), counts as exploded for MSB purposes. *)
+let is_exploded ?(threshold = 1.8446744073709552e19) = function
+  | Empty -> false
+  | Range r ->
+      Float.abs r.lo = Float.infinity
+      || Float.abs r.hi = Float.infinity
+      || Float.max (Float.abs r.lo) (Float.abs r.hi) > threshold
+
+(** Grow by one observed value (statistic-based monitoring step). *)
+let observe t v =
+  if Float.is_nan v then t
+  else
+    match t with
+    | Empty -> Range { lo = v; hi = v }
+    | Range r -> Range { lo = Float.min r.lo v; hi = Float.max r.hi v }
+
+let to_string = function
+  | Empty -> "[]"
+  | Range r -> Printf.sprintf "[%g, %g]" r.lo r.hi
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,76 @@
+(** Closed-interval arithmetic over floats — the numeric substrate of
+    both range-propagation techniques in the paper (§4.1): the
+    quasi-analytical method (ranges flowing through the overloaded
+    operators during simulation) and the analytical method (the same
+    propagation on a signal-flow graph).
+
+    Infinite endpoints are allowed — they are what "MSB explosion" on a
+    feedback loop looks like ({!is_exploded} detects it).  The empty
+    interval represents "nothing observed yet". *)
+
+type t = Empty | Range of { lo : float; hi : float }
+
+val empty : t
+
+(** Raises [Invalid_argument] on NaN or [lo > hi]. *)
+val make : float -> float -> t
+
+val of_point : float -> t
+
+(** [[-∞, +∞]]. *)
+val entire : t
+
+val is_empty : t -> bool
+
+(** Raise [Invalid_argument] on {!empty}. *)
+val lo : t -> float
+
+val hi : t -> float
+val bounds : t -> (float * float) option
+val equal : t -> t -> bool
+val mem : float -> t -> bool
+val subset : t -> t -> bool
+val width : t -> float
+
+(** Largest absolute value contained. *)
+val mag : t -> float
+
+(** Union hull — how monitors accumulate ranges over assignments. *)
+val join : t -> t -> t
+
+val meet : t -> t -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Sound division; a divisor straddling zero yields {!entire}. *)
+val div : t -> t -> t
+
+val abs : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** Multiplication by a scalar. *)
+val scale : float -> t -> t
+
+(** Multiply by [2^k] ([k] may be negative). *)
+val shift_left : t -> int -> t
+
+(** Clamp into [into] — the effect of saturation on a propagated range;
+    what breaks feedback explosions (§4.1). *)
+val clamp : into:t -> t -> t
+
+(** Widening: a side that escapes jumps to infinity.  Forces termination
+    of the analytical fixpoint on feedback loops. *)
+val widen : t -> t -> t
+
+(** Infinite endpoint or wider than [threshold] (default [2^64]):
+    counts as an MSB explosion. *)
+val is_exploded : ?threshold:float -> t -> bool
+
+(** Grow by one observed value (statistic monitoring; NaN ignored). *)
+val observe : t -> float -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/refine/baseline_ana.ml: Float List Sfg

@@ -1,0 +1,1 @@
+lib/refine/baseline_ana.mli: Sfg

@@ -1,0 +1,1 @@
+lib/refine/baseline_sim.ml: Fixpt Float Flow List Msb_rules Sim

@@ -1,0 +1,1 @@
+lib/refine/baseline_sim.mli: Flow

@@ -1,0 +1,1 @@
+lib/refine/decision.ml: Fixpt Format Stats

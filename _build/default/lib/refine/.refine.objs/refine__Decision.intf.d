@@ -1,0 +1,1 @@
+lib/refine/decision.mli: Fixpt Format Stats

@@ -1,0 +1,1 @@
+lib/refine/flow.ml: Decision Fixpt Float Format List Logs Lsb_rules Msb_rules Option Sim Stats String

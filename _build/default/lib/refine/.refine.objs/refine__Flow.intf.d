@@ -1,0 +1,1 @@
+lib/refine/flow.mli: Decision Fixpt Format Lsb_rules Msb_rules Sim

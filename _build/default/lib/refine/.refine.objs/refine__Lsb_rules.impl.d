@@ -1,0 +1,1 @@
+lib/refine/lsb_rules.ml: Decision Fixpt Float List Sim Stats

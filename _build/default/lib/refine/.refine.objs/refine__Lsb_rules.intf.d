@@ -1,0 +1,1 @@
+lib/refine/lsb_rules.mli: Decision Sim

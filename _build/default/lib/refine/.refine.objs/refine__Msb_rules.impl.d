@@ -1,0 +1,1 @@
+lib/refine/msb_rules.ml: Decision Fixpt Float Interval List Sim

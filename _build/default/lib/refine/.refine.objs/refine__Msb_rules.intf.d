@@ -1,0 +1,1 @@
+lib/refine/msb_rules.mli: Decision Sim

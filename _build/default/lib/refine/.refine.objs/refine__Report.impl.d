@@ -1,0 +1,1 @@
+lib/refine/report.ml: Decision Fixpt Float Format List Lsb_rules Msb_rules Printf Sim String

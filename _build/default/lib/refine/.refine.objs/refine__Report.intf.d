@@ -1,0 +1,1 @@
+lib/refine/report.mli: Decision Format Lsb_rules Msb_rules Sim

@@ -1,0 +1,22 @@
+(** Pure analytical wordlength derivation — the comparison baseline
+    after Willems et al.'s interpolative approach (paper reference [3]):
+    static analysis over a signal-flow graph, no simulation, worst-case
+    conservative. *)
+
+type result = {
+  wordlength : Sfg.Wordlength.result;
+  range_iterations : int;
+  exploded : string list;
+}
+
+val analyze :
+  ?widen_after:int -> Sfg.Graph.t -> output:string -> sigma_budget:float ->
+  result
+
+val msb_positions : result -> (string * int option) list
+
+(** Average MSB overestimation (bits/signal) against reference positions
+    (e.g. the hybrid flow's), over signals present in both. *)
+val overhead_bits : result -> reference:(string * int) list -> float option
+
+val total_bits : result -> int option

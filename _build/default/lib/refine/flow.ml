@@ -1,0 +1,327 @@
+(** The refinement design flow (§5, Fig. 4).
+
+    Drives the whole floating-point → fixed-point loop on a simulatable
+    design:
+
+    {v
+      input stimuli + partial type definition
+        │
+        ▼
+      simulation (range + error monitoring)  ◀────────────┐
+        │                                                 │
+        ├─ MSB explosion for signal x ──▶ x.range(lo,hi) ─┤
+        ├─ LSB divergence for signal x ──▶ x.error(h) ────┘
+        ▼
+      MSB & LSB analysis ──▶ fixed-point types ──▶ performance check
+    v}
+
+    The MSB and LSB sides iterate independently; on both paper examples
+    the MSB side settles in two iterations and the LSB side in one plus
+    possibly an [error()] overruling pass — the convergence claim this
+    library's benches reproduce. *)
+
+type design = {
+  env : Sim.Env.t;
+  reset : unit -> unit;
+      (** restart stimuli and clear dynamic state so [run] can repeat;
+          must call [Sim.Env.reset] (annotations and dtypes survive) *)
+  run : unit -> unit;  (** simulate one full stimulus set *)
+}
+
+type action =
+  | Range_annotated of string * float * float
+      (** applied [range(lo, hi)] to break an MSB explosion *)
+  | Error_annotated of string * float
+      (** applied [error(h)] to break an LSB divergence *)
+
+type iteration = {
+  index : int;
+  phase : [ `Msb | `Lsb ];
+  exploded : string list;
+  diverged : string list;
+  actions : action list;
+}
+
+type config = {
+  msb : Msb_rules.config;
+  lsb : Lsb_rules.config;
+  max_iterations : int;
+  range_guard : float;
+      (** widening factor on the observed range when the flow has to
+          auto-annotate an exploded feedback signal *)
+  error_overrides : (string * float) list;
+      (** designer-chosen [error()] half-widths per signal name *)
+  auto_error_lsb : int;
+      (** LSB position used for automatic [error()] overruling when no
+          override is given (paper: tie it to the input precision) *)
+}
+
+let default_config =
+  {
+    msb = Msb_rules.default_config;
+    lsb = Lsb_rules.default_config;
+    max_iterations = 8;
+    range_guard = 1.5;
+    error_overrides = [];
+    auto_error_lsb = -10;
+  }
+
+type result = {
+  msb_decisions : Decision.msb list;
+  lsb_decisions : Decision.lsb list;
+  iterations : iteration list;
+  msb_iterations : int;
+  lsb_iterations : int;
+  simulation_runs : int;  (** total monitored simulations executed *)
+  sqnr_before_db : float option;
+      (** SQNR at the probe with only the partial (input) types *)
+  sqnr_after_db : float option;  (** SQNR after all signals quantized *)
+  types : (string * Fixpt.Dtype.t) list;  (** derived signal types *)
+}
+
+let src = Logs.Src.create "fixrefine.flow" ~doc:"refinement design flow"
+
+module Log = (val Logs.src_log src)
+
+(** SQNR estimate at a monitored signal, from its own statistics: signal
+    power from the value monitor, noise power from the produced-error
+    monitor (valid because both are gathered over the same run). *)
+let sqnr_db (s : Sim.Signal.t) =
+  let v = Sim.Signal.range_stats s in
+  let e = Stats.Err_stats.produced (Sim.Signal.err_stats s) in
+  if Stats.Running.count v = 0 then None
+  else
+    let p_signal =
+      Stats.Running.variance v +. (Stats.Running.mean v ** 2.0)
+    in
+    let p_noise =
+      Stats.Running.variance e +. (Stats.Running.mean e ** 2.0)
+    in
+    if p_noise <= 0.0 then Some Float.infinity
+    else Some (10.0 *. Float.log10 (p_signal /. p_noise))
+
+(* One monitored simulation. *)
+let simulate design runs =
+  design.reset ();
+  design.run ();
+  incr runs
+
+(* --- MSB phase --------------------------------------------------------- *)
+
+(* Feedback sources among exploded signals: annotate registered signals
+   first; combinational explosions are consequences and usually resolve
+   once their source is bounded. *)
+let explosion_sources env =
+  let exploded = Msb_rules.exploded_signals env in
+  let regs =
+    List.filter (fun s -> Sim.Signal.kind s = Sim.Env.Registered) exploded
+  in
+  let unannotated =
+    List.filter (fun s -> Sim.Signal.explicit_range s = None)
+  in
+  match unannotated regs with [] -> unannotated exploded | rs -> rs
+
+let auto_range config s =
+  match Sim.Signal.stat_range s with
+  | Some (lo, hi) when lo < hi || lo <> 0.0 ->
+      let m = Float.max (Float.abs lo) (Float.abs hi) in
+      let m = if m = 0.0 then 1.0 else m *. config.range_guard in
+      (-.m, m)
+  | _ -> (-1.0, 1.0)
+
+let run_msb_phase config design runs iterations =
+  let env = design.env in
+  let rec loop i =
+    simulate design runs;
+    let exploded = List.map Sim.Signal.name (Msb_rules.exploded_signals env) in
+    let sources = explosion_sources env in
+    if sources = [] || i >= config.max_iterations then begin
+      iterations :=
+        { index = i; phase = `Msb; exploded; diverged = []; actions = [] }
+        :: !iterations;
+      i
+    end
+    else begin
+      let actions =
+        List.map
+          (fun s ->
+            let lo, hi = auto_range config s in
+            Sim.Signal.range s lo hi;
+            Log.info (fun m ->
+                m "MSB explosion on %s: applying range(%g, %g)"
+                  (Sim.Signal.name s) lo hi);
+            Range_annotated (Sim.Signal.name s, lo, hi))
+          sources
+      in
+      iterations :=
+        { index = i; phase = `Msb; exploded; diverged = []; actions }
+        :: !iterations;
+      loop (i + 1)
+    end
+  in
+  loop 1
+
+(* --- LSB phase --------------------------------------------------------- *)
+
+let error_halfwidth config s =
+  match List.assoc_opt (Sim.Signal.name s) config.error_overrides with
+  | Some h -> h
+  | None -> Lsb_rules.error_halfwidth_of_lsb config.auto_error_lsb
+
+(* Roots of an error-monitoring divergence: the feedback states.  §5.2:
+   "feedback signals should be identified and set to explicit LSB
+   behaviour through applying the error method if they cause the
+   floating-point/fixed-point divergence" — so overrule every diverged
+   registered signal (combinational divergence is a downstream symptom
+   and resolves once its sources are anchored).  When no register is
+   involved, fall back to the single worst combinational signal. *)
+let divergence_roots diverged =
+  let err s =
+    Stats.Running.max_abs (Stats.Err_stats.produced (Sim.Signal.err_stats s))
+  in
+  match
+    List.filter (fun s -> Sim.Signal.kind s = Sim.Env.Registered) diverged
+  with
+  | _ :: _ as regs -> regs
+  | [] -> (
+      match
+        List.fold_left
+          (fun best s ->
+            match best with
+            | None -> Some s
+            | Some b -> if err s > err b then Some s else best)
+          None diverged
+      with
+      | Some s -> [ s ]
+      | None -> [])
+
+let run_lsb_phase config design runs iterations =
+  let env = design.env in
+  (* the first analysis pass reuses the MSB phase's final run: range and
+     error monitoring happen in the same simulation (§4) *)
+  let rec loop i ~need_run =
+    if need_run then simulate design runs;
+    let diverged = Lsb_rules.diverged_signals ~config:config.lsb env in
+    let names = List.map Sim.Signal.name diverged in
+    if diverged = [] || i >= config.max_iterations then begin
+      iterations :=
+        { index = i; phase = `Lsb; exploded = []; diverged = names;
+          actions = [] }
+        :: !iterations;
+      i
+    end
+    else begin
+      let actions =
+        List.map
+          (fun s ->
+            let h = error_halfwidth config s in
+            Sim.Signal.error s h;
+            Log.info (fun m ->
+                m "LSB divergence on %s: applying error(%g)"
+                  (Sim.Signal.name s) h);
+            Error_annotated (Sim.Signal.name s, h))
+          (divergence_roots diverged)
+      in
+      iterations :=
+        { index = i; phase = `Lsb; exploded = []; diverged = names; actions }
+        :: !iterations;
+      loop (i + 1) ~need_run:true
+    end
+  in
+  loop 1 ~need_run:false
+
+(* --- type synthesis ---------------------------------------------------- *)
+
+let derive_types (msbs : Decision.msb list) (lsbs : Decision.lsb list) =
+  List.filter_map
+    (fun (m : Decision.msb) ->
+      match
+        List.find_opt
+          (fun (l : Decision.lsb) ->
+            String.equal l.Decision.signal m.Decision.signal)
+          lsbs
+      with
+      | None -> None
+      | Some l -> (
+          match Decision.to_dtype ~msb:m ~lsb:l () with
+          | Some dt -> Some (m.Decision.signal, dt)
+          | None -> None))
+    msbs
+
+(** Apply derived types to the design's signals.  Pre-existing types
+    (the designer's partial definition) are preserved unless
+    [overwrite] is set. *)
+let apply_types ?(overwrite = false) env types =
+  List.iter
+    (fun s ->
+      match List.assoc_opt (Sim.Signal.name s) types with
+      | Some dt when overwrite || Sim.Signal.dtype s = None ->
+          Sim.Signal.set_dtype s dt
+      | _ -> ())
+    (Sim.Env.signals env)
+
+(* --- the full flow ----------------------------------------------------- *)
+
+(** Run the complete refinement flow on [design].
+
+    [sqnr_signal] names the performance probe (the paper measures the
+    equalized sample).  Phases: MSB refinement (iterating on explosions),
+    LSB refinement (iterating on divergences), type synthesis, and a
+    verification run with every signal quantized. *)
+let refine ?(config = default_config) ?sqnr_signal design =
+  let runs = ref 0 in
+  let iterations = ref [] in
+  let env = design.env in
+  (* Phase 1: MSB *)
+  let msb_iterations = run_msb_phase config design runs iterations in
+  let msb_decisions = Msb_rules.decide_all ~config:config.msb env in
+  (* Phase 2: LSB (error statistics come from the same monitored runs;
+     re-run only to resolve divergences) *)
+  let lsb_iterations = run_lsb_phase config design runs iterations in
+  let lsb_decisions = Lsb_rules.decide_all ~config:config.lsb env in
+  let sqnr_before =
+    Option.bind sqnr_signal (fun name ->
+        Option.bind (Sim.Env.find env name) sqnr_db)
+  in
+  (* Phase 3: type synthesis + verification *)
+  let types = derive_types msb_decisions lsb_decisions in
+  apply_types env types;
+  (* error() annotations stay on for verification: without them the
+     float reference of a sensitive loop re-diverges and the check is
+     meaningless (§4.2); the end-to-end quality check (SER, lock) is the
+     caller's, on the design outputs *)
+  simulate design runs;
+  let sqnr_after =
+    Option.bind sqnr_signal (fun name ->
+        Option.bind (Sim.Env.find env name) sqnr_db)
+  in
+  {
+    msb_decisions;
+    lsb_decisions;
+    iterations = List.rev !iterations;
+    msb_iterations;
+    lsb_iterations;
+    simulation_runs = !runs;
+    sqnr_before_db = sqnr_before;
+    sqnr_after_db = sqnr_after;
+    types;
+  }
+
+let pp_action ppf = function
+  | Range_annotated (n, lo, hi) ->
+      Format.fprintf ppf "%s.range(%g, %g)" n lo hi
+  | Error_annotated (n, h) -> Format.fprintf ppf "%s.error(%g)" n h
+
+let pp_iteration ppf it =
+  Format.fprintf ppf "[%s %d]" (match it.phase with `Msb -> "MSB" | `Lsb -> "LSB")
+    it.index;
+  if it.exploded <> [] then
+    Format.fprintf ppf " exploded: %s" (String.concat ", " it.exploded);
+  if it.diverged <> [] then
+    Format.fprintf ppf " diverged: %s" (String.concat ", " it.diverged);
+  if it.actions = [] then Format.fprintf ppf " (converged)"
+  else
+    Format.fprintf ppf " actions: %a"
+      (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p "; ")
+         pp_action)
+      it.actions

@@ -1,0 +1,69 @@
+(** The refinement design flow (§5, Fig. 4): drives the whole
+    floating-point → fixed-point loop on a simulatable design — MSB
+    phase (iterating on range explosions, auto-applying [range()]), LSB
+    phase (iterating on divergences, auto-applying [error()] to the
+    feedback roots), type synthesis, and a verification run. *)
+
+type design = {
+  env : Sim.Env.t;
+  reset : unit -> unit;
+      (** restart stimuli and clear dynamic state so [run] can repeat;
+          must call [Sim.Env.reset] (annotations and dtypes survive) *)
+  run : unit -> unit;  (** simulate one full stimulus set *)
+}
+
+type action =
+  | Range_annotated of string * float * float
+  | Error_annotated of string * float
+
+type iteration = {
+  index : int;
+  phase : [ `Msb | `Lsb ];
+  exploded : string list;
+  diverged : string list;
+  actions : action list;
+}
+
+type config = {
+  msb : Msb_rules.config;
+  lsb : Lsb_rules.config;
+  max_iterations : int;
+  range_guard : float;
+      (** widening factor on the observed range when auto-annotating an
+          exploded feedback signal *)
+  error_overrides : (string * float) list;
+      (** designer-chosen [error()] half-widths per signal *)
+  auto_error_lsb : int;
+      (** LSB position of automatic [error()] overruling (paper: tie it
+          to the input precision) *)
+}
+
+val default_config : config
+
+type result = {
+  msb_decisions : Decision.msb list;
+  lsb_decisions : Decision.lsb list;
+  iterations : iteration list;
+  msb_iterations : int;
+  lsb_iterations : int;
+  simulation_runs : int;
+  sqnr_before_db : float option;
+      (** at the probe, with only the partial (input) types *)
+  sqnr_after_db : float option;  (** after all signals quantized *)
+  types : (string * Fixpt.Dtype.t) list;  (** derived signal types *)
+}
+
+(** SQNR estimate at a monitored signal from its own value/error
+    statistics (valid because both are gathered over the same run). *)
+val sqnr_db : Sim.Signal.t -> float option
+
+(** Apply derived types; pre-existing designer types are preserved
+    unless [overwrite]. *)
+val apply_types :
+  ?overwrite:bool -> Sim.Env.t -> (string * Fixpt.Dtype.t) list -> unit
+
+(** Run the complete flow.  [sqnr_signal] names the performance probe. *)
+val refine : ?config:config -> ?sqnr_signal:string -> design -> result
+
+val pp_action : Format.formatter -> action -> unit
+val pp_iteration : Format.formatter -> iteration -> unit

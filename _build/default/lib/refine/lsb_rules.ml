@@ -1,0 +1,161 @@
+(** LSB-side refinement rules (§5.2).
+
+    After an error-monitored simulation each signal carries the (μ, σ,
+    m̂) statistics of its produced difference error ε_p.  The placement
+    rule is the paper's
+
+    {v 2^p_LSB ≤ k_LSB · σ(ε_p) v}
+
+    with the empirical constant [k_LSB ∈ [1,4]]: finer fractional bits
+    would be drowned in the quantization/external noise already carried
+    by the signal.  Special cases:
+
+    - a signal with {e no} observed error (the slicer output, constants)
+      is exact: its LSB comes from the value grid actually used;
+    - a signal whose error statistics diverged (sensitive feedback, §4.2)
+      has meaningless σ — it must be overruled with [error()] and
+      re-simulated, which is what {!Flow} automates;
+    - round vs floor: floor is cheaper but shifts μ by −q/2; it is
+      recommended only when that bias stays small against the noise. *)
+
+type config = {
+  k_lsb : float;  (** the σ-rule constant, optimal in [1, 4] *)
+  divergence_ratio : float;
+      (** declare divergence when m̂(ε_p) exceeds this fraction of the
+          signal's own observed magnitude *)
+  floor_bias_ratio : float;
+      (** recommend floor only if q/2 ≤ this · k·σ (bias kept below the
+          noise the rule already accepts) *)
+  min_lsb : int;  (** floor on positions, guards σ = 0 pathologies *)
+  exact_grid_floor : int;
+      (** coarsest-allowed position for exact-grid signals: a constant
+          like 0.1 has no finite binary representation, and how finely
+          to quantize coefficients is a transfer-function choice, not a
+          noise question — cap it here *)
+}
+
+let default_config =
+  {
+    (* k = 1 reproduces the paper's Table 2 (σ = 2.5e-3 ⇒ LSB 9);
+       larger k is coarser, the useful range is [1, 4] (§5.2) *)
+    k_lsb = 1.0;
+    divergence_ratio = 0.5;
+    floor_bias_ratio = 0.5;
+    min_lsb = -62;
+    exact_grid_floor = -24;
+  }
+
+(** The σ-rule: largest (coarsest) LSB position [p] with
+    [2^p ≤ k·σ]. *)
+let sigma_rule ~k_lsb sigma =
+  if sigma <= 0.0 then None
+  else Some (Float.to_int (Float.floor (Float.log2 (k_lsb *. sigma))))
+
+(** Has the error monitoring on this signal diverged?  The float/fixed
+    difference is no longer a small quantization error but comparable to
+    the signal itself (strongly correlated feedback, §4.2). *)
+let diverged ?(config = default_config) (s : Sim.Signal.t) =
+  let err = Stats.Err_stats.produced (Sim.Signal.err_stats s) in
+  let m_err = Stats.Running.max_abs err in
+  let m_sig =
+    match Sim.Signal.stat_range s with
+    | Some (lo, hi) -> Float.max (Float.abs lo) (Float.abs hi)
+    | None -> 0.0
+  in
+  m_sig > 0.0 && m_err > config.divergence_ratio *. m_sig
+
+(** Decide one signal from its monitors. *)
+let decide ?(config = default_config) (s : Sim.Signal.t) : Decision.lsb =
+  let name = Sim.Signal.name s in
+  let err = Sim.Signal.err_stats s in
+  let prod = Stats.Err_stats.produced err in
+  let sigma = Stats.Running.stddev prod in
+  let mean = Stats.Running.mean prod in
+  let max_abs = Stats.Running.max_abs prod in
+  let is_diverged = diverged ~config s in
+  let overruled = Sim.Signal.error_injected s <> None in
+  let lsb_pos, origin =
+    match Sim.Signal.dtype s with
+    | Some dt ->
+        (* already quantized: report the type's LSB; the [loss] verdict
+           below carries the §5.2 consumed-vs-produced check *)
+        (Some (Fixpt.Dtype.lsb_pos dt), Decision.Already_typed)
+    | None ->
+    if is_diverged && not overruled then (None, Decision.No_information)
+    else
+      match sigma_rule ~k_lsb:config.k_lsb sigma with
+      | Some p ->
+          ( Some (max p config.min_lsb),
+            if overruled then Decision.Overruled else Decision.Sigma_rule )
+      | None -> (
+          (* no noise at all: exact signal — use the value grid *)
+          match Sim.Signal.grid_lsb s with
+          | Some p -> (Some (max p config.exact_grid_floor), Decision.Exact_grid)
+          | None ->
+              if max_abs > 0.0 then
+                (* deterministic constant error: place below it *)
+                ( Some
+                    (max config.min_lsb
+                       (Float.to_int (Float.floor (Float.log2 max_abs)))),
+                  Decision.Sigma_rule )
+              else (None, Decision.No_information))
+  in
+  let round =
+    match lsb_pos with
+    | None -> Fixpt.Round_mode.Round
+    | Some p ->
+        let q = 2.0 ** Float.of_int p in
+        if q /. 2.0 <= config.floor_bias_ratio *. config.k_lsb *. sigma then
+          Fixpt.Round_mode.Floor
+        else Fixpt.Round_mode.Round
+  in
+  {
+    Decision.signal = name;
+    lsb_pos;
+    round;
+    origin;
+    sigma;
+    mean;
+    max_abs;
+    diverged = is_diverged;
+    loss = Stats.Err_stats.loss_verdict err;
+  }
+
+(** Decide every signal of an environment (declaration order). *)
+let decide_all ?config env =
+  List.map (fun s -> decide ?config s) (Sim.Env.signals env)
+
+(** Signals whose error monitoring diverged and that are not yet
+    overruled — the candidates for an [error()] annotation before the
+    next iteration (Fig. 4's "LSB divergence for signal x").
+
+    Designer-typed signals are excluded: per §5.2 the LSB refinement
+    only targets floating (or large-LSB) signals — a typed signal is
+    checked, not re-derived, and a wrap-typed accumulator (CIC) shows a
+    huge float/fixed difference {e by design} (the float reference does
+    not wrap; the modular differences cancel downstream). *)
+let diverged_signals ?config env =
+  List.filter
+    (fun s ->
+      Sim.Signal.dtype s = None
+      && diverged ?config s
+      && Sim.Signal.error_injected s = None)
+    (Sim.Env.signals env)
+
+(** Checks on already-quantized signals (§5.2 end): consumed vs produced
+    precision.  Returns the signals showing unexpected precision
+    {e gain} across the assignment (ε_p < ε_c on an overruled feedback
+    signal: the injected error model underestimates the loop error —
+    instability risk). *)
+let instability_suspects env =
+  List.filter
+    (fun s ->
+      Sim.Signal.error_injected s <> None
+      && Stats.Err_stats.loss_verdict (Sim.Signal.err_stats s)
+         = Stats.Err_stats.Feedback_gain)
+    (Sim.Env.signals env)
+
+(** Half-step of the LSB position [p] — the [error()] half-width that
+    models quantization at [p] (the paper's example: LSB −5 ↔
+    [error(0.0156)] = 2⁻⁶). *)
+let error_halfwidth_of_lsb p = 2.0 ** Float.of_int (p - 1)

@@ -1,0 +1,170 @@
+(** MSB-side refinement rules (§5.1).
+
+    After a monitored simulation each signal carries two range estimates:
+    the statistic-based observed range and the quasi-analytically
+    propagated range.  [F(vmin, vmax)] ({!Fixpt.Qformat.required_msb})
+    turns each into a required MSB position, and the comparison decides
+    position and overflow mode:
+
+    - (a) [F(stat) = F(prop)]: both techniques agree the signal cannot
+      overflow beyond that weight → non-saturated mode (error-typed
+      during refinement, wrap-around in the final hardware);
+    - (b) [F(prop)] much larger (or the propagation exploded): the
+      propagation is hopelessly pessimistic — an accumulator/feedback
+      pattern → saturation mode at the statistic MSB, with guard-range
+      boundaries reported for the hardware saturation logic;
+    - (c) [F(prop)] moderately larger: genuine trade-off; the default
+      takes the propagation MSB (simulation may simply not have
+      triggered the worst case), a saturating designer choice takes the
+      statistic MSB. *)
+
+type config = {
+  saturation_gap : int;
+      (** bits of [F(prop) − F(stat)] at which case (b) is declared
+          (the paper's "very pessimistic"); explosion always is *)
+  guard_bits : int;
+      (** extra bits on top of F(stat) when saturating — safety margin
+          for stimuli the simulation did not cover *)
+  prefer_saturation_on_tradeoff : bool;
+      (** case (c): take saturation at F(stat) instead of F(prop) *)
+}
+
+let default_config =
+  { saturation_gap = 4; guard_bits = 0; prefer_saturation_on_tradeoff = false }
+
+let msb_of_range = function
+  | None -> None
+  | Some (lo, hi) -> Fixpt.Qformat.required_msb Fixpt.Sign_mode.Tc ~vmin:lo ~vmax:hi
+
+(** Decide one signal from its monitors. *)
+let decide ?(config = default_config) (s : Sim.Signal.t) : Decision.msb =
+  let name = Sim.Signal.name s in
+  let stat = Sim.Signal.stat_range s in
+  let prop = Sim.Signal.prop_range s in
+  let stat_msb = msb_of_range stat in
+  let prop_msb = if Sim.Signal.exploded s then None else msb_of_range prop in
+  let guard () = stat in
+  match Sim.Signal.explicit_range s with
+  | Some r ->
+      (* a [range()] annotation is a designer assertion, not a guarantee:
+         the hardware saturates at it (Table 1 marks these rows "(st)") *)
+      let lo = Interval.lo r and hi = Interval.hi r in
+      let m =
+        match Fixpt.Qformat.required_msb Fixpt.Sign_mode.Tc ~vmin:lo ~vmax:hi with
+        | Some m -> m
+        | None -> 0
+      in
+      {
+        Decision.signal = name;
+        msb_pos = m + config.guard_bits;
+        mode = Fixpt.Overflow_mode.Saturate;
+        case = Decision.Prop_pessimistic;
+        stat_msb;
+        prop_msb;
+        guard = guard ();
+      }
+  | None -> (
+  match (stat_msb, prop_msb) with
+  | None, None ->
+      (* never assigned: nothing to decide; keep a unit-weight default *)
+      {
+        Decision.signal = name;
+        msb_pos = 0;
+        mode = Fixpt.Overflow_mode.Error;
+        case = Decision.Agree;
+        stat_msb;
+        prop_msb;
+        guard = None;
+      }
+  | None, Some p ->
+      (* analyzed but never exercised: only propagation speaks *)
+      {
+        Decision.signal = name;
+        msb_pos = p;
+        mode = Fixpt.Overflow_mode.Error;
+        case = Decision.Agree;
+        stat_msb;
+        prop_msb;
+        guard = None;
+      }
+  | Some ms, None ->
+      (* propagation exploded: case (b) *)
+      {
+        Decision.signal = name;
+        msb_pos = ms + config.guard_bits;
+        mode = Fixpt.Overflow_mode.Saturate;
+        case = Decision.Prop_pessimistic;
+        stat_msb;
+        prop_msb;
+        guard = guard ();
+      }
+  | Some ms, Some mp ->
+      if mp <= ms then
+        (* case (a): agreement (propagation can even be tighter when an
+           explicit range shrank it) *)
+        {
+          Decision.signal = name;
+          msb_pos = max ms mp;
+          mode = Fixpt.Overflow_mode.Error;
+          case = Decision.Agree;
+          stat_msb;
+          prop_msb;
+          guard = None;
+        }
+      else if mp - ms >= config.saturation_gap then
+        {
+          Decision.signal = name;
+          msb_pos = ms + config.guard_bits;
+          mode = Fixpt.Overflow_mode.Saturate;
+          case = Decision.Prop_pessimistic;
+          stat_msb;
+          prop_msb;
+          guard = guard ();
+        }
+      else if config.prefer_saturation_on_tradeoff then
+        {
+          Decision.signal = name;
+          msb_pos = ms;
+          mode = Fixpt.Overflow_mode.Saturate;
+          case = Decision.Trade_off;
+          stat_msb;
+          prop_msb;
+          guard = guard ();
+        }
+      else
+        {
+          Decision.signal = name;
+          msb_pos = mp;
+          mode = Fixpt.Overflow_mode.Error;
+          case = Decision.Trade_off;
+          stat_msb;
+          prop_msb;
+          guard = None;
+        })
+
+(** Decide every signal of an environment (declaration order). *)
+let decide_all ?config env =
+  List.map (fun s -> decide ?config s) (Sim.Env.signals env)
+
+(** Signals whose propagated range exploded this run — the candidates
+    for a [range()] annotation or saturation before the next iteration
+    (the Fig. 4 feedback arc "MSB explosion for signal x"). *)
+let exploded_signals env =
+  List.filter Sim.Signal.exploded (Sim.Env.signals env)
+
+(** Aggregate MSB overhead of propagation-based decisions over
+    statistic-based ones, in bits per signal — the §6.1 "0.22 bits per
+    signal" comparison.  Only counts signals where both estimates
+    exist. *)
+let overhead_bits_per_signal (decisions : Decision.msb list) =
+  let deltas =
+    List.filter_map
+      (fun (d : Decision.msb) ->
+        match (d.Decision.stat_msb, d.Decision.prop_msb) with
+        | Some s, Some p -> Some (Float.of_int (max 0 (p - s)))
+        | _ -> None)
+      decisions
+  in
+  match deltas with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 deltas /. Float.of_int (List.length deltas)

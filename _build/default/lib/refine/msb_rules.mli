@@ -1,0 +1,29 @@
+(** MSB-side refinement rules (§5.1): compare [F(stat)] with [F(prop)]
+    per signal and decide position + overflow mode (cases (a)/(b)/(c)).
+    A [range()]-annotated signal is decided saturated at the
+    annotation's MSB (a designer assertion, not a guarantee — Table 1's
+    "(st)" rows). *)
+
+type config = {
+  saturation_gap : int;
+      (** bits of [F(prop) − F(stat)] at which case (b) is declared
+          (explosion always is) *)
+  guard_bits : int;  (** margin on F(stat) when saturating *)
+  prefer_saturation_on_tradeoff : bool;  (** case (c) designer choice *)
+}
+
+val default_config : config
+
+(** [F] of a range pair ([None]: absent or unbounded). *)
+val msb_of_range : (float * float) option -> int option
+
+val decide : ?config:config -> Sim.Signal.t -> Decision.msb
+val decide_all : ?config:config -> Sim.Env.t -> Decision.msb list
+
+(** Signals whose propagated range exploded this run — candidates for a
+    [range()] annotation before the next iteration (Fig. 4). *)
+val exploded_signals : Sim.Env.t -> Sim.Signal.t list
+
+(** Mean of [max 0 (prop − stat)] over decisions with both estimates —
+    the §6.1 "0.22 bits per signal" metric. *)
+val overhead_bits_per_signal : Decision.msb list -> float

@@ -1,0 +1,173 @@
+(** Table-formatted refinement reports, in the layout of the paper's
+    Tables 1 and 2.
+
+    Table 1 (MSB analysis): per signal — access count, observed
+    min/max/msb (statistic-based), propagated min/max/msb
+    (range-propagation), decided MSB and mode.
+
+    Table 2 (LSB analysis): per signal — assignment count, m̂, μ, σ of
+    the produced error, and the inferred LSB position (printed as the
+    fractional wordlength, as the paper does). *)
+
+let fnum v =
+  if Float.abs v = Float.infinity then (if v > 0.0 then "+inf" else "-inf")
+  else if v = 0.0 then "0"
+  else if Float.abs v >= 1000.0 || Float.abs v < 0.01 then
+    Printf.sprintf "%.2e" v
+  else Printf.sprintf "%.4f" v
+
+let opt_int = function Some i -> string_of_int i | None -> "!!"
+
+(* --- MSB table (Table 1 layout) --------------------------------------- *)
+
+type msb_row = {
+  name : string;
+  accesses : int;
+  stat_min : string;
+  stat_max : string;
+  stat_msb : string;
+  prop_min : string;
+  prop_max : string;
+  prop_msb : string;
+  decided : string;
+}
+
+let msb_row (s : Sim.Signal.t) (d : Decision.msb) =
+  let stat = Sim.Signal.stat_range s in
+  let prop = Sim.Signal.prop_range s in
+  let pair = function
+    | Some (lo, hi) -> (fnum lo, fnum hi)
+    | None -> ("-", "-")
+  in
+  let smin, smax = pair stat and pmin, pmax = pair prop in
+  let mode_suffix =
+    match d.Decision.mode with
+    | Fixpt.Overflow_mode.Saturate -> " (st)"
+    | Fixpt.Overflow_mode.Wrap | Fixpt.Overflow_mode.Error -> ""
+  in
+  {
+    name = Sim.Signal.name s;
+    accesses = Sim.Signal.assignments s;
+    stat_min = smin;
+    stat_max = smax;
+    stat_msb = opt_int d.Decision.stat_msb;
+    prop_min = pmin;
+    prop_max = pmax;
+    prop_msb = opt_int d.Decision.prop_msb;
+    decided = string_of_int d.Decision.msb_pos ^ mode_suffix;
+  }
+
+let columns widths cells =
+  String.concat "  "
+    (List.map2 (fun w c -> Printf.sprintf "%*s" w c) widths cells)
+
+let msb_widths = [ 8; 6; 9; 9; 4; 9; 9; 4; 8 ]
+
+let pp_msb_table ppf rows =
+  Format.fprintf ppf "%s@."
+    (columns msb_widths
+       [ "name"; "#n"; "min"; "max"; "msb"; "min"; "max"; "msb"; "MSB" ]);
+  Format.fprintf ppf "%s@."
+    (columns msb_widths
+       [ ""; ""; "(stat)"; "(stat)"; ""; "(prop)"; "(prop)"; ""; "" ]);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s@."
+        (columns msb_widths
+           [
+             r.name;
+             string_of_int r.accesses;
+             r.stat_min;
+             r.stat_max;
+             r.stat_msb;
+             r.prop_min;
+             r.prop_max;
+             r.prop_msb;
+             r.decided;
+           ]))
+    rows
+
+(* --- LSB table (Table 2 layout) --------------------------------------- *)
+
+type lsb_row = {
+  name : string;
+  assigns : int;
+  max_abs : string;
+  mean : string;
+  sigma : string;
+  lsb : string;  (** printed as fractional wordlength f = −p, per paper *)
+}
+
+let lsb_row (s : Sim.Signal.t) (d : Decision.lsb) =
+  {
+    name = Sim.Signal.name s;
+    assigns = Sim.Signal.assignments s;
+    max_abs = fnum d.Decision.max_abs;
+    mean = fnum d.Decision.mean;
+    sigma = fnum d.Decision.sigma;
+    lsb =
+      (match d.Decision.lsb_pos with
+      | Some p -> string_of_int (-p)
+      | None -> if d.Decision.diverged then "div!" else "-");
+  }
+
+let lsb_widths = [ 8; 6; 10; 10; 10; 5 ]
+
+let pp_lsb_table ppf rows =
+  Format.fprintf ppf "%s@."
+    (columns lsb_widths [ "name"; "#n"; "m^"; "mu"; "sigma"; "LSB" ]);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s@."
+        (columns lsb_widths
+           [
+             r.name;
+             string_of_int r.assigns;
+             r.max_abs;
+             r.mean;
+             r.sigma;
+             r.lsb;
+           ]))
+    rows
+
+(* --- whole-environment helpers ---------------------------------------- *)
+
+let msb_table ?config env =
+  List.map
+    (fun s -> msb_row s (Msb_rules.decide ?config s))
+    (Sim.Env.signals env)
+
+let lsb_table ?config env =
+  List.map
+    (fun s -> lsb_row s (Lsb_rules.decide ?config s))
+    (Sim.Env.signals env)
+
+let print_msb ?config env =
+  Format.printf "%a" pp_msb_table (msb_table ?config env)
+
+let print_lsb ?config env =
+  Format.printf "%a" pp_lsb_table (lsb_table ?config env)
+
+(** One-line summary of a final refinement: signal count, saturated
+    count, exploded count, total bits. *)
+let summary env (msbs : Decision.msb list) (lsbs : Decision.lsb list) =
+  let saturated =
+    List.length
+      (List.filter
+         (fun (d : Decision.msb) ->
+           Fixpt.Overflow_mode.is_saturating d.Decision.mode)
+         msbs)
+  in
+  let exploded = List.length (Msb_rules.exploded_signals env) in
+  let bits =
+    List.fold_left2
+      (fun acc (m : Decision.msb) (l : Decision.lsb) ->
+        match (acc, l.Decision.lsb_pos) with
+        | Some a, Some p when p <= m.Decision.msb_pos ->
+            Some (a + (m.Decision.msb_pos - p + 1))
+        | _ -> acc)
+      (Some 0) msbs lsbs
+  in
+  Printf.sprintf "%d signals, %d saturated, %d exploded, total bits: %s"
+    (List.length msbs) saturated exploded
+    (match bits with Some b -> string_of_int b | None -> "n/a")

@@ -1,0 +1,20 @@
+(** Table-formatted refinement reports, in the layout of the paper's
+    Tables 1 (MSB analysis) and 2 (LSB analysis). *)
+
+type msb_row
+
+val msb_row : Sim.Signal.t -> Decision.msb -> msb_row
+val pp_msb_table : Format.formatter -> msb_row list -> unit
+
+type lsb_row
+
+val lsb_row : Sim.Signal.t -> Decision.lsb -> lsb_row
+val pp_lsb_table : Format.formatter -> lsb_row list -> unit
+
+val msb_table : ?config:Msb_rules.config -> Sim.Env.t -> msb_row list
+val lsb_table : ?config:Lsb_rules.config -> Sim.Env.t -> lsb_row list
+val print_msb : ?config:Msb_rules.config -> Sim.Env.t -> unit
+val print_lsb : ?config:Lsb_rules.config -> Sim.Env.t -> unit
+
+(** One-line summary: signal/saturated/exploded counts, total bits. *)
+val summary : Sim.Env.t -> Decision.msb list -> Decision.lsb list -> string

@@ -1,0 +1,1 @@
+lib/sfg/dot.ml: Buffer Fun Graph Interval List Node Noise_analysis Printf Range_analysis String

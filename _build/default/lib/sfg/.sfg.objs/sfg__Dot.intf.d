@@ -1,0 +1,1 @@
+lib/sfg/dot.mli: Graph Noise_analysis Range_analysis

@@ -1,0 +1,1 @@
+lib/sfg/graph.ml: Array Interval List Node Option Printf String

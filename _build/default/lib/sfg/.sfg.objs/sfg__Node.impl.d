@@ -1,0 +1,1 @@
+lib/sfg/node.ml: Fixpt Float Interval List Printf

@@ -1,0 +1,1 @@
+lib/sfg/node.mli: Fixpt Interval

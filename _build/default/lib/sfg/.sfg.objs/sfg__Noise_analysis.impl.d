@@ -1,0 +1,1 @@
+lib/sfg/noise_analysis.ml: Array Fixpt Float Format Graph Interval List Node Option Printf Range_analysis String

@@ -1,0 +1,1 @@
+lib/sfg/noise_analysis.mli: Format Graph Interval Node Range_analysis

@@ -1,0 +1,1 @@
+lib/sfg/range_analysis.ml: Array Fixpt Float Format Graph Interval List Node Option String

@@ -1,0 +1,1 @@
+lib/sfg/range_analysis.mli: Format Graph Interval

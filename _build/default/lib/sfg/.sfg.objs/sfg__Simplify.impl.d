@@ -1,0 +1,1 @@
+lib/sfg/simplify.ml: Array Graph Hashtbl List Node Printf String

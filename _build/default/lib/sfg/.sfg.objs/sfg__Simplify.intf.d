@@ -1,0 +1,1 @@
+lib/sfg/simplify.mli: Graph

@@ -1,0 +1,1 @@
+lib/sfg/wordlength.ml: Array Float Format Graph List Node Noise_analysis Printf Range_analysis String

@@ -1,0 +1,1 @@
+lib/sfg/wordlength.mli: Format Graph Range_analysis

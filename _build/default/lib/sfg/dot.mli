@@ -1,0 +1,14 @@
+(** Graphviz export of signal-flow graphs, optionally annotated with
+    analysis results. *)
+
+val render :
+  ?ranges:Range_analysis.result -> ?noise:Noise_analysis.result -> Graph.t ->
+  string
+
+val write_file :
+  Graph.t ->
+  string ->
+  ?ranges:Range_analysis.result ->
+  ?noise:Noise_analysis.result ->
+  unit ->
+  unit

@@ -1,0 +1,122 @@
+(** Signal-flow-graph node operations.
+
+    The analytical MSB technique (§4.1 "Analytical") constructs a signal
+    flowgraph out of the source description and analyzes the data flow
+    with the same range-propagation mechanism the simulation uses.  This
+    IR is that flowgraph: a small dataflow language covering the
+    operators the design environment overloads.
+
+    Arity is fixed per operation; [Delay] is the unit-delay register that
+    creates feedback loops (and therefore range explosions). *)
+
+type op =
+  | Input of Interval.t  (** external input with its declared range *)
+  | Const of float
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Neg
+  | Abs
+  | Min
+  | Max
+  | Shift of int  (** multiply by [2^k] *)
+  | Delay of float  (** unit delay (register) with initial value *)
+  | Quantize of Fixpt.Dtype.t
+      (** explicit quantization point: range clamps if the type
+          saturates; adds quantization noise *)
+  | Saturate of Interval.t  (** explicit clamp (a [range()] annotation) *)
+  | Select  (** (cond, a, b): data-dependent choice — range join *)
+  | Alias
+      (** identity; names an existing expression node after the signal
+          it drives (used by the automatic graph extraction) *)
+
+let arity = function
+  | Input _ | Const _ -> 0
+  | Neg | Abs | Shift _ | Delay _ | Quantize _ | Saturate _ | Alias -> 1
+  | Add | Sub | Mul | Div | Min | Max -> 2
+  | Select -> 3
+
+let op_name = function
+  | Input _ -> "input"
+  | Const c -> Printf.sprintf "const(%g)" c
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Neg -> "neg"
+  | Abs -> "abs"
+  | Min -> "min"
+  | Max -> "max"
+  | Shift k -> Printf.sprintf "shl(%d)" k
+  | Delay _ -> "delay"
+  | Quantize dt -> Printf.sprintf "quant%s" (Fixpt.Dtype.to_string dt)
+  | Saturate i -> Printf.sprintf "sat%s" (Interval.to_string i)
+  | Select -> "select"
+  | Alias -> "alias"
+
+(** [is_stateful op] — true for operations whose output at cycle [t]
+    depends on cycle [t-1] (loop-breaking points of the analysis). *)
+let is_stateful = function Delay _ -> true | _ -> false
+
+type t = {
+  id : int;
+  name : string;  (** the signal this node drives *)
+  op : op;
+  inputs : int list;  (** node ids, length = arity *)
+}
+
+(** Interval transfer function of an operation — the same propagation
+    table as the simulation's {!Sim.Ops} (§4.1). *)
+let eval_range op (args : Interval.t list) : Interval.t =
+  match (op, args) with
+  | Input r, [] -> r
+  | Const c, [] -> Interval.of_point c
+  | Add, [ a; b ] -> Interval.add a b
+  | Sub, [ a; b ] -> Interval.sub a b
+  | Mul, [ a; b ] -> Interval.mul a b
+  | Div, [ a; b ] -> Interval.div a b
+  | Neg, [ a ] -> Interval.neg a
+  | Abs, [ a ] -> Interval.abs a
+  | Min, [ a; b ] -> Interval.min_ a b
+  | Max, [ a; b ] -> Interval.max_ a b
+  | Shift k, [ a ] -> Interval.shift_left a k
+  | Delay init, [ a ] -> Interval.join (Interval.of_point init) a
+  | Quantize dt, [ a ] ->
+      if Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt) then
+        let lo, hi = Fixpt.Dtype.range dt in
+        Interval.clamp ~into:(Interval.make lo hi) a
+      else a
+  | Saturate lim, [ a ] -> Interval.clamp ~into:lim a
+  | Select, [ _cond; a; b ] -> Interval.join a b
+  | Alias, [ a ] -> a
+  | op, args ->
+      invalid_arg
+        (Printf.sprintf "Node.eval_range: %s applied to %d arguments"
+           (op_name op) (List.length args))
+
+(** Numeric transfer function (used by the graph interpreter that
+    cross-checks the analysis against execution). *)
+let eval_value op (args : float list) ~(state : float) : float =
+  match (op, args) with
+  | Input _, [] -> invalid_arg "Node.eval_value: input has no intrinsic value"
+  | Const c, [] -> c
+  | Add, [ a; b ] -> a +. b
+  | Sub, [ a; b ] -> a -. b
+  | Mul, [ a; b ] -> a *. b
+  | Div, [ a; b ] -> a /. b
+  | Neg, [ a ] -> -.a
+  | Abs, [ a ] -> Float.abs a
+  | Min, [ a; b ] -> Float.min a b
+  | Max, [ a; b ] -> Float.max a b
+  | Shift k, [ a ] -> a *. (2.0 ** Float.of_int k)
+  | Delay _, [ _ ] -> state  (* output is last cycle's input *)
+  | Quantize dt, [ a ] -> Fixpt.Quantize.cast dt a
+  | Saturate lim, [ a ] ->
+      Float.max (Interval.lo lim) (Float.min (Interval.hi lim) a)
+  | Select, [ cond; a; b ] -> if cond >= 0.5 then a else b
+  | Alias, [ a ] -> a
+  | op, args ->
+      invalid_arg
+        (Printf.sprintf "Node.eval_value: %s applied to %d arguments"
+           (op_name op) (List.length args))

@@ -1,0 +1,49 @@
+(** Signal-flow-graph node operations — the IR of the paper's analytical
+    MSB technique (§4.1): a small dataflow language covering the
+    operators the design environment overloads.  [Delay] is the unit
+    register that creates feedback loops (and range explosions). *)
+
+type op =
+  | Input of Interval.t  (** external input with its declared range *)
+  | Const of float
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Neg
+  | Abs
+  | Min
+  | Max
+  | Shift of int  (** multiply by [2^k] *)
+  | Delay of float  (** unit delay (register) with initial value *)
+  | Quantize of Fixpt.Dtype.t
+      (** explicit quantization point: clamps the range if the type
+          saturates; adds quantization noise *)
+  | Saturate of Interval.t  (** explicit clamp (a [range()] annotation) *)
+  | Select  (** (cond, a, b): data-dependent choice — range join *)
+  | Alias
+      (** identity; names an existing expression node after the signal
+          it drives (used by the automatic graph extraction) *)
+
+val arity : op -> int
+val op_name : op -> string
+
+(** Output at cycle [t] depends on cycle [t-1] (loop-breaking point). *)
+val is_stateful : op -> bool
+
+type t = {
+  id : int;
+  name : string;  (** the signal this node drives *)
+  op : op;
+  inputs : int list;  (** node ids, length = arity *)
+}
+
+(** Interval transfer function — the same propagation table as the
+    simulation's operators (§4.1).  Raises [Invalid_argument] on an
+    arity mismatch. *)
+val eval_range : op -> Interval.t list -> Interval.t
+
+(** Numeric transfer function (used by the graph interpreter).  [state]
+    is the register content for [Delay]; [Input] has no intrinsic value
+    and raises. *)
+val eval_value : op -> float list -> state:float -> float

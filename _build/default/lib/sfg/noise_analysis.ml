@@ -1,0 +1,170 @@
+(** Analytical quantization-noise propagation.
+
+    The analytical counterpart of the simulation's error monitoring, and
+    the engine behind the interpolative-style baseline ([3] in the
+    paper): every [Quantize] node injects noise with the uniform model
+    (mean = rounding bias, variance = q²/12); [Input] nodes may carry
+    source noise (A/D converter, channel SNR).  Noise moments propagate
+    under the standard independence assumptions:
+
+    - add/sub: means add/subtract, variances add;
+    - mul: for [z = x·y] with independent errors and signal power bounded
+      by the (statically known) ranges: [var(ε_z) ≤ ŷ²·var(ε_x) +
+      x̂²·var(ε_y)] where [x̂] is the magnitude bound of [x] — the
+      conservative bound a pure analysis must take;
+    - delay: moments pass through one cycle; loops iterate to a fixpoint
+      (a loop with noise gain ≥ 1 diverges — detected and reported, the
+      analytical mirror of the §4.2 divergence on feedback signals).
+
+    The per-node result is (mean, variance) of the difference error; a
+    derived LSB position via the paper's σ-rule is in {!Wordlength}. *)
+
+type moments = { mean : float; var : float }
+
+let zero_m = { mean = 0.0; var = 0.0 }
+
+type result = {
+  noise : (string * moments) array;  (** per node, node order *)
+  diverged : string list;  (** loop noise did not converge *)
+  iterations : int;
+}
+
+(* Magnitude bound of a node from a prior range analysis. *)
+let mag_of ranges id =
+  let _, iv = ranges.(id) in
+  Interval.mag iv
+
+(* inf · 0 must read as 0 here: an unbounded signal contributes no noise
+   through a noiseless operand *)
+let gmul a b = if a = 0.0 || b = 0.0 then 0.0 else a *. b
+
+let transfer ranges (n : Node.t) (args : moments list) ~(input_noise : string -> moments) : moments =
+  match (n.Node.op, args) with
+  | Node.Input _, [] -> input_noise n.Node.name
+  | Node.Const _, [] -> zero_m
+  | Node.Add, [ a; b ] -> { mean = a.mean +. b.mean; var = a.var +. b.var }
+  | Node.Sub, [ a; b ] -> { mean = a.mean -. b.mean; var = a.var +. b.var }
+  | Node.Mul, [ a; b ] ->
+      let xa = mag_of ranges (List.nth n.Node.inputs 0)
+      and xb = mag_of ranges (List.nth n.Node.inputs 1) in
+      {
+        mean = gmul xb (Float.abs a.mean) +. gmul xa (Float.abs b.mean);
+        var = gmul (xb *. xb) a.var +. gmul (xa *. xa) b.var;
+      }
+  | Node.Div, [ a; b ] ->
+      (* bound via 1/y magnitude when the divisor range excludes 0 *)
+      let _, ivb = ranges.(List.nth n.Node.inputs 1) in
+      let inv_mag =
+        match Interval.bounds ivb with
+        | Some (lo, hi) when lo > 0.0 || hi < 0.0 ->
+            1.0 /. Float.min (Float.abs lo) (Float.abs hi)
+        | _ -> Float.infinity
+      in
+      let xa = mag_of ranges (List.nth n.Node.inputs 0) in
+      {
+        mean =
+          gmul inv_mag (Float.abs a.mean)
+          +. gmul (gmul xa (inv_mag *. inv_mag)) (Float.abs b.mean);
+        var =
+          gmul (inv_mag *. inv_mag) a.var
+          +. gmul (gmul (xa *. xa) (inv_mag ** 4.0)) b.var;
+      }
+  | Node.Neg, [ a ] -> { mean = -.a.mean; var = a.var }
+  | Node.Abs, [ a ] -> { mean = Float.abs a.mean; var = a.var }
+  | Node.Min, [ a; b ] | Node.Max, [ a; b ] ->
+      (* conservative: whichever operand wins, its error passes *)
+      {
+        mean = Float.max (Float.abs a.mean) (Float.abs b.mean);
+        var = Float.max a.var b.var;
+      }
+  | Node.Shift k, [ a ] ->
+      let s = 2.0 ** Float.of_int k in
+      { mean = a.mean *. s; var = a.var *. s *. s }
+  | Node.Delay _, [ a ] -> a
+  | Node.Quantize dt, [ a ] ->
+      let _, bias, qvar = Fixpt.Quantize.noise_model dt in
+      { mean = a.mean +. bias; var = a.var +. qvar }
+  | Node.Saturate _, [ a ] -> a
+  | Node.Alias, [ a ] -> a
+  | Node.Select, [ _c; a; b ] ->
+      {
+        mean = Float.max (Float.abs a.mean) (Float.abs b.mean);
+        var = Float.max a.var b.var;
+      }
+  | op, args ->
+      invalid_arg
+        (Printf.sprintf "Noise_analysis: %s applied to %d args"
+           (Node.op_name (fst (op, args)))
+           (List.length args))
+
+let default_max_iter = 64
+let divergence_threshold = 1.0e12
+
+(** [run graph ~ranges ?input_noise ()] — [ranges] is a completed
+    {!Range_analysis.result} (needed for multiplication bounds);
+    [input_noise] gives the source error moments per input node
+    (default: noiseless inputs). *)
+let run ?(max_iter = default_max_iter)
+    ?(input_noise = fun (_ : string) -> zero_m) graph
+    ~(ranges : Range_analysis.result) =
+  Graph.validate_exn graph;
+  let ns = Array.of_list (Graph.nodes graph) in
+  let cur = Array.make (Array.length ns) zero_m in
+  let changed = ref true in
+  let iter = ref 0 in
+  let close a b =
+    Float.abs (a.mean -. b.mean) <= 1e-15 +. (1e-9 *. Float.abs b.mean)
+    && Float.abs (a.var -. b.var) <= 1e-24 +. (1e-9 *. Float.abs b.var)
+  in
+  while !changed && !iter < max_iter do
+    changed := false;
+    incr iter;
+    Array.iteri
+      (fun i (n : Node.t) ->
+        let args = List.map (fun j -> cur.(j)) n.Node.inputs in
+        let next = transfer ranges.Range_analysis.ranges n args ~input_noise in
+        (* moments only grow along the iteration (monotone system) *)
+        let next =
+          {
+            mean = Float.max next.mean cur.(i).mean;
+            var = Float.max next.var cur.(i).var;
+          }
+        in
+        if not (close next cur.(i)) then begin
+          cur.(i) <- next;
+          changed := true
+        end)
+      ns
+  done;
+  let noise = Array.mapi (fun i (n : Node.t) -> (n.Node.name, cur.(i))) ns in
+  let diverged =
+    Array.to_list ns
+    |> List.filter_map (fun (n : Node.t) ->
+           let m = cur.(n.Node.id) in
+           if
+             (!changed && not (Float.is_finite m.var))
+             || m.var > divergence_threshold
+             || Float.is_nan m.var
+           then Some n.Node.name
+           else None)
+  in
+  { noise; diverged; iterations = !iter }
+
+let moments_of result name =
+  Array.to_list result.noise
+  |> List.find_opt (fun (n, _) -> String.equal n name)
+  |> Option.map snd
+
+let sigma_of result name =
+  Option.map (fun m -> sqrt m.var) (moments_of result name)
+
+let pp ppf result =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun (name, m) ->
+      Format.fprintf ppf "%-12s mu=%.3g sigma=%.3g@," name m.mean
+        (sqrt m.var))
+    result.noise;
+  if result.diverged <> [] then
+    Format.fprintf ppf "diverged: %s@," (String.concat ", " result.diverged);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Analytical quantization-noise propagation — the static counterpart
+    of error monitoring and the engine of the interpolative-style
+    baseline (paper reference [3]).  [Quantize] nodes inject uniform-
+    model noise; moments propagate under independence assumptions with
+    range-based magnitude bounds at multiplications; loops iterate to a
+    fixpoint (noise gain ≥ 1 diverges and is reported — the analytical
+    mirror of §4.2's divergence). *)
+
+type moments = { mean : float; var : float }
+
+val zero_m : moments
+
+type result = {
+  noise : (string * moments) array;  (** per node, node order *)
+  diverged : string list;
+  iterations : int;
+}
+
+(** Single-node transfer (exposed for {!Wordlength}'s gain probing). *)
+val transfer :
+  (string * Interval.t) array ->
+  Node.t ->
+  moments list ->
+  input_noise:(string -> moments) ->
+  moments
+
+val default_max_iter : int
+
+(** [ranges] — a completed {!Range_analysis.result} (multiplication
+    bounds); [input_noise] — source error moments per input node
+    (default: noiseless). *)
+val run :
+  ?max_iter:int ->
+  ?input_noise:(string -> moments) ->
+  Graph.t ->
+  ranges:Range_analysis.result ->
+  result
+
+val moments_of : result -> string -> moments option
+val sigma_of : result -> string -> float option
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,135 @@
+(** Analytical range propagation over a signal-flow graph (§4.1
+    "Analytical").
+
+    Performs a fixpoint iteration of the interval transfer functions.
+    Feed-forward graphs converge in one pass (node order is
+    topological); feedback loops through delays may grow without bound —
+    the {e MSB explosion} of §4.1.  Termination is forced by interval
+    widening after [widen_after] rounds: a bound still growing then
+    jumps to infinity.  An ascending phase with widening is followed by
+    a bounded {e narrowing} phase (intersection with re-evaluated
+    transfer results), so bounds that only blew up transiently — e.g. a
+    loop clamped by a [Saturate] node downstream of the widened delay —
+    are recovered.  Nodes still unbounded after narrowing are reported
+    as exploded; the remedies are the paper's: a [Saturate] node
+    (explicit [range()]) or a saturating [Quantize] type in the loop.
+
+    Convergence of slowly-contracting loops (e.g. [acc' = 0.5·acc + x])
+    is declared at a relative tolerance of 1e-6; the residual
+    under-approximation is orders of magnitude below MSB (power-of-two)
+    granularity. *)
+
+type result = {
+  ranges : (string * Interval.t) array;  (** per node, in node order *)
+  exploded : string list;  (** nodes whose range is unbounded *)
+  iterations : int;  (** rounds until fixpoint *)
+}
+
+let default_widen_after = 16
+let default_max_iter = 64
+let narrow_sweeps = 8
+let rel_tol = 1e-6
+
+(* approximately-equal intervals: stops asymptotically-contracting loops *)
+let approx_equal a b =
+  match (a, b) with
+  | Interval.Empty, Interval.Empty -> true
+  | Interval.Empty, _ | _, Interval.Empty -> false
+  | a, b ->
+      let close x y =
+        x = y
+        || Float.is_finite x && Float.is_finite y
+           && Float.abs (x -. y)
+              <= rel_tol *. (1.0 +. Float.max (Float.abs x) (Float.abs y))
+      in
+      close (Interval.lo a) (Interval.lo b) && close (Interval.hi a) (Interval.hi b)
+
+(** Run the analysis.  [widen_after] — rounds of exact iteration before
+    widening kicks in (more rounds = tighter results on loops that do
+    converge, slower detection of explosions). *)
+let run ?(widen_after = default_widen_after) ?(max_iter = default_max_iter)
+    graph =
+  Graph.validate_exn graph;
+  let ns = Array.of_list (Graph.nodes graph) in
+  let cur = Array.make (Array.length ns) Interval.empty in
+  (* Delays start from their initial value so loops have a seed. *)
+  Array.iteri
+    (fun i (n : Node.t) ->
+      match n.Node.op with
+      | Node.Delay init -> cur.(i) <- Interval.of_point init
+      | _ -> ())
+    ns;
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < max_iter do
+    changed := false;
+    incr iter;
+    Array.iteri
+      (fun i (n : Node.t) ->
+        let args = List.map (fun j -> cur.(j)) n.Node.inputs in
+        let next =
+          match n.Node.op with
+          | Node.Delay init ->
+              (* a delay's range is its init joined with everything its
+                 input could have been *)
+              Node.eval_range (Node.Delay init) args
+          | op -> Node.eval_range op args
+        in
+        (* monotone accumulation, then widening once past the budget *)
+        let next = Interval.join cur.(i) next in
+        let next =
+          if !iter > widen_after then Interval.widen cur.(i) next else next
+        in
+        if not (approx_equal next cur.(i)) then begin
+          cur.(i) <- next;
+          changed := true
+        end)
+      ns
+  done;
+  (* narrowing: recover precision lost to widening where a downstream
+     clamp actually bounds the loop; meet keeps soundness (cur stays a
+     superset of the least fixpoint for monotone transfers) *)
+  for _ = 1 to narrow_sweeps do
+    Array.iteri
+      (fun i (n : Node.t) ->
+        let args = List.map (fun j -> cur.(j)) n.Node.inputs in
+        let next = Node.eval_range n.Node.op args in
+        let narrowed = Interval.meet cur.(i) next in
+        if not (Interval.is_empty narrowed) then cur.(i) <- narrowed)
+      ns
+  done;
+  let ranges =
+    Array.mapi (fun i (n : Node.t) -> (n.Node.name, cur.(i))) ns
+  in
+  let exploded =
+    Array.to_list ns
+    |> List.filter_map (fun (n : Node.t) ->
+           if Interval.is_exploded cur.(n.Node.id) then Some n.Node.name
+           else None)
+  in
+  { ranges; exploded; iterations = !iter }
+
+let range_of result name =
+  Array.to_list result.ranges
+  |> List.find_opt (fun (n, _) -> String.equal n name)
+  |> Option.map snd
+
+(** Required MSB position per node (None when exploded/unbounded) —
+    the paper's [F] applied to the analytical ranges. *)
+let msb_of result name =
+  match range_of result name with
+  | None | Some Interval.Empty -> None
+  | Some iv ->
+      Fixpt.Qformat.required_msb Fixpt.Sign_mode.Tc ~vmin:(Interval.lo iv)
+        ~vmax:(Interval.hi iv)
+
+let pp ppf result =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun (name, iv) ->
+      Format.fprintf ppf "%-12s %s@," name (Interval.to_string iv))
+    result.ranges;
+  if result.exploded <> [] then
+    Format.fprintf ppf "exploded: %s@,"
+      (String.concat ", " result.exploded);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Analytical range propagation over a signal-flow graph (§4.1
+    "Analytical"): a fixpoint of the interval transfer functions, with
+    widening after [widen_after] rounds to force termination on feedback
+    loops and a bounded narrowing phase to recover precision where a
+    downstream clamp actually bounds the loop.  Unbounded nodes are
+    reported as exploded — the paper's MSB explosion, remedied by a
+    [Saturate] node ([range()]) or a saturating type in the loop. *)
+
+type result = {
+  ranges : (string * Interval.t) array;  (** per node, node order *)
+  exploded : string list;
+  iterations : int;
+}
+
+val default_widen_after : int
+val default_max_iter : int
+
+val run : ?widen_after:int -> ?max_iter:int -> Graph.t -> result
+
+(** First node with that name; [None] if absent. *)
+val range_of : result -> string -> Interval.t option
+
+(** Required MSB position per node ([None] when exploded/unbounded). *)
+val msb_of : result -> string -> int option
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,184 @@
+(** Flowgraph simplification: constant folding, common-subexpression
+    elimination and dead-node removal.
+
+    Automatically extracted graphs ({!Sim.Record}) carry one literal
+    node per operator use and an [Alias] per signal assignment; this
+    pass cleans them up before analysis display or VHDL emission.
+
+    Passes (all semantics-preserving for execution {e and} for the range
+    analysis):
+    - {e constant folding}: a pure operator over [Const] inputs becomes
+      a [Const] (including [Quantize] — a cast of a constant).
+      [Select] is {e not} folded even under a constant condition: its
+      range semantics is the join of both branches and folding would
+      narrow the analysis unsoundly;
+    - {e CSE}: structurally identical pure nodes (same operation, same
+      inputs) are merged — duplicated literals collapse first;
+    - {e dead-node elimination} (only when the graph has marked
+      outputs): nodes that reach no output are dropped.  [Delay] nodes
+      are kept alive by reachability through their feedback arcs.
+
+    [keep] protects named nodes (signal names used by reports) from
+    elimination and from being folded away. *)
+
+type stats = {
+  before : int;
+  after : int;
+  folded : int;
+  merged : int;
+  dropped : int;
+}
+
+let foldable (op : Node.op) =
+  match op with
+  | Node.Add | Node.Sub | Node.Mul | Node.Div | Node.Neg | Node.Abs
+  | Node.Min | Node.Max | Node.Shift _ | Node.Quantize _ | Node.Saturate _
+  | Node.Alias ->
+      true
+  | Node.Input _ | Node.Const _ | Node.Delay _ | Node.Select -> false
+
+(* pure nodes are CSE candidates; delays and inputs are not *)
+let pure (op : Node.op) =
+  match op with Node.Delay _ | Node.Input _ -> false | _ -> true
+
+let run_once ?(keep = fun (_ : string) -> false) (g : Graph.t) =
+  Graph.validate_exn g;
+  let nodes = Array.of_list (Graph.nodes g) in
+  let n = Array.length nodes in
+  let before = n in
+  (* --- liveness (backwards from outputs; everything live if none) --- *)
+  let outputs = Graph.outputs g in
+  let live = Array.make n (outputs = []) in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      List.iter mark nodes.(i).Node.inputs
+    end
+  in
+  List.iter (fun (_, id) -> mark id) outputs;
+  Array.iteri
+    (fun i (nd : Node.t) -> if keep nd.Node.name && not live.(i) then mark i)
+    nodes;
+  (* delays reachable from live nodes keep their sources alive *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (nd : Node.t) ->
+        if live.(i) then
+          List.iter
+            (fun j ->
+              if not live.(j) then begin
+                mark j;
+                changed := true
+              end)
+            nd.Node.inputs)
+      nodes
+  done;
+  let dropped = Array.fold_left (fun a l -> if l then a else a + 1) 0 live in
+  (* --- rebuild with folding + CSE ----------------------------------- *)
+  let out = Graph.create () in
+  let remap = Array.make n (-1) in
+  let const_value = Hashtbl.create 32 in
+  (* new id -> const value *)
+  let const_cache = Hashtbl.create 32 in
+  (* float -> new id *)
+  let cse : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let folded = ref 0 and merged = ref 0 in
+  let delay_fixups = ref [] in
+  let key op inputs =
+    Printf.sprintf "%s|%s" (Node.op_name op)
+      (String.concat "," (List.map string_of_int inputs))
+  in
+  let intern_const name c =
+    match Hashtbl.find_opt const_cache c with
+    | Some id ->
+        incr merged;
+        id
+    | None ->
+        let id = Graph.const out ~name c in
+        Hashtbl.replace const_cache c id;
+        Hashtbl.replace const_value id c;
+        id
+  in
+  Array.iteri
+    (fun i (nd : Node.t) ->
+      if live.(i) then begin
+        let name = nd.Node.name in
+        match nd.Node.op with
+        | Node.Const c -> remap.(i) <- intern_const name c
+        | Node.Input _ ->
+            remap.(i) <-
+              Graph.fresh out ~name ~op:nd.Node.op ~inputs:[]
+        | Node.Delay init ->
+            (* create as pending; connect after all nodes exist *)
+            let d = Graph.delay out ~init name in
+            remap.(i) <- d;
+            delay_fixups := (d, List.hd nd.Node.inputs) :: !delay_fixups
+        | op ->
+            let inputs = List.map (fun j -> remap.(j)) nd.Node.inputs in
+            if List.exists (fun j -> j < 0) inputs then
+              (* an input precedes its producer only through a delay
+                 back-arc, which non-delay nodes never have *)
+              invalid_arg "Simplify.run: malformed graph order"
+            else
+              let all_const =
+                List.for_all (fun j -> Hashtbl.mem const_value j) inputs
+              in
+              if foldable op && all_const && not (keep name) then begin
+                let args =
+                  List.map (fun j -> Hashtbl.find const_value j) inputs
+                in
+                let v = Node.eval_value op args ~state:0.0 in
+                incr folded;
+                remap.(i) <- intern_const name v
+              end
+              else begin
+                let k = key op inputs in
+                match (if pure op then Hashtbl.find_opt cse k else None) with
+                | Some id when not (keep name) ->
+                    incr merged;
+                    remap.(i) <- id
+                | _ ->
+                    let id = Graph.fresh out ~name ~op ~inputs in
+                    if pure op then Hashtbl.replace cse k id;
+                    remap.(i) <- id
+              end
+      end)
+    nodes;
+  List.iter
+    (fun (d, old_src) -> Graph.connect_delay out d remap.(old_src))
+    !delay_fixups;
+  List.iter
+    (fun (oname, oid) -> Graph.mark_output out oname remap.(oid))
+    outputs;
+  ( out,
+    {
+      before;
+      after = Graph.node_count out;
+      folded = !folded;
+      merged = !merged;
+      dropped;
+    } )
+
+(** Iterate {!run_once} to a fixpoint: folding creates newly-dead
+    constants that the next sweep's liveness removes. *)
+let run ?keep (g : Graph.t) =
+  let rec go g acc n =
+    let g', st = run_once ?keep g in
+    let acc =
+      {
+        before = acc.before;
+        after = st.after;
+        folded = acc.folded + st.folded;
+        merged = acc.merged + st.merged;
+        dropped = acc.dropped + st.dropped;
+      }
+    in
+    if st.after < st.before && n < 4 then go g' acc (n + 1) else (g', acc)
+  in
+  let g1, st1 = run_once ?keep g in
+  go g1
+    { before = st1.before; after = st1.after; folded = st1.folded;
+      merged = st1.merged; dropped = st1.dropped }
+    0

@@ -1,0 +1,21 @@
+(** Flowgraph simplification: constant folding, common-subexpression
+    elimination, dead-node removal — all semantics-preserving for
+    execution and for the range analysis ([Select] is never folded, its
+    range is the branch join by design).  Cleans up automatically
+    extracted graphs before display or VHDL emission.
+
+    [keep name] protects named nodes from being merged or folded away
+    (use it for the signal names reports will query). *)
+
+type stats = {
+  before : int;
+  after : int;
+  folded : int;
+  merged : int;
+  dropped : int;
+}
+
+(** Returns the simplified graph (fresh ids) and pass statistics.
+    Dead-node elimination applies only when the graph has marked
+    outputs. *)
+val run : ?keep:(string -> bool) -> Graph.t -> Graph.t * stats

@@ -1,0 +1,152 @@
+(** Analytical wordlength assignment — the pure-analysis baseline
+    (reference [3] in the paper: Willems et al.'s interpolative
+    approach, reconstructed at the level of detail the comparison
+    needs).
+
+    Given a graph, an output node and an output noise budget (target
+    σ at the output), assign every internal signal:
+
+    - an MSB position from the worst-case {!Range_analysis} ranges
+      (conservative by construction — this is exactly the overestimation
+      the paper's §1 attributes to analytical methods);
+    - an LSB position by distributing the noise budget over the
+      quantization points, weighted by each point's {e noise gain} to
+      the output (measured by injecting a unit variance at the point and
+      propagating it analytically).
+
+    The hybrid flow ({!Refine.Flow}) is benchmarked against this
+    assignment in the §"compare" experiment. *)
+
+type assignment = {
+  name : string;
+  msb : int option;  (** None — range exploded, no finite MSB *)
+  lsb : int option;  (** None — node needs no quantization (const/control) *)
+}
+
+type result = {
+  assignments : assignment list;
+  total_bits : int option;  (** None if any signal has no finite format *)
+  exploded : string list;
+}
+
+(* Noise gain of node [src] to node [out]: propagate a unit variance
+   injected at [src] through the moment system. *)
+let noise_gain graph ~ranges ~src ~out =
+  let inject name =
+    if String.equal name src then { Noise_analysis.mean = 0.0; var = 1.0 }
+    else Noise_analysis.zero_m
+  in
+  (* Injection at arbitrary (non-input) nodes: model by treating the node
+     as if it quantized with unit variance — we reuse the input mechanism
+     by wrapping the transfer: simplest sound approach is to run the
+     moment system with an extra additive unit variance at [src]. *)
+  let ns = Array.of_list (Graph.nodes graph) in
+  let cur = Array.make (Array.length ns) Noise_analysis.zero_m in
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < 64 do
+    changed := false;
+    incr iter;
+    Array.iteri
+      (fun i (n : Node.t) ->
+        let args = List.map (fun j -> cur.(j)) n.Node.inputs in
+        let next =
+          Noise_analysis.transfer ranges.Range_analysis.ranges n args
+            ~input_noise:inject
+        in
+        let next =
+          (* non-input injection points get the unit variance added here;
+             input nodes already received it through [inject] *)
+          match n.Node.op with
+          | Node.Input _ -> next
+          | _ ->
+              if String.equal n.Node.name src then
+                { next with Noise_analysis.var = next.Noise_analysis.var +. 1.0 }
+              else next
+        in
+        let next =
+          {
+            Noise_analysis.mean =
+              Float.max next.Noise_analysis.mean cur.(i).Noise_analysis.mean;
+            var = Float.max next.Noise_analysis.var cur.(i).Noise_analysis.var;
+          }
+        in
+        if
+          Float.abs (next.Noise_analysis.var -. cur.(i).Noise_analysis.var)
+          > 1e-12 *. (1.0 +. cur.(i).Noise_analysis.var)
+        then begin
+          cur.(i) <- next;
+          changed := true
+        end)
+      ns
+  done;
+  match
+    Array.to_list ns
+    |> List.find_opt (fun (n : Node.t) -> String.equal n.Node.name out)
+  with
+  | Some n -> cur.(n.Node.id).Noise_analysis.var
+  | None -> invalid_arg (Printf.sprintf "Wordlength.noise_gain: no node %s" out)
+
+(* Nodes that carry a datapath value needing a format (not constants-only
+   controls). *)
+let needs_format (n : Node.t) =
+  match n.Node.op with
+  | Node.Const _ -> false
+  | _ -> true
+
+(** [assign graph ~output ~sigma_budget] — compute the analytical
+    wordlength assignment such that the accumulated quantization noise
+    at [output] stays below [sigma_budget] (standard deviation). *)
+let assign ?(widen_after = Range_analysis.default_widen_after) graph ~output
+    ~sigma_budget =
+  if sigma_budget <= 0.0 then invalid_arg "Wordlength.assign: budget <= 0";
+  let ranges = Range_analysis.run ~widen_after graph in
+  let ns = List.filter needs_format (Graph.nodes graph) in
+  let q_points = List.filter (fun (n : Node.t) -> not (Node.is_stateful n.Node.op)) ns in
+  let nq = max 1 (List.length q_points) in
+  let var_budget_each = sigma_budget *. sigma_budget /. Float.of_int nq in
+  let assignments =
+    List.map
+      (fun (n : Node.t) ->
+        let name = n.Node.name in
+        let msb = Range_analysis.msb_of ranges name in
+        let lsb =
+          if not (List.exists (fun (q : Node.t) -> q.Node.id = n.Node.id) q_points)
+          then None
+          else begin
+            let gain = noise_gain graph ~ranges ~src:name ~out:output in
+            if gain <= 0.0 || not (Float.is_finite gain) then None
+            else
+              (* q²/12 · gain ≤ budget_each  ⇒  q ≤ sqrt(12·budget/gain) *)
+              let q = sqrt (12.0 *. var_budget_each /. gain) in
+              Some (Float.to_int (Float.floor (Float.log2 q)))
+          end
+        in
+        { name; msb; lsb })
+      ns
+  in
+  let exploded = ranges.Range_analysis.exploded in
+  let total_bits =
+    List.fold_left
+      (fun acc a ->
+        match (acc, a.msb, a.lsb) with
+        | Some total, Some m, Some l -> Some (total + (m - l + 1))
+        | Some total, Some _, None -> Some total (* no quantizer here *)
+        | _, None, _ -> None
+        | None, _, _ -> None)
+      (Some 0) assignments
+  in
+  { assignments; total_bits; exploded }
+
+let pp ppf result =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-12s msb=%s lsb=%s@," a.name
+        (match a.msb with Some m -> string_of_int m | None -> "∞")
+        (match a.lsb with Some l -> string_of_int l | None -> "-"))
+    result.assignments;
+  (match result.total_bits with
+  | Some b -> Format.fprintf ppf "total bits: %d@," b
+  | None -> Format.fprintf ppf "total bits: unbounded@,");
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Analytical wordlength assignment — the pure-analysis baseline
+    (paper reference [3], Willems et al.): MSBs from worst-case
+    {!Range_analysis} ranges (conservative by construction), LSBs by
+    distributing an output noise budget over the quantization points,
+    weighted by each point's noise gain to the output. *)
+
+type assignment = {
+  name : string;
+  msb : int option;  (** [None] — range exploded *)
+  lsb : int option;  (** [None] — node needs no quantization *)
+}
+
+type result = {
+  assignments : assignment list;
+  total_bits : int option;  (** [None] if any signal has no finite format *)
+  exploded : string list;
+}
+
+(** Variance gain from a unit noise injection at [src] to [out]. *)
+val noise_gain :
+  Graph.t -> ranges:Range_analysis.result -> src:string -> out:string -> float
+
+(** Assign every datapath node so accumulated quantization noise at
+    [output] stays below [sigma_budget] (standard deviation).  Raises
+    [Invalid_argument] on a non-positive budget. *)
+val assign :
+  ?widen_after:int -> Graph.t -> output:string -> sigma_budget:float -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/sim/env.ml: Fixpt Interval List Logs Printf Stats String

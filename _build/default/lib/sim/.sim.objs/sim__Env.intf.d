@@ -1,0 +1,1 @@
+lib/sim/env.mli: Fixpt Interval Logs Stats

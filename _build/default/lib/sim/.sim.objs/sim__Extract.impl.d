@@ -1,0 +1,1 @@
+lib/sim/extract.ml: Env Fun Hashtbl List Record Sfg

@@ -1,0 +1,1 @@
+lib/sim/extract.mli: Env Sfg

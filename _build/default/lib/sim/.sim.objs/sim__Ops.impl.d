@@ -1,0 +1,1 @@
+lib/sim/ops.ml: Fixpt Float Interval Record Sfg Signal Value

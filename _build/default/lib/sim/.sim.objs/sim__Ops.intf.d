@@ -1,0 +1,1 @@
+lib/sim/ops.mli: Fixpt Signal Value

@@ -1,0 +1,1 @@
+lib/sim/record.ml: Hashtbl List Printf Sfg Value

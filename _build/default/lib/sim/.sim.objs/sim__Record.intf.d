@@ -1,0 +1,1 @@
+lib/sim/record.mli: Hashtbl Sfg Value

@@ -1,0 +1,1 @@
+lib/sim/sig_array.ml: Array Env Printf Signal

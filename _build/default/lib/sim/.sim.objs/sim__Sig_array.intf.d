@@ -1,0 +1,1 @@
+lib/sim/sig_array.mli: Env Fixpt Signal

@@ -1,0 +1,1 @@
+lib/sim/signal.ml: Env Fixpt Float Format Hashtbl Int64 Interval Record Sfg Stats Value

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Char Fun List Printf Signal String

@@ -1,0 +1,28 @@
+(** Communication channels — the paper's [get]/[put] primitives: FIFOs
+    of samples between processors, optionally backed by a stimulus
+    generator (source) or recording every write (sink). *)
+
+type t
+
+exception Empty of string
+
+val create : ?record:bool -> string -> t
+
+(** Source channel: [get] returns [f 0], [f 1], … *)
+val of_fun : string -> (int -> float) -> t
+
+val name : t -> string
+
+(** Consume the next sample (pulls from the producer if the FIFO is
+    empty); raises {!Empty} on an unbacked empty channel. *)
+val get : t -> float
+
+val put : t -> float -> unit
+val length : t -> int
+val is_empty : t -> bool
+
+(** All recorded samples in emission order (needs [~record:true]). *)
+val recorded : t -> float list
+
+(** Drop queued samples, recorded history, and producer position. *)
+val clear : t -> unit

@@ -1,0 +1,52 @@
+(** Clock-true execution of processor behaviours (§2).
+
+    A design is a set of processors, each a step function executed once
+    per clock cycle; after all processors of a cycle have run, the clock
+    commits the registered signals ([Env.tick]).  This mirrors the
+    paper's "simulation engine performs processor execution and their
+    communication".
+
+    The single-processor case — both paper examples — is just
+    {!run}. *)
+
+type processor = { name : string; step : int -> unit }
+
+let processor name step = { name; step }
+
+type t = { env : Env.t; mutable processors : processor list }
+
+let create env = { env; processors = [] }
+
+let add t p = t.processors <- t.processors @ [ p ]
+
+let env t = t.env
+
+(** Execute [cycles] clock cycles: every processor's [step t] in
+    registration order, then one clock tick. *)
+let run_processors t ~cycles =
+  for cycle = 0 to cycles - 1 do
+    List.iter (fun p -> p.step cycle) t.processors;
+    Env.tick t.env
+  done
+
+(** [run env ~cycles step] — single-processor shorthand: [step cycle]
+    then a clock tick, [cycles] times. *)
+let run env ~cycles step =
+  for cycle = 0 to cycles - 1 do
+    step cycle;
+    Env.tick env
+  done
+
+(** [run_until env step] — run until [step] returns [false] (checked
+    after the tick); returns the number of executed cycles.  [~max]
+    bounds runaway loops. *)
+let run_until ?(max = 1_000_000) env step =
+  let rec go cycle =
+    if cycle >= max then cycle
+    else begin
+      let continue = step cycle in
+      Env.tick env;
+      if continue then go (cycle + 1) else cycle + 1
+    end
+  in
+  go 0

@@ -1,0 +1,25 @@
+(** Clock-true execution of processor behaviours (§2): every processor's
+    step function runs once per cycle, then the clock commits the
+    registered signals. *)
+
+type processor
+
+val processor : string -> (int -> unit) -> processor
+
+type t
+
+val create : Env.t -> t
+val add : t -> processor -> unit
+val env : t -> Env.t
+
+(** [cycles] rounds of: every processor in registration order, then one
+    clock tick. *)
+val run_processors : t -> cycles:int -> unit
+
+(** Single-processor shorthand: [step cycle] then a tick, [cycles]
+    times. *)
+val run : Env.t -> cycles:int -> (int -> unit) -> unit
+
+(** Run until [step] returns [false] (tick after each step); returns the
+    executed cycle count.  [max] bounds runaway loops. *)
+val run_until : ?max:int -> Env.t -> (int -> bool) -> int

@@ -1,0 +1,190 @@
+(** Simulation environment: the signal registry and the clock.
+
+    An [Env.t] plays the role of the paper's simulation engine (§2): it
+    owns every signal object of a design, the deterministic noise source
+    used by [error()] overruling, the clock that commits registered
+    signals, and the design-wide overflow policy.
+
+    The full mutable state of a signal lives here (type {!entry});
+    {!Signal} provides the user-facing operations over entries.  Keeping
+    the state in the registry module avoids a dependency cycle and lets
+    the refinement flow iterate over "all signals of the design" — the
+    unit the paper's tables are reports over. *)
+
+type kind =
+  | Comb  (** the paper's [sig]: assignment takes effect immediately *)
+  | Registered
+      (** the paper's [reg]: assignment is staged and committed by the
+          next clock tick; reads see the pre-tick value *)
+
+(** What simulation does when an [Error]-mode type overflows (§2.1: "The
+    latter produces an error message during simulation in case of
+    overflow"). *)
+type overflow_policy =
+  | Count  (** record silently; reports show the count *)
+  | Warn  (** log a warning (first few per signal) and record *)
+  | Raise  (** abort simulation with {!Overflow} *)
+
+exception Overflow of { signal : string; value : float; time : int }
+
+type entry = {
+  env : t;  (** owning environment (for clocking, RNG, overflow policy) *)
+  name : string;
+  id : int;
+  kind : kind;
+  mutable dtype : Fixpt.Dtype.t option;  (** [None] = floating-point *)
+  (* current committed values *)
+  mutable fx : float;
+  mutable fl : float;
+  (* staged values for registered signals *)
+  mutable next_fx : float;
+  mutable next_fl : float;
+  mutable staged : bool;
+  (* monitoring state *)
+  range_stat : Stats.Running.t;  (** observed ideal values (stat-based) *)
+  mutable range_prop : Interval.t;  (** accumulated propagated range *)
+  mutable explicit_range : Interval.t option;  (** [range()] annotation *)
+  mutable error_inject : float option;
+      (** [error(h)] annotation: produced error overruled by U(−h, h) *)
+  err : Stats.Err_stats.t;
+  mutable grid_lsb : int option;
+      (** finest LSB position needed to represent the assigned ideal
+          values exactly ([None] until a nonzero value is seen) *)
+  mutable n_assign : int;
+  mutable n_access : int;
+  mutable n_overflow : int;
+  mutable last_overflow : float option;  (** raw value of last overflow *)
+}
+
+and t = {
+  mutable entries : entry list;  (** newest first *)
+  mutable n_entries : int;
+  mutable time : int;
+  rng : Stats.Rng.t;
+  mutable policy : overflow_policy;
+  mutable warned : int;  (** warnings already emitted under [Warn] *)
+  mutable reset_hooks : (unit -> unit) list;
+      (** re-run after every [reset], in registration order: the
+          "constructor initialization" of the paper's listings
+          (coefficient loading etc.) that every fresh simulation
+          re-executes *)
+}
+
+let src = Logs.Src.create "fixrefine.sim" ~doc:"fixed-point simulation engine"
+
+module Log = (val Logs.src_log src)
+
+let create ?(seed = 0x51CA5) ?(policy = Count) () =
+  {
+    entries = [];
+    n_entries = 0;
+    time = 0;
+    rng = Stats.Rng.create ~seed;
+    policy;
+    warned = 0;
+    reset_hooks = [];
+  }
+
+(** Register an initialization action re-run after every {!reset}
+    (and immediately, if [now], the default). *)
+let at_reset ?(now = true) t f =
+  t.reset_hooks <- t.reset_hooks @ [ f ];
+  if now then f ()
+
+let time t = t.time
+let rng t = t.rng
+let set_policy t p = t.policy <- p
+
+let register t ~name ~kind ~dtype =
+  let e =
+    {
+      env = t;
+      name;
+      id = t.n_entries;
+      kind;
+      dtype;
+      fx = 0.0;
+      fl = 0.0;
+      next_fx = 0.0;
+      next_fl = 0.0;
+      staged = false;
+      range_stat = Stats.Running.create ();
+      range_prop = Interval.empty;
+      explicit_range = None;
+      error_inject = None;
+      err = Stats.Err_stats.create ();
+      grid_lsb = None;
+      n_assign = 0;
+      n_access = 0;
+      n_overflow = 0;
+      last_overflow = None;
+    }
+  in
+  t.entries <- e :: t.entries;
+  t.n_entries <- t.n_entries + 1;
+  e
+
+(** Signals in declaration order — the order the paper's tables use. *)
+let signals t = List.rev t.entries
+
+let find t name = List.find_opt (fun e -> String.equal e.name name) t.entries
+
+let find_exn t name =
+  match find t name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Env.find_exn: no signal %S" name)
+
+let record_overflow t e raw =
+  e.n_overflow <- e.n_overflow + 1;
+  e.last_overflow <- Some raw;
+  match t.policy with
+  | Count -> ()
+  | Warn ->
+      if t.warned < 20 then begin
+        t.warned <- t.warned + 1;
+        Log.warn (fun m ->
+            m "overflow on %s at t=%d: %g exceeds %s" e.name t.time raw
+              (match e.dtype with
+              | Some dt -> Fixpt.Dtype.to_string dt
+              | None -> "<float>"))
+      end
+  | Raise -> raise (Overflow { signal = e.name; value = raw; time = t.time })
+
+(** Commit all staged register writes — one clock tick.  Registered
+    signals without a staged write hold their value. *)
+let tick t =
+  List.iter
+    (fun e ->
+      if e.staged then begin
+        e.fx <- e.next_fx;
+        e.fl <- e.next_fl;
+        e.staged <- false
+      end)
+    t.entries;
+  t.time <- t.time + 1
+
+(** Reset dynamic state (values, staging, time) but keep declarations and
+    annotations; [keep_monitors:false] (default) also clears the
+    monitoring statistics.  Used between refinement iterations. *)
+let reset ?(keep_monitors = false) t =
+  List.iter
+    (fun e ->
+      e.fx <- 0.0;
+      e.fl <- 0.0;
+      e.next_fx <- 0.0;
+      e.next_fl <- 0.0;
+      e.staged <- false;
+      if not keep_monitors then begin
+        Stats.Running.reset e.range_stat;
+        e.range_prop <- Interval.empty;
+        Stats.Err_stats.reset e.err;
+        e.grid_lsb <- None;
+        e.n_assign <- 0;
+        e.n_access <- 0;
+        e.n_overflow <- 0;
+        e.last_overflow <- None
+      end)
+    t.entries;
+  t.time <- 0;
+  t.warned <- 0;
+  List.iter (fun f -> f ()) t.reset_hooks

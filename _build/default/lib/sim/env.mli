@@ -1,0 +1,85 @@
+(** Simulation environment: the signal registry and the clock (§2).
+
+    Owns every signal object of a design, the deterministic noise source
+    used by [error()] overruling, the clock that commits registered
+    signals, and the design-wide overflow policy.
+
+    The full mutable state of a signal is the {!entry} record — exposed
+    because {!Signal} (the user-facing operations) lives in a sibling
+    module; treat it as the library-internal state contract and use
+    {!Signal}'s accessors from application code. *)
+
+type kind =
+  | Comb  (** the paper's [sig]: assignment takes effect immediately *)
+  | Registered  (** the paper's [reg]: staged until the next clock tick *)
+
+(** What simulation does when an [Error]-mode type overflows (§2.1). *)
+type overflow_policy =
+  | Count  (** record silently; reports show the count *)
+  | Warn  (** log a warning (first few) and record *)
+  | Raise  (** abort simulation with {!Overflow} *)
+
+exception Overflow of { signal : string; value : float; time : int }
+
+type t
+
+type entry = {
+  env : t;  (** owning environment *)
+  name : string;
+  id : int;
+  kind : kind;
+  mutable dtype : Fixpt.Dtype.t option;  (** [None] = floating-point *)
+  mutable fx : float;  (** committed fixed-point value *)
+  mutable fl : float;  (** committed float reference *)
+  mutable next_fx : float;  (** staged value (registered signals) *)
+  mutable next_fl : float;
+  mutable staged : bool;
+  range_stat : Stats.Running.t;  (** observed ideal values *)
+  mutable range_prop : Interval.t;  (** accumulated propagated range *)
+  mutable explicit_range : Interval.t option;  (** [range()] annotation *)
+  mutable error_inject : float option;  (** [error(h)] annotation *)
+  err : Stats.Err_stats.t;
+  mutable grid_lsb : int option;
+      (** finest LSB position needed to represent the assigned ideal
+          values exactly *)
+  mutable n_assign : int;
+  mutable n_access : int;
+  mutable n_overflow : int;
+  mutable last_overflow : float option;
+}
+
+val create : ?seed:int -> ?policy:overflow_policy -> unit -> t
+val time : t -> int
+val rng : t -> Stats.Rng.t
+val set_policy : t -> overflow_policy -> unit
+
+(** Declare a signal (use {!Signal.create} / {!Signal.create_reg}). *)
+val register : t -> name:string -> kind:kind -> dtype:Fixpt.Dtype.t option -> entry
+
+(** Signals in declaration order — the order the paper's tables use. *)
+val signals : t -> entry list
+
+val find : t -> string -> entry option
+
+(** Raises [Invalid_argument] for an unknown name. *)
+val find_exn : t -> string -> entry
+
+(** Apply the overflow policy to an [Error]-mode overflow event. *)
+val record_overflow : t -> entry -> float -> unit
+
+(** Commit all staged register writes — one clock tick.  Registers
+    without a staged write hold their value. *)
+val tick : t -> unit
+
+(** Register an initialization action re-run after every {!reset} (and
+    immediately, unless [now:false]) — the "constructor initialization"
+    of the paper's listings (coefficient loading etc.). *)
+val at_reset : ?now:bool -> t -> (unit -> unit) -> unit
+
+(** Reset dynamic state (values, staging, time), keep declarations and
+    annotations; clears the monitors too unless [keep_monitors].  Used
+    between refinement iterations. *)
+val reset : ?keep_monitors:bool -> t -> unit
+
+(** Log source for the simulation engine. *)
+val src : Logs.src

@@ -1,0 +1,40 @@
+(** One-call automatic flowgraph extraction (§4.1 "Analytical").
+
+    [graph env ~step ()] executes exactly one clock cycle of [step]
+    under a {!Record} session and returns the extracted
+    {!Sfg.Graph.t}: the design's full dataflow, with registered signals
+    as delays (feedback closed), declared types as quantizers, and
+    [range()] annotations as saturations.
+
+    Call it on a design that has already simulated a few cycles, so
+    register values and coefficient constants are realistic; the extra
+    recorded cycle also lands in the monitors (harmless — it is one more
+    ordinary simulated cycle).
+
+    Registered signals that are read but not written during the recorded
+    cycle (a branch not taken this cycle — e.g. the non-strobed path of
+    an NCO) are sealed as hold registers. *)
+
+let graph env ?(outputs = []) ~step () =
+  let r = Record.start () in
+  Fun.protect ~finally:Record.stop (fun () ->
+      step ();
+      Env.tick env);
+  List.iter
+    (fun d -> Sfg.Graph.seal_delay r.Record.graph d)
+    (Sfg.Graph.pending_ids r.Record.graph);
+  List.iter
+    (fun name ->
+      let s = Env.find_exn env name in
+      match Hashtbl.find_opt r.Record.drivers s.Env.id with
+      | Some node -> Sfg.Graph.mark_output r.Record.graph name node
+      | None -> ())
+    outputs;
+  r.Record.graph
+
+(** Extract and immediately analyze: the ranges of the §4.1 analytical
+    technique, from nothing but the executable description. *)
+let analyze env ?outputs ~step () =
+  let g = graph env ?outputs ~step () in
+  let ranges = Sfg.Range_analysis.run g in
+  (g, ranges)

@@ -1,0 +1,25 @@
+(** One-call automatic flowgraph extraction (§4.1 "Analytical"):
+    execute exactly one clock cycle of [step] under a {!Record} session
+    and return the design's complete dataflow graph — registered signals
+    as delays (feedback closed), declared types as quantizers, [range()]
+    annotations as saturations.
+
+    Limitations (shared with any trace-based extraction): OCaml-level
+    [if]s contribute only the taken branch ({!Ops.select} / {!Ops.sign}
+    record both); loops are unrolled as executed.  Registers read but
+    not written during the recorded cycle are sealed as hold
+    registers. *)
+
+(** [graph env ~step ()] — extract; [outputs] marks signals as graph
+    outputs.  The recorded cycle is an ordinary simulated cycle (it also
+    lands in the monitors) and includes the [Env.tick]. *)
+val graph :
+  Env.t -> ?outputs:string list -> step:(unit -> unit) -> unit -> Sfg.Graph.t
+
+(** Extract and run the analytical range fixpoint. *)
+val analyze :
+  Env.t ->
+  ?outputs:string list ->
+  step:(unit -> unit) ->
+  unit ->
+  Sfg.Graph.t * Sfg.Range_analysis.result

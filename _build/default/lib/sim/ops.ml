@@ -1,0 +1,144 @@
+(** Overloaded operators on simulation values (§2.2, §4, Fig. 2).
+
+    Each arithmetic operator performs three simultaneous computations:
+    the fixed-point arithmetic (on [fx]; quantization happens only at
+    assignment), the floating-point reference (on [fl]) and the range
+    propagation (interval arithmetic on [iv]) — exactly the paper's
+    operator-overloading strategy.  When a {!Record} session is active
+    a fourth effect runs: the operator adds itself to the signal
+    flowgraph being extracted (§4.1 "Analytical").
+
+    Relational operators evaluate on the {e fixed-point} values: "the
+    floating-point simulation is steered by fixed-point control
+    decisions" (§4.2), so both executions take the same paths and the
+    error statistics stay meaningful.
+
+    Intended to be locally opened:
+    {[
+      let open Sim.Ops in
+      c <-- (!!a *: !!b) +: cst 0.5
+    ]} *)
+
+type v = Value.t
+
+let cst = Value.const
+
+let lift2 op_kind ff fi (a : v) (b : v) : v =
+  let r =
+    {
+      Value.fx = ff (Value.fx a) (Value.fx b);
+      fl = ff (Value.fl a) (Value.fl b);
+      iv = fi (Value.iv a) (Value.iv b);
+      node = Value.no_node;
+    }
+  in
+  Record.map_node (fun t -> Record.op t op_kind [ a; b ]) r
+
+let lift1 op_kind ff fi (a : v) : v =
+  let r =
+    {
+      Value.fx = ff (Value.fx a);
+      fl = ff (Value.fl a);
+      iv = fi (Value.iv a);
+      node = Value.no_node;
+    }
+  in
+  Record.map_node (fun t -> Record.op t op_kind [ a ]) r
+
+let ( +: ) = lift2 Sfg.Node.Add ( +. ) Interval.add
+let ( -: ) = lift2 Sfg.Node.Sub ( -. ) Interval.sub
+let ( *: ) = lift2 Sfg.Node.Mul ( *. ) Interval.mul
+let ( /: ) = lift2 Sfg.Node.Div ( /. ) Interval.div
+let ( ~-: ) = lift1 Sfg.Node.Neg (fun x -> -.x) Interval.neg
+let abs = lift1 Sfg.Node.Abs Float.abs Interval.abs
+let min_ = lift2 Sfg.Node.Min Float.min Interval.min_
+let max_ = lift2 Sfg.Node.Max Float.max Interval.max_
+
+(** Multiply by the constant [2^k] — a hardware shift; exact in all three
+    components. *)
+let shift_left (a : v) k : v =
+  let s = 2.0 ** Float.of_int k in
+  lift1 (Sfg.Node.Shift k) (fun x -> x *. s) (fun i -> Interval.shift_left i k) a
+
+let shift_right a k = shift_left a (-k)
+
+(* --- control: fixed-point steered ------------------------------------ *)
+
+let ( <: ) (a : v) (b : v) = Value.fx a < Value.fx b
+let ( >: ) (a : v) (b : v) = Value.fx a > Value.fx b
+let ( <=: ) (a : v) (b : v) = Value.fx a <= Value.fx b
+let ( >=: ) (a : v) (b : v) = Value.fx a >= Value.fx b
+let ( =: ) (a : v) (b : v) = Value.fx a = Value.fx b
+let ( <>: ) (a : v) (b : v) = Value.fx a <> Value.fx b
+
+(** Two-way select steered by a fixed-point decision.  The propagated
+    range is the join of both branches (the static analysis cannot know
+    which branch runs).  Recorded as a [Select] whose condition is the
+    frozen decision — sound for range purposes (both branches join). *)
+let select cond (a : v) (b : v) : v =
+  let chosen = if cond then a else b in
+  let r =
+    {
+      Value.fx = Value.fx chosen;
+      fl = Value.fl chosen;
+      iv = Interval.join (Value.iv a) (Value.iv b);
+      node = Value.no_node;
+    }
+  in
+  Record.map_node
+    (fun t ->
+      Record.op t Sfg.Node.Select
+        [ cst (if cond then 1.0 else 0.0); a; b ])
+    r
+
+(** Sign slicer: ±1 decision on the fixed-point value (the PAM slicer of
+    the motivational example).  Recorded with the data value itself as
+    the select condition, so the extracted graph keeps the dependence. *)
+let sign (a : v) : v =
+  let decision = if Value.fx a >= 0.0 then 1.0 else -1.0 in
+  let r =
+    {
+      Value.fx = decision;
+      fl = decision;
+      iv = Interval.make (-1.0) 1.0;
+      node = Value.no_node;
+    }
+  in
+  Record.map_node
+    (fun t -> Record.op t Sfg.Node.Select [ a; cst 1.0; cst (-1.0) ])
+    r
+
+(** Ablation variant of {!sign}: each execution follows its {e own}
+    decision (fixed on [fx], float on [fl]).  This is exactly what the
+    paper argues against in §4.2 — when the two decisions disagree the
+    difference error jumps by a full decision distance and the error
+    statistics lose their meaning.  The benches quantify that. *)
+let sign_unsteered (a : v) : v =
+  {
+    Value.fx = (if Value.fx a >= 0.0 then 1.0 else -1.0);
+    fl = (if Value.fl a >= 0.0 then 1.0 else -1.0);
+    iv = Interval.make (-1.0) 1.0;
+    node = Value.no_node;
+  }
+
+(* --- signal access ---------------------------------------------------- *)
+
+(** Read a signal. *)
+let ( !! ) = Signal.value
+
+(** Explicit cast of an intermediate value through a type (§2.2's [cast]
+    operator): quantizes [fx], leaves the float reference untouched, and
+    clamps the range if the type saturates. *)
+let cast dt (a : v) : v =
+  let fx = Fixpt.Quantize.cast dt (Value.fx a) in
+  let iv =
+    if Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt) then
+      let lo, hi = Fixpt.Dtype.range dt in
+      Interval.clamp ~into:(Interval.make lo hi) (Value.iv a)
+    else Value.iv a
+  in
+  let r = { Value.fx; fl = Value.fl a; iv; node = Value.no_node } in
+  Record.map_node (fun t -> Record.op t (Sfg.Node.Quantize dt) [ a ]) r
+
+(** Assignment (the paper's overloaded [=]). *)
+let ( <-- ) = Signal.assign

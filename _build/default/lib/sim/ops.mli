@@ -1,0 +1,61 @@
+(** Overloaded operators on simulation values (§2.2, §4, Fig. 2).
+
+    Each arithmetic operator runs the fixed-point computation, the float
+    reference and the range propagation at once — and, during a
+    {!Record} session, adds itself to the flowgraph being extracted.
+    Relational operators evaluate on the {e fixed-point} values (§4.2:
+    control is steered by fixed-point decisions).
+
+    Intended to be locally opened:
+    {[
+      let open Sim.Ops in
+      c <-- (!!a *: !!b) +: cst 0.5
+    ]} *)
+
+type v = Value.t
+
+val cst : float -> v
+val ( +: ) : v -> v -> v
+val ( -: ) : v -> v -> v
+val ( *: ) : v -> v -> v
+val ( /: ) : v -> v -> v
+val ( ~-: ) : v -> v
+val abs : v -> v
+val min_ : v -> v -> v
+val max_ : v -> v -> v
+
+(** Multiply by [2^k] — a hardware shift; exact in all components. *)
+val shift_left : v -> int -> v
+
+val shift_right : v -> int -> v
+
+(** Fixed-point-steered comparisons. *)
+val ( <: ) : v -> v -> bool
+
+val ( >: ) : v -> v -> bool
+val ( <=: ) : v -> v -> bool
+val ( >=: ) : v -> v -> bool
+val ( =: ) : v -> v -> bool
+val ( <>: ) : v -> v -> bool
+
+(** Two-way select steered by a fixed-point decision; the propagated
+    range joins both branches. *)
+val select : bool -> v -> v -> v
+
+(** Sign slicer: ±1 decision on the fixed-point value; the float
+    execution follows the same decision (§4.2). *)
+val sign : v -> v
+
+(** Ablation variant: each execution follows its own decision — the
+    §4.2 anti-pattern, quantified by the benches. *)
+val sign_unsteered : v -> v
+
+(** Read a signal ({!Signal.value}). *)
+val ( !! ) : Signal.t -> v
+
+(** Explicit intermediate cast (§2.2): quantizes [fx], leaves [fl]
+    untouched, clamps the range if the type saturates. *)
+val cast : Fixpt.Dtype.t -> v -> v
+
+(** Assignment (the paper's overloaded [=]). *)
+val ( <-- ) : Signal.t -> v -> unit

@@ -1,0 +1,37 @@
+(** Recording sessions for automatic signal-flowgraph extraction (§4.1
+    "Analytical") — see {!Extract} for the one-call API.
+
+    While a session is active, the overloaded operators ({!Ops}) and the
+    signal read/write paths ({!Signal}) add nodes to [graph]; the
+    [drivers]/[delays] tables map signal ids to the nodes currently
+    representing them. *)
+
+type t = {
+  graph : Sfg.Graph.t;
+  drivers : (int, int) Hashtbl.t;  (** signal id → driving node *)
+  delays : (int, int) Hashtbl.t;  (** signal id → delay node (registers) *)
+  mutable fresh : int;
+}
+
+(** The active session, if any.  At most one session exists at a time. *)
+val current : t option ref
+
+val active : unit -> t option
+
+(** Begin a session (replacing any active one). *)
+val start : unit -> t
+
+val stop : unit -> unit
+
+(** Fresh synthetic node name ["base~k"]. *)
+val synth_name : t -> string -> string
+
+(** Node for an operand value: its provenance if present, else a
+    [Const] of its fixed value. *)
+val operand : t -> Value.t -> int
+
+(** Record a primitive operation over already-recorded operands. *)
+val op : t -> Sfg.Node.op -> Value.t list -> int
+
+(** Apply [f] to tag a value only when a session is active. *)
+val map_node : (t -> int) -> Value.t -> Value.t

@@ -1,0 +1,319 @@
+(** Signal objects — the paper's [sig] and [reg] (§2.1, §2.3).
+
+    A signal is declared either floating-point ([create env name]) or
+    fixed-point ([create env name ~dtype]).  Arithmetic happens on
+    {!Value.t} triples via {!Ops}; this module implements the two
+    monitored end points:
+
+    - {!value} (reading): counts the access and yields the triple
+      [(fx, fl, propagated range)];
+    - {!assign} (writing): performs the quantization cast of §2.2 and
+      feeds all three monitors — statistic range, propagated range, and
+      consumed/produced error statistics (§4).
+
+    The two refinement annotations are {!range} (seed/override for range
+    propagation; also the explosion-breaker for feedback signals) and
+    {!error} (overrule the produced error of a diverging feedback signal
+    with uniform noise, §4.2). *)
+
+type t = Env.entry
+
+let name (t : t) = t.Env.name
+let dtype (t : t) = t.Env.dtype
+let kind (t : t) = t.Env.kind
+
+(** Declare a combinational signal ([sig]).  Floating-point unless
+    [~dtype] is given. *)
+let create env ?dtype name : t = Env.register env ~name ~kind:Env.Comb ~dtype
+
+(** Declare a registered signal ([reg]): writes are committed by
+    [Env.tick]. *)
+let create_reg env ?dtype name : t =
+  Env.register env ~name ~kind:Env.Registered ~dtype
+
+(** Retype a signal (the refinement flow rewrites types between
+    iterations). *)
+let set_dtype (t : t) dt = t.Env.dtype <- Some dt
+
+let clear_dtype (t : t) = t.Env.dtype <- None
+
+(** [range t lo hi] — explicit range annotation.  Reads propagate exactly
+    [[lo, hi]] regardless of what assignments accumulated; this is the
+    §4.1 remedy for feedback-driven MSB explosion. *)
+let range (t : t) lo hi = t.Env.explicit_range <- Some (Interval.make lo hi)
+
+let clear_range (t : t) = t.Env.explicit_range <- None
+
+(** [error t h] — overrule the produced difference error with a uniform
+    random variable in [[-h, h]] (σ = h/√3): breaks float/fixed
+    divergence on sensitive feedback signals (§4.2). *)
+let error (t : t) h =
+  if h < 0.0 then invalid_arg "Signal.error: negative half-width";
+  t.Env.error_inject <- Some h
+
+let clear_error (t : t) = t.Env.error_inject <- None
+
+(* The interval a read propagates (see DESIGN.md §"quasi-analytical"):
+   explicit annotation wins; otherwise the accumulated propagated range,
+   defaulting to the declared type's range and then to the current value;
+   a saturating type clamps the result (hardware saturation bounds the
+   signal). *)
+let read_interval (t : t) =
+  let base =
+    match t.Env.explicit_range with
+    | Some r -> r
+    | None ->
+        let accumulated =
+          if Interval.is_empty t.Env.range_prop then (
+            match t.Env.dtype with
+            | Some dt ->
+                let lo, hi = Fixpt.Dtype.range dt in
+                Interval.make lo hi
+            | None -> Interval.of_point t.Env.fl)
+          else t.Env.range_prop
+        in
+        (* a register read must cover the value it currently holds: the
+           initial contents (and a same-cycle staged write's staleness)
+           are not in the assignment-accumulated range — the exact
+           analogue of the analytical Delay transfer joining its init *)
+        (match t.Env.kind with
+        | Env.Registered ->
+            Interval.observe (Interval.observe accumulated t.Env.fx) t.Env.fl
+        | Env.Comb -> accumulated)
+  in
+  match t.Env.dtype with
+  | Some dt when Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt) ->
+      let lo, hi = Fixpt.Dtype.range dt in
+      Interval.clamp ~into:(Interval.make lo hi) base
+  | _ -> base
+
+(* Recording (§4.1 "Analytical", see {!Record}): the graph node a read
+   of this signal refers to, creating delay/const placeholders on first
+   use.  Reads of a [range()]-annotated signal go through a Saturate
+   node, mirroring {!read_interval}. *)
+let record_read (r : Record.t) (t : t) =
+  match Hashtbl.find_opt r.Record.drivers t.Env.id with
+  | Some n -> n
+  | None ->
+      let g = r.Record.graph in
+      let base =
+        match t.Env.kind with
+        | Env.Registered ->
+            let d = Sfg.Graph.delay g t.Env.name in
+            Hashtbl.replace r.Record.delays t.Env.id d;
+            d
+        | Env.Comb ->
+            (* read before any recorded assignment: a constant loaded at
+               initialization (coefficients) *)
+            Sfg.Graph.const g ~name:t.Env.name t.Env.fx
+      in
+      let wrapped =
+        match t.Env.explicit_range with
+        | Some rr ->
+            Sfg.Graph.fresh g
+              ~name:(t.Env.name ^ ".range")
+              ~op:(Sfg.Node.Saturate rr) ~inputs:[ base ]
+        | None -> base
+      in
+      Hashtbl.replace r.Record.drivers t.Env.id wrapped;
+      wrapped
+
+(** Read the signal as a simulation value (counts as an access). *)
+let value (t : t) : Value.t =
+  t.Env.n_access <- t.Env.n_access + 1;
+  let base =
+    { Value.fx = t.Env.fx; fl = t.Env.fl; iv = read_interval t;
+      node = Value.no_node }
+  in
+  match Record.active () with
+  | None -> base
+  | Some r -> Value.with_node base (record_read r t)
+
+(** Current fixed-point value without monitoring (for probes/tests). *)
+let peek_fx (t : t) = t.Env.fx
+
+let peek_fl (t : t) = t.Env.fl
+
+(* Finest LSB position (exponent of the lowest set mantissa bit) needed
+   to represent [v] exactly; None for 0. *)
+let lsb_of_value v =
+  if v = 0.0 || not (Float.is_finite v) then None
+  else begin
+    let mant, exp = Float.frexp v in
+    (* mant in [0.5, 1): scale it to an odd integer *)
+    let m = ref mant and shifts = ref 0 in
+    while not (Float.is_integer !m) && !shifts < 60 do
+      m := !m *. 2.0;
+      incr shifts
+    done;
+    if Float.is_integer !m then begin
+      (* strip trailing zero bits of the integer mantissa *)
+      let mi = ref (Int64.of_float !m) in
+      while Int64.logand !mi 1L = 0L && not (Int64.equal !mi 0L) do
+        mi := Int64.shift_right_logical !mi 1;
+        decr shifts
+      done;
+      Some (exp - !shifts)
+    end
+    else None (* denormal-level garbage: no finite grid *)
+  end
+
+(* Update the range monitors with the incoming ideal value and interval. *)
+let monitor_range (t : t) (v : Value.t) =
+  Stats.Running.add t.Env.range_stat v.Value.fx;
+  (match lsb_of_value v.Value.fx with
+  | Some p ->
+      t.Env.grid_lsb <-
+        Some
+          (match t.Env.grid_lsb with Some q -> min p q | None -> p)
+  | None -> ());
+  let incoming =
+    match t.Env.dtype with
+    | Some dt when Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt)
+      ->
+        let lo, hi = Fixpt.Dtype.range dt in
+        Interval.clamp ~into:(Interval.make lo hi) v.Value.iv
+    | _ -> v.Value.iv
+  in
+  t.Env.range_prop <- Interval.join t.Env.range_prop incoming
+
+(* Quantize the incoming fixed value through the signal's type, recording
+   overflow events. *)
+let quantize_in (t : t) fx_in =
+  match t.Env.dtype with
+  | None -> fx_in
+  | Some dt ->
+      let out = Fixpt.Quantize.quantize dt fx_in in
+      (match out.Fixpt.Quantize.overflow with
+      | Some ev ->
+          if Fixpt.Overflow_mode.equal (Fixpt.Dtype.overflow dt)
+               Fixpt.Overflow_mode.Error
+          then Env.record_overflow t.Env.env t ev.Fixpt.Quantize.raw
+          else begin
+            t.Env.n_overflow <- t.Env.n_overflow + 1;
+            t.Env.last_overflow <- Some ev.Fixpt.Quantize.raw
+          end
+      | None -> ());
+      out.Fixpt.Quantize.value
+
+(* Recording: an assignment extends the graph with the signal's
+   quantization/saturation pipeline and names the result — comb signals
+   get an Alias node, registered signals a Delay (closing feedback). *)
+let record_assign (r : Record.t) (t : t) (v : Value.t) =
+  let g = r.Record.graph in
+  let src =
+    if Value.node v >= 0 then Value.node v
+    else
+      (* external data entering the design through this signal; its
+         declared range is the annotation, the type range, or — lacking
+         both — the incoming value itself (a literal constant) *)
+      let declared =
+        match t.Env.explicit_range with
+        | Some r -> r
+        | None -> (
+            match t.Env.dtype with
+            | Some dt ->
+                let lo, hi = Fixpt.Dtype.range dt in
+                Interval.make lo hi
+            | None -> Value.iv v)
+      in
+      Sfg.Graph.fresh g
+        ~name:(t.Env.name ^ "_in")
+        ~op:(Sfg.Node.Input declared) ~inputs:[]
+  in
+  let src =
+    match t.Env.dtype with
+    | Some dt -> Sfg.Graph.quantize g ~name:(t.Env.name ^ "_q") dt src
+    | None -> src
+  in
+  let src =
+    match t.Env.explicit_range with
+    | Some rr ->
+        Sfg.Graph.fresh g
+          ~name:(t.Env.name ^ "_sat")
+          ~op:(Sfg.Node.Saturate rr) ~inputs:[ src ]
+    | None -> src
+  in
+  match t.Env.kind with
+  | Env.Comb ->
+      let a = Sfg.Graph.alias g ~name:t.Env.name src in
+      Hashtbl.replace r.Record.drivers t.Env.id a
+  | Env.Registered -> (
+      match Hashtbl.find_opt r.Record.delays t.Env.id with
+      | Some d -> (
+          try Sfg.Graph.connect_delay g d src
+          with Invalid_argument _ ->
+            (* already connected (second write this cycle): keep first *)
+            ())
+      | None ->
+          let d = Sfg.Graph.delay_of g t.Env.name src in
+          Hashtbl.replace r.Record.delays t.Env.id d;
+          Hashtbl.replace r.Record.drivers t.Env.id d)
+
+(** Assign a value to the signal (the paper's overloaded [=]): performs
+    the quantization cast, runs all monitors, and — for registered
+    signals — stages the result until the next [Env.tick]. *)
+let assign (t : t) (v : Value.t) =
+  t.Env.n_assign <- t.Env.n_assign + 1;
+  (match Record.active () with
+  | Some r -> record_assign r t v
+  | None -> ());
+  monitor_range t v;
+  let fx' = quantize_in t v.Value.fx in
+  let fl' =
+    match t.Env.error_inject with
+    | Some h -> fx' +. Stats.Rng.uniform_sym (Env.rng t.Env.env) h
+    | None -> v.Value.fl
+  in
+  Stats.Err_stats.record t.Env.err
+    ~consumed:(v.Value.fl -. v.Value.fx)
+    ~produced:(fl' -. fx');
+  match t.Env.kind with
+  | Env.Comb ->
+      t.Env.fx <- fx';
+      t.Env.fl <- fl'
+  | Env.Registered ->
+      t.Env.next_fx <- fx';
+      t.Env.next_fl <- fl';
+      t.Env.staged <- true
+
+(** Force both simulation values directly (initialization — e.g. loading
+    filter coefficients or setting a register's reset value before the
+    run).  Monitors record the assignment; registered signals commit
+    immediately (initial register contents, no clock involved). *)
+let init (t : t) c =
+  assign t (Value.const c);
+  match t.Env.kind with
+  | Env.Comb -> ()
+  | Env.Registered ->
+      t.Env.fx <- t.Env.next_fx;
+      t.Env.fl <- t.Env.next_fl;
+      t.Env.staged <- false
+
+(* --- report accessors ------------------------------------------------ *)
+
+let accesses (t : t) = t.Env.n_access
+let assignments (t : t) = t.Env.n_assign
+let overflows (t : t) = t.Env.n_overflow
+let stat_range (t : t) = Stats.Running.range t.Env.range_stat
+let prop_range (t : t) = Interval.bounds t.Env.range_prop
+let explicit_range (t : t) = t.Env.explicit_range
+let error_injected (t : t) = t.Env.error_inject
+let err_stats (t : t) = t.Env.err
+let range_stats (t : t) = t.Env.range_stat
+
+(** Finest LSB position needed to represent every assigned value exactly
+    ([None] if only zeros were assigned).  The exact-signal escape hatch
+    of the LSB rules: a slicer output carrying ±1 needs LSB 0, whatever
+    its error statistics say. *)
+let grid_lsb (t : t) = t.Env.grid_lsb
+
+(** The propagated range exploded (infinite or astronomically wide):
+    the §4.1 failure mode requiring [range] or a saturating type. *)
+let exploded (t : t) = Interval.is_exploded t.Env.range_prop
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "%s%s" t.Env.name
+    (match t.Env.dtype with
+    | Some dt -> Fixpt.Dtype.to_string dt
+    | None -> "<float>")

@@ -1,0 +1,55 @@
+(** Simulation values.
+
+    The central trick of the design environment (§4, Fig. 2): every
+    expression carries {e three} parallel computations at once —
+
+    - [fx]: the fixed-point value (held as a float; quantization happens
+      on signal assignment, §2.2);
+    - [fl]: the reference floating-point value, used for error
+      monitoring;
+    - [iv]: the propagated range, used for quasi-analytical MSB
+      estimation.
+
+    The overloaded operators in {!Ops} combine all three components, so
+    one simulation run simultaneously produces the fixed-point behaviour,
+    the float reference, range statistics and error statistics.
+
+    A fourth, normally dormant component is [node]: when a {!Record}
+    session is active (the §4.1 "Analytical" technique — automatic
+    signal-flowgraph extraction), it carries the id of the graph node
+    that produced this value; [no_node] (-1) otherwise. *)
+
+type t = { fx : float; fl : float; iv : Interval.t; node : int }
+
+let no_node = -1
+
+(** A constant known at "design time": all three components agree. *)
+let const c = { fx = c; fl = c; iv = Interval.of_point c; node = no_node }
+
+(** An external stimulus sample: fixed and float agree (the error enters
+    only at the first quantizing assignment); the propagated range is the
+    single point unless the receiving signal declares a wider range. *)
+let of_float = const
+
+(** [with_range v iv] overrides the propagated-range component — how a
+    signal's [range()] annotation enters expressions. *)
+let with_range v iv = { v with iv }
+
+(** [with_node v id] attaches graph provenance (recording sessions). *)
+let with_node v node = { v with node }
+
+let fx t = t.fx
+let fl t = t.fl
+let iv t = t.iv
+let node t = t.node
+
+(** Consumed error ε_c = float reference − fixed value (§4.2). *)
+let error t = t.fl -. t.fx
+
+let zero = const 0.0
+let one = const 1.0
+
+let is_finite t = Float.is_finite t.fx && Float.is_finite t.fl
+
+let pp ppf t =
+  Format.fprintf ppf "{fx=%g; fl=%g; iv=%s}" t.fx t.fl (Interval.to_string t.iv)

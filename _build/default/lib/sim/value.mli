@@ -1,0 +1,36 @@
+(** Simulation values — the central trick of the design environment
+    (§4, Fig. 2): every expression carries the fixed-point value [fx]
+    (quantization happens on assignment), the float reference [fl]
+    (error monitoring), and the propagated range [iv] (quasi-analytical
+    MSB estimation).  A fourth, normally dormant component, [node],
+    carries graph provenance during {!Record} sessions. *)
+
+type t = { fx : float; fl : float; iv : Interval.t; node : int }
+
+(** Sentinel [node] value (-1): no provenance. *)
+val no_node : int
+
+(** A constant known at design time: all components agree. *)
+val const : float -> t
+
+(** An external stimulus sample (alias of {!const}). *)
+val of_float : float -> t
+
+(** Override the propagated-range component. *)
+val with_range : t -> Interval.t -> t
+
+(** Attach graph provenance (recording sessions). *)
+val with_node : t -> int -> t
+
+val fx : t -> float
+val fl : t -> float
+val iv : t -> Interval.t
+val node : t -> int
+
+(** Consumed error ε_c = [fl - fx] (§4.2). *)
+val error : t -> float
+
+val zero : t
+val one : t
+val is_finite : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+(** Value-change-dump (VCD, IEEE 1364) trace writer.
+
+    Dumps the fixed-point values of selected signals as [real] variables
+    (plus, for typed signals, the overflow count), so refinement sessions
+    can be inspected in any waveform viewer — the kind of observability
+    the paper's design environment provides around its simulation
+    engine. *)
+
+type probe = { signal : Signal.t; code : string }
+
+type t = {
+  out : Buffer.t;
+  mutable probes : probe list;
+  mutable header_done : bool;
+  mutable last_time : int;
+}
+
+let create () =
+  { out = Buffer.create 4096; probes = []; header_done = false; last_time = -1 }
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+(** Register a signal to be traced.  Must precede {!start}. *)
+let probe t s =
+  if t.header_done then invalid_arg "Vcd.probe: header already emitted";
+  let code = code_of_index (List.length t.probes) in
+  t.probes <- t.probes @ [ { signal = s; code } ]
+
+let sanitize name =
+  String.map (fun c -> match c with '[' | ']' | ' ' -> '_' | c -> c) name
+
+(** Emit the VCD header.  [~date] is an arbitrary identification string
+    (no wall-clock reads: reproducible output). *)
+let start ?(date = "fixrefine simulation") t =
+  if t.header_done then invalid_arg "Vcd.start: already started";
+  Buffer.add_string t.out (Printf.sprintf "$date %s $end\n" date);
+  Buffer.add_string t.out "$version fixrefine vcd writer $end\n";
+  Buffer.add_string t.out "$timescale 1 ns $end\n";
+  Buffer.add_string t.out "$scope module design $end\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string t.out
+        (Printf.sprintf "$var real 64 %s %s $end\n" p.code
+           (sanitize (Signal.name p.signal))))
+    t.probes;
+  Buffer.add_string t.out "$upscope $end\n$enddefinitions $end\n";
+  t.header_done <- true
+
+(** Record the current value of every probe at simulation time [time]
+    (monotonically increasing). *)
+let sample t ~time =
+  if not t.header_done then invalid_arg "Vcd.sample: call start first";
+  if time <= t.last_time then ()
+  else begin
+    Buffer.add_string t.out (Printf.sprintf "#%d\n" time);
+    List.iter
+      (fun p ->
+        Buffer.add_string t.out
+          (Printf.sprintf "r%.17g %s\n" (Signal.peek_fx p.signal) p.code))
+      t.probes;
+    t.last_time <- time
+  end
+
+let contents t = Buffer.contents t.out
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (contents t))

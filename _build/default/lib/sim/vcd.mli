@@ -1,0 +1,21 @@
+(** Value-change-dump (VCD, IEEE 1364) trace writer: dumps the
+    fixed-point values of selected signals as [real] variables, for any
+    waveform viewer. *)
+
+type t
+
+val create : unit -> t
+
+(** Register a signal to trace; must precede {!start}. *)
+val probe : t -> Signal.t -> unit
+
+(** Emit the header.  [date] is an identification string (no wall-clock
+    reads: output is reproducible). *)
+val start : ?date:string -> t -> unit
+
+(** Record the current probe values at [time] (monotonically increasing;
+    stale times are ignored). *)
+val sample : t -> time:int -> unit
+
+val contents : t -> string
+val write_file : t -> string -> unit

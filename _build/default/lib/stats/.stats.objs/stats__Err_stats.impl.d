@@ -1,0 +1,1 @@
+lib/stats/err_stats.ml: Float Format Running

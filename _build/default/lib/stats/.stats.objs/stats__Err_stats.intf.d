@@ -1,0 +1,1 @@
+lib/stats/err_stats.mli: Format Running

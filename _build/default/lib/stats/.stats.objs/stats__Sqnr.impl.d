@@ -1,0 +1,1 @@
+lib/stats/sqnr.ml: Array Float Format

@@ -1,0 +1,71 @@
+(** Consumed/produced difference-error statistics for one signal.
+
+    The paper's error monitoring (§4.2, Fig. 3) runs fixed-point and
+    floating-point computations side by side and, at every assignment to
+    a signal, records two errors:
+
+    - the {e consumed} error ε_c: difference between the float reference
+      and the fixed operand value arriving at the assignment (the error
+      the expression inherited from its inputs);
+    - the {e produced} error ε_p: difference after the destination type's
+      quantization was applied (what downstream consumers will see).
+
+    For each, the mean μ, standard deviation σ and maximum absolute error
+    m̂ are kept.  The LSB refinement rules (§5.2) read σ(ε_p) to place the
+    LSB, and compare consumed vs produced precision to flag precision
+    loss ([p_p > p_c] is expected at a quantizer; [p_p < p_c] on an
+    [error()]-overruled feedback signal flags loop instability). *)
+
+type t = { consumed : Running.t; produced : Running.t }
+
+let create () = { consumed = Running.create (); produced = Running.create () }
+
+let reset t =
+  Running.reset t.consumed;
+  Running.reset t.produced
+
+(** [record t ~consumed ~produced] logs one assignment's errors. *)
+let record t ~consumed ~produced =
+  Running.add t.consumed consumed;
+  Running.add t.produced produced
+
+let consumed t = t.consumed
+let produced t = t.produced
+let count t = Running.count t.produced
+
+(** Precision of an error population, expressed as the LSB position [p]
+    such that the step [2^p] matches [k * sigma]; [None] when the error
+    is identically zero (floating-point signal: infinite precision). *)
+let precision_of ?(k = 1.0) run =
+  let sigma = Running.stddev run in
+  let m = Running.max_abs run in
+  if sigma = 0.0 && m = 0.0 then None
+  else
+    let s = if sigma > 0.0 then sigma else m in
+    Some (Float.to_int (Float.floor (Float.log2 (k *. s))))
+
+let consumed_precision ?k t = precision_of ?k t.consumed
+let produced_precision ?k t = precision_of ?k t.produced
+
+(** Verdict of the consumed-vs-produced comparison (§5.2). *)
+type loss =
+  | No_loss  (** ε_p ≈ ε_c: the assignment adds no quantization noise *)
+  | Quantization_loss  (** ε_p > ε_c: precision intentionally dropped here *)
+  | Feedback_gain  (** ε_p < ε_c: error shrank — on an [error()]-overruled
+                       loop this means the injected model under-estimates
+                       the real loop error (instability risk) *)
+
+let loss_verdict ?(tolerance = 1.25) t =
+  let sc = Running.stddev t.consumed and sp = Running.stddev t.produced in
+  if sp > sc *. tolerance then Quantization_loss
+  else if sc > sp *. tolerance then Feedback_gain
+  else No_loss
+
+let loss_to_string = function
+  | No_loss -> "none"
+  | Quantization_loss -> "quantization"
+  | Feedback_gain -> "feedback-gain"
+
+let pp ppf t =
+  Format.fprintf ppf "consumed: %a@ produced: %a" Running.pp t.consumed
+    Running.pp t.produced

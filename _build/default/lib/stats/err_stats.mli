@@ -1,0 +1,36 @@
+(** Consumed/produced difference-error statistics for one signal
+    (§4.2, Fig. 3): at every assignment, the error the expression
+    inherited from its operands (ε_c) and the error after the
+    destination's quantization (ε_p).  The LSB rules read σ(ε_p); the
+    consumed-vs-produced comparison flags precision loss. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Log one assignment's errors. *)
+val record : t -> consumed:float -> produced:float -> unit
+
+val consumed : t -> Running.t
+val produced : t -> Running.t
+val count : t -> int
+
+(** LSB position matching [k·σ] of an error population; [None] when the
+    error is identically zero (infinite precision). *)
+val precision_of : ?k:float -> Running.t -> int option
+
+val consumed_precision : ?k:float -> t -> int option
+val produced_precision : ?k:float -> t -> int option
+
+(** Verdict of the §5.2 consumed-vs-produced comparison. *)
+type loss =
+  | No_loss
+  | Quantization_loss  (** ε_p > ε_c: precision dropped here *)
+  | Feedback_gain
+      (** ε_p < ε_c — on an [error()]-overruled loop this means the
+          injected model under-estimates the real loop error *)
+
+val loss_verdict : ?tolerance:float -> t -> loss
+val loss_to_string : loss -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(** Fixed-bin histogram over a float range.
+
+    Used by the refinement reports to show how much of a signal's
+    dynamic range is actually exercised (the "guard range" question for
+    saturated signals, §5.1) and by tests to check error distributions
+    against the uniform quantization-noise model. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable below : int;  (** samples under [lo] *)
+  mutable above : int;  (** samples over [hi] *)
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  { lo; hi; bins = Array.make bins 0; below = 0; above = 0; total = 0 }
+
+let n_bins t = Array.length t.bins
+
+let bin_index t v =
+  let w = (t.hi -. t.lo) /. Float.of_int (n_bins t) in
+  let i = Float.to_int (Float.floor ((v -. t.lo) /. w)) in
+  if i < 0 then -1 else if i >= n_bins t then n_bins t else i
+
+let add t v =
+  if not (Float.is_nan v) then begin
+    t.total <- t.total + 1;
+    if v < t.lo then t.below <- t.below + 1
+    else if v >= t.hi then
+      if v = t.hi then t.bins.(n_bins t - 1) <- t.bins.(n_bins t - 1) + 1
+      else t.above <- t.above + 1
+    else
+      let i = bin_index t v in
+      t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let total t = t.total
+let below t = t.below
+let above t = t.above
+let counts t = Array.copy t.bins
+
+(** Fraction of samples that fell outside [[lo, hi)]. *)
+let outlier_fraction t =
+  if t.total = 0 then 0.0
+  else Float.of_int (t.below + t.above) /. Float.of_int t.total
+
+(** Smallest central sub-range [[a, b]] (aligned to bin edges) containing
+    at least [coverage] of the in-range samples — an empirical guard
+    range for a saturating implementation. *)
+let coverage_range t ~coverage =
+  if coverage <= 0.0 || coverage > 1.0 then
+    invalid_arg "Histogram.coverage_range: coverage must be in (0, 1]";
+  let inside = t.total - t.below - t.above in
+  if inside = 0 then None
+  else begin
+    let needed = Float.to_int (Float.ceil (coverage *. Float.of_int inside)) in
+    let n = n_bins t in
+    let w = (t.hi -. t.lo) /. Float.of_int n in
+    (* shrink symmetrically from the outside in *)
+    let lo_i = ref 0 and hi_i = ref (n - 1) in
+    let current = ref inside in
+    let continue = ref true in
+    while !continue && !lo_i < !hi_i do
+      let drop_lo = t.bins.(!lo_i) and drop_hi = t.bins.(!hi_i) in
+      let candidate = !current - min drop_lo drop_hi in
+      if candidate < needed then continue := false
+      else if drop_lo <= drop_hi then begin
+        current := !current - drop_lo;
+        incr lo_i
+      end
+      else begin
+        current := !current - drop_hi;
+        decr hi_i
+      end
+    done;
+    Some (t.lo +. (Float.of_int !lo_i *. w), t.lo +. (Float.of_int (!hi_i + 1) *. w))
+  end
+
+(** Chi-square statistic against a uniform distribution over the bins —
+    property tests use this to sanity-check rounding-error flatness. *)
+let chi_square_uniform t =
+  let inside = t.total - t.below - t.above in
+  if inside = 0 then 0.0
+  else
+    let expected = Float.of_int inside /. Float.of_int (n_bins t) in
+    Array.fold_left
+      (fun acc c ->
+        let d = Float.of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 t.bins
+
+let pp ppf t =
+  Format.fprintf ppf "hist[%g,%g) n=%d below=%d above=%d" t.lo t.hi t.total
+    t.below t.above

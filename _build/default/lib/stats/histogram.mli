@@ -1,0 +1,33 @@
+(** Fixed-bin histogram over a float range — used for guard-range
+    questions on saturated signals (§5.1) and distribution checks in
+    tests. *)
+
+type t
+
+(** Raises [Invalid_argument] unless [bins >= 1] and [lo < hi]. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+val n_bins : t -> int
+
+(** NaN ignored; values below [lo] / at-or-above [hi] are counted as
+    outliers (exactly [hi] lands in the last bin). *)
+val add : t -> float -> unit
+
+val total : t -> int
+val below : t -> int
+val above : t -> int
+val counts : t -> int array
+
+(** Fraction of samples outside [[lo, hi)]. *)
+val outlier_fraction : t -> float
+
+(** Smallest central bin-aligned sub-range holding at least [coverage]
+    of the in-range samples — an empirical guard range.  [None] when no
+    in-range samples; raises [Invalid_argument] for
+    [coverage ∉ (0, 1]]. *)
+val coverage_range : t -> coverage:float -> (float * float) option
+
+(** Chi-square statistic against a uniform bin distribution. *)
+val chi_square_uniform : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All stimuli in the library come from explicit generator states so
+    experiments are exactly reproducible run-to-run. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** Independent child stream. *)
+val split : t -> t
+
+(** Uniform in [[0, 1)] (top 53 bits). *)
+val float : t -> float
+
+(** Uniform in [[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Uniform in [[-h, h]] — the paper's [error(h)] injection model
+    (σ = h/√3). *)
+val uniform_sym : t -> float -> float
+
+(** Uniform integer in [[0, n)]; raises [Invalid_argument] if [n <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Box–Muller standard-normal generator state. *)
+type gauss_state
+
+val gauss_state : t -> gauss_state
+val gauss : gauss_state -> float
+val gauss_ms : gauss_state -> mean:float -> sigma:float -> float
+
+(** ±1 symbol (binary PAM). *)
+val pam2 : t -> float
+
+(** PAM-M symbol from [±1/(m-1) … ±1]; [m] even, [>= 2]. *)
+val pam : t -> m:int -> float

@@ -1,0 +1,100 @@
+(** Running (streaming) statistics.
+
+    Welford's online algorithm for mean/variance plus min/max and maximum
+    absolute value, in O(1) memory per monitored signal.  This is what
+    makes the paper's single-run monitoring practical: "the error
+    difference statistics are effectively gathered for each signal in the
+    system (no need for huge signal databases)" (§4.2). *)
+
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;  (** sum of squared deviations from the mean *)
+  mutable min : float;
+  mutable max : float;
+  mutable max_abs : float;
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+    max_abs = 0.0;
+  }
+
+let reset t =
+  t.count <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.min <- Float.infinity;
+  t.max <- Float.neg_infinity;
+  t.max_abs <- 0.0
+
+let copy t =
+  { count = t.count; mean = t.mean; m2 = t.m2; min = t.min; max = t.max;
+    max_abs = t.max_abs }
+
+let add t v =
+  if not (Float.is_nan v) then begin
+    t.count <- t.count + 1;
+    let delta = v -. t.mean in
+    t.mean <- t.mean +. (delta /. Float.of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (v -. t.mean));
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v;
+    let a = Float.abs v in
+    if a > t.max_abs then t.max_abs <- a
+  end
+
+let count t = t.count
+let is_empty t = t.count = 0
+let mean t = if t.count = 0 then 0.0 else t.mean
+let min_value t = t.min
+let max_value t = t.max
+let max_abs t = t.max_abs
+
+(** Population variance (the quantization-noise convention: the observed
+    samples *are* the population of errors produced by this run). *)
+let variance t = if t.count = 0 then 0.0 else t.m2 /. Float.of_int t.count
+
+let stddev t = sqrt (variance t)
+
+(** Sample variance (n-1 denominator) for confidence-style uses. *)
+let sample_variance t =
+  if t.count < 2 then 0.0 else t.m2 /. Float.of_int (t.count - 1)
+
+(** Merge two summaries (Chan's parallel update). *)
+let merge a b =
+  if a.count = 0 then copy b
+  else if b.count = 0 then copy a
+  else begin
+    let n = a.count + b.count in
+    let delta = b.mean -. a.mean in
+    let nf = Float.of_int n in
+    let mean = a.mean +. (delta *. Float.of_int b.count /. nf) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. Float.of_int a.count *. Float.of_int b.count /. nf)
+    in
+    {
+      count = n;
+      mean;
+      m2;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      max_abs = Float.max a.max_abs b.max_abs;
+    }
+  end
+
+(** Observed range as an interval-style pair; [None] when nothing was
+    recorded. *)
+let range t = if t.count = 0 then None else Some (t.min, t.max)
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(no samples)"
+  else
+    Format.fprintf ppf "n=%d min=%.4g max=%.4g mu=%.4g sigma=%.4g m^=%.4g"
+      t.count t.min t.max (mean t) (stddev t) t.max_abs

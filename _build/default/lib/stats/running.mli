@@ -1,0 +1,41 @@
+(** Running (streaming) statistics — Welford's online mean/variance plus
+    min/max and max-|·|, in O(1) memory per monitored signal.  This is
+    what makes the paper's single-run monitoring practical (§4.2: "no
+    need for huge signal databases"). *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+(** NaN samples are ignored. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+
+(** [+∞] when empty. *)
+val min_value : t -> float
+
+(** [-∞] when empty. *)
+val max_value : t -> float
+
+val max_abs : t -> float
+
+(** Population variance (the quantization-noise convention). *)
+val variance : t -> float
+
+val stddev : t -> float
+
+(** Sample variance (n−1 denominator). *)
+val sample_variance : t -> float
+
+(** Chan's parallel combination. *)
+val merge : t -> t -> t
+
+(** Observed [(min, max)]; [None] when empty. *)
+val range : t -> (float * float) option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/vhdl/emit.ml: Ast Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/vhdl/of_sfg.ml: Ast Fixpt Float List Printf Sfg String

@@ -1,0 +1,1 @@
+lib/vhdl/of_sfg.mli: Ast Fixpt Sfg

@@ -1,0 +1,1 @@
+lib/vhdl/testbench.ml: Ast Buffer Fixpt Float Fun List Of_sfg Printf String

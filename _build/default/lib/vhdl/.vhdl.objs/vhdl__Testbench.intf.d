@@ -1,0 +1,1 @@
+lib/vhdl/testbench.mli: Ast Fixpt Of_sfg

@@ -1,0 +1,61 @@
+(** A small VHDL abstract syntax, sufficient for the fixed-point
+    datapaths this library generates.
+
+    The design environment's back end (§2: "a code generator enables
+    translation of the cycle true C description to synthesizable VHDL")
+    is reproduced for the refined designs: every signal becomes a
+    [signed] vector of its decided wordlength, combinational nodes
+    become concurrent assignments, delays become a clocked process, and
+    the MSB/LSB modes become saturation/rounding logic. *)
+
+type expr =
+  | Id of string
+  | Int_lit of int
+  | Slv_lit of string  (** bit-string literal, e.g. ["0101"] *)
+  | Binop of string * expr * expr  (** infix: [+], [-], [*], [&] … *)
+  | Unop of string * expr
+  | Call of string * expr list  (** function call: [resize(x, 8)] *)
+  | Index of expr * int
+  | Slice of expr * int * int  (** [x(hi downto lo)] *)
+  | Paren of expr
+  | When of expr * expr * expr  (** conditional expression: a when c else b *)
+
+type signal_decl = {
+  sig_name : string;
+  width : int;
+  comment : string option;  (** e.g. the fixed-point format *)
+}
+
+type stmt =
+  | Assign of string * expr  (** concurrent [<=] *)
+  | Comment of string
+
+type port_dir = In | Out
+
+type port = { port_name : string; dir : port_dir; port_width : int }
+
+type clocked_process = {
+  label : string;
+  clock : string;
+  reset : string option;
+  assigns : (string * expr) list;  (** registered target <= expr *)
+}
+
+type entity = {
+  entity_name : string;
+  ports : port list;
+  signals : signal_decl list;
+  body : stmt list;
+  processes : clocked_process list;
+}
+
+(* --- convenience constructors ----------------------------------------- *)
+
+let id s = Id s
+let ( +^ ) a b = Binop ("+", a, b)
+let ( -^ ) a b = Binop ("-", a, b)
+let ( *^ ) a b = Binop ("*", a, b)
+let resize e w = Call ("resize", [ e; Int_lit w ])
+let shift_left_e e k = Call ("shift_left", [ e; Int_lit k ])
+let shift_right_e e k = Call ("shift_right", [ e; Int_lit k ])
+let abs_e e = Call ("abs", [ e ])

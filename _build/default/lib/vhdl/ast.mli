@@ -1,0 +1,54 @@
+(** A small VHDL abstract syntax, sufficient for the fixed-point
+    datapaths this library generates (§2's back end: signals become
+    [signed] vectors, delays a clocked process, MSB/LSB modes become
+    saturation/rounding logic). *)
+
+type expr =
+  | Id of string
+  | Int_lit of int
+  | Slv_lit of string  (** bit-string literal *)
+  | Binop of string * expr * expr
+  | Unop of string * expr
+  | Call of string * expr list
+  | Index of expr * int
+  | Slice of expr * int * int  (** [x(hi downto lo)] *)
+  | Paren of expr
+  | When of expr * expr * expr  (** [a when c else b] *)
+
+type signal_decl = {
+  sig_name : string;
+  width : int;
+  comment : string option;  (** e.g. the fixed-point format *)
+}
+
+type stmt = Assign of string * expr  (** concurrent [<=] *) | Comment of string
+
+type port_dir = In | Out
+
+type port = { port_name : string; dir : port_dir; port_width : int }
+
+type clocked_process = {
+  label : string;
+  clock : string;
+  reset : string option;
+  assigns : (string * expr) list;
+}
+
+type entity = {
+  entity_name : string;
+  ports : port list;
+  signals : signal_decl list;
+  body : stmt list;
+  processes : clocked_process list;
+}
+
+(* convenience constructors *)
+
+val id : string -> expr
+val ( +^ ) : expr -> expr -> expr
+val ( -^ ) : expr -> expr -> expr
+val ( *^ ) : expr -> expr -> expr
+val resize : expr -> int -> expr
+val shift_left_e : expr -> int -> expr
+val shift_right_e : expr -> int -> expr
+val abs_e : expr -> expr

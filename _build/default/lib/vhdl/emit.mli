@@ -1,0 +1,8 @@
+(** VHDL-93 pretty printer: one self-contained design file per entity
+    (IEEE numeric_std, entity/architecture, format-annotated signal
+    declarations, concurrent datapath, clocked register process, and the
+    [sat] helper function). *)
+
+val expr : Ast.expr -> string
+val entity : Ast.entity -> string
+val write_file : Ast.entity -> string -> unit

@@ -1,0 +1,1 @@
+test/test_cic_cordic.ml: Alcotest Array Dsp Fixpt Fixrefine Float List Printf Sim Stats

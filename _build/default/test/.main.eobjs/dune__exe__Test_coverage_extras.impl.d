@@ -1,0 +1,1 @@
+test/test_coverage_extras.ml: Alcotest Dsp Filename Fixpt Fixrefine Float Interval List Option Refine Sfg Sim Stats String Sys Vhdl

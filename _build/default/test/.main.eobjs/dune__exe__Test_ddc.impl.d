@@ -1,0 +1,1 @@
+test/test_ddc.ml: Alcotest Array Dsp Fixpt Fixrefine Float List Printf Refine Sim Stats String

@@ -1,0 +1,1 @@
+test/test_dsp_blocks.ml: Alcotest Array Dsp Fixrefine Float Interval List Printf Refine Sfg Sim Stats

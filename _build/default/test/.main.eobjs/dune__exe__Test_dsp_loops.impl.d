@@ -1,0 +1,1 @@
+test/test_dsp_loops.ml: Alcotest Array Dsp Fixpt Fixrefine Float Interval List Printf Refine Result Sfg Sim Stats

@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Dsp Fixpt Fixrefine Interval List Printf Result Sfg Sim Stats String

@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Dsp Fixrefine Float Fun List Printf QCheck2 QCheck_alcotest Refine Sim Stats

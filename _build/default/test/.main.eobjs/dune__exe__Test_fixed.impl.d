@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Dtype Fixed Fixrefine Fun Int64 List Overflow_mode QCheck2 QCheck_alcotest Qformat Quantize Sign_mode

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Dsp Fixpt Fixrefine List Refine Sfg Sim Stats

@@ -1,0 +1,1 @@
+test/test_goertzel_agc.ml: Alcotest Array Dsp Fixpt Fixrefine Float List Printf Refine Sim Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dsp Fixpt Fixrefine Float List Refine Sim Stats String Vhdl

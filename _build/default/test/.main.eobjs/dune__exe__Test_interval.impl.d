@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fixrefine Float Interval QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lms_fir.ml: Alcotest Array Dsp Fixpt Fixrefine Float Printf Sim Stats

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dsp Fixpt Fixrefine Float Format Interval List Printf Refine Sim Stats String

@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Fixrefine Format List Overflow_mode Round_mode Sign_mode

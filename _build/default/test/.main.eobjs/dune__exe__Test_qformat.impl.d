@@ -1,0 +1,1 @@
+test/test_qformat.ml: Alcotest Fixrefine Float Option QCheck2 QCheck_alcotest Qformat Sign_mode

@@ -1,0 +1,1 @@
+test/test_quantize.ml: Alcotest Dtype Fixrefine Float Overflow_mode QCheck2 QCheck_alcotest Qformat Quantize Round_mode Sign_mode

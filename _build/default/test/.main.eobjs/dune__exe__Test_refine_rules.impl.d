@@ -1,0 +1,1 @@
+test/test_refine_rules.ml: Alcotest Fixpt Fixrefine Float Format Interval List Option Refine Sim Stats String

@@ -1,0 +1,1 @@
+test/test_sfg.ml: Alcotest Array Fixpt Fixrefine Float Interval List Printf QCheck2 QCheck_alcotest Result Sfg Stats String

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Fixpt Fixrefine Interval List Sim Stats

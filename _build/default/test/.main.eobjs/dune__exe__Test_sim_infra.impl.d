@@ -1,0 +1,1 @@
+test/test_sim_infra.ml: Alcotest Fixpt Fixrefine Float Sim String

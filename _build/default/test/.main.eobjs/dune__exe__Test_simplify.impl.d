@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Dsp Fixrefine Interval List Printf QCheck2 QCheck_alcotest Result Sfg Sim Stats

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Fixpt Fixrefine Interval List Printf QCheck2 QCheck_alcotest Refine Sfg Sim Stats

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Err_stats Fixpt Fixrefine Float Hashtbl Histogram List QCheck2 QCheck_alcotest Rng Running Sqnr

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Alcotest Array Dsp Fixpt Fixrefine Float List Printf Sim Stats String Vhdl

@@ -1,0 +1,1 @@
+test/test_value_ops.ml: Alcotest Fixpt Fixrefine Float Interval QCheck2 QCheck_alcotest Sim

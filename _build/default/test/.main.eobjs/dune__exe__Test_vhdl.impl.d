@@ -1,0 +1,1 @@
+test/test_vhdl.ml: Alcotest Dsp Fixpt Fixrefine Sfg String Vhdl

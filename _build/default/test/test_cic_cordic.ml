@@ -1,0 +1,174 @@
+(* Tests: Dsp.Cic (wrap-around arithmetic) and Cordic vectoring mode. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t eps = Alcotest.float eps
+
+(* --- CIC ---------------------------------------------------------------- *)
+
+let run_cic ?(order = 3) ?(rate = 4) ?dtype input =
+  let env = Sim.Env.create () in
+  let cic = Dsp.Cic.create env ~order ~rate () in
+  (match dtype with
+  | Some dt ->
+      List.iter (fun s -> Sim.Signal.set_dtype s dt) (Dsp.Cic.integrators cic)
+  | None -> ());
+  let outs = ref [] in
+  Array.iter
+    (fun x ->
+      (match Dsp.Cic.step cic (cst x) with
+      | Some v -> outs := Sim.Value.fx v :: !outs
+      | None -> ());
+      Sim.Env.tick env)
+    input;
+  (env, cic, Array.of_list (List.rev !outs))
+
+let test_cic_matches_reference () =
+  let rng = Stats.Rng.create ~seed:3 in
+  let input = Array.init 64 (fun _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let expected = Dsp.Cic.reference ~order:3 ~rate:4 input in
+  let _, _, outs = run_cic input in
+  check Alcotest.int "output count" (Array.length expected) (Array.length outs);
+  Array.iteri
+    (fun i v -> check (float_t 1e-9) (Printf.sprintf "out %d" i) expected.(i) v)
+    outs
+
+let test_cic_dc_gain () =
+  let cic_gain = Dsp.Cic.gain in
+  let env = Sim.Env.create () in
+  let c = Dsp.Cic.create env ~order:3 ~rate:4 () in
+  check (float_t 1e-9) "R^N" 64.0 (cic_gain c);
+  let input = Array.make 200 1.0 in
+  let _, _, outs = run_cic ~order:3 ~rate:4 input in
+  (* steady state reaches the DC gain *)
+  check (float_t 1e-9) "steady state" 64.0 outs.(Array.length outs - 1)
+
+let test_cic_hogenauer_bits () =
+  let env = Sim.Env.create () in
+  let c = Dsp.Cic.create env ~order:3 ~rate:4 () in
+  (* 3·log2(4) + 8 = 14 *)
+  check Alcotest.int "width" 14 (Dsp.Cic.hogenauer_bits c ~input_bits:8)
+
+let test_cic_wraparound_exact () =
+  (* integrators in wrap mode at the Hogenauer width: outputs remain
+     exact even though every integrator overflows repeatedly *)
+  let order = 2 and rate = 4 in
+  let input_bits = 6 in
+  let rng = Stats.Rng.create ~seed:9 in
+  let in_dt = Fixpt.Dtype.make "in" ~n:input_bits ~f:(input_bits - 2) () in
+  let input =
+    Array.init 400 (fun _ ->
+        Fixpt.Quantize.cast in_dt (Stats.Rng.uniform rng ~lo:0.0 ~hi:0.9))
+  in
+  let env = Sim.Env.create () in
+  let cic = Dsp.Cic.create env ~order ~rate () in
+  let bits = Dsp.Cic.hogenauer_bits cic ~input_bits in
+  let reg_dt =
+    Fixpt.Dtype.make "reg" ~n:bits ~f:(input_bits - 2)
+      ~overflow:Fixpt.Overflow_mode.Wrap ~round:Fixpt.Round_mode.Floor ()
+  in
+  List.iter (fun s -> Sim.Signal.set_dtype s reg_dt) (Dsp.Cic.integrators cic);
+  let outs = ref [] in
+  Array.iter
+    (fun x ->
+      (match Dsp.Cic.step cic (cst x) with
+      | Some v -> outs := Sim.Value.fx v :: !outs
+      | None -> ());
+      Sim.Env.tick env)
+    input;
+  let outs = Array.of_list (List.rev !outs) in
+  let expected = Dsp.Cic.reference ~order ~rate input in
+  (* integrators overflowed (wrapped) many times... *)
+  let wrapped =
+    List.fold_left (fun a s -> a + Sim.Signal.overflows s) 0
+      (Dsp.Cic.integrators cic)
+  in
+  check bool_t "integrators wrapped" true (wrapped > 0);
+  (* ...and yet the comb outputs are bit-exact: wrap at sufficient width
+     — never saturate a CIC integrator (comparing the combed output
+     modulo the register span) *)
+  let span =
+    2.0 ** Float.of_int bits *. Fixpt.Dtype.step reg_dt
+  in
+  Array.iteri
+    (fun i v ->
+      let diff = Float.rem (expected.(i) -. v) span in
+      let diff = if diff > span /. 2.0 then diff -. span else diff in
+      let diff = if diff < -.span /. 2.0 then diff +. span else diff in
+      check (float_t 1e-9) (Printf.sprintf "exact out %d" i) 0.0 diff)
+    outs
+
+let test_cic_integrator_range_explodes () =
+  (* the refinement's view of an untyped CIC: integrator statistic range
+     grows with the run and propagation explodes — the one structure
+     where the right designer answer is wrap, not saturation *)
+  let input = Array.make 400 0.5 in
+  let env, cic, _ = run_cic ~order:2 input in
+  ignore env;
+  List.iter
+    (fun s ->
+      check bool_t
+        (Sim.Signal.name s ^ " prop unbounded or huge")
+        true
+        (match Sim.Signal.prop_range s with
+        | Some (_, hi) -> hi > 10.0
+        | None -> false))
+    (Dsp.Cic.integrators cic)
+
+(* --- Cordic vectoring ----------------------------------------------------- *)
+
+let test_vectorize_magnitude_angle () =
+  let env = Sim.Env.create () in
+  let iters = 16 in
+  let c = Dsp.Cordic.create env ~iters () in
+  List.iter
+    (fun (x, y) ->
+      let mag, ang = Dsp.Cordic.vectorize c ~x:(cst x) ~y:(cst y) in
+      let rmag, rang = Dsp.Cordic.vectorize_reference ~iters ~x ~y in
+      check (float_t 1e-3) "magnitude" rmag (Sim.Value.fx mag);
+      check (float_t 1e-3) "angle" rang (Sim.Value.fx ang);
+      Sim.Env.tick env)
+    [ (1.0, 0.0); (0.5, 0.5); (0.8, -0.6); (0.3, 0.95) ]
+
+let test_vectorize_drives_y_to_zero () =
+  let env = Sim.Env.create () in
+  let iters = 14 in
+  let c = Dsp.Cordic.create env ~iters () in
+  let _ = Dsp.Cordic.vectorize c ~x:(cst 0.7) ~y:(cst 0.4) in
+  let _, ylast, _ = Dsp.Cordic.stage_signals c iters in
+  check bool_t "y residual small" true
+    (Float.abs (Sim.Signal.peek_fx ylast) < 1e-3)
+
+let test_vectorize_rotation_roundtrip () =
+  (* vectorize then rotate back by -angle recovers (K²·mag, 0) *)
+  let env = Sim.Env.create () in
+  let iters = 20 in
+  let c = Dsp.Cordic.create env ~iters () in
+  let x = 0.6 and y = -0.35 in
+  let mag, ang = Dsp.Cordic.vectorize c ~x:(cst x) ~y:(cst y) in
+  Sim.Env.tick env;
+  let c2 = Dsp.Cordic.create env ~prefix:"cor2_" ~iters () in
+  let xr, yr = Dsp.Cordic.rotate c2 ~x:mag ~y:(cst 0.0) ~z:ang in
+  let k = Dsp.Cordic.gain iters in
+  check (float_t 1e-3) "x recovered" (k *. k *. x) (Sim.Value.fx xr);
+  check (float_t 1e-3) "y recovered" (k *. k *. y) (Sim.Value.fx yr)
+
+let suite =
+  ( "cic-cordic",
+    [
+      Alcotest.test_case "cic vs reference" `Quick test_cic_matches_reference;
+      Alcotest.test_case "cic dc gain" `Quick test_cic_dc_gain;
+      Alcotest.test_case "cic hogenauer bits" `Quick test_cic_hogenauer_bits;
+      Alcotest.test_case "cic wraparound exact" `Quick
+        test_cic_wraparound_exact;
+      Alcotest.test_case "cic integrator ranges" `Quick
+        test_cic_integrator_range_explodes;
+      Alcotest.test_case "vectorize mag/angle" `Quick
+        test_vectorize_magnitude_angle;
+      Alcotest.test_case "vectorize y->0" `Quick test_vectorize_drives_y_to_zero;
+      Alcotest.test_case "vectorize roundtrip" `Quick
+        test_vectorize_rotation_roundtrip;
+    ] )

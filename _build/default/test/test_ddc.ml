@@ -1,0 +1,141 @@
+(* Tests: Dsp.Ddc — the composed down-converter subsystem. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let run_ddc ?(fcw = 0.15625 (* 5/32, exact in binary *)) ?(rate = 4)
+    ?(order = 2) input =
+  let env = Sim.Env.create () in
+  let ddc = Dsp.Ddc.create env ~fcw ~rate ~order () in
+  let outs = ref [] in
+  Array.iter
+    (fun x ->
+      (match Dsp.Ddc.step ddc (cst x) with
+      | Some (i, q) -> outs := (Sim.Value.fx i, Sim.Value.fx q) :: !outs
+      | None -> ());
+      Sim.Env.tick env)
+    input;
+  (env, ddc, Array.of_list (List.rev !outs))
+
+let test_tone_to_dc () =
+  (* a tone exactly at the NCO frequency lands at DC with amplitude
+     A/2 · R^order *)
+  let fcw = 0.15625 and rate = 4 and order = 2 in
+  let a = 0.8 in
+  let input =
+    Array.init 512 (fun n ->
+        a *. cos (2.0 *. Float.pi *. fcw *. Float.of_int n))
+  in
+  let _, _, outs = run_ddc ~fcw ~rate ~order input in
+  let skip = 16 in
+  let n = Array.length outs - skip in
+  let mean_i =
+    Array.fold_left ( +. ) 0.0
+      (Array.init n (fun k -> fst outs.(k + skip)))
+    /. Float.of_int n
+  in
+  let expected = a /. 2.0 *. (Float.of_int rate ** Float.of_int order) in
+  check (Alcotest.float 0.15) "I settles at A/2 * R^N" expected mean_i
+
+let test_matches_reference () =
+  let fcw = 0.15625 and rate = 4 and order = 2 in
+  let rng = Stats.Rng.create ~seed:13 in
+  let input =
+    Array.init 256 (fun _ -> Stats.Rng.uniform rng ~lo:(-0.9) ~hi:0.9)
+  in
+  let _, _, outs = run_ddc ~fcw ~rate ~order input in
+  let i_ref, q_ref = Dsp.Ddc.reference ~fcw ~rate ~order input in
+  let gain = Float.of_int rate ** Float.of_int order in
+  Array.iteri
+    (fun k (i, q) ->
+      (* CORDIC mixer vs exact rotation: ~1e-4 relative accuracy *)
+      check bool_t
+        (Printf.sprintf "I close %d" k)
+        true
+        (Float.abs (i -. i_ref.(k)) < 2e-3 *. gain);
+      check bool_t
+        (Printf.sprintf "Q close %d" k)
+        true
+        (Float.abs (q -. q_ref.(k)) < 2e-3 *. gain))
+    outs
+
+let test_image_rejection () =
+  (* a tone far from the NCO frequency is attenuated by the CIC relative
+     to the in-band tone *)
+  let fcw = 0.15625 and rate = 8 and order = 3 in
+  let power outs =
+    Array.fold_left (fun a (i, q) -> a +. (i *. i) +. (q *. q)) 0.0 outs
+    /. Float.of_int (Array.length outs)
+  in
+  let tone f =
+    Array.init 1024 (fun n -> cos (2.0 *. Float.pi *. f *. Float.of_int n))
+  in
+  let _, _, inband = run_ddc ~fcw ~rate ~order (tone fcw) in
+  let _, _, image = run_ddc ~fcw ~rate ~order (tone (fcw +. 0.125)) in
+  let skip a = Array.sub a 16 (Array.length a - 16) in
+  check bool_t "image attenuated > 20 dB" true
+    (power (skip inband) /. power (skip image) > 100.0)
+
+let test_phase_stays_modulo_one () =
+  let env = Sim.Env.create () in
+  let ddc = Dsp.Ddc.create env ~fcw:0.3 ~rate:4 ~order:2 () in
+  for _ = 1 to 500 do
+    ignore (Dsp.Ddc.step ddc (cst 0.5));
+    Sim.Env.tick env;
+    let p = Sim.Signal.peek_fx (Dsp.Ddc.phase ddc) in
+    check bool_t "phase in [0,1)" true (p >= 0.0 && p < 1.0)
+  done
+
+let test_refines_with_flow () =
+  (* the composed subsystem goes through the standard flow: CIC
+     integrators come out saturated-or-wrap candidates (case b),
+     everything else resolves *)
+  let env = Sim.Env.create ~seed:7 () in
+  let rng = Stats.Rng.create ~seed:31 in
+  let stim =
+    Array.init 2048 (fun n ->
+        (0.7 *. cos (2.0 *. Float.pi *. 0.15625 *. Float.of_int n))
+        +. (0.05 *. Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+  in
+  let x_dtype = Fixpt.Dtype.make "T" ~n:10 ~f:8 () in
+  let x = Sim.Signal.create env ~dtype:x_dtype "x" in
+  Sim.Signal.range x (-1.0) 1.0;
+  let ddc = Dsp.Ddc.create env ~fcw:0.15625 ~rate:4 ~order:2 () in
+  Sim.Signal.range (Dsp.Ddc.phase ddc) 0.0 1.0;
+  let design =
+    {
+      Refine.Flow.env;
+      reset = (fun () -> Sim.Env.reset env);
+      run =
+        (fun () ->
+          Sim.Engine.run env ~cycles:2048 (fun c ->
+              x <-- Sim.Value.of_float stim.(c);
+              ignore (Dsp.Ddc.step ddc !!x)));
+    }
+  in
+  let r = Refine.Flow.refine ~sqnr_signal:"ddc_i" design in
+  (* the CIC integrators must be flagged as accumulator-like *)
+  let integ_decisions =
+    List.filter
+      (fun (d : Refine.Decision.msb) ->
+        String.length d.Refine.Decision.signal >= 7
+        && String.sub d.Refine.Decision.signal 0 7 = "ddc_ci_"
+        && String.contains d.Refine.Decision.signal 'i')
+      r.Refine.Flow.msb_decisions
+  in
+  check bool_t "CIC integrators analyzed" true (integ_decisions <> []);
+  check bool_t "flow produced types" true
+    (List.length r.Refine.Flow.types > 20)
+
+let suite =
+  ( "ddc",
+    [
+      Alcotest.test_case "tone to dc" `Quick test_tone_to_dc;
+      Alcotest.test_case "matches reference" `Quick test_matches_reference;
+      Alcotest.test_case "image rejection" `Quick test_image_rejection;
+      Alcotest.test_case "phase modulo one" `Quick test_phase_stays_modulo_one;
+      Alcotest.test_case "refines with flow" `Slow test_refines_with_flow;
+    ] )

@@ -1,0 +1,184 @@
+(* Unit + property tests: Dsp.Fft. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t eps = Alcotest.float eps
+
+let cpair (r, i) = (Sim.Value.const r, Sim.Value.const i)
+
+let run_fft ?(scale = false) input =
+  let env = Sim.Env.create () in
+  let fft = Dsp.Fft.create env ~scale ~n:(Array.length input) () in
+  let out = Dsp.Fft.transform fft (Array.map cpair input) in
+  (env, fft, Array.map (fun (r, i) -> (Sim.Value.fx r, Sim.Value.fx i)) out)
+
+let test_impulse () =
+  (* FFT of delta = all-ones spectrum *)
+  let input = Array.init 8 (fun i -> if i = 0 then (1.0, 0.0) else (0.0, 0.0)) in
+  let _, _, out = run_fft input in
+  Array.iter
+    (fun (r, i) ->
+      check (float_t 1e-9) "re" 1.0 r;
+      check (float_t 1e-9) "im" 0.0 i)
+    out
+
+let test_dc () =
+  (* FFT of constant = n·delta at bin 0 *)
+  let input = Array.make 8 (1.0, 0.0) in
+  let _, _, out = run_fft input in
+  check (float_t 1e-9) "bin 0" 8.0 (fst out.(0));
+  for k = 1 to 7 do
+    check (float_t 1e-9) "other bins re" 0.0 (fst out.(k));
+    check (float_t 1e-9) "other bins im" 0.0 (snd out.(k))
+  done
+
+let test_single_tone () =
+  (* complex exponential at bin 3 of 16 *)
+  let n = 16 in
+  let input =
+    Array.init n (fun j ->
+        let a = 2.0 *. Float.pi *. 3.0 *. Float.of_int j /. Float.of_int n in
+        (cos a, sin a))
+  in
+  let _, _, out = run_fft input in
+  check (float_t 1e-9) "peak at 3" (Float.of_int n) (fst out.(3));
+  for k = 0 to n - 1 do
+    if k <> 3 then begin
+      let r, i = out.(k) in
+      check bool_t "leak-free" true (Float.abs r +. Float.abs i < 1e-9)
+    end
+  done
+
+let test_matches_reference () =
+  let rng = Stats.Rng.create ~seed:5 in
+  let input =
+    Array.init 32 (fun _ ->
+        (Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0,
+         Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+  in
+  let expected = Dsp.Fft.reference input in
+  let _, _, out = run_fft input in
+  Array.iteri
+    (fun k (r, i) ->
+      let er, ei = expected.(k) in
+      check (float_t 1e-9) (Printf.sprintf "re %d" k) er r;
+      check (float_t 1e-9) (Printf.sprintf "im %d" k) ei i)
+    out
+
+let test_scaled_matches_reference () =
+  let rng = Stats.Rng.create ~seed:6 in
+  let input =
+    Array.init 16 (fun _ -> (Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0, 0.0))
+  in
+  let expected = Dsp.Fft.reference ~scale:true input in
+  let _, _, out = run_fft ~scale:true input in
+  Array.iteri
+    (fun k (r, i) ->
+      let er, ei = expected.(k) in
+      check (float_t 1e-9) (Printf.sprintf "re %d" k) er r;
+      check (float_t 1e-9) (Printf.sprintf "im %d" k) ei i)
+    out
+
+let test_parseval () =
+  let rng = Stats.Rng.create ~seed:7 in
+  let input =
+    Array.init 16 (fun _ ->
+        (Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0,
+         Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+  in
+  let _, _, out = run_fft input in
+  let energy x = Array.fold_left (fun a (r, i) -> a +. (r *. r) +. (i *. i)) 0.0 x in
+  check (float_t 1e-9) "Parseval" (16.0 *. energy input) (energy out)
+
+let test_msb_growth_unscaled () =
+  (* range monitors across stages: unscaled grows ~1 bit/stage *)
+  let rng = Stats.Rng.create ~seed:8 in
+  let env = Sim.Env.create () in
+  let n = 16 in
+  let fft = Dsp.Fft.create env ~n () in
+  for _ = 1 to 30 do
+    let input =
+      Array.init n (fun _ ->
+          cpair (Stats.Rng.pam2 rng, Stats.Rng.pam2 rng))
+    in
+    ignore (Dsp.Fft.transform fft input);
+    Sim.Env.tick env
+  done;
+  let max_msb s =
+    List.fold_left
+      (fun acc sg ->
+        match Refine.Msb_rules.msb_of_range (Sim.Signal.stat_range sg) with
+        | Some m -> max acc m
+        | None -> acc)
+      min_int (Dsp.Fft.stage_signals fft s)
+  in
+  let first = max_msb 0 and last = max_msb (Dsp.Fft.stage_count fft) in
+  check bool_t "grows at least 3 bits over 4 stages" true (last - first >= 3)
+
+let test_msb_flat_scaled () =
+  let rng = Stats.Rng.create ~seed:9 in
+  let env = Sim.Env.create () in
+  let n = 16 in
+  let fft = Dsp.Fft.create env ~scale:true ~n () in
+  for _ = 1 to 30 do
+    let input =
+      Array.init n (fun _ -> cpair (Stats.Rng.pam2 rng, Stats.Rng.pam2 rng))
+    in
+    ignore (Dsp.Fft.transform fft input);
+    Sim.Env.tick env
+  done;
+  let max_msb s =
+    List.fold_left
+      (fun acc sg ->
+        match Refine.Msb_rules.msb_of_range (Sim.Signal.stat_range sg) with
+        | Some m -> max acc m
+        | None -> acc)
+      min_int (Dsp.Fft.stage_signals fft s)
+  in
+  check bool_t "no growth" true
+    (max_msb (Dsp.Fft.stage_count fft) <= max_msb 0 + 1)
+
+let test_bad_size_rejected () =
+  let env = Sim.Env.create () in
+  check bool_t "non power of 2" true
+    (try
+       ignore (Dsp.Fft.create env ~n:12 ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_linearity =
+  QCheck2.Test.make ~name:"fft is linear" ~count:50
+    QCheck2.Gen.(
+      pair (list_size (return 8) (float_range (-1.0) 1.0))
+           (list_size (return 8) (float_range (-1.0) 1.0)))
+    (fun (a, b) ->
+      let xa = Array.of_list (List.map (fun v -> (v, 0.0)) a) in
+      let xb = Array.of_list (List.map (fun v -> (v, 0.0)) b) in
+      let xsum = Array.map2 (fun (r1, i1) (r2, i2) -> (r1 +. r2, i1 +. i2)) xa xb in
+      let fa = Dsp.Fft.reference xa
+      and fb = Dsp.Fft.reference xb
+      and fs = Dsp.Fft.reference xsum in
+      Array.for_all
+        (fun k ->
+          let r1, i1 = fa.(k) and r2, i2 = fb.(k) and rs, is = fs.(k) in
+          Float.abs (rs -. r1 -. r2) < 1e-9 && Float.abs (is -. i1 -. i2) < 1e-9)
+        (Array.init 8 Fun.id))
+
+let suite =
+  ( "fft",
+    [
+      Alcotest.test_case "impulse" `Quick test_impulse;
+      Alcotest.test_case "dc" `Quick test_dc;
+      Alcotest.test_case "single tone" `Quick test_single_tone;
+      Alcotest.test_case "matches reference" `Quick test_matches_reference;
+      Alcotest.test_case "scaled matches reference" `Quick
+        test_scaled_matches_reference;
+      Alcotest.test_case "parseval" `Quick test_parseval;
+      Alcotest.test_case "msb growth unscaled" `Quick
+        test_msb_growth_unscaled;
+      Alcotest.test_case "msb flat scaled" `Quick test_msb_flat_scaled;
+      Alcotest.test_case "bad size" `Quick test_bad_size_rejected;
+      QCheck_alcotest.to_alcotest prop_linearity;
+    ] )

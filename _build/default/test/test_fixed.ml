@@ -1,0 +1,143 @@
+(* Unit + property tests: Fixed — bit-true arithmetic, and the ground
+   truth for the float-based simulation semantics. *)
+
+open Fixrefine.Fixpt
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-12
+
+let fmt n f = Qformat.make ~n ~f Sign_mode.Tc
+let dt n f = Dtype.make "t" ~n ~f ~overflow:Overflow_mode.Saturate ()
+
+let test_of_to_float () =
+  let v, out = Fixed.of_float (dt 8 6) 0.75 in
+  check float_t "roundtrip" 0.75 (Fixed.to_float v);
+  check bool_t "no overflow" true (out.Quantize.overflow = None);
+  check bool_t "mant" true (Int64.equal (Fixed.mant v) 48L)
+
+let test_create_bounds () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument
+       "Fixed.create: mantissa 128 out of range for <8,6,tc>") (fun () ->
+      ignore (Fixed.create ~mant:128L ~fmt:(fmt 8 6)))
+
+let test_add_exact () =
+  let a, _ = Fixed.of_float (dt 8 6) 1.25 in
+  let b, _ = Fixed.of_float (dt 8 6) 0.5 in
+  let s = Fixed.add a b in
+  check float_t "sum" 1.75 (Fixed.to_float s);
+  check int_t "grew one bit" 9 (Qformat.n (Fixed.fmt s))
+
+let test_add_mixed_lsb () =
+  let a, _ = Fixed.of_float (dt 8 6) 1.25 in
+  let b, _ = Fixed.of_float (dt 6 2) 3.25 in
+  let s = Fixed.add a b in
+  check float_t "aligned sum" 4.5 (Fixed.to_float s);
+  check int_t "finest lsb" (-6) (Qformat.lsb_pos (Fixed.fmt s))
+
+let test_sub () =
+  let a, _ = Fixed.of_float (dt 8 6) 0.25 in
+  let b, _ = Fixed.of_float (dt 8 6) 1.0 in
+  check float_t "difference" (-0.75) (Fixed.to_float (Fixed.sub a b))
+
+let test_neg () =
+  let a, _ = Fixed.of_float (dt 8 6) (-2.0) in
+  check float_t "negate min" 2.0 (Fixed.to_float (Fixed.neg a))
+
+let test_mul_exact () =
+  let a, _ = Fixed.of_float (dt 8 6) 1.5 in
+  let b, _ = Fixed.of_float (dt 8 6) (-0.75) in
+  let p = Fixed.mul a b in
+  check float_t "product" (-1.125) (Fixed.to_float p);
+  check int_t "width sums" 16 (Qformat.n (Fixed.fmt p));
+  check int_t "lsb sums" (-12) (Qformat.lsb_pos (Fixed.fmt p))
+
+let test_resize_quantizes () =
+  let a, _ = Fixed.of_float (dt 12 10) 0.7001953125 in
+  let b, out = Fixed.resize (dt 8 6) a in
+  check bool_t "no overflow" true (out.Quantize.overflow = None);
+  check float_t "requantized" 0.703125 (Fixed.to_float b)
+
+let test_bits_roundtrip () =
+  let a, _ = Fixed.of_float (dt 8 6) (-1.171875) in
+  let bits = Fixed.bits a in
+  check int_t "8 bits" 8 (List.length bits);
+  let b = Fixed.of_bits (fmt 8 6) bits in
+  check bool_t "roundtrip" true (Fixed.equal a b)
+
+let test_bits_sign_extension () =
+  (* -1 in <4,0>: 1111 *)
+  let a = Fixed.create ~mant:(-1L) ~fmt:(fmt 4 0) in
+  check bool_t "all ones" true (List.for_all Fun.id (Fixed.bits a));
+  let b = Fixed.of_bits (fmt 4 0) [ true; true; true; true ] in
+  check float_t "reads back -1" (-1.0) (Fixed.to_float b)
+
+let test_width_guard () =
+  let a = Fixed.zero (fmt 40 20) in
+  let b = Fixed.zero (fmt 40 20) in
+  Alcotest.check_raises "mul too wide"
+    (Invalid_argument "Fixed.mul: derived format <80,40,tc> exceeds 62 bits")
+    (fun () -> ignore (Fixed.mul a b))
+
+(* The central cross-check: float-based simulation semantics agree with
+   bit-true arithmetic for every representable operand pair. *)
+let gen_fixed n f =
+  let lo, hi = Fixrefine.Fixpt.Quantize.code_bounds (fmt n f) in
+  QCheck2.Gen.map
+    (fun m -> Fixed.create ~mant:(Int64.of_int m) ~fmt:(fmt n f))
+    (QCheck2.Gen.int_range (Int64.to_int lo) (Int64.to_int hi))
+
+let prop_float_sim_matches_bit_true_add =
+  QCheck2.Test.make ~name:"float add = bit-true add" ~count:2000
+    QCheck2.Gen.(pair (gen_fixed 12 6) (gen_fixed 12 6))
+    (fun (a, b) ->
+      Fixed.to_float (Fixed.add a b) = Fixed.to_float a +. Fixed.to_float b)
+
+let prop_float_sim_matches_bit_true_mul =
+  QCheck2.Test.make ~name:"float mul = bit-true mul" ~count:2000
+    QCheck2.Gen.(pair (gen_fixed 12 6) (gen_fixed 12 6))
+    (fun (a, b) ->
+      Fixed.to_float (Fixed.mul a b) = Fixed.to_float a *. Fixed.to_float b)
+
+let prop_resize_matches_quantize =
+  QCheck2.Test.make ~name:"resize = Quantize.cast" ~count:2000
+    (gen_fixed 16 10)
+    (fun a ->
+      let d = dt 8 6 in
+      let r, _ = Fixed.resize d a in
+      Fixed.to_float r = Fixrefine.Fixpt.Quantize.cast d (Fixed.to_float a))
+
+let prop_bits_roundtrip =
+  QCheck2.Test.make ~name:"bits roundtrip" ~count:2000 (gen_fixed 14 7)
+    (fun a -> Fixed.equal a (Fixed.of_bits (Fixed.fmt a) (Fixed.bits a)))
+
+let prop_sub_is_add_neg =
+  QCheck2.Test.make ~name:"a - b = a + (-b) (values)" ~count:2000
+    QCheck2.Gen.(pair (gen_fixed 10 4) (gen_fixed 10 4))
+    (fun (a, b) ->
+      Fixed.to_float (Fixed.sub a b)
+      = Fixed.to_float (Fixed.add a (Fixed.neg b)))
+
+let suite =
+  ( "fixed",
+    [
+      Alcotest.test_case "of/to float" `Quick test_of_to_float;
+      Alcotest.test_case "create bounds" `Quick test_create_bounds;
+      Alcotest.test_case "add exact" `Quick test_add_exact;
+      Alcotest.test_case "add mixed lsb" `Quick test_add_mixed_lsb;
+      Alcotest.test_case "sub" `Quick test_sub;
+      Alcotest.test_case "neg" `Quick test_neg;
+      Alcotest.test_case "mul exact" `Quick test_mul_exact;
+      Alcotest.test_case "resize quantizes" `Quick test_resize_quantizes;
+      Alcotest.test_case "bits roundtrip" `Quick test_bits_roundtrip;
+      Alcotest.test_case "bits sign extension" `Quick
+        test_bits_sign_extension;
+      Alcotest.test_case "width guard" `Quick test_width_guard;
+      QCheck_alcotest.to_alcotest prop_float_sim_matches_bit_true_add;
+      QCheck_alcotest.to_alcotest prop_float_sim_matches_bit_true_mul;
+      QCheck_alcotest.to_alcotest prop_resize_matches_quantize;
+      QCheck_alcotest.to_alcotest prop_bits_roundtrip;
+      QCheck_alcotest.to_alcotest prop_sub_is_add_neg;
+    ] )

@@ -1,0 +1,218 @@
+(* Integration tests: Refine.Flow — the full design-flow loop (Fig. 4)
+   and both literature baselines, exercised on real designs. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* the paper's motivational example as a reusable flow design *)
+let equalizer_design ?(n = 3000) () =
+  let env = Sim.Env.create ~seed:11 () in
+  let rng = Stats.Rng.create ~seed:2024 in
+  let stimulus, _ = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:n () in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "y" in
+  let x_dtype = Fixpt.Dtype.make "T_input" ~n:7 ~f:5 () in
+  let eq = Dsp.Lms_equalizer.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Lms_equalizer.x eq) (-1.5) 1.5;
+  {
+    Refine.Flow.env;
+    reset =
+      (fun () ->
+        Sim.Env.reset env;
+        Sim.Channel.clear input;
+        Sim.Channel.clear output);
+    run = (fun () -> Dsp.Lms_equalizer.run eq ~cycles:n);
+  }
+
+(* a loop-free design: converges in a single iteration *)
+let fir_design ?(n = 2000) () =
+  let env = Sim.Env.create ~seed:3 () in
+  let rng = Stats.Rng.create ~seed:12 in
+  let stimulus, _ = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:n () in
+  let input = Sim.Channel.of_fun "in" stimulus in
+  let x_dtype = Fixpt.Dtype.make "T" ~n:8 ~f:6 () in
+  let x = Sim.Signal.create env ~dtype:x_dtype "x" in
+  Sim.Signal.range x (-1.2) 1.2;
+  let fir = Dsp.Fir.create env ~coefs:[| 0.25; 0.5; 0.25 |] () in
+  let out = Sim.Signal.create env "out" in
+  {
+    Refine.Flow.env;
+    reset =
+      (fun () ->
+        Sim.Env.reset env;
+        Sim.Channel.clear input);
+    run =
+      (fun () ->
+        Sim.Engine.run env ~cycles:n (fun _ ->
+            x <-- Sim.Value.of_float (Sim.Channel.get input);
+            out <-- Dsp.Fir.step fir !!x));
+  }
+
+let test_flow_ff_one_iteration () =
+  let d = fir_design () in
+  let r = Refine.Flow.refine ~sqnr_signal:"out" d in
+  check int_t "one MSB iteration" 1 r.Refine.Flow.msb_iterations;
+  check int_t "one LSB iteration" 1 r.Refine.Flow.lsb_iterations;
+  (* 1 monitored run + 1 verification run *)
+  check int_t "two runs total" 2 r.Refine.Flow.simulation_runs
+
+let test_flow_equalizer_two_msb_iterations () =
+  (* the paper's headline: explosion found, one annotation, converged *)
+  let d = equalizer_design () in
+  let r = Refine.Flow.refine ~sqnr_signal:"v[3]" d in
+  check int_t "two MSB iterations" 2 r.Refine.Flow.msb_iterations;
+  check int_t "one LSB iteration" 1 r.Refine.Flow.lsb_iterations;
+  let ranged =
+    List.filter_map
+      (function Refine.Flow.Range_annotated (n, _, _) -> Some n | _ -> None)
+      (List.concat_map (fun it -> it.Refine.Flow.actions) r.Refine.Flow.iterations)
+  in
+  check bool_t "annotated the feedback source b" true (ranged = [ "b" ])
+
+let test_flow_derives_types_for_all_float_signals () =
+  let d = equalizer_design () in
+  let r = Refine.Flow.refine d in
+  (* every originally-floating signal that carries data gets a type *)
+  List.iter
+    (fun name ->
+      check bool_t (name ^ " typed") true
+        (List.mem_assoc name r.Refine.Flow.types))
+    [ "d[0]"; "v[1]"; "v[3]"; "w"; "b"; "y"; "s" ]
+
+let test_flow_applies_types () =
+  let d = equalizer_design () in
+  let _ = Refine.Flow.refine d in
+  let untyped =
+    List.filter
+      (fun s -> Sim.Signal.dtype s = None && Sim.Signal.assignments s > 0)
+      (Sim.Env.signals d.Refine.Flow.env)
+  in
+  (* v[0] carries only the constant 0 and may stay untyped; everything
+     else that moves is quantized after the flow *)
+  check bool_t "at most v[0] left floating" true
+    (List.for_all (fun s -> Sim.Signal.name s = "v[0]") untyped)
+
+let test_flow_preserves_designer_types () =
+  let d = equalizer_design () in
+  let _ = Refine.Flow.refine d in
+  let x = Sim.Env.find_exn d.Refine.Flow.env "x" in
+  match Sim.Signal.dtype x with
+  | Some dt -> check Alcotest.string "kept" "T_input" (Fixpt.Dtype.name dt)
+  | None -> Alcotest.fail "x lost its type"
+
+let test_flow_sqnr_reported_and_reasonable () =
+  let d = equalizer_design () in
+  let r = Refine.Flow.refine ~sqnr_signal:"v[3]" d in
+  match (r.Refine.Flow.sqnr_before_db, r.Refine.Flow.sqnr_after_db) with
+  | Some before, Some after ->
+      (* paper: 39.8 -> 39.1 dB; shape: both high, small degradation *)
+      check bool_t "before > 30 dB" true (before > 30.0);
+      check bool_t "after > 30 dB" true (after > 30.0);
+      check bool_t "degradation < 6 dB" true (before -. after < 6.0)
+  | _ -> Alcotest.fail "SQNR missing"
+
+let test_flow_iteration_log_shape () =
+  let d = equalizer_design () in
+  let r = Refine.Flow.refine d in
+  let phases = List.map (fun it -> it.Refine.Flow.phase) r.Refine.Flow.iterations in
+  check bool_t "msb phases precede lsb" true
+    (phases = [ `Msb; `Msb; `Lsb ])
+
+let test_flow_error_override_config () =
+  let d = equalizer_design () in
+  let config =
+    {
+      Refine.Flow.default_config with
+      Refine.Flow.error_overrides = [ ("b", 0.0078125) ];
+    }
+  in
+  (* force an error() on b by pre-marking divergence conditions is not
+     needed: just verify overrides are looked up when annotating *)
+  let r = Refine.Flow.refine ~config d in
+  check bool_t "flow completes with overrides" true
+    (r.Refine.Flow.simulation_runs >= 2)
+
+(* --- Baseline_sim -------------------------------------------------------- *)
+
+let test_baseline_sim_meets_target () =
+  let d = fir_design ~n:1500 () in
+  let r =
+    Refine.Baseline_sim.optimize ~design:d
+      ~signals:[ "d[0]"; "d[1]"; "d[2]"; "v[1]"; "v[2]"; "v[3]"; "out" ]
+      ~probe:"out" ~target_db:35.0 ()
+  in
+  check bool_t "target met" true (r.Refine.Baseline_sim.achieved_sqnr_db >= 35.0);
+  check bool_t "many runs" true (r.Refine.Baseline_sim.simulation_runs > 10);
+  check bool_t "bits positive" true (r.Refine.Baseline_sim.total_bits > 0)
+
+let test_baseline_sim_costs_more_runs_than_hybrid () =
+  let d = fir_design ~n:1500 () in
+  let hybrid = Refine.Flow.refine ~sqnr_signal:"out" d in
+  let d2 = fir_design ~n:1500 () in
+  let baseline =
+    Refine.Baseline_sim.optimize ~design:d2
+      ~signals:[ "d[0]"; "d[1]"; "d[2]"; "v[1]"; "v[2]"; "v[3]"; "out" ]
+      ~probe:"out" ~target_db:35.0 ()
+  in
+  check bool_t "hybrid uses far fewer simulations" true
+    (baseline.Refine.Baseline_sim.simulation_runs
+    > 5 * hybrid.Refine.Flow.simulation_runs)
+
+(* --- Baseline_ana -------------------------------------------------------- *)
+
+let test_baseline_ana_on_fir () =
+  let g = Sfg.Graph.create () in
+  let _, y = Dsp.Fir.to_sfg g ~coefs:[| 0.25; 0.5; 0.25 |] ~input_range:(-1.2, 1.2) in
+  Sfg.Graph.mark_output g "y" y;
+  let r = Refine.Baseline_ana.analyze g ~output:"v[3]" ~sigma_budget:1e-3 in
+  check bool_t "no explosion on ff" true (r.Refine.Baseline_ana.exploded = []);
+  check bool_t "total bits" true (Refine.Baseline_ana.total_bits r <> None)
+
+let test_baseline_ana_overestimates_vs_hybrid () =
+  (* analytical MSBs on the equalizer SFG (annotated) vs the hybrid
+     flow's decisions: the analytical ones must not be smaller on
+     average (the §1 overestimation claim) *)
+  let d = equalizer_design () in
+  let hybrid = Refine.Flow.refine d in
+  let reference =
+    List.filter_map
+      (fun (m : Refine.Decision.msb) ->
+        match m.Refine.Decision.stat_msb with
+        | Some s -> Some (m.Refine.Decision.signal, s)
+        | None -> None)
+      hybrid.Refine.Flow.msb_decisions
+  in
+  let g = Dsp.Lms_equalizer.to_sfg ~b_range:(-0.2, 0.2) () in
+  let ana = Refine.Baseline_ana.analyze g ~output:"w" ~sigma_budget:1e-2 in
+  match Refine.Baseline_ana.overhead_bits ana ~reference with
+  | Some overhead -> check bool_t "overhead >= 0" true (overhead >= 0.0)
+  | None -> Alcotest.fail "no comparable signals"
+
+let suite =
+  ( "flow",
+    [
+      Alcotest.test_case "ff one iteration" `Quick test_flow_ff_one_iteration;
+      Alcotest.test_case "equalizer 2 MSB iters" `Quick
+        test_flow_equalizer_two_msb_iterations;
+      Alcotest.test_case "types for float signals" `Quick
+        test_flow_derives_types_for_all_float_signals;
+      Alcotest.test_case "types applied" `Quick test_flow_applies_types;
+      Alcotest.test_case "designer types kept" `Quick
+        test_flow_preserves_designer_types;
+      Alcotest.test_case "sqnr reasonable" `Quick
+        test_flow_sqnr_reported_and_reasonable;
+      Alcotest.test_case "iteration log" `Quick test_flow_iteration_log_shape;
+      Alcotest.test_case "error overrides accepted" `Quick
+        test_flow_error_override_config;
+      Alcotest.test_case "baseline sim meets target" `Slow
+        test_baseline_sim_meets_target;
+      Alcotest.test_case "baseline sim run count" `Slow
+        test_baseline_sim_costs_more_runs_than_hybrid;
+      Alcotest.test_case "baseline ana fir" `Quick test_baseline_ana_on_fir;
+      Alcotest.test_case "baseline ana overestimates" `Quick
+        test_baseline_ana_overestimates_vs_hybrid;
+    ] )

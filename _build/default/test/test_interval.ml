@@ -1,0 +1,186 @@
+(* Unit + property tests: Interval — soundness of the range-propagation
+   arithmetic is what makes the quasi-analytical MSB technique safe. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t = Alcotest.float 1e-12
+
+let iv lo hi = Interval.make lo hi
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Interval.make: lo (1) > hi (0)") (fun () ->
+      ignore (Interval.make 1.0 0.0))
+
+let test_empty () =
+  check bool_t "empty" true (Interval.is_empty Interval.empty);
+  check bool_t "mem" false (Interval.mem 0.0 Interval.empty);
+  check float_t "width" 0.0 (Interval.width Interval.empty)
+
+let test_join_meet () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  check bool_t "join" true (Interval.equal (Interval.join a b) (iv 0.0 3.0));
+  check bool_t "meet" true (Interval.equal (Interval.meet a b) (iv 1.0 2.0));
+  check bool_t "disjoint meet empty" true
+    (Interval.is_empty (Interval.meet (iv 0.0 1.0) (iv 2.0 3.0)));
+  check bool_t "join empty id" true
+    (Interval.equal (Interval.join Interval.empty a) a)
+
+let test_arith_table () =
+  (* the paper's §4.1 propagation table *)
+  let a = iv (-1.0) 2.0 and b = iv 0.5 3.0 in
+  check bool_t "add" true
+    (Interval.equal (Interval.add a b) (iv (-0.5) 5.0));
+  check bool_t "sub" true
+    (Interval.equal (Interval.sub a b) (iv (-4.0) 1.5));
+  check bool_t "mul" true (Interval.equal (Interval.mul a b) (iv (-3.0) 6.0))
+
+let test_mul_signs () =
+  check bool_t "neg*neg" true
+    (Interval.equal
+       (Interval.mul (iv (-3.0) (-1.0)) (iv (-2.0) (-1.0)))
+       (iv 1.0 6.0));
+  check bool_t "straddle*straddle" true
+    (Interval.equal
+       (Interval.mul (iv (-2.0) 3.0) (iv (-1.0) 4.0))
+       (iv (-8.0) 12.0))
+
+let test_div_straddle_zero () =
+  check bool_t "unbounded" true
+    (Interval.equal (Interval.div (iv 1.0 2.0) (iv (-1.0) 1.0)) Interval.entire)
+
+let test_div_positive () =
+  check bool_t "quotient" true
+    (Interval.equal (Interval.div (iv 1.0 4.0) (iv 2.0 4.0)) (iv 0.25 2.0))
+
+let test_abs () =
+  check bool_t "straddle" true
+    (Interval.equal (Interval.abs (iv (-3.0) 1.0)) (iv 0.0 3.0));
+  check bool_t "negative" true
+    (Interval.equal (Interval.abs (iv (-3.0) (-1.0))) (iv 1.0 3.0))
+
+let test_minmax () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  check bool_t "min" true (Interval.equal (Interval.min_ a b) (iv 0.0 2.0));
+  check bool_t "max" true (Interval.equal (Interval.max_ a b) (iv 1.0 3.0))
+
+let test_shift () =
+  check bool_t "shl 2" true
+    (Interval.equal (Interval.shift_left (iv (-1.0) 1.5) 2) (iv (-4.0) 6.0));
+  check bool_t "shr 1" true
+    (Interval.equal (Interval.shift_left (iv (-1.0) 1.0) (-1)) (iv (-0.5) 0.5))
+
+let test_clamp () =
+  let lim = iv (-1.0) 1.0 in
+  check bool_t "clamps" true
+    (Interval.equal (Interval.clamp ~into:lim (iv (-5.0) 0.5)) (iv (-1.0) 0.5));
+  check bool_t "inside unchanged" true
+    (Interval.equal (Interval.clamp ~into:lim (iv (-0.2) 0.3)) (iv (-0.2) 0.3));
+  check bool_t "fully outside pins to bound" true
+    (Interval.equal (Interval.clamp ~into:lim (iv 5.0 6.0)) (iv 1.0 1.0))
+
+let test_widen () =
+  let a = iv 0.0 1.0 in
+  check bool_t "hi escapes" true
+    (Interval.equal (Interval.widen a (iv 0.0 2.0)) (iv 0.0 Float.infinity));
+  check bool_t "stable stays" true
+    (Interval.equal (Interval.widen a (iv 0.2 0.8)) a)
+
+let test_exploded () =
+  check bool_t "entire" true (Interval.is_exploded Interval.entire);
+  check bool_t "huge" true (Interval.is_exploded (iv 0.0 1.0e30));
+  check bool_t "normal" false (Interval.is_exploded (iv (-10.0) 10.0));
+  check bool_t "custom threshold" true
+    (Interval.is_exploded ~threshold:5.0 (iv 0.0 10.0))
+
+let test_observe () =
+  let t = Interval.observe (Interval.observe Interval.empty 2.0) (-1.0) in
+  check bool_t "grows both" true (Interval.equal t (iv (-1.0) 2.0));
+  check bool_t "nan ignored" true
+    (Interval.equal (Interval.observe t Float.nan) t)
+
+let test_mag () =
+  check float_t "mag" 3.0 (Interval.mag (iv (-3.0) 1.0));
+  check float_t "empty" 0.0 (Interval.mag Interval.empty)
+
+(* --- soundness properties: op(iv) contains op of members -------------- *)
+
+let gen_interval =
+  QCheck2.Gen.(
+    map2
+      (fun a w -> Interval.make a (a +. Float.abs w))
+      (float_range (-100.0) 100.0)
+      (float_range 0.0 50.0))
+
+let gen_member iv_gen =
+  QCheck2.Gen.(
+    iv_gen >>= fun i ->
+    map
+      (fun t -> (i, Interval.lo i +. (t *. Interval.width i)))
+      (float_range 0.0 1.0))
+
+let sound name op fop =
+  QCheck2.Test.make ~name ~count:2000
+    QCheck2.Gen.(pair (gen_member gen_interval) (gen_member gen_interval))
+    (fun ((ia, a), (ib, b)) -> Interval.mem (fop a b) (op ia ib))
+
+let prop_add_sound = sound "add sound" Interval.add ( +. )
+let prop_sub_sound = sound "sub sound" Interval.sub ( -. )
+let prop_mul_sound = sound "mul sound" Interval.mul ( *. )
+let prop_min_sound = sound "min sound" Interval.min_ Float.min
+let prop_max_sound = sound "max sound" Interval.max_ Float.max
+
+let prop_div_sound =
+  QCheck2.Test.make ~name:"div sound" ~count:2000
+    QCheck2.Gen.(pair (gen_member gen_interval) (gen_member gen_interval))
+    (fun ((ia, a), (ib, b)) ->
+      b = 0.0 || Interval.mem (a /. b) (Interval.div ia ib))
+
+let prop_join_upper_bound =
+  QCheck2.Test.make ~name:"join is an upper bound" ~count:1000
+    QCheck2.Gen.(pair gen_interval gen_interval)
+    (fun (a, b) ->
+      let j = Interval.join a b in
+      Interval.subset a j && Interval.subset b j)
+
+let prop_widen_upper_bound =
+  QCheck2.Test.make ~name:"widen bounds both args" ~count:1000
+    QCheck2.Gen.(pair gen_interval gen_interval)
+    (fun (a, b) ->
+      let w = Interval.widen a b in
+      Interval.subset a w && Interval.subset b w)
+
+let prop_neg_involution =
+  QCheck2.Test.make ~name:"neg involution" ~count:1000 gen_interval (fun a ->
+      Interval.equal (Interval.neg (Interval.neg a)) a)
+
+let suite =
+  ( "interval",
+    [
+      Alcotest.test_case "make invalid" `Quick test_make_invalid;
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "join/meet" `Quick test_join_meet;
+      Alcotest.test_case "arith table" `Quick test_arith_table;
+      Alcotest.test_case "mul signs" `Quick test_mul_signs;
+      Alcotest.test_case "div straddle zero" `Quick test_div_straddle_zero;
+      Alcotest.test_case "div positive" `Quick test_div_positive;
+      Alcotest.test_case "abs" `Quick test_abs;
+      Alcotest.test_case "min/max" `Quick test_minmax;
+      Alcotest.test_case "shift" `Quick test_shift;
+      Alcotest.test_case "clamp" `Quick test_clamp;
+      Alcotest.test_case "widen" `Quick test_widen;
+      Alcotest.test_case "exploded" `Quick test_exploded;
+      Alcotest.test_case "observe" `Quick test_observe;
+      Alcotest.test_case "mag" `Quick test_mag;
+      QCheck_alcotest.to_alcotest prop_add_sound;
+      QCheck_alcotest.to_alcotest prop_sub_sound;
+      QCheck_alcotest.to_alcotest prop_mul_sound;
+      QCheck_alcotest.to_alcotest prop_min_sound;
+      QCheck_alcotest.to_alcotest prop_max_sound;
+      QCheck_alcotest.to_alcotest prop_div_sound;
+      QCheck_alcotest.to_alcotest prop_join_upper_bound;
+      QCheck_alcotest.to_alcotest prop_widen_upper_bound;
+      QCheck_alcotest.to_alcotest prop_neg_involution;
+    ] )

@@ -1,0 +1,102 @@
+(* Tests: Dsp.Lms_fir — N-tap adaptation, identification, and the
+   gradient-stalling phenomenon. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t eps = Alcotest.float eps
+
+(* system identification setup: unknown 4-tap channel, white input *)
+let unknown = [| 0.4; -0.2; 0.1; 0.3 |]
+
+let make_stimulus n =
+  let rng = Stats.Rng.create ~seed:77 in
+  let input = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  (* desired = unknown channel applied to the same delayed line the
+     filter sees (pre-shift registers) *)
+  let desired =
+    Array.init n (fun k ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun j h -> if k - 1 - j >= 0 then acc := !acc +. (h *. input.(k - 1 - j)))
+          unknown;
+        !acc)
+  in
+  (input, desired)
+
+let run_sim ?coef_dtype n =
+  let env = Sim.Env.create () in
+  let f = Dsp.Lms_fir.create env ~taps:4 ~mu:0.05 () in
+  (match coef_dtype with Some dt -> Dsp.Lms_fir.set_coef_dtype f dt | None -> ());
+  let input, desired = make_stimulus n in
+  let errs = Array.make n 0.0 in
+  let i = ref 0 in
+  Sim.Engine.run env ~cycles:n (fun _ ->
+      let _, e =
+        Dsp.Lms_fir.step f ~input:(cst input.(!i)) ~desired:(cst desired.(!i))
+      in
+      errs.(!i) <- Sim.Value.fx e;
+      incr i);
+  (env, f, errs)
+
+let test_sim_matches_reference () =
+  let n = 300 in
+  let input, desired = make_stimulus n in
+  let _, es_ref, w_ref = Dsp.Lms_fir.reference ~taps:4 ~mu:0.05 ~input ~desired in
+  let _, f, errs = run_sim n in
+  Array.iteri
+    (fun i e -> check (float_t 1e-9) (Printf.sprintf "e %d" i) es_ref.(i) e)
+    errs;
+  Array.iteri
+    (fun i w -> check (float_t 1e-9) (Printf.sprintf "w %d" i) w_ref.(i) w)
+    (Dsp.Lms_fir.coefs f)
+
+let test_identifies_unknown_system () =
+  let _, f, errs = run_sim 3000 in
+  Array.iteri
+    (fun i w ->
+      check (float_t 0.01) (Printf.sprintf "w[%d] converged" i) unknown.(i) w)
+    (Dsp.Lms_fir.coefs f);
+  check bool_t "error floor" true
+    (Dsp.Lms_fir.tail_mse errs ~tail:500 < 1e-4)
+
+let test_gradient_stalling () =
+  (* coarse coefficient registers stall adaptation: updates below half
+     an LSB vanish and the misadjustment floor rises by orders of
+     magnitude vs fine registers *)
+  let mse_at f_bits =
+    let dt =
+      Fixpt.Dtype.make "W" ~n:(f_bits + 2) ~f:f_bits
+        ~overflow:Fixpt.Overflow_mode.Saturate ()
+    in
+    let _, _, errs = run_sim ~coef_dtype:dt 3000 in
+    Dsp.Lms_fir.tail_mse errs ~tail:500
+  in
+  let coarse = mse_at 4 and mid = mse_at 8 and fine = mse_at 14 in
+  check bool_t "monotone floors" true (coarse > mid && mid > fine);
+  check bool_t "coarse floor much higher" true (coarse > 1000.0 *. fine);
+  check bool_t "fine floor effectively converged" true (fine < 1e-6)
+
+let test_stalled_coefficients_freeze () =
+  let dt =
+    Fixpt.Dtype.make "W" ~n:6 ~f:4 ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let _, f, _ = run_sim ~coef_dtype:dt 3000 in
+  (* the coefficients sit on the coarse grid *)
+  Array.iter
+    (fun w ->
+      check (float_t 1e-12) "on grid" 0.0 (Float.rem w (2.0 ** -4.0)))
+    (Dsp.Lms_fir.coefs f)
+
+let suite =
+  ( "lms-fir",
+    [
+      Alcotest.test_case "sim vs reference" `Quick test_sim_matches_reference;
+      Alcotest.test_case "identifies system" `Quick
+        test_identifies_unknown_system;
+      Alcotest.test_case "gradient stalling" `Quick test_gradient_stalling;
+      Alcotest.test_case "stalled coefficients on grid" `Quick
+        test_stalled_coefficients_freeze;
+    ] )

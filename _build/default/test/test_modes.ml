@@ -1,0 +1,82 @@
+(* Unit tests: Sign_mode, Overflow_mode, Round_mode. *)
+
+open Fixrefine.Fixpt
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let test_sign_roundtrip () =
+  List.iter
+    (fun m ->
+      match Sign_mode.of_string (Sign_mode.to_string m) with
+      | Some m' -> check bool_t "roundtrip" true (Sign_mode.equal m m')
+      | None -> Alcotest.fail "of_string failed")
+    [ Sign_mode.Tc; Sign_mode.Us ]
+
+let test_sign_is_signed () =
+  check bool_t "tc signed" true (Sign_mode.is_signed Sign_mode.Tc);
+  check bool_t "us unsigned" false (Sign_mode.is_signed Sign_mode.Us)
+
+let test_sign_bad_string () =
+  check bool_t "garbage" true (Sign_mode.of_string "xx" = None)
+
+let test_overflow_roundtrip () =
+  List.iter
+    (fun m ->
+      match Overflow_mode.of_string (Overflow_mode.to_string m) with
+      | Some m' -> check bool_t "roundtrip" true (Overflow_mode.equal m m')
+      | None -> Alcotest.fail "of_string failed")
+    [ Overflow_mode.Wrap; Overflow_mode.Saturate; Overflow_mode.Error ]
+
+let test_overflow_aliases () =
+  check bool_t "saturate alias" true
+    (Overflow_mode.of_string "saturate" = Some Overflow_mode.Saturate);
+  check bool_t "error alias" true
+    (Overflow_mode.of_string "error" = Some Overflow_mode.Error)
+
+let test_overflow_saturating () =
+  check bool_t "sat" true (Overflow_mode.is_saturating Overflow_mode.Saturate);
+  check bool_t "wrap" false (Overflow_mode.is_saturating Overflow_mode.Wrap);
+  check bool_t "err" false (Overflow_mode.is_saturating Overflow_mode.Error)
+
+let test_round_roundtrip () =
+  List.iter
+    (fun m ->
+      match Round_mode.of_string (Round_mode.to_string m) with
+      | Some m' -> check bool_t "roundtrip" true (Round_mode.equal m m')
+      | None -> Alcotest.fail "of_string failed")
+    [ Round_mode.Round; Round_mode.Floor ]
+
+let test_round_bias () =
+  check (Alcotest.float 1e-12) "round unbiased" 0.0
+    (Round_mode.expected_bias Round_mode.Round ~step:0.25);
+  check (Alcotest.float 1e-12) "floor biased -q/2" (-0.125)
+    (Round_mode.expected_bias Round_mode.Floor ~step:0.25)
+
+let test_round_cost () =
+  check bool_t "floor cheaper" true
+    (Round_mode.is_cheaper_than Round_mode.Floor Round_mode.Round);
+  check bool_t "round not cheaper" false
+    (Round_mode.is_cheaper_than Round_mode.Round Round_mode.Floor)
+
+let test_pp () =
+  check string_t "tc" "tc" (Format.asprintf "%a" Sign_mode.pp Sign_mode.Tc);
+  check string_t "sat" "sat"
+    (Format.asprintf "%a" Overflow_mode.pp Overflow_mode.Saturate);
+  check string_t "rd" "rd" (Format.asprintf "%a" Round_mode.pp Round_mode.Round)
+
+let suite =
+  ( "modes",
+    [
+      Alcotest.test_case "sign roundtrip" `Quick test_sign_roundtrip;
+      Alcotest.test_case "sign is_signed" `Quick test_sign_is_signed;
+      Alcotest.test_case "sign bad string" `Quick test_sign_bad_string;
+      Alcotest.test_case "overflow roundtrip" `Quick test_overflow_roundtrip;
+      Alcotest.test_case "overflow aliases" `Quick test_overflow_aliases;
+      Alcotest.test_case "overflow saturating" `Quick test_overflow_saturating;
+      Alcotest.test_case "round roundtrip" `Quick test_round_roundtrip;
+      Alcotest.test_case "round bias" `Quick test_round_bias;
+      Alcotest.test_case "round cost" `Quick test_round_cost;
+      Alcotest.test_case "pp" `Quick test_pp;
+    ] )

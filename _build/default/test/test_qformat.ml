@@ -1,0 +1,151 @@
+(* Unit + property tests: Qformat — the positional bookkeeping every
+   other module relies on. *)
+
+open Fixrefine.Fixpt
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let float_t = Alcotest.float 1e-12
+
+let fmt_7_5 = Qformat.make ~n:7 ~f:5 Sign_mode.Tc
+
+let test_positions () =
+  (* the paper's <7,5,tc>: msb = n - f - 1 = 1, lsb = -5 *)
+  check int_t "msb" 1 (Qformat.msb_pos fmt_7_5);
+  check int_t "lsb" (-5) (Qformat.lsb_pos fmt_7_5);
+  check float_t "step" 0.03125 (Qformat.step fmt_7_5)
+
+let test_range_tc () =
+  check float_t "min" (-2.0) (Qformat.min_value fmt_7_5);
+  check float_t "max" (2.0 -. 0.03125) (Qformat.max_value fmt_7_5)
+
+let test_range_us () =
+  let f = Qformat.make ~n:4 ~f:2 Sign_mode.Us in
+  check float_t "min" 0.0 (Qformat.min_value f);
+  check float_t "max" 3.75 (Qformat.max_value f);
+  check int_t "msb" 1 (Qformat.msb_pos f)
+
+let test_of_positions_roundtrip () =
+  let f = Qformat.of_positions ~msb:3 ~lsb:(-4) Sign_mode.Tc in
+  check int_t "n" 8 (Qformat.n f);
+  check int_t "f" 4 (Qformat.f f);
+  check int_t "msb back" 3 (Qformat.msb_pos f);
+  check int_t "lsb back" (-4) (Qformat.lsb_pos f)
+
+let test_of_positions_invalid () =
+  Alcotest.check_raises "msb < lsb"
+    (Invalid_argument "Qformat.of_positions: msb (0) < lsb (1)") (fun () ->
+      ignore (Qformat.of_positions ~msb:0 ~lsb:1 Sign_mode.Tc))
+
+let test_negative_f () =
+  (* f < 0: coarse grids with step > 1 *)
+  let f = Qformat.make ~n:4 ~f:(-2) Sign_mode.Tc in
+  check float_t "step 4" 4.0 (Qformat.step f);
+  check float_t "max" 28.0 (Qformat.max_value f);
+  check float_t "min" (-32.0) (Qformat.min_value f)
+
+let test_contains () =
+  check bool_t "0 in" true (Qformat.contains fmt_7_5 0.0);
+  check bool_t "min in" true (Qformat.contains fmt_7_5 (-2.0));
+  check bool_t "2.0 out" false (Qformat.contains fmt_7_5 2.0);
+  check bool_t "max in" true (Qformat.contains fmt_7_5 (2.0 -. 0.03125))
+
+let test_is_exact () =
+  check bool_t "grid point" true (Qformat.is_exact fmt_7_5 0.15625);
+  check bool_t "off grid" false (Qformat.is_exact fmt_7_5 0.16);
+  check bool_t "out of range" false (Qformat.is_exact fmt_7_5 5.0)
+
+let test_required_msb_examples () =
+  (* the paper's F: x in (-1.5, 1.5) needs msb 1 *)
+  let f vmin vmax =
+    match Qformat.required_msb Sign_mode.Tc ~vmin ~vmax with
+    | Some m -> m
+    | None -> Alcotest.fail "unbounded"
+  in
+  check int_t "±1.5" 1 (f (-1.5) 1.5);
+  check int_t "±1.0 (max side)" 1 (f (-1.0) 1.0);
+  check int_t "exactly -2 fits msb 1" 1 (f (-2.0) 1.0);
+  check int_t "+2 needs msb 2" 2 (f 0.0 2.0);
+  check int_t "small" (-3) (f (-0.1) 0.1);
+  check int_t "zero" 0 (f 0.0 0.0)
+
+let test_required_msb_asymmetry () =
+  (* two's complement asymmetry: [-2^m, 2^m) *)
+  let f vmin vmax =
+    Option.get (Qformat.required_msb Sign_mode.Tc ~vmin ~vmax)
+  in
+  check int_t "-4 fits m=2" 2 (f (-4.0) 0.0);
+  check int_t "+4 needs m=3" 3 (f 0.0 4.0)
+
+let test_required_msb_unsigned () =
+  let f vmax = Option.get (Qformat.required_msb Sign_mode.Us ~vmin:0.0 ~vmax) in
+  check int_t "3.9 -> top bit 1" 1 (f 3.9);
+  check int_t "4.0 -> top bit 2" 2 (f 4.0);
+  check int_t "0.7 -> top bit -1" (-1) (f 0.7)
+
+let test_required_msb_infinite () =
+  check bool_t "inf unbounded" true
+    (Qformat.required_msb Sign_mode.Tc ~vmin:0.0 ~vmax:Float.infinity = None)
+
+let test_widen_for_range () =
+  match Qformat.widen_for_range fmt_7_5 ~vmin:(-3.0) ~vmax:3.0 with
+  | Some f ->
+      check int_t "msb grew" 2 (Qformat.msb_pos f);
+      check int_t "lsb kept" (-5) (Qformat.lsb_pos f)
+  | None -> Alcotest.fail "should be bounded"
+
+let test_to_string () =
+  check Alcotest.string "format" "<7,5,tc>" (Qformat.to_string fmt_7_5)
+
+(* property: required_msb really is minimal and sufficient *)
+let prop_required_msb_sound =
+  QCheck2.Test.make ~name:"required_msb covers and is minimal" ~count:500
+    QCheck2.Gen.(
+      pair (float_range (-1000.0) 1000.0) (float_range 0.0 1000.0))
+    (fun (a, width) ->
+      let vmin = a and vmax = a +. width in
+      match Qformat.required_msb Sign_mode.Tc ~vmin ~vmax with
+      | None -> false
+      | Some m ->
+          let covers k = -.(2.0 ** Float.of_int k) <= vmin && vmax < 2.0 ** Float.of_int k in
+          covers m && ((not (covers (m - 1))) || m = m)
+          &&
+          (* minimality: m-1 must fail unless m is forced by the other side *)
+          not (covers (m - 1)))
+
+let prop_step_times_cardinal =
+  QCheck2.Test.make ~name:"step * 2^n spans the tc range" ~count:200
+    QCheck2.Gen.(pair (int_range 1 40) (int_range (-10) 20))
+    (fun (n, f) ->
+      let fmt = Qformat.make ~n ~f Sign_mode.Tc in
+      let span = Qformat.max_value fmt -. Qformat.min_value fmt in
+      Float.abs (span -. ((Qformat.cardinal fmt -. 1.0) *. Qformat.step fmt))
+      < 1e-9 *. Float.abs span +. 1e-12)
+
+let suite =
+  ( "qformat",
+    [
+      Alcotest.test_case "positions" `Quick test_positions;
+      Alcotest.test_case "tc range" `Quick test_range_tc;
+      Alcotest.test_case "us range" `Quick test_range_us;
+      Alcotest.test_case "of_positions roundtrip" `Quick
+        test_of_positions_roundtrip;
+      Alcotest.test_case "of_positions invalid" `Quick
+        test_of_positions_invalid;
+      Alcotest.test_case "negative f" `Quick test_negative_f;
+      Alcotest.test_case "contains" `Quick test_contains;
+      Alcotest.test_case "is_exact" `Quick test_is_exact;
+      Alcotest.test_case "required_msb examples" `Quick
+        test_required_msb_examples;
+      Alcotest.test_case "required_msb asymmetry" `Quick
+        test_required_msb_asymmetry;
+      Alcotest.test_case "required_msb unsigned" `Quick
+        test_required_msb_unsigned;
+      Alcotest.test_case "required_msb infinite" `Quick
+        test_required_msb_infinite;
+      Alcotest.test_case "widen_for_range" `Quick test_widen_for_range;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      QCheck_alcotest.to_alcotest prop_required_msb_sound;
+      QCheck_alcotest.to_alcotest prop_step_times_cardinal;
+    ] )

@@ -1,0 +1,178 @@
+(* Unit + property tests: Quantize — the cast every assignment performs. *)
+
+open Fixrefine.Fixpt
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t = Alcotest.float 1e-12
+
+let dt ?(n = 8) ?(f = 6) ?(overflow = Overflow_mode.Wrap)
+    ?(round = Round_mode.Round) () =
+  Dtype.make "t" ~n ~f ~overflow ~round ()
+
+let test_exact_passthrough () =
+  let d = dt () in
+  check float_t "grid value unchanged" 0.5 (Quantize.cast d 0.5);
+  check float_t "negative grid" (-1.25) (Quantize.cast d (-1.25))
+
+let test_round_nearest () =
+  let d = dt () in
+  (* step = 1/64 = 0.015625 *)
+  check float_t "rounds up" 0.015625 (Quantize.cast d 0.012);
+  check float_t "rounds down" 0.0 (Quantize.cast d 0.007)
+
+let test_round_half_away () =
+  let d = dt () in
+  check float_t "+half away" 0.03125 (Quantize.cast d 0.0234375);
+  check float_t "-half away" (-0.03125) (Quantize.cast d (-0.0234375))
+
+let test_floor () =
+  let d = dt ~round:Round_mode.Floor () in
+  check float_t "floors positive" 0.0 (Quantize.cast d 0.0155);
+  check float_t "floors negative" (-0.015625) (Quantize.cast d (-0.0001))
+
+let test_saturate () =
+  let d = dt ~overflow:Overflow_mode.Saturate () in
+  check float_t "clamps high" (2.0 -. 0.015625) (Quantize.cast d 5.0);
+  check float_t "clamps low" (-2.0) (Quantize.cast d (-7.0))
+
+let test_wrap () =
+  let d = dt ~overflow:Overflow_mode.Wrap () in
+  (* range [-2, 2): 2.0 wraps to -2.0; 2.5 wraps to -1.5 *)
+  check float_t "wrap at boundary" (-2.0) (Quantize.cast d 2.0);
+  check float_t "wrap" (-1.5) (Quantize.cast d 2.5);
+  check float_t "wrap low" 1.5 (Quantize.cast d (-2.5))
+
+let test_error_mode_reports () =
+  let d = dt ~overflow:Overflow_mode.Error () in
+  let out = Quantize.quantize d 3.0 in
+  check bool_t "overflow reported" true (out.Quantize.overflow <> None);
+  (match out.Quantize.overflow with
+  | Some ev ->
+      check bool_t "direction above" true (ev.Quantize.direction = `Above)
+  | None -> ());
+  let ok = Quantize.quantize d 1.5 in
+  check bool_t "no overflow in range" true (ok.Quantize.overflow = None)
+
+let test_rounding_error_field () =
+  let d = dt () in
+  let out = Quantize.quantize d 0.012 in
+  check float_t "rounding error" (0.015625 -. 0.012)
+    out.Quantize.rounding_error
+
+let test_unsigned () =
+  let d = Dtype.make "u" ~n:4 ~f:2 ~sign:Sign_mode.Us () in
+  check float_t "in range" 2.25 (Quantize.cast d 2.25);
+  let sat = Dtype.with_overflow d Overflow_mode.Saturate in
+  check float_t "clamps at 0" 0.0 (Quantize.cast sat (-1.0));
+  check float_t "clamps at max" 3.75 (Quantize.cast sat 9.0)
+
+let test_infinity_saturates () =
+  let d = dt ~overflow:Overflow_mode.Saturate () in
+  check float_t "+inf" (2.0 -. 0.015625) (Quantize.cast d Float.infinity);
+  check float_t "-inf" (-2.0) (Quantize.cast d Float.neg_infinity)
+
+let test_nan_rejected () =
+  let d = dt () in
+  Alcotest.check_raises "nan" (Invalid_argument "Quantize.quantize: nan")
+    (fun () -> ignore (Quantize.cast d Float.nan))
+
+let test_huge_value_saturates () =
+  (* the float fallback path for range-explosion magnitudes *)
+  let d = dt ~overflow:Overflow_mode.Saturate () in
+  check float_t "1e30 clamps" (2.0 -. 0.015625) (Quantize.cast d 1.0e30)
+
+let test_noise_model () =
+  let d = dt () in
+  let q, mean, var = Quantize.noise_model d in
+  check float_t "step" 0.015625 q;
+  check float_t "round mean" 0.0 mean;
+  check float_t "variance q^2/12" (q *. q /. 12.0) var;
+  let fl = dt ~round:Round_mode.Floor () in
+  let _, mean_f, _ = Quantize.noise_model fl in
+  check float_t "floor mean" (-.q /. 2.0) mean_f
+
+(* properties *)
+
+let gen_value = QCheck2.Gen.float_range (-1000.0) 1000.0
+
+let prop_result_representable =
+  QCheck2.Test.make ~name:"quantize output is representable" ~count:1000
+    QCheck2.Gen.(triple gen_value (int_range 2 24) (int_range (-4) 20))
+    (fun (v, n, f) ->
+      let d = dt ~n ~f ~overflow:Overflow_mode.Saturate () in
+      let out = Quantize.cast d v in
+      Qformat.is_exact (Dtype.fmt d) out)
+
+let prop_round_error_bounded =
+  QCheck2.Test.make ~name:"in-range rounding error <= step/2" ~count:1000
+    (QCheck2.Gen.float_range (-1.9) 1.9)
+    (fun v ->
+      let d = dt () in
+      let out = Quantize.quantize d v in
+      out.Quantize.overflow <> None
+      || Float.abs (out.Quantize.value -. v) <= 0.015625 /. 2.0 +. 1e-12)
+
+let prop_floor_error_negative =
+  QCheck2.Test.make ~name:"floor error in (-step, 0]" ~count:1000
+    (QCheck2.Gen.float_range (-1.9) 1.9)
+    (fun v ->
+      let d = dt ~round:Round_mode.Floor () in
+      let out = Quantize.quantize d v in
+      out.Quantize.overflow <> None
+      ||
+      let e = out.Quantize.value -. v in
+      e <= 1e-12 && e > -0.015625)
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"quantize is idempotent" ~count:1000
+    QCheck2.Gen.(pair gen_value (int_range 2 20))
+    (fun (v, n) ->
+      let d = dt ~n ~f:(n - 2) ~overflow:Overflow_mode.Saturate () in
+      let once = Quantize.cast d v in
+      Quantize.cast d once = once)
+
+let prop_monotone_saturating =
+  QCheck2.Test.make ~name:"saturating quantization is monotone" ~count:1000
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      let d = dt ~overflow:Overflow_mode.Saturate () in
+      let lo = Float.min a b and hi = Float.max a b in
+      Quantize.cast d lo <= Quantize.cast d hi)
+
+let prop_wrap_congruent =
+  QCheck2.Test.make ~name:"wrap result congruent mod span" ~count:1000
+    (QCheck2.Gen.float_range (-100.0) 100.0)
+    (fun v ->
+      let d = dt ~round:Round_mode.Floor () in
+      let out = Quantize.cast d v in
+      let span = 4.0 (* <8,6>: [-2,2) *) in
+      let diff = Float.floor (v /. 0.015625) *. 0.015625 -. out in
+      Float.abs (Float.rem diff span) < 1e-9
+      || Float.abs (Float.abs (Float.rem diff span) -. span) < 1e-9)
+
+let suite =
+  ( "quantize",
+    [
+      Alcotest.test_case "exact passthrough" `Quick test_exact_passthrough;
+      Alcotest.test_case "round nearest" `Quick test_round_nearest;
+      Alcotest.test_case "round half away" `Quick test_round_half_away;
+      Alcotest.test_case "floor" `Quick test_floor;
+      Alcotest.test_case "saturate" `Quick test_saturate;
+      Alcotest.test_case "wrap" `Quick test_wrap;
+      Alcotest.test_case "error mode reports" `Quick test_error_mode_reports;
+      Alcotest.test_case "rounding error field" `Quick
+        test_rounding_error_field;
+      Alcotest.test_case "unsigned" `Quick test_unsigned;
+      Alcotest.test_case "infinity saturates" `Quick test_infinity_saturates;
+      Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+      Alcotest.test_case "huge value saturates" `Quick
+        test_huge_value_saturates;
+      Alcotest.test_case "noise model" `Quick test_noise_model;
+      QCheck_alcotest.to_alcotest prop_result_representable;
+      QCheck_alcotest.to_alcotest prop_round_error_bounded;
+      QCheck_alcotest.to_alcotest prop_floor_error_negative;
+      QCheck_alcotest.to_alcotest prop_idempotent;
+      QCheck_alcotest.to_alcotest prop_monotone_saturating;
+      QCheck_alcotest.to_alcotest prop_wrap_congruent;
+    ] )

@@ -1,0 +1,336 @@
+(* Unit + property tests: Sfg — graph construction, interpretation, and
+   the analytical range/noise analyses. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-9
+
+(* feed-forward: y = 2x + 1 on x ∈ [-1, 1] *)
+let ff_graph () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let two = Sfg.Graph.const g ~name:"two" 2.0 in
+  let one = Sfg.Graph.const g ~name:"one" 1.0 in
+  let p = Sfg.Graph.mul g ~name:"p" x two in
+  let y = Sfg.Graph.add g ~name:"y" p one in
+  Sfg.Graph.mark_output g "y" y;
+  g
+
+(* accumulator: acc' = acc + x — the §5.1 case-(b) pattern *)
+let acc_graph () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let acc = Sfg.Graph.delay g "acc" in
+  let sum = Sfg.Graph.add g ~name:"sum" acc x in
+  Sfg.Graph.connect_delay g acc sum;
+  Sfg.Graph.mark_output g "sum" sum;
+  g
+
+(* damped loop: acc' = 0.5·acc + x — converges to [-2, 2] *)
+let damped_graph () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let acc = Sfg.Graph.delay g "acc" in
+  let half = Sfg.Graph.const g 0.5 in
+  let scaled = Sfg.Graph.mul g ~name:"scaled" acc half in
+  let sum = Sfg.Graph.add g ~name:"sum" scaled x in
+  Sfg.Graph.connect_delay g acc sum;
+  g
+
+let test_arity_checked () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:0.0 ~hi:1.0 in
+  check bool_t "bad arity raises" true
+    (try
+       ignore (Sfg.Graph.fresh g ~name:"bad" ~op:Sfg.Node.Add ~inputs:[ x ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_pending_delay () =
+  let g = Sfg.Graph.create () in
+  let _ = Sfg.Graph.delay g "dangling" in
+  check bool_t "invalid" true (Result.is_error (Sfg.Graph.validate g))
+
+let test_simulate_ff () =
+  let g = ff_graph () in
+  let traces = Sfg.Graph.simulate g ~steps:3 ~inputs:(fun _ i -> Float.of_int i) in
+  let y = List.assoc "y" traces in
+  check float_t "y0" 1.0 y.(0);
+  check float_t "y1" 3.0 y.(1);
+  check float_t "y2" 5.0 y.(2)
+
+let test_simulate_delay_semantics () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:0.0 ~hi:10.0 in
+  let d = Sfg.Graph.delay_of g ~init:7.0 "d" x in
+  Sfg.Graph.mark_output g "d" d;
+  let traces = Sfg.Graph.simulate g ~steps:3 ~inputs:(fun _ i -> Float.of_int i) in
+  let d = List.assoc "d" traces in
+  check float_t "initial value at t0" 7.0 d.(0);
+  check float_t "one-cycle delay" 0.0 d.(1);
+  check float_t "one-cycle delay 2" 1.0 d.(2)
+
+let test_simulate_feedback_accumulates () =
+  let g = acc_graph () in
+  let traces = Sfg.Graph.simulate g ~steps:4 ~inputs:(fun _ _ -> 1.0) in
+  let sum = List.assoc "sum" traces in
+  check float_t "t3" 4.0 sum.(3)
+
+let test_range_ff_exact () =
+  let r = Sfg.Range_analysis.run (ff_graph ()) in
+  check bool_t "y = [-1, 3]" true
+    (Sfg.Range_analysis.range_of r "y" = Some (Interval.make (-1.0) 3.0));
+  check bool_t "fast fixpoint" true (r.Sfg.Range_analysis.iterations <= 3)
+
+let test_range_accumulator_explodes () =
+  let r = Sfg.Range_analysis.run (acc_graph ()) in
+  check bool_t "explodes" true
+    (List.mem "acc" r.Sfg.Range_analysis.exploded);
+  check bool_t "terminates" true (r.Sfg.Range_analysis.iterations < 64)
+
+let test_range_damped_converges () =
+  let r = Sfg.Range_analysis.run ~widen_after:40 (damped_graph ()) in
+  check bool_t "no explosion" true (r.Sfg.Range_analysis.exploded = []);
+  match Sfg.Range_analysis.range_of r "sum" with
+  | Some iv ->
+      (* limit is [-2, 2]; iteration stops within tolerance *)
+      check bool_t "bounded by 2.01" true (Interval.mag iv <= 2.01);
+      check bool_t "at least 1.9" true (Interval.mag iv >= 1.9)
+  | None -> Alcotest.fail "no range"
+
+let test_range_saturate_breaks_explosion () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let acc = Sfg.Graph.delay g "acc" in
+  let bounded = Sfg.Graph.saturate g ~name:"acc.range" acc ~lo:(-4.0) ~hi:4.0 in
+  let sum = Sfg.Graph.add g ~name:"sum" bounded x in
+  Sfg.Graph.connect_delay g acc sum;
+  let r = Sfg.Range_analysis.run g in
+  check bool_t "no explosion" true (r.Sfg.Range_analysis.exploded = []);
+  check bool_t "sum range [-5,5]" true
+    (Sfg.Range_analysis.range_of r "sum" = Some (Interval.make (-5.0) 5.0))
+
+let test_range_msb_of () =
+  let r = Sfg.Range_analysis.run (ff_graph ()) in
+  check bool_t "msb of y([-1,3]) = 2" true
+    (Sfg.Range_analysis.msb_of r "y" = Some 2)
+
+(* property: analytical ranges are sound w.r.t. execution on random
+   stimuli (feed-forward random graphs) *)
+let prop_range_sound_on_execution =
+  QCheck2.Test.make ~name:"analysis covers execution" ~count:100
+    QCheck2.Gen.(
+      pair (list_size (return 8) (int_range 0 3)) (int_range 0 1000))
+    (fun (ops, seed) ->
+      let g = Sfg.Graph.create () in
+      let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+      let nodes = ref [ x ] in
+      List.iteri
+        (fun i op ->
+          let pick k = List.nth !nodes (k mod List.length !nodes) in
+          let name = Printf.sprintf "n%d" i in
+          let id =
+            match op with
+            | 0 -> Sfg.Graph.add g ~name (pick i) (pick (i + 1))
+            | 1 -> Sfg.Graph.sub g ~name (pick i) (pick (i + 1))
+            | 2 -> Sfg.Graph.mul g ~name (pick i) (pick (i + 1))
+            | _ -> Sfg.Graph.delay_of g name (pick i)
+          in
+          nodes := id :: !nodes)
+        ops;
+      let r = Sfg.Range_analysis.run g in
+      let rng = Stats.Rng.create ~seed in
+      let traces =
+        Sfg.Graph.simulate g ~steps:50 ~inputs:(fun _ _ ->
+            Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      List.for_all
+        (fun (name, trace) ->
+          match Sfg.Range_analysis.range_of r name with
+          | None -> true
+          | Some iv -> Array.for_all (fun v -> Interval.mem v iv) trace)
+        traces)
+
+(* --- noise analysis ---------------------------------------------------- *)
+
+let quantized_chain () =
+  (* x --quantize--> q --*0.5--> y : output noise = 0.5²·q²/12 *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let dt = Fixpt.Dtype.make "t" ~n:8 ~f:6 () in
+  let q = Sfg.Graph.quantize g ~name:"q" dt x in
+  let half = Sfg.Graph.const g 0.5 in
+  let y = Sfg.Graph.mul g ~name:"y" q half in
+  Sfg.Graph.mark_output g "y" y;
+  (g, Fixpt.Dtype.step dt)
+
+let test_noise_single_quantizer () =
+  let g, step = quantized_chain () in
+  let ranges = Sfg.Range_analysis.run g in
+  let nz = Sfg.Noise_analysis.run g ~ranges in
+  let expected = sqrt (step *. step /. 12.0) *. 0.5 in
+  match Sfg.Noise_analysis.sigma_of nz "y" with
+  | Some s -> check (Alcotest.float 1e-12) "scaled quantizer sigma" expected s
+  | None -> Alcotest.fail "no sigma"
+
+let test_noise_adds_variances () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let dt = Fixpt.Dtype.make "t" ~n:8 ~f:6 () in
+  let q1 = Sfg.Graph.quantize g ~name:"q1" dt x in
+  let q2 = Sfg.Graph.quantize g ~name:"q2" dt x in
+  let y = Sfg.Graph.add g ~name:"y" q1 q2 in
+  Sfg.Graph.mark_output g "y" y;
+  let ranges = Sfg.Range_analysis.run g in
+  let nz = Sfg.Noise_analysis.run g ~ranges in
+  let qvar = Fixpt.Dtype.step dt ** 2.0 /. 12.0 in
+  match Sfg.Noise_analysis.moments_of nz "y" with
+  | Some m ->
+      check (Alcotest.float 1e-15) "sum of variances" (2.0 *. qvar)
+        m.Sfg.Noise_analysis.var
+  | None -> Alcotest.fail "no moments"
+
+let test_noise_input_source () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  Sfg.Graph.mark_output g "x" x;
+  let ranges = Sfg.Range_analysis.run g in
+  let nz =
+    Sfg.Noise_analysis.run g ~ranges ~input_noise:(fun _ ->
+        { Sfg.Noise_analysis.mean = 0.0; var = 1e-4 })
+  in
+  check bool_t "source noise shows" true
+    (Sfg.Noise_analysis.sigma_of nz "x" = Some 0.01)
+
+let test_noise_stable_loop_converges () =
+  (* acc' = 0.5·acc + q(x): loop gain 0.25 in variance; total =
+     qvar/(1-0.25) *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let dt = Fixpt.Dtype.make "t" ~n:8 ~f:6 () in
+  let q = Sfg.Graph.quantize g ~name:"q" dt x in
+  let acc = Sfg.Graph.delay g "acc" in
+  let bounded = Sfg.Graph.saturate g ~name:"b" acc ~lo:(-2.0) ~hi:2.0 in
+  let half = Sfg.Graph.const g 0.5 in
+  let scaled = Sfg.Graph.mul g ~name:"scaled" bounded half in
+  let sum = Sfg.Graph.add g ~name:"sum" scaled q in
+  Sfg.Graph.connect_delay g acc sum;
+  let ranges = Sfg.Range_analysis.run g in
+  let nz = Sfg.Noise_analysis.run g ~ranges in
+  check bool_t "converged" true (nz.Sfg.Noise_analysis.diverged = []);
+  let qvar = Fixpt.Dtype.step dt ** 2.0 /. 12.0 in
+  match Sfg.Noise_analysis.moments_of nz "sum" with
+  | Some m ->
+      check (Alcotest.float 1e-9) "geometric series limit"
+        (qvar /. 0.75) m.Sfg.Noise_analysis.var
+  | None -> Alcotest.fail "no moments"
+
+let test_noise_unstable_loop_diverges () =
+  (* acc' = 1.5·acc + q(x): variance gain 2.25 > 1 *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let dt = Fixpt.Dtype.make "t" ~n:8 ~f:6 () in
+  let q = Sfg.Graph.quantize g ~name:"q" dt x in
+  let acc = Sfg.Graph.delay g "acc" in
+  let bounded = Sfg.Graph.saturate g ~name:"b" acc ~lo:(-2.0) ~hi:2.0 in
+  let k = Sfg.Graph.const g 1.5 in
+  let scaled = Sfg.Graph.mul g ~name:"scaled" bounded k in
+  let sum = Sfg.Graph.add g ~name:"sum" scaled q in
+  Sfg.Graph.connect_delay g acc sum;
+  let ranges = Sfg.Range_analysis.run g in
+  let nz = Sfg.Noise_analysis.run g ~ranges ~max_iter:256 in
+  check bool_t "divergence detected" true
+    (List.mem "sum" nz.Sfg.Noise_analysis.diverged
+    || List.mem "acc" nz.Sfg.Noise_analysis.diverged)
+
+(* --- wordlength (analytical baseline) ---------------------------------- *)
+
+let test_wordlength_budget_respected () =
+  let g, _ = quantized_chain () in
+  let wl = Sfg.Wordlength.assign g ~output:"y" ~sigma_budget:1e-3 in
+  check bool_t "no explosions" true (wl.Sfg.Wordlength.exploded = []);
+  check bool_t "total bits computed" true
+    (wl.Sfg.Wordlength.total_bits <> None);
+  (* verify the budget analytically: re-run noise with assigned LSBs *)
+  List.iter
+    (fun (a : Sfg.Wordlength.assignment) ->
+      match (a.Sfg.Wordlength.msb, a.Sfg.Wordlength.lsb) with
+      | Some m, Some l -> check bool_t "msb >= lsb" true (m >= l)
+      | _ -> ())
+    wl.Sfg.Wordlength.assignments
+
+let test_wordlength_tighter_budget_more_bits () =
+  let g, _ = quantized_chain () in
+  let loose = Sfg.Wordlength.assign g ~output:"y" ~sigma_budget:1e-2 in
+  let tight = Sfg.Wordlength.assign g ~output:"y" ~sigma_budget:1e-5 in
+  match (loose.Sfg.Wordlength.total_bits, tight.Sfg.Wordlength.total_bits) with
+  | Some a, Some b -> check bool_t "tighter costs more" true (b > a)
+  | _ -> Alcotest.fail "expected totals"
+
+let test_wordlength_explosion_reported () =
+  let wl = Sfg.Wordlength.assign (acc_graph ()) ~output:"sum" ~sigma_budget:1e-3 in
+  check bool_t "exploded" true (wl.Sfg.Wordlength.exploded <> []);
+  check bool_t "no total" true (wl.Sfg.Wordlength.total_bits = None)
+
+(* --- dot --------------------------------------------------------------- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_render () =
+  let g = ff_graph () in
+  let ranges = Sfg.Range_analysis.run g in
+  let dot = Sfg.Dot.render ~ranges g in
+  check bool_t "digraph" true (contains "digraph sfg" dot);
+  check bool_t "node" true (contains "x\\ninput" dot);
+  check bool_t "edge" true (contains "->" dot);
+  check bool_t "range annotation" true (contains "[-1, 3]" dot);
+  check bool_t "output port" true (contains "out_y" dot)
+
+let test_dot_delay_dashed () =
+  let dot = Sfg.Dot.render (acc_graph ()) in
+  check bool_t "feedback dashed" true (contains "style=dashed" dot)
+
+let suite =
+  ( "sfg",
+    [
+      Alcotest.test_case "arity checked" `Quick test_arity_checked;
+      Alcotest.test_case "validate pending delay" `Quick
+        test_validate_pending_delay;
+      Alcotest.test_case "simulate ff" `Quick test_simulate_ff;
+      Alcotest.test_case "simulate delay" `Quick
+        test_simulate_delay_semantics;
+      Alcotest.test_case "simulate feedback" `Quick
+        test_simulate_feedback_accumulates;
+      Alcotest.test_case "range ff exact" `Quick test_range_ff_exact;
+      Alcotest.test_case "range accumulator explodes" `Quick
+        test_range_accumulator_explodes;
+      Alcotest.test_case "range damped converges" `Quick
+        test_range_damped_converges;
+      Alcotest.test_case "saturate breaks explosion" `Quick
+        test_range_saturate_breaks_explosion;
+      Alcotest.test_case "range msb_of" `Quick test_range_msb_of;
+      QCheck_alcotest.to_alcotest prop_range_sound_on_execution;
+      Alcotest.test_case "noise single quantizer" `Quick
+        test_noise_single_quantizer;
+      Alcotest.test_case "noise adds variances" `Quick
+        test_noise_adds_variances;
+      Alcotest.test_case "noise input source" `Quick test_noise_input_source;
+      Alcotest.test_case "noise stable loop" `Quick
+        test_noise_stable_loop_converges;
+      Alcotest.test_case "noise unstable loop" `Quick
+        test_noise_unstable_loop_diverges;
+      Alcotest.test_case "wordlength budget" `Quick
+        test_wordlength_budget_respected;
+      Alcotest.test_case "wordlength budget scaling" `Quick
+        test_wordlength_tighter_budget_more_bits;
+      Alcotest.test_case "wordlength explosion" `Quick
+        test_wordlength_explosion_reported;
+      Alcotest.test_case "dot render" `Quick test_dot_render;
+      Alcotest.test_case "dot delay dashed" `Quick test_dot_delay_dashed;
+    ] )

@@ -1,0 +1,207 @@
+(* Unit tests: Sig_array, Channel, Engine, Vcd — the rest of the design
+   environment. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-12
+
+(* --- Sig_array --------------------------------------------------------- *)
+
+let test_array_names () =
+  let env = Sim.Env.create () in
+  let a = Sim.Sig_array.create env "d" 3 in
+  check Alcotest.string "indexed name" "d[1]"
+    (Sim.Signal.name (Sim.Sig_array.get a 1));
+  check int_t "length" 3 (Sim.Sig_array.length a)
+
+let test_array_bounds () =
+  let env = Sim.Env.create () in
+  let a = Sim.Sig_array.create env "d" 2 in
+  check bool_t "oob raises" true
+    (try
+       ignore (Sim.Sig_array.get a 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_array_init_values () =
+  let env = Sim.Env.create () in
+  let a = Sim.Sig_array.create env "c" 3 in
+  Sim.Sig_array.init_values a [| 0.5; -0.25; 1.0 |];
+  check float_t "c[0]" 0.5 (Sim.Signal.peek_fx (Sim.Sig_array.get a 0));
+  check float_t "c[2]" 1.0 (Sim.Signal.peek_fx (Sim.Sig_array.get a 2))
+
+let test_array_delay_line () =
+  (* the paper's d[i] = d[i-1] shift with regarray semantics *)
+  let env = Sim.Env.create () in
+  let d = Sim.Sig_array.create_reg env "d" 3 in
+  let shift v =
+    Sim.Sig_array.get d 0 <-- cst v;
+    for i = 2 downto 1 do
+      Sim.Sig_array.get d i <-- !!(Sim.Sig_array.get d (i - 1))
+    done;
+    Sim.Env.tick env
+  in
+  shift 1.0;
+  shift 2.0;
+  shift 3.0;
+  check float_t "d0 newest" 3.0 (Sim.Signal.peek_fx (Sim.Sig_array.get d 0));
+  check float_t "d1" 2.0 (Sim.Signal.peek_fx (Sim.Sig_array.get d 1));
+  check float_t "d2 oldest" 1.0 (Sim.Signal.peek_fx (Sim.Sig_array.get d 2))
+
+let test_array_shift_order_independent () =
+  (* with registers, shifting in ascending order gives the same result *)
+  let env = Sim.Env.create () in
+  let d = Sim.Sig_array.create_reg env "d" 3 in
+  let shift_ascending v =
+    for i = 2 downto 1 do
+      Sim.Sig_array.get d i <-- !!(Sim.Sig_array.get d (i - 1))
+    done;
+    Sim.Sig_array.get d 0 <-- cst v;
+    Sim.Env.tick env
+  in
+  shift_ascending 1.0;
+  shift_ascending 2.0;
+  check float_t "no fall-through" 1.0
+    (Sim.Signal.peek_fx (Sim.Sig_array.get d 1))
+
+let test_array_set_dtype_range () =
+  let env = Sim.Env.create () in
+  let a = Sim.Sig_array.create env "a" 2 in
+  Sim.Sig_array.set_dtype a (Fixpt.Dtype.make "t" ~n:4 ~f:2 ());
+  Sim.Sig_array.range a (-1.0) 1.0;
+  Sim.Sig_array.iter
+    (fun s ->
+      check bool_t "typed" true (Sim.Signal.dtype s <> None);
+      check bool_t "ranged" true (Sim.Signal.explicit_range s <> None))
+    a
+
+(* --- Channel ----------------------------------------------------------- *)
+
+let test_channel_fifo () =
+  let c = Sim.Channel.create "c" in
+  Sim.Channel.put c 1.0;
+  Sim.Channel.put c 2.0;
+  check float_t "fifo order" 1.0 (Sim.Channel.get c);
+  check float_t "fifo order 2" 2.0 (Sim.Channel.get c);
+  check bool_t "then empty" true
+    (try
+       ignore (Sim.Channel.get c);
+       false
+     with Sim.Channel.Empty _ -> true)
+
+let test_channel_producer () =
+  let c = Sim.Channel.of_fun "src" (fun i -> Float.of_int i *. 0.5) in
+  check float_t "f 0" 0.0 (Sim.Channel.get c);
+  check float_t "f 1" 0.5 (Sim.Channel.get c);
+  Sim.Channel.clear c;
+  check float_t "restarts after clear" 0.0 (Sim.Channel.get c)
+
+let test_channel_record () =
+  let c = Sim.Channel.create ~record:true "sink" in
+  Sim.Channel.put c 1.0;
+  Sim.Channel.put c (-1.0);
+  check bool_t "history" true (Sim.Channel.recorded c = [ 1.0; -1.0 ])
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let test_engine_run_ticks () =
+  let env = Sim.Env.create () in
+  let r = Sim.Signal.create_reg env "acc" in
+  Sim.Engine.run env ~cycles:5 (fun _ -> r <-- !!r +: cst 1.0);
+  check float_t "accumulated" 5.0 (Sim.Signal.peek_fx r);
+  check int_t "time advanced" 5 (Sim.Env.time env)
+
+let test_engine_run_until () =
+  let env = Sim.Env.create () in
+  let r = Sim.Signal.create_reg env "acc" in
+  let n =
+    Sim.Engine.run_until env (fun _ ->
+        r <-- !!r +: cst 1.0;
+        Sim.Signal.peek_fx r < 2.5)
+  in
+  check int_t "stopped at 3" 4 n
+
+let test_engine_processors () =
+  let env = Sim.Env.create () in
+  let a = Sim.Signal.create_reg env "a" in
+  let b = Sim.Signal.create_reg env "b" in
+  let eng = Sim.Engine.create env in
+  Sim.Engine.add eng (Sim.Engine.processor "p1" (fun _ -> a <-- !!a +: cst 1.0));
+  Sim.Engine.add eng (Sim.Engine.processor "p2" (fun _ -> b <-- !!a *: cst 2.0));
+  Sim.Engine.run_processors eng ~cycles:3;
+  check float_t "a" 3.0 (Sim.Signal.peek_fx a);
+  (* p2 saw a's pre-tick value each cycle: b = 2 * a(t-1) = 4 *)
+  check float_t "b one cycle behind" 4.0 (Sim.Signal.peek_fx b)
+
+(* --- Vcd --------------------------------------------------------------- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_vcd_structure () =
+  let env = Sim.Env.create () in
+  let s = Sim.Signal.create env "sig_a" in
+  let vcd = Sim.Vcd.create () in
+  Sim.Vcd.probe vcd s;
+  Sim.Vcd.start vcd;
+  s <-- cst 0.5;
+  Sim.Vcd.sample vcd ~time:0;
+  s <-- cst (-0.5);
+  Sim.Vcd.sample vcd ~time:1;
+  let text = Sim.Vcd.contents vcd in
+  check bool_t "header" true (contains "$enddefinitions" text);
+  check bool_t "var decl" true (contains "$var real 64 ! sig_a $end" text);
+  check bool_t "time 0" true (contains "#0" text);
+  check bool_t "value" true (contains "r0.5 !" text);
+  check bool_t "time 1" true (contains "#1" text)
+
+let test_vcd_monotone_time () =
+  let env = Sim.Env.create () in
+  let s = Sim.Signal.create env "s" in
+  let vcd = Sim.Vcd.create () in
+  Sim.Vcd.probe vcd s;
+  Sim.Vcd.start vcd;
+  Sim.Vcd.sample vcd ~time:5;
+  Sim.Vcd.sample vcd ~time:3 (* ignored *);
+  check bool_t "no regress" true (not (contains "#3" (Sim.Vcd.contents vcd)))
+
+let test_vcd_probe_after_start_rejected () =
+  let env = Sim.Env.create () in
+  let s = Sim.Signal.create env "s" in
+  let vcd = Sim.Vcd.create () in
+  Sim.Vcd.probe vcd s;
+  Sim.Vcd.start vcd;
+  check bool_t "raises" true
+    (try
+       Sim.Vcd.probe vcd s;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "sim-infra",
+    [
+      Alcotest.test_case "array names" `Quick test_array_names;
+      Alcotest.test_case "array bounds" `Quick test_array_bounds;
+      Alcotest.test_case "array init" `Quick test_array_init_values;
+      Alcotest.test_case "array delay line" `Quick test_array_delay_line;
+      Alcotest.test_case "array shift order" `Quick
+        test_array_shift_order_independent;
+      Alcotest.test_case "array dtype/range" `Quick
+        test_array_set_dtype_range;
+      Alcotest.test_case "channel fifo" `Quick test_channel_fifo;
+      Alcotest.test_case "channel producer" `Quick test_channel_producer;
+      Alcotest.test_case "channel record" `Quick test_channel_record;
+      Alcotest.test_case "engine run" `Quick test_engine_run_ticks;
+      Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+      Alcotest.test_case "engine processors" `Quick test_engine_processors;
+      Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+      Alcotest.test_case "vcd monotone time" `Quick test_vcd_monotone_time;
+      Alcotest.test_case "vcd probe guard" `Quick
+        test_vcd_probe_after_start_rejected;
+    ] )

@@ -1,0 +1,180 @@
+(* Tests: Sfg.Simplify — semantics preservation and the individual
+   passes. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t eps = Alcotest.float eps
+
+let test_constant_folding () =
+  let g = Sfg.Graph.create () in
+  let a = Sfg.Graph.const g 2.0 in
+  let b = Sfg.Graph.const g 3.0 in
+  let s = Sfg.Graph.add g ~name:"s" a b in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let y = Sfg.Graph.mul g ~name:"y" x s in
+  Sfg.Graph.mark_output g "y" y;
+  let g', st = Sfg.Simplify.run g in
+  check int_t "folded the sum" 1 st.Sfg.Simplify.folded;
+  check bool_t "smaller" true (st.Sfg.Simplify.after < st.Sfg.Simplify.before);
+  (* range analysis on the simplified graph is unchanged *)
+  let r = Sfg.Range_analysis.run g' in
+  check bool_t "y = [-5, 5]" true
+    (Sfg.Range_analysis.range_of r "y" = Some (Interval.make (-5.0) 5.0))
+
+let test_cse_merges_duplicates () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  (* two identical literals and two identical products *)
+  let c1 = Sfg.Graph.const g ~name:"lit1" 0.5 in
+  let c2 = Sfg.Graph.const g ~name:"lit2" 0.5 in
+  let p1 = Sfg.Graph.mul g ~name:"p1" x c1 in
+  let p2 = Sfg.Graph.mul g ~name:"p2" x c2 in
+  let y = Sfg.Graph.add g ~name:"y" p1 p2 in
+  Sfg.Graph.mark_output g "y" y;
+  let _, st = Sfg.Simplify.run g in
+  check bool_t "merged consts and products" true (st.Sfg.Simplify.merged >= 2)
+
+let test_dead_elimination () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let _unused = Sfg.Graph.mul g ~name:"dead" x x in
+  let y = Sfg.Graph.neg g ~name:"y" x in
+  Sfg.Graph.mark_output g "y" y;
+  let g', st = Sfg.Simplify.run g in
+  check int_t "one dropped" 1 st.Sfg.Simplify.dropped;
+  check bool_t "dead gone" true
+    (List.for_all
+       (fun (n : Sfg.Node.t) -> n.Sfg.Node.name <> "dead")
+       (Sfg.Graph.nodes g'))
+
+let test_keep_protects_names () =
+  let g = Sfg.Graph.create () in
+  let a = Sfg.Graph.const g 2.0 in
+  let b = Sfg.Graph.const g 3.0 in
+  let s = Sfg.Graph.add g ~name:"vital" a b in
+  Sfg.Graph.mark_output g "vital" s;
+  let g', st = Sfg.Simplify.run ~keep:(fun n -> n = "vital") g in
+  check int_t "not folded" 0 st.Sfg.Simplify.folded;
+  check bool_t "named node survives" true
+    (List.exists
+       (fun (n : Sfg.Node.t) -> n.Sfg.Node.name = "vital")
+       (Sfg.Graph.nodes g'))
+
+let test_select_not_folded () =
+  let g = Sfg.Graph.create () in
+  let cond = Sfg.Graph.const g 1.0 in
+  let a = Sfg.Graph.const g 5.0 in
+  let b = Sfg.Graph.const g (-7.0) in
+  let y = Sfg.Graph.select g ~name:"y" cond a b in
+  Sfg.Graph.mark_output g "y" y;
+  let g', _ = Sfg.Simplify.run g in
+  let r = Sfg.Range_analysis.run g' in
+  (* the join of both branches must survive simplification *)
+  match Sfg.Range_analysis.range_of r "y" with
+  | Some iv ->
+      check bool_t "both branches" true
+        (Interval.mem 5.0 iv && Interval.mem (-7.0) iv)
+  | None -> Alcotest.fail "y missing"
+
+let test_delay_loop_preserved () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let d = Sfg.Graph.delay g ~init:2.5 "acc" in
+  let half = Sfg.Graph.const g 0.5 in
+  let scaled = Sfg.Graph.mul g ~name:"scaled" d half in
+  let sum = Sfg.Graph.add g ~name:"sum" scaled x in
+  Sfg.Graph.connect_delay g d sum;
+  Sfg.Graph.mark_output g "sum" sum;
+  let g', _ = Sfg.Simplify.run g in
+  check bool_t "valid" true (Result.is_ok (Sfg.Graph.validate g'));
+  (* first sample sees the initial value through the loop *)
+  let traces = Sfg.Graph.simulate g' ~steps:2 ~inputs:(fun _ _ -> 0.0) in
+  let sum_t = List.assoc "sum" traces in
+  check (float_t 1e-12) "init preserved" 1.25 sum_t.(0)
+
+let test_equalizer_extraction_shrinks_and_preserves () =
+  (* the real target: an extracted equalizer graph simplifies
+     substantially and still analyzes identically *)
+  let env = Sim.Env.create ~seed:11 () in
+  let rng = Stats.Rng.create ~seed:7 in
+  let stimulus, _ = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:300 () in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "y" in
+  let eq = Dsp.Lms_equalizer.create env ~input ~output () in
+  Sim.Signal.range (Dsp.Lms_equalizer.x eq) (-1.5) 1.5;
+  Sim.Signal.range (Dsp.Lms_equalizer.b eq) (-0.2) 0.2;
+  Dsp.Lms_equalizer.run eq ~cycles:50;
+  let g =
+    Sim.Extract.graph env ~outputs:[ "y"; "w" ]
+      ~step:(fun () -> Dsp.Lms_equalizer.step eq)
+      ()
+  in
+  let keep n = List.mem n [ "w"; "y"; "v[3]"; "b" ] in
+  let g', st = Sfg.Simplify.run ~keep g in
+  (* this graph is already lean; simplification must never grow it *)
+  check bool_t "no growth" true (st.Sfg.Simplify.after <= st.Sfg.Simplify.before);
+  let r0 = Sfg.Range_analysis.run g in
+  let r1 = Sfg.Range_analysis.run g' in
+  List.iter
+    (fun name ->
+      match
+        (Sfg.Range_analysis.range_of r0 name, Sfg.Range_analysis.range_of r1 name)
+      with
+      | Some a, Some b ->
+          check (float_t 1e-9) (name ^ " lo") (Interval.lo a) (Interval.lo b);
+          check (float_t 1e-9) (name ^ " hi") (Interval.hi a) (Interval.hi b)
+      | _ -> Alcotest.fail ("missing " ^ name))
+    [ "w"; "y"; "v[3]" ]
+
+let prop_simplify_preserves_execution =
+  QCheck2.Test.make ~name:"simplify preserves execution" ~count:60
+    QCheck2.Gen.(pair (int_range 0 5000) (int_range 3 10))
+    (fun (seed, size) ->
+      (* random feed-forward graph with consts and one input *)
+      let rng = Stats.Rng.create ~seed in
+      let g = Sfg.Graph.create () in
+      let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+      let ids = ref [ x ] in
+      for i = 0 to size - 1 do
+        let pick () = List.nth !ids (Stats.Rng.int rng (List.length !ids)) in
+        let name = Printf.sprintf "n%d" i in
+        let id =
+          match Stats.Rng.int rng 6 with
+          | 0 -> Sfg.Graph.const g ~name (Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+          | 1 -> Sfg.Graph.add g ~name (pick ()) (pick ())
+          | 2 -> Sfg.Graph.sub g ~name (pick ()) (pick ())
+          | 3 -> Sfg.Graph.mul g ~name (pick ()) (pick ())
+          | 4 -> Sfg.Graph.delay_of g name (pick ())
+          | _ -> Sfg.Graph.abs g ~name (pick ())
+        in
+        ids := id :: !ids
+      done;
+      let out_id = List.hd !ids in
+      Sfg.Graph.mark_output g "out" out_id;
+      let out_name = (Sfg.Graph.node g out_id).Sfg.Node.name in
+      let g', _ = Sfg.Simplify.run ~keep:(fun n -> n = out_name) g in
+      let stim = Stats.Rng.split rng in
+      let samples = Array.init 20 (fun _ -> Stats.Rng.uniform stim ~lo:(-1.0) ~hi:1.0) in
+      let run gg =
+        let traces = Sfg.Graph.simulate gg ~steps:20 ~inputs:(fun _ i -> samples.(i)) in
+        List.assoc out_name traces
+      in
+      run g = run g')
+
+let suite =
+  ( "simplify",
+    [
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "cse" `Quick test_cse_merges_duplicates;
+      Alcotest.test_case "dead elimination" `Quick test_dead_elimination;
+      Alcotest.test_case "keep protects" `Quick test_keep_protects_names;
+      Alcotest.test_case "select not folded" `Quick test_select_not_folded;
+      Alcotest.test_case "delay loop preserved" `Quick
+        test_delay_loop_preserved;
+      Alcotest.test_case "extraction shrinks" `Quick
+        test_equalizer_extraction_shrinks_and_preserves;
+      QCheck_alcotest.to_alcotest prop_simplify_preserves_execution;
+    ] )

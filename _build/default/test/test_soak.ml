@@ -1,0 +1,184 @@
+(* Randomized soak tests: generate random small dataflow designs and
+   check the whole-pipeline invariants on each —
+   - every signal's observed fixed value stays inside its propagated
+     range when the propagation stayed bounded;
+   - the auto-extracted analytical graph's ranges also cover execution;
+   - the full refinement flow terminates and produces representable,
+     consistent types.
+   Plus Dtype.of_string parser tests. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* random straight-line design: signals s0..s_{k-1}; each computed from
+   earlier ones (or the input) with a random op; a few are registers.
+   Returns (env, step, names). *)
+let build_design ~seed ~size =
+  let rng = Stats.Rng.create ~seed in
+  let env = Sim.Env.create ~seed:(seed + 1) () in
+  let x = Sim.Signal.create env "x" in
+  Sim.Signal.range x (-1.0) 1.0;
+  let sigs = ref [| x |] in
+  let specs = ref [] in
+  for i = 0 to size - 1 do
+    let name = Printf.sprintf "s%d" i in
+    let registered = Stats.Rng.int rng 4 = 0 in
+    let s =
+      if registered then Sim.Signal.create_reg env name
+      else Sim.Signal.create env name
+    in
+    (* keep feedback benign: registers always damp (x0.5 + input) *)
+    let pick () = Stats.Rng.int rng (Array.length !sigs) in
+    let op = Stats.Rng.int rng 5 in
+    let a = pick () and b = pick () in
+    let k = Stats.Rng.uniform rng ~lo:(-0.9) ~hi:0.9 in
+    specs := (s, registered, op, a, b, k) :: !specs;
+    sigs := Array.append !sigs [| s |]
+  done;
+  let sigs = !sigs in
+  let specs = List.rev !specs in
+  let stim = Stats.Rng.split rng in
+  let step () =
+    x <-- Sim.Value.of_float (Stats.Rng.uniform stim ~lo:(-1.0) ~hi:1.0);
+    List.iter
+      (fun (s, registered, op, a, b, k) ->
+        let va = !!(sigs.(a)) and vb = !!(sigs.(b)) in
+        let v =
+          if registered then (!!s *: cst 0.5) +: (va *: cst 0.25)
+          else
+            match op with
+            | 0 -> va +: vb
+            | 1 -> va -: vb
+            | 2 -> va *: vb
+            | 3 -> (va *: cst k) +: cst k
+            | _ -> min_ va (abs vb)
+        in
+        s <-- v)
+      specs
+  in
+  (env, step, Array.to_list (Array.map Sim.Signal.name sigs))
+
+let observed_within_prop env =
+  List.for_all
+    (fun s ->
+      match (Sim.Signal.stat_range s, Sim.Signal.prop_range s) with
+      | Some (slo, shi), Some (plo, phi) ->
+          (* tolerance: the stat monitor records pre-quantization values
+             exactly; prop is a superset by construction *)
+          slo >= plo -. 1e-9 && shi <= phi +. 1e-9
+      | _, None -> false
+      | None, _ -> true)
+    (Sim.Env.signals env)
+
+let prop_sim_ranges_sound =
+  QCheck2.Test.make ~name:"random designs: fx within propagated ranges"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 3 12))
+    (fun (seed, size) ->
+      let env, step, _ = build_design ~seed ~size in
+      Sim.Engine.run env ~cycles:150 (fun _ -> step ());
+      observed_within_prop env)
+
+let prop_extracted_graph_sound =
+  QCheck2.Test.make ~name:"random designs: extracted analytical ranges cover"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 3 10))
+    (fun (seed, size) ->
+      let env, step, names = build_design ~seed ~size in
+      Sim.Engine.run env ~cycles:60 (fun _ -> step ());
+      let _, ranges = Sim.Extract.analyze env ~step () in
+      (* keep observing after extraction; analytical ranges must cover *)
+      Sim.Engine.run env ~cycles:60 (fun _ -> step ());
+      List.for_all
+        (fun name ->
+          match
+            ( Sim.Signal.stat_range (Sim.Env.find_exn env name),
+              Sfg.Range_analysis.range_of ranges name )
+          with
+          | Some (lo, hi), Some iv ->
+              Interval.is_empty iv
+              || (Interval.lo iv <= lo +. 1e-9 && Interval.hi iv >= hi -. 1e-9)
+          | _, None -> true (* never driven during the recorded cycle *)
+          | None, _ -> true)
+        names)
+
+let prop_flow_terminates_and_types =
+  QCheck2.Test.make ~name:"random designs: flow terminates with sane types"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 3 8))
+    (fun (seed, size) ->
+      let env, step, _ = build_design ~seed ~size in
+      let design =
+        {
+          Refine.Flow.env;
+          reset = (fun () -> Sim.Env.reset env);
+          run = (fun () -> Sim.Engine.run env ~cycles:400 (fun _ -> step ()));
+        }
+      in
+      let r = Refine.Flow.refine design in
+      List.for_all
+        (fun (_, dt) ->
+          Fixpt.Dtype.n dt >= 1 && Fixpt.Dtype.n dt <= 80
+          && Fixpt.Dtype.msb_pos dt >= Fixpt.Dtype.lsb_pos dt)
+        r.Refine.Flow.types)
+
+(* --- Dtype.of_string ------------------------------------------------------ *)
+
+let test_dtype_parse_roundtrip () =
+  List.iter
+    (fun dt ->
+      match Fixpt.Dtype.of_string (Fixpt.Dtype.to_string dt) with
+      | Some dt' ->
+          check bool_t
+            (Fixpt.Dtype.to_string dt ^ " roundtrips")
+            true
+            (Fixpt.Dtype.equal dt dt')
+      | None -> Alcotest.fail "parse failed")
+    [
+      Fixpt.Dtype.make "T" ~n:7 ~f:5 ();
+      Fixpt.Dtype.make "acc" ~n:16 ~f:12 ~sign:Fixpt.Sign_mode.Us
+        ~overflow:Fixpt.Overflow_mode.Saturate ~round:Fixpt.Round_mode.Floor ();
+    ]
+
+let test_dtype_parse_defaults () =
+  match Fixpt.Dtype.of_string "<8,6>" with
+  | Some dt ->
+      check bool_t "defaults" true
+        (Fixpt.Dtype.n dt = 8
+        && Fixpt.Dtype.f dt = 6
+        && Fixpt.Dtype.sign dt = Fixpt.Sign_mode.Tc
+        && Fixpt.Dtype.overflow dt = Fixpt.Overflow_mode.Wrap)
+  | None -> Alcotest.fail "parse failed"
+
+let test_dtype_parse_partial_modes () =
+  match Fixpt.Dtype.of_string "acc<10,8,tc,sat>" with
+  | Some dt ->
+      check bool_t "sat parsed" true
+        (Fixpt.Dtype.overflow dt = Fixpt.Overflow_mode.Saturate);
+      check Alcotest.string "name" "acc" (Fixpt.Dtype.name dt)
+  | None -> Alcotest.fail "parse failed"
+
+let test_dtype_parse_garbage () =
+  List.iter
+    (fun s ->
+      check bool_t (s ^ " rejected") true (Fixpt.Dtype.of_string s = None))
+    [ ""; "<>"; "<8>"; "<8,6,xx>"; "<a,b>"; "noangle"; "<8,6"; "<0,0>";
+      "<8,6,tc,sat,rd,extra>" ]
+
+let suite =
+  ( "soak",
+    [
+      QCheck_alcotest.to_alcotest prop_sim_ranges_sound;
+      QCheck_alcotest.to_alcotest prop_extracted_graph_sound;
+      QCheck_alcotest.to_alcotest prop_flow_terminates_and_types;
+      Alcotest.test_case "dtype parse roundtrip" `Quick
+        test_dtype_parse_roundtrip;
+      Alcotest.test_case "dtype parse defaults" `Quick
+        test_dtype_parse_defaults;
+      Alcotest.test_case "dtype parse partial" `Quick
+        test_dtype_parse_partial_modes;
+      Alcotest.test_case "dtype parse garbage" `Quick test_dtype_parse_garbage;
+    ] )

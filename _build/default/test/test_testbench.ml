@@ -1,0 +1,147 @@
+(* Tests: Vhdl.Testbench — golden-vector testbench generation. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let count needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let c = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr c
+  done;
+  !c
+
+let fir_setup () =
+  let env = Sim.Env.create () in
+  let dt = Fixpt.Dtype.make "T" ~n:10 ~f:8 () in
+  let x = Sim.Signal.create env ~dtype:dt "x" in
+  Sim.Signal.range x (-1.0) 1.0;
+  let fir =
+    Dsp.Fir.create env ~coef_dtype:dt ~delay_dtype:dt ~acc_dtype:dt
+      ~coefs:[| 0.25; 0.5; 0.25 |] ()
+  in
+  let out = Sim.Signal.create env ~dtype:dt "out" in
+  let rng = Stats.Rng.create ~seed:51 in
+  let step () =
+    x <-- Sim.Value.of_float (Stats.Rng.uniform rng ~lo:(-0.9) ~hi:0.9);
+    out <-- Dsp.Fir.step fir !!x;
+    Sim.Env.tick env
+  in
+  (env, dt, x, out, step)
+
+let test_capture_codes () =
+  let _, dt, x, out, step = fir_setup () in
+  let fmt = Fixpt.Dtype.fmt dt in
+  let vectors =
+    Vhdl.Testbench.capture
+      ~formats:(fun _ -> fmt)
+      ~inputs:[ ("x", fun () -> Sim.Signal.peek_fx x) ]
+      ~outputs:[ ("out", fun () -> Sim.Signal.peek_fx out) ]
+      16
+      (fun _ -> step ())
+  in
+  check int_t "16 vectors" 16 (List.length vectors);
+  List.iter
+    (fun v ->
+      let xc = List.assoc "x" v.Vhdl.Testbench.inputs in
+      check bool_t "code in 10-bit range" true (xc >= -512 && xc < 512))
+    vectors
+
+let test_emit_structure () =
+  let env, dt, x, out, step = fir_setup () in
+  ignore env;
+  let fmt = Fixpt.Dtype.fmt dt in
+  let vectors =
+    Vhdl.Testbench.capture
+      ~formats:(fun _ -> fmt)
+      ~inputs:[ ("x", fun () -> Sim.Signal.peek_fx x) ]
+      ~outputs:[ ("out", fun () -> Sim.Signal.peek_fx out) ]
+      8
+      (fun _ -> step ())
+  in
+  let dut =
+    {
+      Vhdl.Ast.entity_name = "fir";
+      ports =
+        [
+          { Vhdl.Ast.port_name = "i_x"; dir = Vhdl.Ast.In; port_width = 10 };
+          { Vhdl.Ast.port_name = "o_out"; dir = Vhdl.Ast.Out; port_width = 10 };
+        ];
+      signals = [];
+      body = [];
+      processes = [];
+    }
+  in
+  let text =
+    Vhdl.Testbench.emit ~latency:1 ~dut ~formats:(fun _ -> fmt) vectors
+  in
+  check bool_t "tb entity" true (contains "entity fir_tb" text);
+  check bool_t "instantiates dut" true (contains "entity work.fir" text);
+  check bool_t "stimulus rom" true (contains "constant stim_i_x" text);
+  check bool_t "golden rom" true (contains "constant gold_o_out" text);
+  check bool_t "assertion" true (contains "assert o_out = gold_o_out" text);
+  check bool_t "clock" true (contains "rising_edge(clk)" text);
+  check int_t "8 stimulus entries" 8 (count "=> to_signed" text / 2);
+  check bool_t "finish report" true (contains "8 vectors checked" text)
+
+let test_golden_vectors_match_bit_true () =
+  (* the captured expected codes must agree with bit-true recomputation *)
+  let _, dt, x, out, step = fir_setup () in
+  let fmt = Fixpt.Dtype.fmt dt in
+  let vectors =
+    Vhdl.Testbench.capture
+      ~formats:(fun _ -> fmt)
+      ~inputs:[ ("x", fun () -> Sim.Signal.peek_fx x) ]
+      ~outputs:[ ("out", fun () -> Sim.Signal.peek_fx out) ]
+      40
+      (fun _ -> step ())
+  in
+  let step_q = Fixpt.Qformat.step fmt in
+  (* recompute the quantized FIR from the input codes *)
+  let xs =
+    List.map
+      (fun v -> Float.of_int (List.assoc "x" v.Vhdl.Testbench.inputs) *. step_q)
+      vectors
+    |> Array.of_list
+  in
+  let quant v = Fixpt.Quantize.cast dt v in
+  let line = Array.make 3 0.0 in
+  List.iteri
+    (fun i v ->
+      (* Fir.step semantics: v-chain over the pre-shift line, then shift *)
+      (* products stay in full precision; each v-chain assignment
+         quantizes the running sum (Fir.step's semantics) *)
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun j c -> acc := quant (!acc +. (line.(j) *. c)))
+        [| 0.25; 0.5; 0.25 |];
+      let expected_code =
+        Float.to_int (Float.round (!acc /. step_q))
+      in
+      check int_t
+        (Printf.sprintf "golden %d" i)
+        expected_code
+        (List.assoc "out" v.Vhdl.Testbench.expected);
+      for j = 2 downto 1 do
+        line.(j) <- line.(j - 1)
+      done;
+      line.(0) <- xs.(i))
+    vectors
+
+let suite =
+  ( "testbench",
+    [
+      Alcotest.test_case "capture codes" `Quick test_capture_codes;
+      Alcotest.test_case "emit structure" `Quick test_emit_structure;
+      Alcotest.test_case "golden vectors bit-true" `Quick
+        test_golden_vectors_match_bit_true;
+    ] )
