@@ -8,7 +8,8 @@
 
    Experiment ids: table1 table2 sqnr fig1 fig2 fig3 fig4 fig5
    msb-threeway compare ablate-klsb ablate-error ablate-steering
-   ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary bench. *)
+   ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary simbench
+   bench. *)
 
 open Fixrefine
 
@@ -757,6 +758,67 @@ let summary () =
   Format.printf "paper's convergence claim holds across the whole library.@."
 
 (* ======================================================================= *)
+(* Simulation-engine throughput (BENCH_sim.json trajectory)                 *)
+(* ======================================================================= *)
+
+(* Raw samples/sec of the dual fixed/float simulation on the two paper
+   workloads — the per-assignment hot path everything else multiplies.
+   Prints one line per workload and rewrites the measured fields of
+   BENCH_sim.json (run from the repo root).
+
+   The [before] column is the recorded throughput of the pre-overhaul
+   engine (list-backed registry, per-sample quantizer derivation,
+   full-registry tick) on this machine — the fixed reference point of
+   the hot-path overhaul. *)
+
+let simbench_baseline = [ ("lms-equalizer", 262075.0); ("timing-recovery", 112772.0) ]
+
+let simbench () =
+  section "simbench: dual-simulation throughput (samples/sec)";
+  let measure name ~samples_per_run (design : Refine.Flow.design) =
+    (* warm-up run (fills channels, faults in code paths) *)
+    design.Refine.Flow.reset ();
+    design.Refine.Flow.run ();
+    let reps = ref 0 in
+    let t0 = Sys.time () in
+    let elapsed () = Sys.time () -. t0 in
+    while elapsed () < 1.0 do
+      design.Refine.Flow.reset ();
+      design.Refine.Flow.run ();
+      incr reps
+    done;
+    let dt = elapsed () in
+    let sps = Float.of_int (!reps * samples_per_run) /. dt in
+    Format.printf "%-18s %7d samples x %4d reps: %12.0f samples/sec@." name
+      samples_per_run !reps sps;
+    (name, samples_per_run, sps)
+  in
+  let eq = Scenarios.equalizer () in
+  let tr = Scenarios.timing () in
+  let r1 = measure "lms-equalizer" ~samples_per_run:4000 eq.Scenarios.design in
+  (* 2 samples/symbol in the timing-recovery front end *)
+  let r2 =
+    measure "timing-recovery" ~samples_per_run:8000 tr.Scenarios.t_design
+  in
+  let rows = [ r1; r2 ] in
+  let oc = open_out "BENCH_sim.json" in
+  let json =
+    Printf.sprintf
+      "{\n  \"benchmark\": \"sim-hot-path\",\n  \"unit\": \"samples/sec\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, n, sps) ->
+              let before = List.assoc name simbench_baseline in
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"samples_per_run\": %d, \"before\": %.0f, \"after\": %.0f, \"speedup\": %.2f }"
+                name n before sps (sps /. before))
+            rows))
+  in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_sim.json@."
+
+(* ======================================================================= *)
 (* Bechamel timing benchmarks — one per experiment                          *)
 (* ======================================================================= *)
 
@@ -854,6 +916,7 @@ let experiments =
     ("ablate-fft-scaling", ablate_fft_scaling);
     ("ablate-widen", ablate_widen);
     ("summary", summary);
+    ("simbench", simbench);
     ("bench", bechamel_run);
   ]
 

@@ -8,7 +8,14 @@
     Quantization is performed on an integer grid held in [int64] whenever
     the scaled value fits (exact semantics); values beyond the [int64]
     range — which occur during range-propagation explosions — fall back
-    to a float path with the same wrap/saturate behaviour. *)
+    to a float path with the same wrap/saturate behaviour.
+
+    Because this cast runs once per signal assignment it is the hottest
+    operation of the whole simulation engine.  All per-type constants
+    (integer code bounds, step, representable range, mode flags) are
+    precomputed once into a {!compiled} record; {!exec} then performs a
+    cast with no repeated [2.0 ** lsb] evaluation or bound derivation.
+    {!quantize} keeps the one-shot API on top of a memo table. *)
 
 type overflow_event = {
   raw : float;  (** value after rounding, before overflow handling *)
@@ -21,14 +28,11 @@ type outcome = {
   overflow : overflow_event option;
 }
 
-let round_scaled (mode : Round_mode.t) scaled =
-  match mode with
-  | Round_mode.Floor -> Float.floor scaled
-  | Round_mode.Round ->
-      (* round half away from zero, like C's round(3) *)
-      Float.round scaled
-
-(* Integer code range of a format. *)
+(* Integer code range of a format.  Wordlengths up to 64 are well-defined
+   for two's complement thanks to int64 wraparound ([1L lsl 63 = min_int],
+   so [hi] lands on [max_int] and [lo] on [min_int] exactly); unsigned
+   formats are limited to n <= 63 — an unsigned 64-bit code does not fit
+   an [int64] (documented limitation). *)
 let code_bounds (fmt : Qformat.t) =
   let n = Qformat.n fmt in
   match Qformat.sign fmt with
@@ -40,83 +44,228 @@ let code_bounds (fmt : Qformat.t) =
       let hi = Int64.sub (Int64.shift_left 1L n) 1L in
       (0L, hi)
 
+(* Two's-complement / modular wraparound of an out-of-range code into the
+   format's code window.  Implemented with native int64 wraparound —
+   sign-extension of the low [n] bits for tc (valid for the full-width
+   n = 63 and n = 64 cases, where a [2^n] span does not fit a positive
+   int64), masking for unsigned.  n = 64 unsigned cannot be represented
+   in int64 codes at all; such codes pass through unchanged (the float
+   fallback of [exec] covers those magnitudes anyway). *)
 let wrap_code fmt code =
   let n = Qformat.n fmt in
-  if n >= 63 then code
-  else
-    let span = Int64.shift_left 1L n in
-    let lo, _ = code_bounds fmt in
-    let off = Int64.rem (Int64.sub code lo) span in
-    let off = if Int64.compare off 0L < 0 then Int64.add off span else off in
-    Int64.add lo off
+  match Qformat.sign fmt with
+  | Sign_mode.Tc ->
+      if n >= 64 then code
+      else Int64.shift_right (Int64.shift_left code (64 - n)) (64 - n)
+  | Sign_mode.Us ->
+      if n >= 64 then code
+      else Int64.logand code (Int64.sub (Int64.shift_left 1L n) 1L)
 
 (* Largest float magnitude we trust to round-trip through int64. *)
 let int64_safe = 4.0e18
 
-let apply fmt (overflow_mode : Overflow_mode.t) rounded_scaled =
-  let lo, hi = code_bounds fmt in
-  let step = Qformat.step fmt in
-  if Float.abs rounded_scaled <= int64_safe && Qformat.n fmt <= 62 then begin
-    let code = Int64.of_float rounded_scaled in
-    let below = Int64.compare code lo < 0 and above = Int64.compare code hi > 0 in
-    if not (below || above) then (Int64.to_float code *. step, None)
-    else
-      let event =
-        {
-          raw = rounded_scaled *. step;
-          direction = (if above then `Above else `Below);
-        }
-      in
-      let code' =
-        match overflow_mode with
-        | Overflow_mode.Saturate -> if above then hi else lo
-        | Overflow_mode.Wrap | Overflow_mode.Error -> wrap_code fmt code
-      in
-      (Int64.to_float code' *. step, Some event)
-  end
-  else begin
-    (* Float fallback for astronomically large values (range explosion):
-       saturate clamps; wrap reduces modulo the span, which is
-       meaningless at this magnitude but keeps simulation total. *)
-    let flo = Int64.to_float lo and fhi = Int64.to_float hi in
-    let above = rounded_scaled > fhi and below = rounded_scaled < flo in
-    if not (above || below) then (rounded_scaled *. step, None)
-    else
-      let event =
-        {
-          raw = rounded_scaled *. step;
-          direction = (if above then `Above else `Below);
-        }
-      in
-      let code' =
-        match overflow_mode with
-        | Overflow_mode.Saturate -> if above then fhi else flo
-        | Overflow_mode.Wrap | Overflow_mode.Error ->
-            let span = Int64.to_float hi -. Int64.to_float lo +. 1.0 in
-            let off = Float.rem (rounded_scaled -. flo) span in
-            let off = if off < 0.0 then off +. span else off in
-            flo +. Float.round off
-      in
-      (code' *. step, Some event)
-  end
+(** All per-type constants of the cast, computed once ({!compile}): the
+    "compiled quantizer" reused by every {!Sim.Signal.assign}. *)
+type compiled = {
+  cdt : Dtype.t;
+  step : float;  (** [2 ^ lsb_pos] *)
+  lo : int64;  (** smallest integer code *)
+  hi : int64;  (** largest integer code *)
+  flo : float;  (** [Int64.to_float lo] (float fallback bound) *)
+  fhi : float;
+  min_v : float;  (** representable range, [Dtype.range] *)
+  max_v : float;
+  round_nearest : bool;  (** Round vs Floor *)
+  overflow : Overflow_mode.t;
+  saturating : bool;
+  error_mode : bool;  (** overflow mode is [Error] *)
+  int64_path : bool;  (** wordlength fits the exact int64 grid (n <= 62) *)
+}
 
-(** [quantize dtype v] casts [v] through [dtype]'s quantization scheme.
+let compile (dt : Dtype.t) =
+  let fmt = Dtype.fmt dt in
+  let lo, hi = code_bounds fmt in
+  let overflow = Dtype.overflow dt in
+  let min_v, max_v = Dtype.range dt in
+  {
+    cdt = dt;
+    step = Qformat.step fmt;
+    lo;
+    hi;
+    flo = Int64.to_float lo;
+    fhi = Int64.to_float hi;
+    min_v;
+    max_v;
+    round_nearest = Round_mode.equal (Dtype.round dt) Round_mode.Round;
+    overflow;
+    saturating = Overflow_mode.is_saturating overflow;
+    error_mode = Overflow_mode.equal overflow Overflow_mode.Error;
+    int64_path = Qformat.n fmt <= 62;
+  }
+
+let dtype_of (c : compiled) = c.cdt
+
+(* Exact path: the rounded scaled value fits the int64 grid. *)
+let apply_int64 c rounded_scaled =
+  let code = Int64.of_float rounded_scaled in
+  let below = Int64.compare code c.lo < 0
+  and above = Int64.compare code c.hi > 0 in
+  if not (below || above) then (Int64.to_float code *. c.step, None)
+  else
+    let event =
+      {
+        raw = rounded_scaled *. c.step;
+        direction = (if above then `Above else `Below);
+      }
+    in
+    let code' =
+      match c.overflow with
+      | Overflow_mode.Saturate -> if above then c.hi else c.lo
+      | Overflow_mode.Wrap | Overflow_mode.Error ->
+          wrap_code (Dtype.fmt c.cdt) code
+    in
+    (Int64.to_float code' *. c.step, Some event)
+
+(* Float fallback for astronomically large values (range explosion):
+   saturate clamps; wrap reduces modulo the span, which is meaningless at
+   this magnitude but keeps simulation total. *)
+let apply_float c rounded_scaled =
+  let above = rounded_scaled > c.fhi and below = rounded_scaled < c.flo in
+  if not (above || below) then (rounded_scaled *. c.step, None)
+  else
+    let event =
+      {
+        raw = rounded_scaled *. c.step;
+        direction = (if above then `Above else `Below);
+      }
+    in
+    let code' =
+      match c.overflow with
+      | Overflow_mode.Saturate -> if above then c.fhi else c.flo
+      | Overflow_mode.Wrap | Overflow_mode.Error ->
+          let span = c.fhi -. c.flo +. 1.0 in
+          let off = Float.rem (rounded_scaled -. c.flo) span in
+          let off = if off < 0.0 then off +. span else off in
+          c.flo +. Float.round off
+    in
+    (code' *. c.step, Some event)
+
+(** Scratch cell for {!exec_into} results beyond the value itself.
+    All-float (flat representation), so the hot path stores into it
+    without boxing: [flag] is 0 for no overflow, positive for [`Above],
+    negative for [`Below]; [raw] and [rerr] are only meaningful right
+    after an [exec_into] call. *)
+type scratch = {
+  mutable flag : float;
+  mutable raw : float;  (** pre-overflow value when [flag <> 0] *)
+  mutable rerr : float;  (** rounding error of the last cast *)
+}
+
+let create_scratch () = { flag = 0.0; raw = 0.0; rerr = 0.0 }
+
+(** [exec_into c v s] — the per-assignment cast through a compiled
+    quantizer, allocation-free: returns the representable value and
+    reports the overflow outcome through [s].  Must compute exactly what
+    {!apply_int64}/{!apply_float} compute (the agreement is under test).
     NaN input raises [Invalid_argument]; infinities saturate (or wrap to
     an unspecified in-range code) and report an overflow event. *)
-let quantize (dt : Dtype.t) v : outcome =
+let exec_into (c : compiled) v (s : scratch) : float =
   if Float.is_nan v then invalid_arg "Quantize.quantize: nan";
-  let fmt = Dtype.fmt dt in
-  let step = Qformat.step fmt in
   let v_clamped =
     (* keep the scaled value finite for the float fallback *)
     if v = Float.infinity then Float.max_float
     else if v = Float.neg_infinity then -.Float.max_float
     else v
   in
-  let scaled = v_clamped /. step in
-  let rounded = round_scaled (Dtype.round dt) scaled in
-  let value, overflow = apply fmt (Dtype.overflow dt) rounded in
-  { value; rounding_error = (rounded *. step) -. v_clamped; overflow }
+  let scaled = v_clamped /. c.step in
+  let rounded =
+    if c.round_nearest then Float.round scaled else Float.floor scaled
+  in
+  s.rerr <- (rounded *. c.step) -. v_clamped;
+  if Float.abs rounded <= int64_safe && c.int64_path then begin
+    let code = Int64.of_float rounded in
+    let below = Int64.compare code c.lo < 0
+    and above = Int64.compare code c.hi > 0 in
+    if not (below || above) then begin
+      s.flag <- 0.0;
+      Int64.to_float code *. c.step
+    end
+    else begin
+      s.flag <- (if above then 1.0 else -1.0);
+      s.raw <- rounded *. c.step;
+      let code' =
+        match c.overflow with
+        | Overflow_mode.Saturate -> if above then c.hi else c.lo
+        | Overflow_mode.Wrap | Overflow_mode.Error ->
+            wrap_code (Dtype.fmt c.cdt) code
+      in
+      Int64.to_float code' *. c.step
+    end
+  end
+  else begin
+    let above = rounded > c.fhi and below = rounded < c.flo in
+    if not (above || below) then begin
+      s.flag <- 0.0;
+      rounded *. c.step
+    end
+    else begin
+      s.flag <- (if above then 1.0 else -1.0);
+      s.raw <- rounded *. c.step;
+      let code' =
+        match c.overflow with
+        | Overflow_mode.Saturate -> if above then c.fhi else c.flo
+        | Overflow_mode.Wrap | Overflow_mode.Error ->
+            let span = c.fhi -. c.flo +. 1.0 in
+            let off = Float.rem (rounded -. c.flo) span in
+            let off = if off < 0.0 then off +. span else off in
+            c.flo +. Float.round off
+      in
+      code' *. c.step
+    end
+  end
+
+(* Module-private scratch for the one-shot API; simulation is
+   single-domain and [exec_into] never calls back out. *)
+let shared_scratch = create_scratch ()
+
+(** [exec c v] — boxed-outcome variant of {!exec_into} (one-shot
+    callers and places that want the full record). *)
+let exec (c : compiled) v : outcome =
+  let s = shared_scratch in
+  let value = exec_into c v s in
+  {
+    value;
+    rounding_error = s.rerr;
+    overflow =
+      (if s.flag = 0.0 then None
+       else
+         Some
+           {
+             raw = s.raw;
+             direction = (if s.flag > 0.0 then `Above else `Below);
+           });
+  }
+
+(* Compiled quantizers memoized per dtype, so one-shot callers
+   ({!quantize}, {!cast}, the SFG interpreter) share the precomputation
+   too.  Dtypes are small immutable records: structural hashing is exact.
+   The table is bounded defensively — wordlength searches can synthesize
+   thousands of throwaway types. *)
+let memo : (Dtype.t, compiled) Hashtbl.t = Hashtbl.create 64
+
+let of_dtype dt =
+  match Hashtbl.find_opt memo dt with
+  | Some c -> c
+  | None ->
+      if Hashtbl.length memo > 4096 then Hashtbl.reset memo;
+      let c = compile dt in
+      Hashtbl.add memo dt c;
+      c
+
+(** [quantize dtype v] casts [v] through [dtype]'s quantization scheme.
+    NaN input raises [Invalid_argument]; infinities saturate (or wrap to
+    an unspecified in-range code) and report an overflow event. *)
+let quantize (dt : Dtype.t) v : outcome = exec (of_dtype dt) v
 
 (** [cast dtype v] — just the representable value (the paper's [cast]
     operator for intermediate results). *)

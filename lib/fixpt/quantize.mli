@@ -4,7 +4,13 @@
 
     Performed on an exact [int64] integer grid whenever the scaled value
     fits; astronomically large values (range-propagation explosions)
-    take a float fallback with the same wrap/saturate behaviour. *)
+    take a float fallback with the same wrap/saturate behaviour.
+
+    Because this cast runs once per signal assignment it is the hottest
+    operation of the simulation engine: all per-type constants are
+    precomputed into a {!compiled} record ({!compile} / the memoizing
+    {!of_dtype}) and {!exec} performs the cast with no repeated
+    [2.0 ** lsb] evaluation or bound derivation. *)
 
 type overflow_event = {
   raw : float;  (** value after rounding, before overflow handling *)
@@ -17,11 +23,76 @@ type outcome = {
   overflow : overflow_event option;
 }
 
-(** Integer code range [(lo, hi)] of a format. *)
+(** Integer code range [(lo, hi)] of a format.  Two's-complement formats
+    are exact up to n = 64 (int64 wraparound lands the full-width bounds
+    on [Int64.min_int]/[max_int]); unsigned formats are limited to
+    n <= 63 — an unsigned 64-bit code does not fit an [int64]. *)
 val code_bounds : Qformat.t -> int64 * int64
 
-(** Full quantization outcome.  NaN raises [Invalid_argument];
-    infinities saturate/wrap and report an overflow event. *)
+(** Two's-complement / modular wraparound of an out-of-range code into
+    the format's code window (sign-extension of the low [n] bits for tc,
+    masking for unsigned) — valid for the full-width n = 63 and n = 64
+    tc cases.  n = 64 unsigned passes through unchanged (documented
+    limitation; the float fallback covers those magnitudes). *)
+val wrap_code : Qformat.t -> int64 -> int64
+
+(** The compiled quantizer: every per-type constant of the cast,
+    computed once and reused per assignment. *)
+type compiled = private {
+  cdt : Dtype.t;
+  step : float;  (** [2 ^ lsb_pos] *)
+  lo : int64;  (** smallest integer code *)
+  hi : int64;  (** largest integer code *)
+  flo : float;  (** [Int64.to_float lo] (float-fallback bound) *)
+  fhi : float;
+  min_v : float;  (** representable range, [Dtype.range] *)
+  max_v : float;
+  round_nearest : bool;  (** Round vs Floor *)
+  overflow : Overflow_mode.t;
+  saturating : bool;
+  error_mode : bool;  (** overflow mode is [Error] *)
+  int64_path : bool;  (** wordlength fits the exact int64 grid (n <= 62) *)
+}
+
+(** Build a compiled quantizer (no memoization). *)
+val compile : Dtype.t -> compiled
+
+(** Memoized {!compile} — one-shot callers share the precomputation. *)
+val of_dtype : Dtype.t -> compiled
+
+val dtype_of : compiled -> Dtype.t
+
+(** Scratch cell for {!exec_into}: all-float (flat representation) so
+    the hot path stores results without boxing.  [flag] is 0 for no
+    overflow, positive for [`Above], negative for [`Below]; [raw] (the
+    pre-overflow value) and [rerr] (the rounding error) are meaningful
+    right after an [exec_into] call. *)
+type scratch = {
+  mutable flag : float;
+  mutable raw : float;
+  mutable rerr : float;
+}
+
+val create_scratch : unit -> scratch
+
+(** Allocation-free per-assignment cast: returns the representable
+    value, reports overflow/rounding through the scratch.  Same contract
+    as {!exec} otherwise. *)
+val exec_into : compiled -> float -> scratch -> float
+
+(** The per-assignment cast.  NaN raises [Invalid_argument]; infinities
+    saturate/wrap and report an overflow event. *)
+val exec : compiled -> float -> outcome
+
+(** Exact int64-grid overflow handling of a rounded scaled value
+    (exposed for the path-agreement tests): returns the representable
+    value and the overflow event, if any. *)
+val apply_int64 : compiled -> float -> float * overflow_event option
+
+(** Float-fallback overflow handling (same contract as {!apply_int64}). *)
+val apply_float : compiled -> float -> float * overflow_event option
+
+(** [quantize dtype v] — one-shot cast: [exec (of_dtype dtype) v]. *)
 val quantize : Dtype.t -> float -> outcome
 
 (** Just the representable value (the paper's explicit [cast]). *)

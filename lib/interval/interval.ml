@@ -67,8 +67,13 @@ let mag = function
 let join a b =
   match (a, b) with
   | Empty, x | x, Empty -> x
-  | Range a, Range b ->
-      Range { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+  | Range ra, Range rb ->
+      (* one side already covers the other: reuse that block — monitors
+         join every assignment and converge fast, so the steady state of
+         the simulation hot path allocates nothing here *)
+      if rb.lo >= ra.lo && rb.hi <= ra.hi then a
+      else if ra.lo >= rb.lo && ra.hi <= rb.hi then b
+      else Range { lo = Float.min ra.lo rb.lo; hi = Float.max ra.hi rb.hi }
 
 let meet a b =
   match (a, b) with
@@ -152,8 +157,9 @@ let scale k = function
       let a = endpoint_mul k r.lo and b = endpoint_mul k r.hi in
       Range { lo = Float.min a b; hi = Float.max a b }
 
-(** [shift_left i k] multiplies by [2^k] ([k] may be negative). *)
-let shift_left i k = scale (2.0 ** Float.of_int k) i
+(** [shift_left i k] multiplies by [2^k] ([k] may be negative).
+    [ldexp] is the exact (and cheap) power of two. *)
+let shift_left i k = scale (Float.ldexp 1.0 k) i
 
 (** Clamp into another interval — the effect of a saturating assignment
     on a propagated range: saturation is what breaks feedback explosions
@@ -163,9 +169,12 @@ let clamp ~into:limits v =
   | Empty, _ -> Empty
   | _, Empty -> Empty
   | Range r, Range l ->
-      let lo = Float.min (Float.max r.lo l.lo) l.hi
-      and hi = Float.max (Float.min r.hi l.hi) l.lo in
-      Range { lo; hi }
+      (* already inside: reuse the block (hot-path common case) *)
+      if r.lo >= l.lo && r.hi <= l.hi then v
+      else
+        let lo = Float.min (Float.max r.lo l.lo) l.hi
+        and hi = Float.max (Float.min r.hi l.hi) l.lo in
+        Range { lo; hi }
 
 (** Widening: if [b] escapes [a] on a side, that side jumps to infinity.
     Standard abstract-interpretation device used by the analytical
@@ -197,7 +206,10 @@ let observe t v =
   else
     match t with
     | Empty -> Range { lo = v; hi = v }
-    | Range r -> Range { lo = Float.min r.lo v; hi = Float.max r.hi v }
+    | Range r ->
+        (* already contained: reuse the block (hot-path common case) *)
+        if r.lo <= v && v <= r.hi then t
+        else Range { lo = Float.min r.lo v; hi = Float.max r.hi v }
 
 let to_string = function
   | Empty -> "[]"

@@ -9,7 +9,16 @@
     {!Signal} provides the user-facing operations over entries.  Keeping
     the state in the registry module avoids a dependency cycle and lets
     the refinement flow iterate over "all signals of the design" — the
-    unit the paper's tables are reports over. *)
+    unit the paper's tables are reports over.
+
+    The registry is engineered for the simulation hot path: entries live
+    in a dense array in declaration order with a hash index by name
+    (O(1) {!find}, duplicate declarations rejected at {!register} time),
+    every typed entry caches a compiled quantizer (see
+    {!Fixpt.Quantize.compile}) so assignment never re-derives code
+    bounds or the step, and staged register writes are tracked in a
+    dirty list so {!tick} touches only the signals actually written this
+    cycle. *)
 
 type kind =
   | Comb  (** the paper's [sig]: assignment takes effect immediately *)
@@ -27,19 +36,37 @@ type overflow_policy =
 
 exception Overflow of { signal : string; value : float; time : int }
 
+(** The simulation values of one signal: current committed fixed/float
+    pair plus the staged pair of registered signals.  A dedicated
+    all-float record (flat representation), so the per-sample stores of
+    {!Signal.assign}/{!stage}/{!tick} mutate fields without boxing. *)
+type vals = {
+  mutable fx : float;
+  mutable fl : float;
+  mutable next_fx : float;
+  mutable next_fl : float;
+}
+
+(** Per-entry cache of everything the assignment cast needs from the
+    declared type: the compiled quantizer plus the representable range
+    as an interval (for saturating clamp of propagated ranges).  Rebuilt
+    whenever the dtype changes — never per sample. *)
+type quantizer = {
+  q : Fixpt.Quantize.compiled;
+  type_iv : Interval.t;  (** representable range of the dtype *)
+}
+
 type entry = {
   env : t;  (** owning environment (for clocking, RNG, overflow policy) *)
   name : string;
   id : int;
   kind : kind;
   mutable dtype : Fixpt.Dtype.t option;  (** [None] = floating-point *)
-  (* current committed values *)
-  mutable fx : float;
-  mutable fl : float;
-  (* staged values for registered signals *)
-  mutable next_fx : float;
-  mutable next_fl : float;
+  mutable quant : quantizer option;
+      (** compiled form of [dtype]; kept in sync by {!set_entry_dtype} *)
+  v : vals;  (** committed and staged simulation values *)
   mutable staged : bool;
+  mutable in_dirty : bool;  (** already on the env's dirty list *)
   (* monitoring state *)
   range_stat : Stats.Running.t;  (** observed ideal values (stat-based) *)
   mutable range_prop : Interval.t;  (** accumulated propagated range *)
@@ -57,15 +84,19 @@ type entry = {
 }
 
 and t = {
-  mutable entries : entry list;  (** newest first *)
+  mutable entries : entry array;  (** declaration order, dense prefix *)
   mutable n_entries : int;
+  by_name : (string, entry) Hashtbl.t;
+  mutable dirty : entry array;  (** entries with a staged write *)
+  mutable n_dirty : int;
   mutable time : int;
+  seed : int;  (** creation seed — [reset] rewinds [rng] to it *)
   rng : Stats.Rng.t;
   mutable policy : overflow_policy;
   mutable warned : int;  (** warnings already emitted under [Warn] *)
   mutable reset_hooks : (unit -> unit) list;
-      (** re-run after every [reset], in registration order: the
-          "constructor initialization" of the paper's listings
+      (** newest first; run after every [reset] in registration order:
+          the "constructor initialization" of the paper's listings
           (coefficient loading etc.) that every fresh simulation
           re-executes *)
 }
@@ -76,9 +107,13 @@ module Log = (val Logs.src_log src)
 
 let create ?(seed = 0x51CA5) ?(policy = Count) () =
   {
-    entries = [];
+    entries = [||];
     n_entries = 0;
+    by_name = Hashtbl.create 64;
+    dirty = [||];
+    n_dirty = 0;
     time = 0;
+    seed;
     rng = Stats.Rng.create ~seed;
     policy;
     warned = 0;
@@ -88,14 +123,30 @@ let create ?(seed = 0x51CA5) ?(policy = Count) () =
 (** Register an initialization action re-run after every {!reset}
     (and immediately, if [now], the default). *)
 let at_reset ?(now = true) t f =
-  t.reset_hooks <- t.reset_hooks @ [ f ];
+  (* prepend (O(1)); [reset] replays in registration order *)
+  t.reset_hooks <- f :: t.reset_hooks;
   if now then f ()
 
 let time t = t.time
 let rng t = t.rng
 let set_policy t p = t.policy <- p
 
+let compile_dtype = function
+  | None -> None
+  | Some dt ->
+      let lo, hi = Fixpt.Dtype.range dt in
+      Some
+        { q = Fixpt.Quantize.of_dtype dt; type_iv = Interval.make lo hi }
+
+(** Retype an entry, rebuilding its compiled quantizer (the refinement
+    flow rewrites types between iterations). *)
+let set_entry_dtype e dtype =
+  e.dtype <- dtype;
+  e.quant <- compile_dtype dtype
+
 let register t ~name ~kind ~dtype =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Env.register: duplicate signal name %S" name);
   let e =
     {
       env = t;
@@ -103,11 +154,10 @@ let register t ~name ~kind ~dtype =
       id = t.n_entries;
       kind;
       dtype;
-      fx = 0.0;
-      fl = 0.0;
-      next_fx = 0.0;
-      next_fl = 0.0;
+      quant = compile_dtype dtype;
+      v = { fx = 0.0; fl = 0.0; next_fx = 0.0; next_fl = 0.0 };
       staged = false;
+      in_dirty = false;
       range_stat = Stats.Running.create ();
       range_prop = Interval.empty;
       explicit_range = None;
@@ -120,14 +170,21 @@ let register t ~name ~kind ~dtype =
       last_overflow = None;
     }
   in
-  t.entries <- e :: t.entries;
+  let cap = Array.length t.entries in
+  if t.n_entries = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) e in
+    Array.blit t.entries 0 grown 0 cap;
+    t.entries <- grown
+  end;
+  t.entries.(t.n_entries) <- e;
   t.n_entries <- t.n_entries + 1;
+  Hashtbl.add t.by_name name e;
   e
 
 (** Signals in declaration order — the order the paper's tables use. *)
-let signals t = List.rev t.entries
+let signals t = Array.to_list (Array.sub t.entries 0 t.n_entries)
 
-let find t name = List.find_opt (fun e -> String.equal e.name name) t.entries
+let find t name = Hashtbl.find_opt t.by_name name
 
 let find_exn t name =
   match find t name with
@@ -150,41 +207,73 @@ let record_overflow t e raw =
       end
   | Raise -> raise (Overflow { signal = e.name; value = raw; time = t.time })
 
-(** Commit all staged register writes — one clock tick.  Registered
-    signals without a staged write hold their value. *)
+(** Stage a register write for the next {!tick}, tracking the entry on
+    the environment's dirty list (first write this cycle only). *)
+let stage t e ~fx ~fl =
+  e.v.next_fx <- fx;
+  e.v.next_fl <- fl;
+  e.staged <- true;
+  if not e.in_dirty then begin
+    e.in_dirty <- true;
+    let cap = Array.length t.dirty in
+    if t.n_dirty = cap then begin
+      let grown = Array.make (max 16 (2 * cap)) e in
+      Array.blit t.dirty 0 grown 0 cap;
+      t.dirty <- grown
+    end;
+    t.dirty.(t.n_dirty) <- e;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+(** Commit all staged register writes — one clock tick.  Only entries on
+    the dirty list (written since the previous tick) are touched;
+    registered signals without a staged write hold their value. *)
 let tick t =
-  List.iter
-    (fun e ->
-      if e.staged then begin
-        e.fx <- e.next_fx;
-        e.fl <- e.next_fl;
-        e.staged <- false
-      end)
-    t.entries;
+  for i = 0 to t.n_dirty - 1 do
+    let e = t.dirty.(i) in
+    if e.staged then begin
+      e.v.fx <- e.v.next_fx;
+      e.v.fl <- e.v.next_fl;
+      e.staged <- false
+    end;
+    e.in_dirty <- false
+  done;
+  t.n_dirty <- 0;
   t.time <- t.time + 1
 
 (** Reset dynamic state (values, staging, time) but keep declarations and
     annotations; [keep_monitors:false] (default) also clears the
-    monitoring statistics.  Used between refinement iterations. *)
-let reset ?(keep_monitors = false) t =
-  List.iter
-    (fun e ->
-      e.fx <- 0.0;
-      e.fl <- 0.0;
-      e.next_fx <- 0.0;
-      e.next_fl <- 0.0;
-      e.staged <- false;
-      if not keep_monitors then begin
-        Stats.Running.reset e.range_stat;
-        e.range_prop <- Interval.empty;
-        Stats.Err_stats.reset e.err;
-        e.grid_lsb <- None;
-        e.n_assign <- 0;
-        e.n_access <- 0;
-        e.n_overflow <- 0;
-        e.last_overflow <- None
-      end)
-    t.entries;
+    monitoring statistics.  Used between refinement iterations.
+
+    The environment RNG is rewound to the creation seed ([reseed:true],
+    the default) so back-to-back runs consume identical noise streams —
+    iteration 2 of the refinement flow sees the same stimuli as
+    iteration 1.  Pass [~reseed:false] to keep the continuing stream
+    (e.g. Monte-Carlo sweeps that want fresh noise per run). *)
+let reset ?(keep_monitors = false) ?(reseed = true) t =
+  for i = 0 to t.n_entries - 1 do
+    let e = t.entries.(i) in
+    e.v.fx <- 0.0;
+    e.v.fl <- 0.0;
+    e.v.next_fx <- 0.0;
+    e.v.next_fl <- 0.0;
+    e.staged <- false;
+    e.in_dirty <- false;
+    if not keep_monitors then begin
+      Stats.Running.reset e.range_stat;
+      e.range_prop <- Interval.empty;
+      Stats.Err_stats.reset e.err;
+      e.grid_lsb <- None;
+      e.n_assign <- 0;
+      e.n_access <- 0;
+      e.n_overflow <- 0;
+      e.last_overflow <- None
+    end
+  done;
+  t.n_dirty <- 0;
   t.time <- 0;
   t.warned <- 0;
-  List.iter (fun f -> f ()) t.reset_hooks
+  if reseed then Stats.Rng.reseed t.rng ~seed:t.seed;
+  (* reseed precedes the hooks: a hook's [Signal.init] may consume the
+     RNG through an [error()] injection *)
+  List.iter (fun f -> f ()) (List.rev t.reset_hooks)

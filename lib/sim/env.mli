@@ -7,7 +7,15 @@
     The full mutable state of a signal is the {!entry} record — exposed
     because {!Signal} (the user-facing operations) lives in a sibling
     module; treat it as the library-internal state contract and use
-    {!Signal}'s accessors from application code. *)
+    {!Signal}'s accessors from application code.
+
+    The registry is engineered for the simulation hot path: entries live
+    in a dense array in declaration order with a hash index by name
+    (O(1) {!find}, duplicate names rejected at {!register} time), every
+    typed entry caches a compiled quantizer ({!Fixpt.Quantize.compiled})
+    so assignment never re-derives code bounds or the step, and staged
+    register writes are tracked in a dirty list so {!tick} touches only
+    the signals actually written this cycle. *)
 
 type kind =
   | Comb  (** the paper's [sig]: assignment takes effect immediately *)
@@ -23,17 +31,34 @@ exception Overflow of { signal : string; value : float; time : int }
 
 type t
 
+(** The simulation values of one signal: committed fixed/float pair plus
+    the staged pair of registered signals — an all-float record (flat
+    representation) so per-sample stores mutate without boxing. *)
+type vals = {
+  mutable fx : float;
+  mutable fl : float;
+  mutable next_fx : float;
+  mutable next_fl : float;
+}
+
+(** Per-entry cache of everything the assignment cast needs from the
+    declared type; rebuilt on retype, never per sample. *)
+type quantizer = {
+  q : Fixpt.Quantize.compiled;
+  type_iv : Interval.t;  (** representable range of the dtype *)
+}
+
 type entry = {
   env : t;  (** owning environment *)
   name : string;
   id : int;
   kind : kind;
   mutable dtype : Fixpt.Dtype.t option;  (** [None] = floating-point *)
-  mutable fx : float;  (** committed fixed-point value *)
-  mutable fl : float;  (** committed float reference *)
-  mutable next_fx : float;  (** staged value (registered signals) *)
-  mutable next_fl : float;
+  mutable quant : quantizer option;
+      (** compiled form of [dtype]; kept in sync by {!set_entry_dtype} *)
+  v : vals;  (** committed and staged simulation values *)
   mutable staged : bool;
+  mutable in_dirty : bool;  (** already on the env's dirty list *)
   range_stat : Stats.Running.t;  (** observed ideal values *)
   mutable range_prop : Interval.t;  (** accumulated propagated range *)
   mutable explicit_range : Interval.t option;  (** [range()] annotation *)
@@ -53,8 +78,13 @@ val time : t -> int
 val rng : t -> Stats.Rng.t
 val set_policy : t -> overflow_policy -> unit
 
-(** Declare a signal (use {!Signal.create} / {!Signal.create_reg}). *)
+(** Declare a signal (use {!Signal.create} / {!Signal.create_reg}).
+    Raises [Invalid_argument] if the name is already registered. *)
 val register : t -> name:string -> kind:kind -> dtype:Fixpt.Dtype.t option -> entry
+
+(** Retype an entry, rebuilding its compiled quantizer (the refinement
+    flow rewrites types between iterations). *)
+val set_entry_dtype : entry -> Fixpt.Dtype.t option -> unit
 
 (** Signals in declaration order — the order the paper's tables use. *)
 val signals : t -> entry list
@@ -67,8 +97,13 @@ val find_exn : t -> string -> entry
 (** Apply the overflow policy to an [Error]-mode overflow event. *)
 val record_overflow : t -> entry -> float -> unit
 
-(** Commit all staged register writes — one clock tick.  Registers
-    without a staged write hold their value. *)
+(** Stage a register write for the next {!tick}, tracking the entry on
+    the environment's dirty list. *)
+val stage : t -> entry -> fx:float -> fl:float -> unit
+
+(** Commit all staged register writes — one clock tick.  Only entries
+    written since the previous tick are touched; registers without a
+    staged write hold their value. *)
 val tick : t -> unit
 
 (** Register an initialization action re-run after every {!reset} (and
@@ -78,8 +113,12 @@ val at_reset : ?now:bool -> t -> (unit -> unit) -> unit
 
 (** Reset dynamic state (values, staging, time), keep declarations and
     annotations; clears the monitors too unless [keep_monitors].  Used
-    between refinement iterations. *)
-val reset : ?keep_monitors:bool -> t -> unit
+    between refinement iterations.
+
+    The environment RNG is rewound to the creation seed ([reseed:true],
+    the default) so back-to-back runs consume identical noise streams;
+    pass [~reseed:false] to keep the continuing stream. *)
+val reset : ?keep_monitors:bool -> ?reseed:bool -> t -> unit
 
 (** Log source for the simulation engine. *)
 val src : Logs.src

@@ -23,6 +23,9 @@ type v = Value.t
 
 let cst = Value.const
 
+(* The recording check is inlined (rather than going through
+   [Record.map_node] with a closure) so the common not-recording case
+   allocates nothing beyond the result value. *)
 let lift2 op_kind ff fi (a : v) (b : v) : v =
   let r =
     {
@@ -32,7 +35,9 @@ let lift2 op_kind ff fi (a : v) (b : v) : v =
       node = Value.no_node;
     }
   in
-  Record.map_node (fun t -> Record.op t op_kind [ a; b ]) r
+  match Record.active () with
+  | None -> r
+  | Some t -> Value.with_node r (Record.op t op_kind [ a; b ])
 
 let lift1 op_kind ff fi (a : v) : v =
   let r =
@@ -43,7 +48,9 @@ let lift1 op_kind ff fi (a : v) : v =
       node = Value.no_node;
     }
   in
-  Record.map_node (fun t -> Record.op t op_kind [ a ]) r
+  match Record.active () with
+  | None -> r
+  | Some t -> Value.with_node r (Record.op t op_kind [ a ])
 
 let ( +: ) = lift2 Sfg.Node.Add ( +. ) Interval.add
 let ( -: ) = lift2 Sfg.Node.Sub ( -. ) Interval.sub
@@ -57,7 +64,7 @@ let max_ = lift2 Sfg.Node.Max Float.max Interval.max_
 (** Multiply by the constant [2^k] — a hardware shift; exact in all three
     components. *)
 let shift_left (a : v) k : v =
-  let s = 2.0 ** Float.of_int k in
+  let s = Float.ldexp 1.0 k in
   lift1 (Sfg.Node.Shift k) (fun x -> x *. s) (fun i -> Interval.shift_left i k) a
 
 let shift_right a k = shift_left a (-k)
@@ -85,11 +92,12 @@ let select cond (a : v) (b : v) : v =
       node = Value.no_node;
     }
   in
-  Record.map_node
-    (fun t ->
-      Record.op t Sfg.Node.Select
-        [ cst (if cond then 1.0 else 0.0); a; b ])
-    r
+  match Record.active () with
+  | None -> r
+  | Some t ->
+      Value.with_node r
+        (Record.op t Sfg.Node.Select
+           [ cst (if cond then 1.0 else 0.0); a; b ])
 
 (** Sign slicer: ±1 decision on the fixed-point value (the PAM slicer of
     the motivational example).  Recorded with the data value itself as
@@ -104,9 +112,11 @@ let sign (a : v) : v =
       node = Value.no_node;
     }
   in
-  Record.map_node
-    (fun t -> Record.op t Sfg.Node.Select [ a; cst 1.0; cst (-1.0) ])
-    r
+  match Record.active () with
+  | None -> r
+  | Some t ->
+      Value.with_node r
+        (Record.op t Sfg.Node.Select [ a; cst 1.0; cst (-1.0) ])
 
 (** Ablation variant of {!sign}: each execution follows its {e own}
     decision (fixed on [fx], float on [fl]).  This is exactly what the
@@ -129,16 +139,23 @@ let ( !! ) = Signal.value
 (** Explicit cast of an intermediate value through a type (§2.2's [cast]
     operator): quantizes [fx], leaves the float reference untouched, and
     clamps the range if the type saturates. *)
+let cast_scratch = Fixpt.Quantize.create_scratch ()
+
 let cast dt (a : v) : v =
-  let fx = Fixpt.Quantize.cast dt (Value.fx a) in
+  let c = Fixpt.Quantize.of_dtype dt in
+  let fx = Fixpt.Quantize.exec_into c (Value.fx a) cast_scratch in
   let iv =
-    if Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt) then
-      let lo, hi = Fixpt.Dtype.range dt in
-      Interval.clamp ~into:(Interval.make lo hi) (Value.iv a)
+    if c.Fixpt.Quantize.saturating then
+      Interval.clamp
+        ~into:
+          (Interval.make c.Fixpt.Quantize.min_v c.Fixpt.Quantize.max_v)
+        (Value.iv a)
     else Value.iv a
   in
   let r = { Value.fx; fl = Value.fl a; iv; node = Value.no_node } in
-  Record.map_node (fun t -> Record.op t (Sfg.Node.Quantize dt) [ a ]) r
+  match Record.active () with
+  | None -> r
+  | Some t -> Value.with_node r (Record.op t (Sfg.Node.Quantize dt) [ a ])
 
 (** Assignment (the paper's overloaded [=]). *)
 let ( <-- ) = Signal.assign

@@ -32,10 +32,10 @@ let create_reg env ?dtype name : t =
   Env.register env ~name ~kind:Env.Registered ~dtype
 
 (** Retype a signal (the refinement flow rewrites types between
-    iterations). *)
-let set_dtype (t : t) dt = t.Env.dtype <- Some dt
+    iterations).  Recompiles the cached quantizer. *)
+let set_dtype (t : t) dt = Env.set_entry_dtype t (Some dt)
 
-let clear_dtype (t : t) = t.Env.dtype <- None
+let clear_dtype (t : t) = Env.set_entry_dtype t None
 
 (** [range t lo hi] — explicit range annotation.  Reads propagate exactly
     [[lo, hi]] regardless of what assignments accumulated; this is the
@@ -65,11 +65,9 @@ let read_interval (t : t) =
     | None ->
         let accumulated =
           if Interval.is_empty t.Env.range_prop then (
-            match t.Env.dtype with
-            | Some dt ->
-                let lo, hi = Fixpt.Dtype.range dt in
-                Interval.make lo hi
-            | None -> Interval.of_point t.Env.fl)
+            match t.Env.quant with
+            | Some qz -> qz.Env.type_iv
+            | None -> Interval.of_point t.Env.v.Env.fl)
           else t.Env.range_prop
         in
         (* a register read must cover the value it currently holds: the
@@ -78,13 +76,12 @@ let read_interval (t : t) =
            analogue of the analytical Delay transfer joining its init *)
         (match t.Env.kind with
         | Env.Registered ->
-            Interval.observe (Interval.observe accumulated t.Env.fx) t.Env.fl
+            Interval.observe (Interval.observe accumulated t.Env.v.Env.fx) t.Env.v.Env.fl
         | Env.Comb -> accumulated)
   in
-  match t.Env.dtype with
-  | Some dt when Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt) ->
-      let lo, hi = Fixpt.Dtype.range dt in
-      Interval.clamp ~into:(Interval.make lo hi) base
+  match t.Env.quant with
+  | Some qz when qz.Env.q.Fixpt.Quantize.saturating ->
+      Interval.clamp ~into:qz.Env.type_iv base
   | _ -> base
 
 (* Recording (§4.1 "Analytical", see {!Record}): the graph node a read
@@ -105,7 +102,7 @@ let record_read (r : Record.t) (t : t) =
         | Env.Comb ->
             (* read before any recorded assignment: a constant loaded at
                initialization (coefficients) *)
-            Sfg.Graph.const g ~name:t.Env.name t.Env.fx
+            Sfg.Graph.const g ~name:t.Env.name t.Env.v.Env.fx
       in
       let wrapped =
         match t.Env.explicit_range with
@@ -122,7 +119,7 @@ let record_read (r : Record.t) (t : t) =
 let value (t : t) : Value.t =
   t.Env.n_access <- t.Env.n_access + 1;
   let base =
-    { Value.fx = t.Env.fx; fl = t.Env.fl; iv = read_interval t;
+    { Value.fx = t.Env.v.Env.fx; fl = t.Env.v.Env.fl; iv = read_interval t;
       node = Value.no_node }
   in
   match Record.active () with
@@ -130,71 +127,65 @@ let value (t : t) : Value.t =
   | Some r -> Value.with_node base (record_read r t)
 
 (** Current fixed-point value without monitoring (for probes/tests). *)
-let peek_fx (t : t) = t.Env.fx
+let peek_fx (t : t) = t.Env.v.Env.fx
 
-let peek_fl (t : t) = t.Env.fl
+let peek_fl (t : t) = t.Env.v.Env.fl
 
 (* Finest LSB position (exponent of the lowest set mantissa bit) needed
-   to represent [v] exactly; None for 0. *)
-let lsb_of_value v =
-  if v = 0.0 || not (Float.is_finite v) then None
+   to represent [v] exactly; [max_int] for 0/non-finite (sentinel, so the
+   per-assignment hot path allocates no option).  Works directly on the
+   IEEE 754 bit pattern: a normal [v] is [(2^52 lor frac) * 2^(e-1075)],
+   a subnormal is [frac * 2^-1074]; the mantissa fits a native [int], so
+   stripping its trailing zero bits is a few untagged shifts. *)
+let lsb_exponent v =
+  if v = 0.0 || not (Float.is_finite v) then max_int
   else begin
-    let mant, exp = Float.frexp v in
-    (* mant in [0.5, 1): scale it to an odd integer *)
-    let m = ref mant and shifts = ref 0 in
-    while not (Float.is_integer !m) && !shifts < 60 do
-      m := !m *. 2.0;
-      incr shifts
-    done;
-    if Float.is_integer !m then begin
-      (* strip trailing zero bits of the integer mantissa *)
-      let mi = ref (Int64.of_float !m) in
-      while Int64.logand !mi 1L = 0L && not (Int64.equal !mi 0L) do
-        mi := Int64.shift_right_logical !mi 1;
-        decr shifts
-      done;
-      Some (exp - !shifts)
-    end
-    else None (* denormal-level garbage: no finite grid *)
+    let bits = Int64.bits_of_float v in
+    let biased = Int64.to_int (Int64.shift_right_logical bits 52) land 0x7FF in
+    let frac = Int64.to_int bits land 0xF_FFFF_FFFF_FFFF in
+    let m = if biased = 0 then frac else frac lor 0x10_0000_0000_0000 in
+    let e = if biased = 0 then -1074 else biased - 1075 in
+    let rec strip m tz = if m land 1 = 0 then strip (m lsr 1) (tz + 1) else tz in
+    e + strip m 0
   end
 
 (* Update the range monitors with the incoming ideal value and interval. *)
 let monitor_range (t : t) (v : Value.t) =
   Stats.Running.add t.Env.range_stat v.Value.fx;
-  (match lsb_of_value v.Value.fx with
-  | Some p ->
-      t.Env.grid_lsb <-
-        Some
-          (match t.Env.grid_lsb with Some q -> min p q | None -> p)
-  | None -> ());
+  (let p = lsb_exponent v.Value.fx in
+   if p <> max_int then
+     match t.Env.grid_lsb with
+     | Some q when q <= p -> ()  (* already at least as fine: no update *)
+     | _ -> t.Env.grid_lsb <- Some p);
   let incoming =
-    match t.Env.dtype with
-    | Some dt when Fixpt.Overflow_mode.is_saturating (Fixpt.Dtype.overflow dt)
-      ->
-        let lo, hi = Fixpt.Dtype.range dt in
-        Interval.clamp ~into:(Interval.make lo hi) v.Value.iv
+    match t.Env.quant with
+    | Some qz when qz.Env.q.Fixpt.Quantize.saturating ->
+        Interval.clamp ~into:qz.Env.type_iv v.Value.iv
     | _ -> v.Value.iv
   in
   t.Env.range_prop <- Interval.join t.Env.range_prop incoming
 
-(* Quantize the incoming fixed value through the signal's type, recording
-   overflow events. *)
+(* Quantize the incoming fixed value through the signal's compiled
+   quantizer, recording overflow events.  Uses the allocation-free
+   [exec_into] with a module-private scratch (simulation is
+   single-domain; nothing re-enters between the cast and the reads). *)
+let qscratch = Fixpt.Quantize.create_scratch ()
+
 let quantize_in (t : t) fx_in =
-  match t.Env.dtype with
+  match t.Env.quant with
   | None -> fx_in
-  | Some dt ->
-      let out = Fixpt.Quantize.quantize dt fx_in in
-      (match out.Fixpt.Quantize.overflow with
-      | Some ev ->
-          if Fixpt.Overflow_mode.equal (Fixpt.Dtype.overflow dt)
-               Fixpt.Overflow_mode.Error
-          then Env.record_overflow t.Env.env t ev.Fixpt.Quantize.raw
-          else begin
-            t.Env.n_overflow <- t.Env.n_overflow + 1;
-            t.Env.last_overflow <- Some ev.Fixpt.Quantize.raw
-          end
-      | None -> ());
-      out.Fixpt.Quantize.value
+  | Some qz ->
+      let q = qz.Env.q in
+      let fx = Fixpt.Quantize.exec_into q fx_in qscratch in
+      if qscratch.Fixpt.Quantize.flag <> 0.0 then begin
+        let raw = qscratch.Fixpt.Quantize.raw in
+        if q.Fixpt.Quantize.error_mode then Env.record_overflow t.Env.env t raw
+        else begin
+          t.Env.n_overflow <- t.Env.n_overflow + 1;
+          t.Env.last_overflow <- Some raw
+        end
+      end;
+      fx
 
 (* Recording: an assignment extends the graph with the signal's
    quantization/saturation pipeline and names the result — comb signals
@@ -270,12 +261,9 @@ let assign (t : t) (v : Value.t) =
     ~produced:(fl' -. fx');
   match t.Env.kind with
   | Env.Comb ->
-      t.Env.fx <- fx';
-      t.Env.fl <- fl'
-  | Env.Registered ->
-      t.Env.next_fx <- fx';
-      t.Env.next_fl <- fl';
-      t.Env.staged <- true
+      t.Env.v.Env.fx <- fx';
+      t.Env.v.Env.fl <- fl'
+  | Env.Registered -> Env.stage t.Env.env t ~fx:fx' ~fl:fl'
 
 (** Force both simulation values directly (initialization — e.g. loading
     filter coefficients or setting a register's reset value before the
@@ -286,8 +274,8 @@ let init (t : t) c =
   match t.Env.kind with
   | Env.Comb -> ()
   | Env.Registered ->
-      t.Env.fx <- t.Env.next_fx;
-      t.Env.fl <- t.Env.next_fl;
+      t.Env.v.Env.fx <- t.Env.v.Env.next_fx;
+      t.Env.v.Env.fl <- t.Env.v.Env.next_fl;
       t.Env.staged <- false
 
 (* --- report accessors ------------------------------------------------ *)

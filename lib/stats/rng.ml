@@ -17,6 +17,11 @@ let create ~seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(** Rewind the generator to the stream of [create ~seed] — what
+    [Sim.Env.reset] uses so every simulation run replays identical
+    stimuli/noise. *)
+let reseed t ~seed = t.state <- Int64.of_int seed
+
 (* SplitMix64 next: advance by the golden gamma, then mix. *)
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -7,6 +7,12 @@ type t
 
 val create : seed:int -> t
 val copy : t -> t
+
+(** Rewind the generator to the stream of [create ~seed] — what
+    [Sim.Env.reset] uses so every simulation run replays identical
+    stimuli/noise. *)
+val reseed : t -> seed:int -> unit
+
 val next_int64 : t -> int64
 
 (** Independent child stream. *)

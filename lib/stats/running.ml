@@ -6,8 +6,13 @@
     difference statistics are effectively gathered for each signal in the
     system (no need for huge signal databases)" (§4.2). *)
 
+(* The sample count is stored as a float so the record is all-float:
+   OCaml then uses the flat (unboxed) representation and [add] — which
+   runs three times per signal assignment in the simulation hot path —
+   mutates fields without allocating a box per store.  Counts are exact
+   as floats far beyond any realistic run length (< 2^53). *)
 type t = {
-  mutable count : int;
+  mutable count : float;
   mutable mean : float;
   mutable m2 : float;  (** sum of squared deviations from the mean *)
   mutable min : float;
@@ -17,7 +22,7 @@ type t = {
 
 let create () =
   {
-    count = 0;
+    count = 0.0;
     mean = 0.0;
     m2 = 0.0;
     min = Float.infinity;
@@ -26,7 +31,7 @@ let create () =
   }
 
 let reset t =
-  t.count <- 0;
+  t.count <- 0.0;
   t.mean <- 0.0;
   t.m2 <- 0.0;
   t.min <- Float.infinity;
@@ -39,9 +44,9 @@ let copy t =
 
 let add t v =
   if not (Float.is_nan v) then begin
-    t.count <- t.count + 1;
+    t.count <- t.count +. 1.0;
     let delta = v -. t.mean in
-    t.mean <- t.mean +. (delta /. Float.of_int t.count);
+    t.mean <- t.mean +. (delta /. t.count);
     t.m2 <- t.m2 +. (delta *. (v -. t.mean));
     if v < t.min then t.min <- v;
     if v > t.max then t.max <- v;
@@ -49,38 +54,36 @@ let add t v =
     if a > t.max_abs then t.max_abs <- a
   end
 
-let count t = t.count
-let is_empty t = t.count = 0
-let mean t = if t.count = 0 then 0.0 else t.mean
+let count t = Float.to_int t.count
+let is_empty t = t.count = 0.0
+let mean t = if t.count = 0.0 then 0.0 else t.mean
 let min_value t = t.min
 let max_value t = t.max
 let max_abs t = t.max_abs
 
 (** Population variance (the quantization-noise convention: the observed
     samples *are* the population of errors produced by this run). *)
-let variance t = if t.count = 0 then 0.0 else t.m2 /. Float.of_int t.count
+let variance t = if t.count = 0.0 then 0.0 else t.m2 /. t.count
 
 let stddev t = sqrt (variance t)
 
 (** Sample variance (n-1 denominator) for confidence-style uses. *)
 let sample_variance t =
-  if t.count < 2 then 0.0 else t.m2 /. Float.of_int (t.count - 1)
+  if t.count < 2.0 then 0.0 else t.m2 /. (t.count -. 1.0)
 
 (** Merge two summaries (Chan's parallel update). *)
 let merge a b =
-  if a.count = 0 then copy b
-  else if b.count = 0 then copy a
+  if a.count = 0.0 then copy b
+  else if b.count = 0.0 then copy a
   else begin
-    let n = a.count + b.count in
+    let nf = a.count +. b.count in
     let delta = b.mean -. a.mean in
-    let nf = Float.of_int n in
-    let mean = a.mean +. (delta *. Float.of_int b.count /. nf) in
+    let mean = a.mean +. (delta *. b.count /. nf) in
     let m2 =
-      a.m2 +. b.m2
-      +. (delta *. delta *. Float.of_int a.count *. Float.of_int b.count /. nf)
+      a.m2 +. b.m2 +. (delta *. delta *. a.count *. b.count /. nf)
     in
     {
-      count = n;
+      count = nf;
       mean;
       m2;
       min = Float.min a.min b.min;
@@ -91,10 +94,10 @@ let merge a b =
 
 (** Observed range as an interval-style pair; [None] when nothing was
     recorded. *)
-let range t = if t.count = 0 then None else Some (t.min, t.max)
+let range t = if t.count = 0.0 then None else Some (t.min, t.max)
 
 let pp ppf t =
-  if t.count = 0 then Format.fprintf ppf "(no samples)"
+  if t.count = 0.0 then Format.fprintf ppf "(no samples)"
   else
     Format.fprintf ppf "n=%d min=%.4g max=%.4g mu=%.4g sigma=%.4g m^=%.4g"
-      t.count t.min t.max (mean t) (stddev t) t.max_abs
+      (count t) t.min t.max (mean t) (stddev t) t.max_abs

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Repo check: full build (libs, tests, benches, examples) + test suite.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest

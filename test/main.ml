@@ -30,4 +30,5 @@ let () =
       Test_soak.suite;
       Test_coverage_extras.suite;
       Test_simplify.suite;
+      Test_hotpath.suite;
     ]
