@@ -226,6 +226,84 @@ let quantize_cmd =
     (Cmd.info "quantize" ~doc:"Quantize a value through a fixed-point type.")
     Term.(const run_quantize $ value_t $ type_t $ n_t $ f_t $ sat_t $ floor_t)
 
+(* --- check: the conformance oracle ------------------------------------- *)
+
+let run_check seed per_combo update_golden no_bench golden_dir verbose =
+  setup_logs verbose;
+  let seed =
+    match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
+  in
+  Format.printf
+    "fxrefine check: seed %d (replay with --check-seed %d or \
+     FXREFINE_QCHECK_SEED=%d)@."
+    seed seed seed;
+  let diff = Oracle.Differential.run ~seed ~per_combo () in
+  Format.printf "%a@." Oracle.Differential.pp_report diff;
+  let meta = Oracle.Metamorphic.run_all () in
+  Format.printf "%a@." Oracle.Metamorphic.pp_report meta;
+  let golden = Oracle.Golden.check ~update:update_golden ?dir:golden_dir () in
+  Format.printf "%a@." Oracle.Golden.pp_result golden;
+  let bench_ok =
+    if no_bench then begin
+      Format.printf "bench guard: skipped (--no-bench)@.";
+      true
+    end
+    else begin
+      let bench = Oracle.Bench_guard.run () in
+      Format.printf "%a@." Oracle.Bench_guard.pp_report bench;
+      Oracle.Bench_guard.passed bench
+    end
+  in
+  let ok =
+    Oracle.Differential.passed diff
+    && Oracle.Metamorphic.passed meta
+    && Oracle.Golden.passed golden && bench_ok
+  in
+  Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
+  if not ok then exit 1
+
+let check_cmd =
+  let seed_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "check-seed" ]
+          ~doc:
+            "Oracle seed (default: \\$(b,FXREFINE_QCHECK_SEED) or the fixed \
+             built-in constant).")
+  in
+  let per_combo_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "per-combo" ]
+          ~doc:"Differential cases per sign/overflow/round combination.")
+  in
+  let update_t =
+    Arg.(
+      value & flag
+      & info [ "update-golden" ]
+          ~doc:"Rewrite the golden files instead of comparing against them.")
+  in
+  let no_bench_t =
+    Arg.(
+      value & flag
+      & info [ "no-bench" ] ~doc:"Skip the throughput regression guard.")
+  in
+  let golden_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden-dir" ] ~doc:"Golden file directory override.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the conformance oracle: differential quantizer testing, \
+          metamorphic workload invariants, golden traces, bench guard.")
+    Term.(
+      const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
+      $ golden_dir_t $ verbose_t)
+
 (* --- sfg ---------------------------------------------------------------- *)
 
 let run_sfg auto dot_path =
@@ -282,4 +360,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd ]))
+          [
+            equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
+            check_cmd;
+          ]))

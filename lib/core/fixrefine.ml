@@ -17,7 +17,10 @@
       two literature baselines;
     - {!Dsp}: the paper's example designs (LMS equalizer, PAM timing
       recovery) and a block library;
-    - {!Vhdl}: VHDL generation for refined datapaths.
+    - {!Vhdl}: VHDL generation for refined datapaths;
+    - {!Oracle}: the conformance oracle — executable quantization spec,
+      differential testing, metamorphic workload invariants, golden
+      traces and the bench regression guard behind [fxrefine check].
 
     Quickstart: see [examples/quickstart.ml]. *)
 
@@ -29,3 +32,4 @@ module Sfg = Sfg
 module Refine = Refine
 module Dsp = Dsp
 module Vhdl = Vhdl
+module Oracle = Oracle

@@ -1,0 +1,195 @@
+(* Bench regression guard: the simbench workloads re-measured against
+   the committed BENCH_sim.json baselines. *)
+
+type entry = {
+  bench : string;
+  samples_per_run : int;
+  baseline : float;
+  measured : float;
+  ratio : float;
+}
+
+type report = { threshold : float; entries : entry list; note : string option }
+
+let default_baseline_file = "BENCH_sim.json"
+
+(* --- baseline parsing (no JSON dependency) ------------------------------ *)
+
+(* Scan for ["name": "<w>"] followed by ["after": <float>]; the file is
+   machine-written by bench/main.ml's simbench with exactly this shape. *)
+let parse_baselines text =
+  let find_from pat i =
+    let n = String.length text and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub text i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go i
+  in
+  let number_at i =
+    let n = String.length text in
+    let rec skip i = if i < n && text.[i] = ' ' then skip (i + 1) else i in
+    let i = skip i in
+    let rec stop j =
+      if
+        j < n
+        && (match text.[j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      then stop (j + 1)
+      else j
+    in
+    let j = stop i in
+    if j = i then None else float_of_string_opt (String.sub text i (j - i))
+  in
+  let rec entries i acc =
+    match find_from "\"name\": \"" i with
+    | None -> List.rev acc
+    | Some i -> (
+        match String.index_from_opt text i '"' with
+        | None -> List.rev acc
+        | Some q -> (
+            let name = String.sub text i (q - i) in
+            match find_from "\"after\":" q with
+            | None -> List.rev acc
+            | Some j -> (
+                match number_at j with
+                | None -> entries j acc
+                | Some v -> entries j ((name, v) :: acc))))
+  in
+  entries 0 []
+
+(* --- the measured workloads (mirrors of bench/scenarios.ml) ------------- *)
+
+let equalizer_design () =
+  let n = 4000 in
+  let env = Sim.Env.create ~seed:11 () in
+  let rng = Stats.Rng.create ~seed:2024 in
+  let stimulus, _ =
+    Dsp.Channel_model.isi_awgn ~noise_sigma:0.02 ~rng ~n_symbols:n ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "decisions" in
+  let x_dtype = Fixpt.Dtype.make "T_input" ~n:7 ~f:5 () in
+  let eq = Dsp.Lms_equalizer.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Lms_equalizer.x eq) (-1.5) 1.5;
+  ( {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Lms_equalizer.run eq ~cycles:n);
+    },
+    n )
+
+let timing_design () =
+  let n_symbols = 4000 in
+  let env = Sim.Env.create ~seed:5 () in
+  let rng = Stats.Rng.create ~seed:99 in
+  let stimulus, _, n_samples =
+    Dsp.Channel_model.timing_offset_pam ~rng ~n_symbols ~tau:0.3
+      ~noise_sigma:0.01 ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "symbols" in
+  let x_dtype =
+    Fixpt.Dtype.make "T_input" ~n:10 ~f:8
+      ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let tr = Dsp.Timing_recovery.create env ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Timing_recovery.input_signal tr) (-1.6) 1.6;
+  Sim.Signal.range (Dsp.Nco.mu (Dsp.Timing_recovery.nco tr)) 0.0 1.0;
+  Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+  Sim.Signal.range (Sim.Env.find_exn env "ted_err") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_out") (-2.0) 2.0;
+  Sim.Signal.range (Sim.Env.find_exn env "out") (-2.0) 2.0;
+  ( {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Timing_recovery.run tr ~samples:n_samples);
+    },
+    n_samples )
+
+(* Same protocol as simbench: one warm-up run, then whole-run
+   repetitions for the time budget. *)
+let measure ~budget (design : Refine.Flow.design) ~samples_per_run =
+  design.Refine.Flow.reset ();
+  design.Refine.Flow.run ();
+  let reps = ref 0 in
+  let t0 = Sys.time () in
+  let elapsed () = Sys.time () -. t0 in
+  while elapsed () < budget || !reps = 0 do
+    design.Refine.Flow.reset ();
+    design.Refine.Flow.run ();
+    incr reps
+  done;
+  Float.of_int (!reps * samples_per_run) /. elapsed ()
+
+let run ?(baseline_file = default_baseline_file) ?(threshold = 0.8)
+    ?(budget_seconds = 0.5) () =
+  if not (Sys.file_exists baseline_file) then
+    {
+      threshold;
+      entries = [];
+      note = Some (Printf.sprintf "baseline %s not found: skipped" baseline_file);
+    }
+  else
+    let baselines =
+      try parse_baselines (In_channel.with_open_bin baseline_file In_channel.input_all)
+      with Sys_error e ->
+        ignore e;
+        []
+    in
+    if baselines = [] then
+      {
+        threshold;
+        entries = [];
+        note =
+          Some (Printf.sprintf "no baselines parsed from %s: skipped" baseline_file);
+      }
+    else
+      let one bench build =
+        match List.assoc_opt bench baselines with
+        | None -> None
+        | Some baseline ->
+            let design, samples_per_run = build () in
+            let measured = measure ~budget:budget_seconds design ~samples_per_run in
+            Some
+              {
+                bench;
+                samples_per_run;
+                baseline;
+                measured;
+                ratio = measured /. baseline;
+              }
+      in
+      let entries =
+        List.filter_map
+          (fun (bench, build) -> one bench build)
+          [
+            ("lms-equalizer", equalizer_design);
+            ("timing-recovery", timing_design);
+          ]
+      in
+      { threshold; entries; note = None }
+
+let passed r = List.for_all (fun e -> e.ratio >= r.threshold) r.entries
+
+let pp_report ppf r =
+  (match r.note with
+  | Some n -> Format.fprintf ppf "bench guard: %s" n
+  | None ->
+      Format.fprintf ppf "bench guard (fail below %.2fx baseline):" r.threshold);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@.  %-18s %9.0f samples/sec vs baseline %9.0f (%.2fx)%s"
+        e.bench e.measured e.baseline e.ratio
+        (if e.ratio >= r.threshold then "" else "  REGRESSION"))
+    r.entries

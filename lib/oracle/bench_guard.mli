@@ -1,0 +1,44 @@
+(** Throughput regression guard: re-measures the two hot-path
+    simulation workloads of [bench/main.ml]'s [simbench] (LMS equalizer
+    at 4000 symbols, timing recovery at 8000 samples) and compares
+    against the committed baselines in [BENCH_sim.json].
+
+    Timing is inherently machine- and load-dependent, so this guard is
+    deliberately {e not} part of [dune runtest]; it runs inside
+    [fxrefine check] (skippable with [--no-bench]) and fails only on a
+    drastic regression — measured throughput below
+    [threshold × baseline] (default 0.8×). *)
+
+type entry = {
+  bench : string;
+  samples_per_run : int;
+  baseline : float;  (** the baseline file's [after] samples/sec *)
+  measured : float;
+  ratio : float;  (** measured / baseline *)
+}
+
+type report = {
+  threshold : float;
+  entries : entry list;
+  note : string option;  (** set when the guard was skipped *)
+}
+
+val default_baseline_file : string
+
+(** Extract [(name, after)] pairs from the baseline JSON (naive string
+    scan; the file is machine-written by [simbench]). *)
+val parse_baselines : string -> (string * float) list
+
+(** [run ()] measures both workloads ([budget_seconds] of repetitions
+    each, default 0.5, after one warm-up run).  A missing or
+    unparseable baseline file yields an empty, passing report with
+    [note] set. *)
+val run :
+  ?baseline_file:string ->
+  ?threshold:float ->
+  ?budget_seconds:float ->
+  unit ->
+  report
+
+val passed : report -> bool
+val pp_report : Format.formatter -> report -> unit

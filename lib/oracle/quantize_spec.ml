@@ -1,0 +1,101 @@
+(* Executable specification of the quantization cast.  Slow and plain
+   on purpose: every branch is written out per mode, nothing is cached,
+   and the integer wrap is Euclidean remainder rather than the
+   implementation's shift-based sign extension — so the two code bases
+   share as little structure as the shared semantics allow. *)
+
+let int64_exact = 4.0e18
+
+let code_bounds (fmt : Fixpt.Qformat.t) =
+  let n = Fixpt.Qformat.n fmt in
+  match Fixpt.Qformat.sign fmt with
+  | Fixpt.Sign_mode.Tc ->
+      (* lo = -2^(n-1) via an arithmetic shift of -1 (well-defined for
+         n = 64 thanks to int64 wraparound); hi = -lo - 1 = lognot lo *)
+      let lo = Int64.shift_left Int64.minus_one (n - 1) in
+      (lo, Int64.lognot lo)
+  | Fixpt.Sign_mode.Us ->
+      if n > 63 then
+        invalid_arg "Quantize_spec.code_bounds: unsigned wordlength > 63";
+      (0L, Int64.sub (Int64.shift_left 1L n) 1L)
+
+let wrap_code (fmt : Fixpt.Qformat.t) code =
+  let n = Fixpt.Qformat.n fmt in
+  if n > 62 then
+    invalid_arg "Quantize_spec.wrap_code: exact grid is n <= 62 only";
+  let span = Int64.shift_left 1L n in
+  (* Euclidean remainder: r in [0, 2^n) congruent to code *)
+  let r = Int64.rem code span in
+  let r = if Int64.compare r 0L < 0 then Int64.add r span else r in
+  match Fixpt.Qformat.sign fmt with
+  | Fixpt.Sign_mode.Us -> r
+  | Fixpt.Sign_mode.Tc ->
+      let _, hi = code_bounds fmt in
+      if Int64.compare r hi > 0 then Int64.sub r span else r
+
+let quantize (dt : Fixpt.Dtype.t) v : Fixpt.Quantize.outcome =
+  if Float.is_nan v then invalid_arg "Quantize_spec.quantize: nan";
+  let v =
+    if v = Float.infinity then Float.max_float
+    else if v = Float.neg_infinity then -.Float.max_float
+    else v
+  in
+  let fmt = Fixpt.Dtype.fmt dt in
+  let step = Fixpt.Qformat.step fmt in
+  (* LSB phase: scale onto the integer grid and round per mode *)
+  let scaled = v /. step in
+  let rounded =
+    match Fixpt.Dtype.round dt with
+    | Fixpt.Round_mode.Round -> Float.round scaled
+    | Fixpt.Round_mode.Floor -> Float.floor scaled
+  in
+  let rounding_error = (rounded *. step) -. v in
+  (* MSB phase: clamp/wrap the grid code into the format's window *)
+  let n = Fixpt.Qformat.n fmt in
+  let lo, hi = code_bounds fmt in
+  let value, direction =
+    if n <= 62 && Float.abs rounded <= int64_exact then begin
+      (* exact integer grid *)
+      let code = Int64.of_float rounded in
+      if Int64.compare code lo >= 0 && Int64.compare code hi <= 0 then
+        (Int64.to_float code *. step, None)
+      else
+        let dir = if Int64.compare code hi > 0 then `Above else `Below in
+        let code' =
+          match Fixpt.Dtype.overflow dt with
+          | Fixpt.Overflow_mode.Saturate -> (
+              match dir with `Above -> hi | `Below -> lo)
+          | Fixpt.Overflow_mode.Wrap | Fixpt.Overflow_mode.Error ->
+              wrap_code fmt code
+        in
+        (Int64.to_float code' *. step, Some dir)
+    end
+    else begin
+      (* float fallback: range-explosion magnitudes and n > 62 *)
+      let flo = Int64.to_float lo and fhi = Int64.to_float hi in
+      if rounded >= flo && rounded <= fhi then (rounded *. step, None)
+      else
+        let dir = if rounded > fhi then `Above else `Below in
+        let code' =
+          match Fixpt.Dtype.overflow dt with
+          | Fixpt.Overflow_mode.Saturate -> (
+              match dir with `Above -> fhi | `Below -> flo)
+          | Fixpt.Overflow_mode.Wrap | Fixpt.Overflow_mode.Error ->
+              let span = fhi -. flo +. 1.0 in
+              let off = Float.rem (rounded -. flo) span in
+              let off = if off < 0.0 then off +. span else off in
+              flo +. Float.round off
+        in
+        (code' *. step, Some dir)
+    end
+  in
+  {
+    Fixpt.Quantize.value;
+    rounding_error;
+    overflow =
+      Option.map
+        (fun direction -> { Fixpt.Quantize.raw = rounded *. step; direction })
+        direction;
+  }
+
+let cast dt v = (quantize dt v).Fixpt.Quantize.value

@@ -1,0 +1,44 @@
+(** Executable specification of the quantization cast (§2.2).
+
+    A deliberately slow, obviously-correct reference for
+    {!Fixpt.Quantize}: straight-line math per mode combination, no
+    compiled-constant cache, no scratch cells, no memo table.  The
+    production quantizer must agree with this spec bit-for-bit on every
+    input — that agreement is enforced by the differential suite
+    ({!Differential}, [test/conformance]) and is the standing gate for
+    every future hot-path optimization.
+
+    Semantics (same contract as the implementation):
+    - NaN input raises [Invalid_argument];
+    - infinities are treated as [±max_float] (they saturate, or wrap to
+      an unspecified in-range code, and report an overflow event);
+    - LSB rounding first ([Round] = nearest, ties away from zero;
+      [Floor] = towards −∞), then MSB overflow handling;
+    - grid codes within the int64-exact window ([|code| ≤ 4·10^18]) of
+      formats up to 62 bits use exact integer arithmetic; wider formats
+      and range-explosion magnitudes use float modular arithmetic with
+      the same wrap/saturate behaviour. *)
+
+(** Largest float magnitude trusted to round-trip through [int64]
+    (shared constant of the spec and the implementation). *)
+val int64_exact : float
+
+(** Integer code range of a format: [[-2^(n-1), 2^(n-1)-1]] for two's
+    complement (any [n ≤ 64]), [[0, 2^n-1]] for unsigned ([n ≤ 63];
+    larger unsigned formats have no int64 code and raise
+    [Invalid_argument]). *)
+val code_bounds : Fixpt.Qformat.t -> int64 * int64
+
+(** Two's-complement / modular reduction of an out-of-range code into
+    the format's code window, via Euclidean remainder (the
+    implementation uses shift-based sign extension; the agreement of
+    the two is part of what the differential suite checks).  Exact-grid
+    formats only ([n ≤ 62]). *)
+val wrap_code : Fixpt.Qformat.t -> int64 -> int64
+
+(** [quantize dt v] — the reference cast; field-for-field comparable
+    with [Fixpt.Quantize.quantize dt v]. *)
+val quantize : Fixpt.Dtype.t -> float -> Fixpt.Quantize.outcome
+
+(** Just the representable value. *)
+val cast : Fixpt.Dtype.t -> float -> float

@@ -1,6 +1,13 @@
 #!/bin/sh
-# Repo check: full build (libs, tests, benches, examples) + test suite.
+# Repo check — the single tier-1 entry point:
+#   1. full build (libs, tests, benches, examples);
+#   2. the deterministic test suites (unit + conformance);
+#   3. the conformance gate: differential quantization oracle,
+#      metamorphic workload invariants, golden traces, and the bench
+#      regression guard (wall-clock, so deliberately NOT part of
+#      `dune runtest`).
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+dune exec bin/fxrefine.exe -- check

@@ -1,0 +1,90 @@
+(* Conformance: emitted VHDL for the small FIR flowgraph.
+
+   The byte-exact comparison against golden/fir_{wrap,sat,tb}.vhd is
+   part of Oracle.Golden.check (conf_golden); here we pin down the
+   structural properties those files must keep — so an intentional
+   regeneration that silently drops saturation logic or the testbench
+   assertions still fails a named test. *)
+
+open Fixrefine
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let cases = lazy (Oracle.Golden.vhdl_cases ())
+let case name = List.assoc name (Lazy.force cases)
+
+let test_all_cases_present () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Printf.sprintf "%s generated" f) true
+        (List.mem_assoc f (Lazy.force cases)))
+    [ "fir_wrap.vhd"; "fir_sat.vhd"; "fir_tb.vhd" ]
+
+let test_wrap_entity () =
+  let text = case "fir_wrap.vhd" in
+  Alcotest.(check bool) "entity" true (contains "entity fir_wrap is" text);
+  Alcotest.(check bool) "numeric_std" true
+    (contains "use ieee.numeric_std.all" text);
+  Alcotest.(check bool) "input port" true (contains "i_x" text);
+  Alcotest.(check bool) "output port" true (contains "o_y" text);
+  Alcotest.(check bool) "registered delay line" true
+    (contains "rising_edge" text);
+  (* wrap mode: the accumulator chain resizes, it never saturates *)
+  Alcotest.(check bool) "no sat() on v-chain" false
+    (contains "s_v_1_ <= sat(" text || contains "s_v_2_ <= sat(" text)
+
+let test_sat_entity () =
+  let text = case "fir_sat.vhd" in
+  Alcotest.(check bool) "entity" true (contains "entity fir_sat is" text);
+  Alcotest.(check bool) "sat helper emitted" true (contains "function sat" text);
+  (* saturate mode marks the whole accumulator chain *)
+  Alcotest.(check bool) "sat() on v-chain" true (contains "<= sat(" text)
+
+let test_wrap_sat_differ_only_in_msb_logic () =
+  let wrap = case "fir_wrap.vhd" and sat = case "fir_sat.vhd" in
+  Alcotest.(check bool) "texts differ" false (String.equal wrap sat);
+  (* same interface either way *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in both") true
+        (contains needle wrap && contains needle sat))
+    [ "i_x : in "; "o_y : out "; "rising_edge(clk)" ]
+
+let test_testbench_structure () =
+  let text = case "fir_tb.vhd" in
+  Alcotest.(check bool) "tb entity" true (contains "entity fir_dut_tb" text);
+  Alcotest.(check bool) "instantiates dut" true
+    (contains "entity work.fir_dut" text);
+  Alcotest.(check bool) "stimulus rom" true (contains "constant stim_i_x" text);
+  Alcotest.(check bool) "golden rom" true (contains "constant gold_o_y" text);
+  Alcotest.(check bool) "self-checking assertion" true
+    (contains "assert o_y = gold_o_y" text);
+  Alcotest.(check bool) "16 vectors checked" true
+    (contains "16 vectors checked" text)
+
+let test_generation_deterministic () =
+  let again = Oracle.Golden.vhdl_cases () in
+  List.iter
+    (fun (f, text) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s deterministic" f)
+        text
+        (List.assoc f again))
+    (Lazy.force cases)
+
+let suite =
+  ( "conformance.vhdl",
+    [
+      Alcotest.test_case "all golden cases present" `Quick
+        test_all_cases_present;
+      Alcotest.test_case "wrap entity structure" `Quick test_wrap_entity;
+      Alcotest.test_case "saturate entity structure" `Quick test_sat_entity;
+      Alcotest.test_case "wrap vs saturate interface" `Quick
+        test_wrap_sat_differ_only_in_msb_logic;
+      Alcotest.test_case "testbench structure" `Quick test_testbench_structure;
+      Alcotest.test_case "emission deterministic" `Quick
+        test_generation_deterministic;
+    ] )

@@ -30,5 +30,6 @@ let () =
       Test_soak.suite;
       Test_coverage_extras.suite;
       Test_simplify.suite;
+      Test_sfg_edges.suite;
       Test_hotpath.suite;
     ]

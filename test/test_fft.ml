@@ -180,5 +180,5 @@ let suite =
         test_msb_growth_unscaled;
       Alcotest.test_case "msb flat scaled" `Quick test_msb_flat_scaled;
       Alcotest.test_case "bad size" `Quick test_bad_size_rejected;
-      QCheck_alcotest.to_alcotest prop_linearity;
+      Test_support.Qseed.to_alcotest prop_linearity;
     ] )

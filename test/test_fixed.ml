@@ -135,9 +135,9 @@ let suite =
       Alcotest.test_case "bits sign extension" `Quick
         test_bits_sign_extension;
       Alcotest.test_case "width guard" `Quick test_width_guard;
-      QCheck_alcotest.to_alcotest prop_float_sim_matches_bit_true_add;
-      QCheck_alcotest.to_alcotest prop_float_sim_matches_bit_true_mul;
-      QCheck_alcotest.to_alcotest prop_resize_matches_quantize;
-      QCheck_alcotest.to_alcotest prop_bits_roundtrip;
-      QCheck_alcotest.to_alcotest prop_sub_is_add_neg;
+      Test_support.Qseed.to_alcotest prop_float_sim_matches_bit_true_add;
+      Test_support.Qseed.to_alcotest prop_float_sim_matches_bit_true_mul;
+      Test_support.Qseed.to_alcotest prop_resize_matches_quantize;
+      Test_support.Qseed.to_alcotest prop_bits_roundtrip;
+      Test_support.Qseed.to_alcotest prop_sub_is_add_neg;
     ] )

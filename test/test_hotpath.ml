@@ -269,8 +269,8 @@ let suite =
       Alcotest.test_case "rng reseed rewinds" `Quick test_rng_reseed_rewinds;
       Alcotest.test_case "tick commits only staged" `Quick
         test_tick_commits_only_staged;
-      QCheck_alcotest.to_alcotest prop_wrap_code_small_n_matches_modular;
-      QCheck_alcotest.to_alcotest prop_paths_agree_saturate;
-      QCheck_alcotest.to_alcotest prop_paths_agree_wrap;
-      QCheck_alcotest.to_alcotest prop_exec_into_matches_exec;
+      Test_support.Qseed.to_alcotest prop_wrap_code_small_n_matches_modular;
+      Test_support.Qseed.to_alcotest prop_paths_agree_saturate;
+      Test_support.Qseed.to_alcotest prop_paths_agree_wrap;
+      Test_support.Qseed.to_alcotest prop_exec_into_matches_exec;
     ] )

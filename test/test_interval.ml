@@ -174,13 +174,13 @@ let suite =
       Alcotest.test_case "exploded" `Quick test_exploded;
       Alcotest.test_case "observe" `Quick test_observe;
       Alcotest.test_case "mag" `Quick test_mag;
-      QCheck_alcotest.to_alcotest prop_add_sound;
-      QCheck_alcotest.to_alcotest prop_sub_sound;
-      QCheck_alcotest.to_alcotest prop_mul_sound;
-      QCheck_alcotest.to_alcotest prop_min_sound;
-      QCheck_alcotest.to_alcotest prop_max_sound;
-      QCheck_alcotest.to_alcotest prop_div_sound;
-      QCheck_alcotest.to_alcotest prop_join_upper_bound;
-      QCheck_alcotest.to_alcotest prop_widen_upper_bound;
-      QCheck_alcotest.to_alcotest prop_neg_involution;
+      Test_support.Qseed.to_alcotest prop_add_sound;
+      Test_support.Qseed.to_alcotest prop_sub_sound;
+      Test_support.Qseed.to_alcotest prop_mul_sound;
+      Test_support.Qseed.to_alcotest prop_min_sound;
+      Test_support.Qseed.to_alcotest prop_max_sound;
+      Test_support.Qseed.to_alcotest prop_div_sound;
+      Test_support.Qseed.to_alcotest prop_join_upper_bound;
+      Test_support.Qseed.to_alcotest prop_widen_upper_bound;
+      Test_support.Qseed.to_alcotest prop_neg_involution;
     ] )

@@ -146,6 +146,6 @@ let suite =
         test_required_msb_infinite;
       Alcotest.test_case "widen_for_range" `Quick test_widen_for_range;
       Alcotest.test_case "to_string" `Quick test_to_string;
-      QCheck_alcotest.to_alcotest prop_required_msb_sound;
-      QCheck_alcotest.to_alcotest prop_step_times_cardinal;
+      Test_support.Qseed.to_alcotest prop_required_msb_sound;
+      Test_support.Qseed.to_alcotest prop_step_times_cardinal;
     ] )

@@ -169,10 +169,10 @@ let suite =
       Alcotest.test_case "huge value saturates" `Quick
         test_huge_value_saturates;
       Alcotest.test_case "noise model" `Quick test_noise_model;
-      QCheck_alcotest.to_alcotest prop_result_representable;
-      QCheck_alcotest.to_alcotest prop_round_error_bounded;
-      QCheck_alcotest.to_alcotest prop_floor_error_negative;
-      QCheck_alcotest.to_alcotest prop_idempotent;
-      QCheck_alcotest.to_alcotest prop_monotone_saturating;
-      QCheck_alcotest.to_alcotest prop_wrap_congruent;
+      Test_support.Qseed.to_alcotest prop_result_representable;
+      Test_support.Qseed.to_alcotest prop_round_error_bounded;
+      Test_support.Qseed.to_alcotest prop_floor_error_negative;
+      Test_support.Qseed.to_alcotest prop_idempotent;
+      Test_support.Qseed.to_alcotest prop_monotone_saturating;
+      Test_support.Qseed.to_alcotest prop_wrap_congruent;
     ] )

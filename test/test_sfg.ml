@@ -315,7 +315,7 @@ let suite =
       Alcotest.test_case "saturate breaks explosion" `Quick
         test_range_saturate_breaks_explosion;
       Alcotest.test_case "range msb_of" `Quick test_range_msb_of;
-      QCheck_alcotest.to_alcotest prop_range_sound_on_execution;
+      Test_support.Qseed.to_alcotest prop_range_sound_on_execution;
       Alcotest.test_case "noise single quantizer" `Quick
         test_noise_single_quantizer;
       Alcotest.test_case "noise adds variances" `Quick

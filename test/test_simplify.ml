@@ -176,5 +176,5 @@ let suite =
         test_delay_loop_preserved;
       Alcotest.test_case "extraction shrinks" `Quick
         test_equalizer_extraction_shrinks_and_preserves;
-      QCheck_alcotest.to_alcotest prop_simplify_preserves_execution;
+      Test_support.Qseed.to_alcotest prop_simplify_preserves_execution;
     ] )

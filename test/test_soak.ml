@@ -171,9 +171,9 @@ let test_dtype_parse_garbage () =
 let suite =
   ( "soak",
     [
-      QCheck_alcotest.to_alcotest prop_sim_ranges_sound;
-      QCheck_alcotest.to_alcotest prop_extracted_graph_sound;
-      QCheck_alcotest.to_alcotest prop_flow_terminates_and_types;
+      Test_support.Qseed.to_alcotest prop_sim_ranges_sound;
+      Test_support.Qseed.to_alcotest prop_extracted_graph_sound;
+      Test_support.Qseed.to_alcotest prop_flow_terminates_and_types;
       Alcotest.test_case "dtype parse roundtrip" `Quick
         test_dtype_parse_roundtrip;
       Alcotest.test_case "dtype parse defaults" `Quick

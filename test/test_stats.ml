@@ -267,8 +267,8 @@ let suite =
       Alcotest.test_case "running empty" `Quick test_running_empty;
       Alcotest.test_case "running nan" `Quick test_running_nan_ignored;
       Alcotest.test_case "running reset" `Quick test_running_reset;
-      QCheck_alcotest.to_alcotest prop_running_matches_direct;
-      QCheck_alcotest.to_alcotest prop_merge_equals_concat;
+      Test_support.Qseed.to_alcotest prop_running_matches_direct;
+      Test_support.Qseed.to_alcotest prop_merge_equals_concat;
       Alcotest.test_case "err record" `Quick test_err_stats_record;
       Alcotest.test_case "err loss verdicts" `Quick test_err_loss_verdicts;
       Alcotest.test_case "err precision_of" `Quick test_err_precision_of;

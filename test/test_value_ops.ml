@@ -138,6 +138,6 @@ let suite =
         test_cast_quantizes_fx_only;
       Alcotest.test_case "saturating cast clamps range" `Quick
         test_cast_saturating_clamps_range;
-      QCheck_alcotest.to_alcotest prop_ops_keep_membership;
-      QCheck_alcotest.to_alcotest prop_fl_membership;
+      Test_support.Qseed.to_alcotest prop_ops_keep_membership;
+      Test_support.Qseed.to_alcotest prop_fl_membership;
     ] )
