@@ -9,7 +9,7 @@
    Experiment ids: table1 table2 sqnr fig1 fig2 fig3 fig4 fig5
    msb-threeway compare ablate-klsb ablate-error ablate-steering
    ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary simbench
-   bench. *)
+   sweepbench bench. *)
 
 open Fixrefine
 
@@ -819,6 +819,58 @@ let simbench () =
   Format.printf "wrote BENCH_sim.json@."
 
 (* ======================================================================= *)
+(* Parallel sweep scaling (BENCH_sweep.json)                                *)
+(* ======================================================================= *)
+
+(* Wall-clock scaling of the domain-parallel exploration pool on a grid
+   sweep — one candidate evaluation is a full monitored simulation, so
+   this measures real end-to-end speedup, not kernel time.  The target
+   is ≥3× at 4 cores; the JSON records cores_available because a
+   core-starved container cannot exhibit the speedup (jobs > cores just
+   time-slices one core) and the honest measurement is still the right
+   regression reference for when it runs on real silicon. *)
+
+let sweepbench () =
+  section "sweepbench: parallel sweep wall-clock scaling";
+  let sweep ~jobs =
+    let workload = Sweep.Workload.fir ~n:2048 () in
+    let generator =
+      Sweep.Generator.grid ~specs:workload.Sweep.Workload.specs ~f_min:2
+        ~f_max:10 ~seeds:[ 0; 1; 2; 3 ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Sweep.Pool.run ~jobs ~workload ~generator () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (List.length report.Sweep.Report.entries, dt)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let par_jobs = min 4 (max 2 cores) in
+  (* warm-up: fault in all code paths before timing *)
+  ignore (sweep ~jobs:1);
+  let candidates, t_seq = sweep ~jobs:1 in
+  let _, t_par = sweep ~jobs:par_jobs in
+  let speedup = t_seq /. t_par in
+  Format.printf "%d candidates: jobs=1 %.3f s, jobs=%d %.3f s -> %.2fx (%d core%s available)@."
+    candidates t_seq par_jobs t_par speedup cores
+    (if cores = 1 then "" else "s");
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"sweep-scaling\",\n\
+    \  \"workload\": \"fir\",\n\
+    \  \"strategy\": \"grid\",\n\
+    \  \"candidates\": %d,\n\
+    \  \"cores_available\": %d,\n\
+    \  \"seconds_jobs1\": %.4f,\n\
+    \  \"seconds_jobs%d\": %.4f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"target\": \"3x at 4 cores (unattainable when cores_available < 4)\"\n\
+     }\n"
+    candidates cores t_seq par_jobs t_par speedup;
+  close_out oc;
+  Format.printf "wrote BENCH_sweep.json@."
+
+(* ======================================================================= *)
 (* Bechamel timing benchmarks — one per experiment                          *)
 (* ======================================================================= *)
 
@@ -917,6 +969,7 @@ let experiments =
     ("ablate-widen", ablate_widen);
     ("summary", summary);
     ("simbench", simbench);
+    ("sweepbench", sweepbench);
     ("bench", bechamel_run);
   ]
 

@@ -7,6 +7,7 @@
      cordic     — refine a CORDIC rotator
      quantize   — quantize one value through a dtype (scriptable helper)
      sfg        — analyze a built-in flowgraph analytically, export DOT
+     sweep      — parallel wordlength/stimuli exploration (multicore)
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
@@ -226,9 +227,105 @@ let quantize_cmd =
     (Cmd.info "quantize" ~doc:"Quantize a value through a fixed-point type.")
     Term.(const run_quantize $ value_t $ type_t $ n_t $ f_t $ sat_t $ floor_t)
 
+(* --- sweep: parallel wordlength exploration ----------------------------- *)
+
+let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
+    target_db json verbose =
+  setup_logs verbose;
+  let workload =
+    match Sweep.Workload.find workload_name with
+    | Some w -> w
+    | None ->
+        Format.eprintf "unknown workload %S (available: %s)@." workload_name
+          (String.concat ", "
+             (List.map
+                (fun (w : Sweep.Workload.t) -> w.Sweep.Workload.name)
+                (Sweep.Workload.all ())));
+        exit 1
+  in
+  if f_min > f_max then begin
+    Format.eprintf "invalid range: --f-min %d > --f-max %d@." f_min f_max;
+    exit 1
+  end;
+  if n_seeds < 1 then begin
+    Format.eprintf "--seeds must be at least 1@.";
+    exit 1
+  end;
+  let specs = workload.Sweep.Workload.specs in
+  let seeds = List.init n_seeds Fun.id in
+  let generator =
+    match strategy with
+    | "grid" -> Sweep.Generator.grid ~specs ~f_min ~f_max ~seeds
+    | "bisect" -> Sweep.Generator.bisect ~specs ~f_min ~f_max ~target_db ~seeds
+    | "pareto" -> Sweep.Generator.pareto ~specs ~f_min ~f_max ~seeds ()
+    | s ->
+        Format.eprintf "unknown strategy %S (grid|bisect|pareto)@." s;
+        exit 1
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Sweep.Pool.run ~jobs ?budget ~workload ~generator () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if json then print_string (Sweep.Report.to_json report)
+  else Format.printf "%a" Sweep.Report.pp report;
+  (* timing goes to stderr, never into the (deterministic) report *)
+  Format.eprintf "sweep: %d candidates in %.3f s (jobs=%d)@."
+    (List.length report.Sweep.Report.entries)
+    dt jobs
+
+let sweep_cmd =
+  let workload_t =
+    Arg.(
+      value & opt string "fir"
+      & info [ "workload" ] ~doc:"Built-in workload to explore.")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "grid"
+      & info [ "strategy" ]
+          ~doc:"Search strategy: \\$(b,grid), \\$(b,bisect) or \\$(b,pareto).")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~doc:"Worker domains (1 = sequential).")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~doc:"Cap on the number of evaluated candidates.")
+  in
+  let f_min_t =
+    Arg.(value & opt int 2 & info [ "f-min" ] ~doc:"Smallest fractional width.")
+  in
+  let f_max_t =
+    Arg.(value & opt int 10 & info [ "f-max" ] ~doc:"Largest fractional width.")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~doc:"Stimulus seeds per wordlength (0..N-1).")
+  in
+  let target_t =
+    Arg.(
+      value & opt float 40.0
+      & info [ "target-db" ] ~doc:"SQNR target for \\$(b,bisect).")
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Canonical JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Explore wordlength/stimulus candidates in parallel (OCaml \
+          multicore); deterministic for any --jobs.")
+    Term.(
+      const run_sweep $ workload_t $ strategy_t $ jobs_t $ budget_t $ f_min_t
+      $ f_max_t $ seeds_t $ target_t $ json_t $ verbose_t)
+
 (* --- check: the conformance oracle ------------------------------------- *)
 
-let run_check seed per_combo update_golden no_bench golden_dir verbose =
+let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -243,6 +340,8 @@ let run_check seed per_combo update_golden no_bench golden_dir verbose =
   Format.printf "%a@." Oracle.Metamorphic.pp_report meta;
   let golden = Oracle.Golden.check ~update:update_golden ?dir:golden_dir () in
   Format.printf "%a@." Oracle.Golden.pp_result golden;
+  let sweep = Oracle.Sweep_check.run ?jobs () in
+  Format.printf "%a@." Oracle.Sweep_check.pp_report sweep;
   let bench_ok =
     if no_bench then begin
       Format.printf "bench guard: skipped (--no-bench)@.";
@@ -257,7 +356,8 @@ let run_check seed per_combo update_golden no_bench golden_dir verbose =
   let ok =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
-    && Oracle.Golden.passed golden && bench_ok
+    && Oracle.Golden.passed golden
+    && Oracle.Sweep_check.passed sweep && bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -295,14 +395,24 @@ let check_cmd =
       & opt (some string) None
       & info [ "golden-dir" ] ~doc:"Golden file directory override.")
   in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the sweep-determinism gate (default: \
+             recommended domain count, at least 2).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the conformance oracle: differential quantizer testing, \
-          metamorphic workload invariants, golden traces, bench guard.")
+          metamorphic workload invariants, golden traces, sweep determinism, \
+          bench guard.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
-      $ golden_dir_t $ verbose_t)
+      $ golden_dir_t $ jobs_t $ verbose_t)
 
 (* --- sfg ---------------------------------------------------------------- *)
 
@@ -362,5 +472,5 @@ let () =
        (Cmd.group info
           [
             equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
-            check_cmd;
+            sweep_cmd; check_cmd;
           ]))

@@ -17,6 +17,8 @@
       two literature baselines;
     - {!Dsp}: the paper's example designs (LMS equalizer, PAM timing
       recovery) and a block library;
+    - {!Sweep}: the parallel (multicore) wordlength/stimuli exploration
+      engine behind [fxrefine sweep];
     - {!Vhdl}: VHDL generation for refined datapaths;
     - {!Oracle}: the conformance oracle — executable quantization spec,
       differential testing, metamorphic workload invariants, golden
@@ -31,5 +33,6 @@ module Sim = Sim
 module Sfg = Sfg
 module Refine = Refine
 module Dsp = Dsp
+module Sweep = Sweep
 module Vhdl = Vhdl
 module Oracle = Oracle

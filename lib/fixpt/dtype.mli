@@ -16,28 +16,57 @@ val make :
   unit ->
   t
 
+(** {!make} from an existing {!Qformat.t}. *)
 val of_format :
   ?overflow:Overflow_mode.t -> ?round:Round_mode.t -> string -> Qformat.t -> t
 
+(** The report name the dtype was declared under. *)
 val name : t -> string
+
+(** The underlying bit layout. *)
 val fmt : t -> Qformat.t
+
+(** MSB behaviour ([msbspec]). *)
 val overflow : t -> Overflow_mode.t
+
+(** LSB behaviour ([lsbspec]). *)
 val round : t -> Round_mode.t
+
+(** Total bits. *)
 val n : t -> int
+
+(** Fractional bits. *)
 val f : t -> int
+
+(** Two's complement or unsigned. *)
 val sign : t -> Sign_mode.t
+
+(** Weight of the most significant magnitude bit. *)
 val msb_pos : t -> int
+
+(** Weight of the least significant bit ([-f]). *)
 val lsb_pos : t -> int
+
+(** Quantization step [2^lsb_pos]. *)
 val step : t -> float
+
+(** Smallest representable value. *)
 val min_value : t -> float
+
+(** Largest representable value. *)
 val max_value : t -> float
 
 (** Representable range [(min, max)] — what seeds range propagation for
     declared signals (§4.1). *)
 val range : t -> float * float
 
+(** Same layout, different MSB behaviour. *)
 val with_overflow : t -> Overflow_mode.t -> t
+
+(** Same layout, different LSB behaviour. *)
 val with_round : t -> Round_mode.t -> t
+
+(** Same modes and name, different bit layout. *)
 val with_fmt : t -> Qformat.t -> t
 
 (** Move the MSB position, keeping LSB and modes. *)
@@ -46,6 +75,7 @@ val with_msb : t -> int -> t
 (** Move the LSB position, keeping MSB and modes. *)
 val with_lsb : t -> int -> t
 
+(** Structural equality, name included. *)
 val equal : t -> t -> bool
 
 (** Same representation and behaviour, ignoring the name. *)
@@ -54,6 +84,7 @@ val same_behaviour : t -> t -> bool
 (** ["name<n,f,sign,msbspec,lsbspec>"]. *)
 val to_string : t -> string
 
+(** Prints {!to_string}. *)
 val pp : Format.formatter -> t -> unit
 
 (** Parse ["name<n,f[,sign[,msbspec[,lsbspec]]]>"] (name and trailing

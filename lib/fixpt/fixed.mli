@@ -10,26 +10,36 @@
 
 type t
 
+(** The value's interpretation format. *)
 val fmt : t -> Qformat.t
+
+(** The raw mantissa. *)
 val mant : t -> int64
 
 (** Raises [Invalid_argument] if the mantissa does not fit the format. *)
 val create : mant:int64 -> fmt:Qformat.t -> t
 
+(** Zero in the given format. *)
 val zero : Qformat.t -> t
+
+(** Exact for any format below the double mantissa. *)
 val to_float : t -> float
 
 (** Quantize a float through a dtype; returns the bit-true value and the
     quantization outcome. *)
 val of_float : Dtype.t -> float -> t * Quantize.outcome
 
+(** Same mantissa and same format. *)
 val equal : t -> t -> bool
 
 (** Exact addition in the full-precision derived format (one growth bit,
     finest LSB).  Raises [Invalid_argument] beyond 62 bits. *)
 val add : t -> t -> t
 
+(** Exact subtraction; see {!add}. *)
 val sub : t -> t -> t
+
+(** Exact negation in the one-growth-bit derived format. *)
 val neg : t -> t
 
 (** Exact product: widths add, LSB positions add. *)
@@ -38,6 +48,7 @@ val mul : t -> t -> t
 (** Re-quantize into a dtype — the hardware register-write step. *)
 val resize : Dtype.t -> t -> t * Quantize.outcome
 
+(** Numeric order, across formats. *)
 val compare_value : t -> t -> int
 
 (** Two's-complement bit pattern, LSB first. *)
@@ -47,5 +58,8 @@ val bits : t -> bool list
     [Invalid_argument] on a length mismatch. *)
 val of_bits : Qformat.t -> bool list -> t
 
+(** Decimal value plus format, for reports. *)
 val to_string : t -> string
+
+(** Prints {!to_string}. *)
 val pp : Format.formatter -> t -> unit

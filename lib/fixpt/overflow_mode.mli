@@ -10,11 +10,14 @@ type t =
           simulation can continue deterministically *)
 
 val equal : t -> t -> bool
+
+(** The paper's [msbspec] keyword (["wr"], ["sat"], ["err"]). *)
 val to_string : t -> string
 
 (** Parses ["wrap"]/["wr"], ["sat"]/["saturate"], ["err"]/["error"]. *)
 val of_string : string -> t option
 
+(** Prints {!to_string}. *)
 val pp : Format.formatter -> t -> unit
 
 (** [true] only for {!Saturate}.  Saturated signals additionally report

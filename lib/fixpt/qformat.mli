@@ -9,6 +9,7 @@
 
 type t
 
+(** Structural equality. *)
 val equal : t -> t -> bool
 
 (** [make ~n ~f sign] — [n] total bits ([>= 1], or
@@ -16,8 +17,13 @@ val equal : t -> t -> bool
     scales upward, [f > n] gives a pure fraction). *)
 val make : n:int -> f:int -> Sign_mode.t -> t
 
+(** Total bits. *)
 val n : t -> int
+
+(** Fractional bits. *)
 val f : t -> int
+
+(** Two's complement or unsigned. *)
 val sign : t -> Sign_mode.t
 
 (** LSB weight [-f]. *)
@@ -42,6 +48,7 @@ val min_value : t -> float
 (** Number of representable codes, [2^n], as a float. *)
 val cardinal : t -> float
 
+(** Is the float exactly representable (in range, on the grid)? *)
 val contains : t -> float -> bool
 
 (** [v] lies exactly on the format's grid and inside its range. *)
@@ -65,4 +72,5 @@ val widen_for_range : t -> vmin:float -> vmax:float -> t option
 (** ["<n,f,sign>"], e.g. ["<7,5,tc>"]. *)
 val to_string : t -> string
 
+(** Prints [<n,f,sign>]. *)
 val pp : Format.formatter -> t -> unit

@@ -60,6 +60,7 @@ val compile : Dtype.t -> compiled
 (** Memoized {!compile} — one-shot callers share the precomputation. *)
 val of_dtype : Dtype.t -> compiled
 
+(** The dtype a compiled quantizer was built from. *)
 val dtype_of : compiled -> Dtype.t
 
 (** Scratch cell for {!exec_into}: all-float (flat representation) so
@@ -73,6 +74,7 @@ type scratch = {
   mutable rerr : float;
 }
 
+(** Fresh reusable scratch cell for {!quantize_into}. *)
 val create_scratch : unit -> scratch
 
 (** Allocation-free per-assignment cast: returns the representable

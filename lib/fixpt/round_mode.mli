@@ -11,11 +11,14 @@ type t =
   | Floor  (** truncate towards −∞ (a plain bit-drop in two's complement) *)
 
 val equal : t -> t -> bool
+
+(** The paper's [lsbspec] keyword (["fl"], ["rd"], ["err"]). *)
 val to_string : t -> string
 
 (** Parses ["rd"]/["round"], ["fl"]/["floor"]. *)
 val of_string : string -> t option
 
+(** Prints {!to_string}. *)
 val pp : Format.formatter -> t -> unit
 
 (** Expected mean quantization error at step [step] under the uniform

@@ -6,11 +6,14 @@ type t =
   | Us  (** unsigned *)
 
 val equal : t -> t -> bool
+
+(** ["tc"] (two's complement) or ["us"] (unsigned). *)
 val to_string : t -> string
 
 (** Parses ["tc"] / ["us"]; [None] otherwise. *)
 val of_string : string -> t option
 
+(** Prints {!to_string}. *)
 val pp : Format.formatter -> t -> unit
 
 (** [true] for two's complement. *)

@@ -9,14 +9,17 @@ type result = {
   exploded : string list;
 }
 
+(** Run the pure SFG analyses and collect per-node choices. *)
 val analyze :
   ?widen_after:int -> Sfg.Graph.t -> output:string -> sigma_budget:float ->
   result
 
+(** Chosen MSB position per signal ([None]: unbounded). *)
 val msb_positions : result -> (string * int option) list
 
 (** Average MSB overestimation (bits/signal) against reference positions
     (e.g. the hybrid flow's), over signals present in both. *)
 val overhead_bits : result -> reference:(string * int) list -> float option
 
+(** Summed wordlength, when every signal is bounded. *)
 val total_bits : result -> int option

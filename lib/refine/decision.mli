@@ -32,6 +32,7 @@ type lsb_origin =
   | Already_typed  (** designer type: reported and checked, not derived *)
   | No_information
 
+(** Report keyword for the LSB decision's origin. *)
 val lsb_origin_to_string : lsb_origin -> string
 
 type lsb = {
@@ -51,5 +52,8 @@ type lsb = {
 val to_dtype :
   ?sign:Fixpt.Sign_mode.t -> msb:msb -> lsb:lsb -> unit -> Fixpt.Dtype.t option
 
+(** One MSB-table row. *)
 val pp_msb : Format.formatter -> msb -> unit
+
+(** One LSB-table row. *)
 val pp_lsb : Format.formatter -> lsb -> unit

@@ -1,0 +1,77 @@
+(** One-shot candidate evaluation — the inner step of every wordlength
+    search, factored out of {!Flow} so sweep engines (and the
+    literature baselines) can re-simulate a design under many type
+    assignments without re-running the whole refinement loop.
+
+    A "candidate" is a set of per-signal dtype assignments; evaluating
+    it means: apply the types, reset the design, run one full stimulus
+    set, and read the monitors back as a flat {!metrics} record.  The
+    evaluation is deterministic: the same design state and the same
+    assignment always yield the same metrics (the simulation RNG is
+    rewound by the design's [reset]). *)
+
+(** The monitor read-back of one evaluation.  All fields come from the
+    design's own per-signal monitors after a single run. *)
+type metrics = {
+  sqnr_db : float option;
+      (** {!Flow.sqnr_db} at the probe; [None] when the probe recorded
+          no samples, [Some infinity] when it is noise-free *)
+  total_bits : int;  (** Σ n over all signals with a declared dtype *)
+  overflow_count : int;  (** Σ overflow events over all signals *)
+  probe_err_max : float;
+      (** max |ε_p| at the probe; [0.] without a probe *)
+  probe_values : Stats.Running.t option;
+      (** copy of the probe's value monitor (mergeable) *)
+  probe_err : Stats.Err_stats.t option;
+      (** copy of the probe's error monitor (mergeable) *)
+}
+
+let total_bits env =
+  List.fold_left
+    (fun acc s ->
+      match Sim.Signal.dtype s with
+      | Some dt -> acc + Fixpt.Dtype.n dt
+      | None -> acc)
+    0 (Sim.Env.signals env)
+
+let overflow_count env =
+  List.fold_left
+    (fun acc s -> acc + Sim.Signal.overflows s)
+    0 (Sim.Env.signals env)
+
+(** Apply per-signal dtype assignments.  Unlike {!Flow.apply_types}
+    (which merges derived types into a designer's partial definition),
+    a sweep candidate names exactly the signals it retypes, so an
+    unknown signal name is a bug in the candidate generator and raises
+    [Invalid_argument]. *)
+let apply_assigns env assigns =
+  List.iter
+    (fun (name, dt) -> Sim.Signal.set_dtype (Sim.Env.find_exn env name) dt)
+    assigns
+
+let evaluate ?(assigns = []) ?probe ?on_run (design : Flow.design) =
+  apply_assigns design.Flow.env assigns;
+  design.Flow.reset ();
+  design.Flow.run ();
+  (match on_run with Some f -> f () | None -> ());
+  let env = design.Flow.env in
+  let probe_entry = Option.map (Sim.Env.find_exn env) probe in
+  {
+    sqnr_db = Option.bind probe_entry Flow.sqnr_db;
+    total_bits = total_bits env;
+    overflow_count = overflow_count env;
+    probe_err_max =
+      (match probe_entry with
+      | Some e ->
+          Stats.Running.max_abs
+            (Stats.Err_stats.produced (Sim.Signal.err_stats e))
+      | None -> 0.0);
+    probe_values =
+      Option.map
+        (fun e -> Stats.Running.copy (Sim.Signal.range_stats e))
+        probe_entry;
+    probe_err =
+      Option.map
+        (fun e -> Stats.Err_stats.copy (Sim.Signal.err_stats e))
+        probe_entry;
+  }

@@ -1,0 +1,42 @@
+(** One-shot candidate evaluation — the inner step of every wordlength
+    search, factored out of {!Flow}: apply a per-signal dtype
+    assignment, reset, run one stimulus set, read the monitors back.
+    This is the entry point the parallel sweep engine drives, once per
+    candidate point, on a private design instance. *)
+
+(** The monitor read-back of one evaluation. *)
+type metrics = {
+  sqnr_db : float option;
+      (** {!Flow.sqnr_db} at the probe ([None]: no samples) *)
+  total_bits : int;  (** Σ n over all signals with a declared dtype *)
+  overflow_count : int;  (** Σ overflow events over all signals *)
+  probe_err_max : float;
+      (** max |ε_p| at the probe; [0.] without a probe *)
+  probe_values : Stats.Running.t option;
+      (** copy of the probe's value monitor (mergeable) *)
+  probe_err : Stats.Err_stats.t option;
+      (** copy of the probe's error monitor (mergeable) *)
+}
+
+(** Σ n over the environment's typed signals. *)
+val total_bits : Sim.Env.t -> int
+
+(** Σ overflow events over the environment's signals. *)
+val overflow_count : Sim.Env.t -> int
+
+(** Retype exactly the named signals.  Raises [Invalid_argument] on an
+    unknown name — a sweep candidate names its signals explicitly, so a
+    miss is a generator bug, not a partial type definition. *)
+val apply_assigns : Sim.Env.t -> (string * Fixpt.Dtype.t) list -> unit
+
+(** [evaluate ~assigns ~probe design] applies [assigns], resets, runs
+    once, and gathers {!metrics} (probe resolution as {!Flow.sqnr_db_at}:
+    unknown probe raises).  [on_run] is invoked after the simulation —
+    callers that count monitored runs (e.g. {!Flow.refine}-style
+    drivers) hook their counter here. *)
+val evaluate :
+  ?assigns:(string * Fixpt.Dtype.t) list ->
+  ?probe:string ->
+  ?on_run:(unit -> unit) ->
+  Flow.design ->
+  metrics

@@ -85,7 +85,9 @@ module Log = (val Logs.src_log src)
 
 (** SQNR estimate at a monitored signal, from its own statistics: signal
     power from the value monitor, noise power from the produced-error
-    monitor (valid because both are gathered over the same run). *)
+    monitor (valid because both are gathered over the same run).
+    [None] means "no samples recorded yet", never "no such signal" —
+    name resolution is {!sqnr_db_at}'s job. *)
 let sqnr_db (s : Sim.Signal.t) =
   let v = Sim.Signal.range_stats s in
   let e = Stats.Err_stats.produced (Sim.Signal.err_stats s) in
@@ -99,6 +101,12 @@ let sqnr_db (s : Sim.Signal.t) =
     in
     if p_noise <= 0.0 then Some Float.infinity
     else Some (10.0 *. Float.log10 (p_signal /. p_noise))
+
+(** Name-resolving variant.  A misspelt probe used to dissolve into a
+    silent [None] (indistinguishable from "signal never assigned"); now
+    an unknown name raises [Invalid_argument] via {!Sim.Env.find_exn}
+    and [None] is reserved for "no samples yet". *)
+let sqnr_db_at env name = sqnr_db (Sim.Env.find_exn env name)
 
 (* One monitored simulation. *)
 let simulate design runs =
@@ -279,10 +287,7 @@ let refine ?(config = default_config) ?sqnr_signal design =
      re-run only to resolve divergences) *)
   let lsb_iterations = run_lsb_phase config design runs iterations in
   let lsb_decisions = Lsb_rules.decide_all ~config:config.lsb env in
-  let sqnr_before =
-    Option.bind sqnr_signal (fun name ->
-        Option.bind (Sim.Env.find env name) sqnr_db)
-  in
+  let sqnr_before = Option.bind sqnr_signal (sqnr_db_at env) in
   (* Phase 3: type synthesis + verification *)
   let types = derive_types msb_decisions lsb_decisions in
   apply_types env types;
@@ -291,10 +296,7 @@ let refine ?(config = default_config) ?sqnr_signal design =
      meaningless (§4.2); the end-to-end quality check (SER, lock) is the
      caller's, on the design outputs *)
   simulate design runs;
-  let sqnr_after =
-    Option.bind sqnr_signal (fun name ->
-        Option.bind (Sim.Env.find env name) sqnr_db)
-  in
+  let sqnr_after = Option.bind sqnr_signal (sqnr_db_at env) in
   {
     msb_decisions;
     lsb_decisions;

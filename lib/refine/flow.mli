@@ -38,6 +38,7 @@ type config = {
           to the input precision) *)
 }
 
+(** The paper's settings: §4/§5 rule defaults, 8 iterations max. *)
 val default_config : config
 
 type result = {
@@ -54,16 +55,32 @@ type result = {
 }
 
 (** SQNR estimate at a monitored signal from its own value/error
-    statistics (valid because both are gathered over the same run). *)
+    statistics (valid because both are gathered over the same run).
+
+    Contract: [None] means the signal has recorded {e no samples yet}
+    (nothing was assigned to it since the last reset) — never "unknown
+    signal".  A noise-free probe yields [Some infinity]. *)
 val sqnr_db : Sim.Signal.t -> float option
+
+(** [sqnr_db_at env name] resolves [name] and applies {!sqnr_db}.
+
+    Raises [Invalid_argument] when [name] is not a registered signal —
+    a misspelt probe fails loudly instead of dissolving into the same
+    [None] as "no samples yet".  This is also the lookup {!refine} uses
+    for its [sqnr_signal] probe. *)
+val sqnr_db_at : Sim.Env.t -> string -> float option
 
 (** Apply derived types; pre-existing designer types are preserved
     unless [overwrite]. *)
 val apply_types :
   ?overwrite:bool -> Sim.Env.t -> (string * Fixpt.Dtype.t) list -> unit
 
-(** Run the complete flow.  [sqnr_signal] names the performance probe. *)
+(** Run the complete flow.  [sqnr_signal] names the performance probe;
+    an unknown name raises [Invalid_argument] (see {!sqnr_db_at}). *)
 val refine : ?config:config -> ?sqnr_signal:string -> design -> result
 
+(** Renders the annotation as source text, e.g. [b.range(-0.2, 0.2)]. *)
 val pp_action : Format.formatter -> action -> unit
+
+(** One flow-iteration summary line. *)
 val pp_iteration : Format.formatter -> iteration -> unit

@@ -17,6 +17,7 @@ type config = {
           to quantize coefficients is a transfer-function choice) *)
 }
 
+(** The paper's constants: [k_lsb = 1.0], divergence at 1%. *)
 val default_config : config
 
 (** Largest [p] with [2^p ≤ k·σ]; [None] for σ ≤ 0. *)
@@ -25,7 +26,10 @@ val sigma_rule : k_lsb:float -> float -> int option
 (** Error monitoring diverged on this signal (§4.2). *)
 val diverged : ?config:config -> Sim.Signal.t -> bool
 
+(** LSB position for one signal from its monitors. *)
 val decide : ?config:config -> Sim.Signal.t -> Decision.lsb
+
+(** {!decide} over every eligible signal. *)
 val decide_all : ?config:config -> Sim.Env.t -> Decision.lsb list
 
 (** Diverged, not-yet-overruled signals — candidates for [error()]. *)

@@ -12,12 +12,16 @@ type config = {
   prefer_saturation_on_tradeoff : bool;  (** case (c) designer choice *)
 }
 
+(** The paper's constants: [k_msb = 1.0] sigma guard. *)
 val default_config : config
 
 (** [F] of a range pair ([None]: absent or unbounded). *)
 val msb_of_range : (float * float) option -> int option
 
+(** MSB position and overflow mode for one signal. *)
 val decide : ?config:config -> Sim.Signal.t -> Decision.msb
+
+(** {!decide} over every eligible signal. *)
 val decide_all : ?config:config -> Sim.Env.t -> Decision.msb list
 
 (** Signals whose propagated range exploded this run — candidates for a

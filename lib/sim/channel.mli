@@ -6,19 +6,26 @@ type t
 
 exception Empty of string
 
+(** [record:true] keeps every consumed sample for scoring. *)
 val create : ?record:bool -> string -> t
 
 (** Source channel: [get] returns [f 0], [f 1], … *)
 val of_fun : string -> (int -> float) -> t
 
+(** The channel's declared name. *)
 val name : t -> string
 
 (** Consume the next sample (pulls from the producer if the FIFO is
     empty); raises {!Empty} on an unbacked empty channel. *)
 val get : t -> float
 
+(** Append one sample to the queue. *)
 val put : t -> float -> unit
+
+(** Samples currently queued. *)
 val length : t -> int
+
+(** No samples queued. *)
 val is_empty : t -> bool
 
 (** All recorded samples in emission order (needs [~record:true]). *)

@@ -4,12 +4,18 @@
 
 type processor
 
+(** A named per-cycle behaviour ([cycle index -> unit]). *)
 val processor : string -> (int -> unit) -> processor
 
 type t
 
+(** An engine clocking the given environment. *)
 val create : Env.t -> t
+
+(** Register a processor; execution follows registration order. *)
 val add : t -> processor -> unit
+
+(** The environment the engine clocks. *)
 val env : t -> Env.t
 
 (** [cycles] rounds of: every processor in registration order, then one

@@ -277,3 +277,57 @@ let reset ?(keep_monitors = false) ?(reseed = true) t =
   (* reseed precedes the hooks: a hook's [Signal.init] may consume the
      RNG through an [error()] injection *)
   List.iter (fun f -> f ()) (List.rev t.reset_hooks)
+
+(* --- snapshot / restore ------------------------------------------------ *)
+
+(** Per-entry slice of a {!snapshot}: the refinement-relevant
+    configuration of one signal (declared type and annotations), keyed
+    by name for shape validation at restore time. *)
+type entry_snapshot = {
+  s_name : string;
+  s_dtype : Fixpt.Dtype.t option;
+  s_range : Interval.t option;
+  s_error : float option;
+}
+
+type snapshot = {
+  s_entries : entry_snapshot array;  (** declaration order *)
+  s_policy : overflow_policy;
+}
+
+let snapshot t =
+  {
+    s_entries =
+      Array.init t.n_entries (fun i ->
+          let e = t.entries.(i) in
+          {
+            s_name = e.name;
+            s_dtype = e.dtype;
+            s_range = e.explicit_range;
+            s_error = e.error_inject;
+          });
+    s_policy = t.policy;
+  }
+
+let restore_into s t =
+  if Array.length s.s_entries <> t.n_entries then
+    invalid_arg
+      (Printf.sprintf
+         "Env.restore_into: snapshot has %d signals, environment has %d"
+         (Array.length s.s_entries) t.n_entries);
+  Array.iteri
+    (fun i es ->
+      let e = t.entries.(i) in
+      if not (String.equal e.name es.s_name) then
+        invalid_arg
+          (Printf.sprintf
+             "Env.restore_into: signal %d is %S in the snapshot but %S in \
+              the environment"
+             i es.s_name e.name);
+      (* the compiled quantizer is rebuilt only on an actual type change *)
+      if e.dtype != es.s_dtype then set_entry_dtype e es.s_dtype;
+      e.explicit_range <- es.s_range;
+      e.error_inject <- es.s_error)
+    s.s_entries;
+  t.policy <- s.s_policy;
+  reset t

@@ -73,9 +73,16 @@ type entry = {
   mutable last_overflow : float option;
 }
 
+(** Fresh environment; [seed] fixes the error-mode RNG. *)
 val create : ?seed:int -> ?policy:overflow_policy -> unit -> t
+
+(** Current cycle number. *)
 val time : t -> int
+
+(** The environment's RNG (error-mode draws, stimuli). *)
 val rng : t -> Stats.Rng.t
+
+(** Change what [Error]-mode overflows do. *)
 val set_policy : t -> overflow_policy -> unit
 
 (** Declare a signal (use {!Signal.create} / {!Signal.create_reg}).
@@ -89,6 +96,7 @@ val set_entry_dtype : entry -> Fixpt.Dtype.t option -> unit
 (** Signals in declaration order — the order the paper's tables use. *)
 val signals : t -> entry list
 
+(** Look a signal up by name. *)
 val find : t -> string -> entry option
 
 (** Raises [Invalid_argument] for an unknown name. *)
@@ -119,6 +127,28 @@ val at_reset : ?now:bool -> t -> (unit -> unit) -> unit
     the default) so back-to-back runs consume identical noise streams;
     pass [~reseed:false] to keep the continuing stream. *)
 val reset : ?keep_monitors:bool -> ?reseed:bool -> t -> unit
+
+(** Frozen copy of an environment's refinement-relevant configuration:
+    every signal's declared dtype, [range()]/[error()] annotations, and
+    the overflow policy — {e not} the dynamic simulation state.  Cheap
+    to take (one small record per signal) and cheap to reapply, so a
+    design instantiated once can be returned to a pristine baseline
+    between candidate evaluations of a wordlength sweep without
+    re-registering anything. *)
+type snapshot
+
+(** Capture the current configuration of every registered signal. *)
+val snapshot : t -> snapshot
+
+(** Reapply a snapshot to an environment with the {e same} signal
+    registry (same names, same declaration order — e.g. the environment
+    the snapshot was taken from, or another instance built by the same
+    design constructor), then {!reset} it (monitors cleared, RNG
+    rewound, reset hooks replayed).  Compiled quantizers are rebuilt
+    only for entries whose dtype actually changed.
+
+    Raises [Invalid_argument] when the registry shape does not match. *)
+val restore_into : snapshot -> t -> unit
 
 (** Log source for the simulation engine. *)
 val src : Logs.src

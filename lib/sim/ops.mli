@@ -14,28 +14,55 @@
 
 type v = Value.t
 
+(** A design-time constant ({!Value.const}). *)
 val cst : float -> v
+
+(** Dual addition with range propagation. *)
 val ( +: ) : v -> v -> v
+
+(** Dual subtraction with range propagation. *)
 val ( -: ) : v -> v -> v
+
+(** Dual multiplication with range propagation. *)
 val ( *: ) : v -> v -> v
+
+(** Dual division; a divisor range straddling zero propagates {!Interval.entire}. *)
 val ( /: ) : v -> v -> v
+
+(** Dual negation. *)
 val ( ~-: ) : v -> v
+
+(** Dual absolute value. *)
 val abs : v -> v
+
+(** Dual minimum. *)
 val min_ : v -> v -> v
+
+(** Dual maximum. *)
 val max_ : v -> v -> v
 
 (** Multiply by [2^k] — a hardware shift; exact in all components. *)
 val shift_left : v -> int -> v
 
+(** Multiply by [2^-k]; see {!shift_left}. *)
 val shift_right : v -> int -> v
 
 (** Fixed-point-steered comparisons. *)
 val ( <: ) : v -> v -> bool
 
+(** See {!(<:)}. *)
 val ( >: ) : v -> v -> bool
+
+(** See {!(<:)}. *)
 val ( <=: ) : v -> v -> bool
+
+(** See {!(<:)}. *)
 val ( >=: ) : v -> v -> bool
+
+(** See {!(<:)}. *)
 val ( =: ) : v -> v -> bool
+
+(** See {!(<:)}. *)
 val ( <>: ) : v -> v -> bool
 
 (** Two-way select steered by a fixed-point decision; the propagated

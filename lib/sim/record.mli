@@ -16,11 +16,13 @@ type t = {
 (** The active session, if any.  At most one session exists at a time. *)
 val current : t option ref
 
+(** The recorder currently capturing, if any. *)
 val active : unit -> t option
 
 (** Begin a session (replacing any active one). *)
 val start : unit -> t
 
+(** Stop capturing (no-op when idle). *)
 val stop : unit -> unit
 
 (** Fresh synthetic node name ["base~k"]. *)

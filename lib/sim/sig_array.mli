@@ -10,7 +10,10 @@ val create : Env.t -> ?dtype:Fixpt.Dtype.t -> string -> int -> t
 (** Array of registered signals ([regarray]). *)
 val create_reg : Env.t -> ?dtype:Fixpt.Dtype.t -> string -> int -> t
 
+(** The array's base name (elements are [base[i]]). *)
 val base_name : t -> string
+
+(** Element count. *)
 val length : t -> int
 
 (** Raises [Invalid_argument] out of bounds. *)
@@ -19,8 +22,13 @@ val get : t -> int -> Signal.t
 (** Index syntax: [arr.%(i)]. *)
 val ( .%() ) : t -> int -> Signal.t
 
+(** Apply to every element in index order. *)
 val iter : (Signal.t -> unit) -> t -> unit
+
+(** {!iter} with the index. *)
 val iteri : (int -> Signal.t -> unit) -> t -> unit
+
+(** Elements in index order. *)
 val to_list : t -> Signal.t list
 
 (** Apply a dtype to every element. *)

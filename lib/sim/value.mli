@@ -22,15 +22,29 @@ val with_range : t -> Interval.t -> t
 (** Attach graph provenance (recording sessions). *)
 val with_node : t -> int -> t
 
+(** The fixed-point execution's value. *)
 val fx : t -> float
+
+(** The float reference execution's value. *)
 val fl : t -> float
+
+(** The propagated range. *)
 val iv : t -> Interval.t
+
+(** Graph provenance, {!no_node} outside recording. *)
 val node : t -> int
 
 (** Consumed error ε_c = [fl - fx] (§4.2). *)
 val error : t -> float
 
+(** {!const}[ 0.] *)
 val zero : t
+
+(** {!const}[ 1.] *)
 val one : t
+
+(** Both executions finite (explosion guard). *)
 val is_finite : t -> bool
+
+(** Prints [(fx, fl, iv)]. *)
 val pp : Format.formatter -> t -> unit

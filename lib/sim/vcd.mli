@@ -4,6 +4,7 @@
 
 type t
 
+(** Fresh empty trace. *)
 val create : unit -> t
 
 (** Register a signal to trace; must precede {!start}. *)
@@ -17,5 +18,8 @@ val start : ?date:string -> t -> unit
     stale times are ignored). *)
 val sample : t -> time:int -> unit
 
+(** The VCD file text accumulated so far. *)
 val contents : t -> string
+
+(** Write {!contents} to a path. *)
 val write_file : t -> string -> unit

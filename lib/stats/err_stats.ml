@@ -33,6 +33,21 @@ let consumed t = t.consumed
 let produced t = t.produced
 let count t = Running.count t.produced
 
+let copy t =
+  { consumed = Running.copy t.consumed; produced = Running.copy t.produced }
+
+(** Combine the summaries of two disjoint sample streams (both sides via
+    {!Running.merge}, so the result is what a single accumulator over the
+    concatenated streams would hold, up to float rounding).  Commutative
+    and associative up to rounding — per-worker error monitors of a
+    parallel sweep merge into one deterministic report when folded in a
+    fixed order. *)
+let merge a b =
+  {
+    consumed = Running.merge a.consumed b.consumed;
+    produced = Running.merge a.produced b.produced;
+  }
+
 (** Precision of an error population, expressed as the LSB position [p]
     such that the step [2^p] matches [k * sigma]; [None] when the error
     is identically zero (floating-point signal: infinite precision). *)

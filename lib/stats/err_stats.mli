@@ -12,9 +12,23 @@ val reset : t -> unit
 (** Log one assignment's errors. *)
 val record : t -> consumed:float -> produced:float -> unit
 
+(** The consumed-error (ε_c) population. *)
 val consumed : t -> Running.t
+
+(** The produced-error (ε_p) population. *)
 val produced : t -> Running.t
+
+(** Number of recorded assignments. *)
 val count : t -> int
+
+(** Independent duplicate of the current summaries. *)
+val copy : t -> t
+
+(** Combine the summaries of two disjoint sample streams; equals a
+    single accumulator over the concatenation up to float rounding.
+    Commutative/associative up to rounding — how per-worker monitors of
+    a parallel sweep combine deterministically. *)
+val merge : t -> t -> t
 
 (** LSB position matching [k·σ] of an error population; [None] when the
     error is identically zero (infinite precision). *)

@@ -1,0 +1,64 @@
+(** Candidate points of a wordlength sweep.
+
+    A candidate is one concrete hypothesis of the refinement search: a
+    per-signal [(n, f)] wordlength assignment plus the stimulus seed to
+    simulate it under.  Candidates carry a dense [id] in generation
+    order — the sweep report and all statistics merges are ordered by
+    it, which is what makes a parallel sweep's output independent of
+    worker scheduling. *)
+
+(** One signal subject to exploration.  [int_bits] is the non-fractional
+    part of the wordlength (sign bit included), fixed by the designer's
+    range knowledge; the sweep varies only the fractional part, so
+    [n = int_bits + f]. *)
+type spec = { signal : string; int_bits : int }
+
+(** One signal's hypothesized wordlength. *)
+type assign = { signal : string; n : int; f : int }
+
+type t = {
+  id : int;  (** dense generation-order index; the report sort key *)
+  assigns : assign list;  (** per-signal wordlengths, spec order *)
+  stim_seed : int;  (** stimulus seed this candidate is simulated under *)
+  uniform_f : int option;
+      (** [Some f] when every assign shares fractional position [f]
+          (the uniform generators); lets adaptive strategies recover
+          their search coordinate without parsing assigns *)
+}
+
+(** Uniform-fractional candidate: every spec gets [n = int_bits + f]. *)
+let of_uniform ~id ~specs ~f ~stim_seed =
+  {
+    id;
+    assigns =
+      List.map
+        (fun (s : spec) -> { signal = s.signal; n = s.int_bits + f; f })
+        specs;
+    stim_seed;
+    uniform_f = Some f;
+  }
+
+(* Wordlength exploration wants graceful degradation at the range edge
+   (saturate) and unbiased precision measurement (round) — wrap/floor
+   artifacts would corrupt the SQNR-vs-bits trade-off being mapped. *)
+let dtype_of_assign a =
+  Fixpt.Dtype.make a.signal ~n:a.n ~f:a.f
+    ~overflow:Fixpt.Overflow_mode.Saturate ~round:Fixpt.Round_mode.Round ()
+
+(** The candidate as a {!Refine.Eval.apply_assigns}-ready list. *)
+let to_dtypes t =
+  List.map (fun a -> (a.signal, dtype_of_assign a)) t.assigns
+
+(** Σ n over the candidate's assigns (its hardware cost). *)
+let total_bits t = List.fold_left (fun acc a -> acc + a.n) 0 t.assigns
+
+let pp ppf t =
+  Format.fprintf ppf "#%d seed=%d" t.id t.stim_seed;
+  match t.uniform_f with
+  | Some f -> Format.fprintf ppf " f=%d (%d signals)" f (List.length t.assigns)
+  | None ->
+      Format.fprintf ppf " [%s]"
+        (String.concat "; "
+           (List.map
+              (fun a -> Printf.sprintf "%s<%d,%d>" a.signal a.n a.f)
+              t.assigns))

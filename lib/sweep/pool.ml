@@ -1,0 +1,116 @@
+(** The parallel evaluation pool — wordlength exploration across
+    domains (OCaml 5 [Domain], no external dependency).
+
+    The pool runs the generator's wave protocol: each wave's candidates
+    are independent, so they are distributed over [jobs] worker domains
+    pulling indices from an atomic counter.  Worker [i] owns a private
+    workload instance, created lazily inside its first domain and
+    reused across waves — domains are joined between waves, so the
+    hand-off is race-free by happens-before.
+
+    Determinism: a candidate's metrics are a pure function of
+    (baseline snapshot, candidate), results land in a slot indexed by
+    wave position, and the report folds them in candidate-id order —
+    so the output is byte-identical for any [jobs], which the oracle's
+    sweep gate checks. *)
+
+type progress = { wave : int; evaluated : int; total_so_far : int }
+
+(* Restore the baseline, point the stimulus at the candidate's seed,
+   and evaluate — the only path by which candidates touch an env. *)
+let eval_candidate (workload : Workload.t) (inst : Workload.instance)
+    (c : Candidate.t) =
+  Sim.Env.restore_into inst.baseline inst.env;
+  inst.set_seed c.Candidate.stim_seed;
+  let metrics =
+    Refine.Eval.evaluate
+      ~assigns:(Candidate.to_dtypes c)
+      ~probe:workload.Workload.probe inst.Workload.design
+  in
+  (c, metrics)
+
+let instance_of (workload : Workload.t) instances i =
+  match instances.(i) with
+  | Some inst -> inst
+  | None ->
+      let inst = workload.Workload.make_instance () in
+      instances.(i) <- Some inst;
+      inst
+
+(* One wave, [nw] domains pulling from a shared atomic cursor; results
+   land by wave index so completion order is irrelevant. *)
+let eval_wave_parallel workload instances ~jobs wave_arr =
+  let len = Array.length wave_arr in
+  let results = Array.make len None in
+  let cursor = Atomic.make 0 in
+  let worker wi () =
+    let inst = instance_of workload instances wi in
+    let rec pull () =
+      let k = Atomic.fetch_and_add cursor 1 in
+      if k < len then begin
+        results.(k) <- Some (eval_candidate workload inst wave_arr.(k));
+        pull ()
+      end
+    in
+    pull ()
+  in
+  let nw = min jobs len in
+  let domains = Array.init nw (fun wi -> Domain.spawn (worker wi)) in
+  Array.iter Domain.join domains;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* every slot below [len] was claimed *))
+       results)
+
+let eval_wave workload instances ~jobs wave =
+  match wave with
+  | [] -> []
+  | wave when jobs <= 1 ->
+      let inst = instance_of workload instances 0 in
+      List.map (eval_candidate workload inst) wave
+  | wave -> eval_wave_parallel workload instances ~jobs (Array.of_list wave)
+
+let run ?(jobs = 1) ?budget ?on_wave ~workload ~generator () =
+  if jobs < 1 then invalid_arg "Sweep.Pool.run: jobs < 1";
+  (match budget with
+  | Some b when b < 1 -> invalid_arg "Sweep.Pool.run: budget < 1"
+  | _ -> ());
+  let instances = Array.make jobs None in
+  let remaining = ref budget in
+  let all = ref [] in
+  let wave_no = ref 0 in
+  let rec loop prev =
+    let wave = Generator.next generator prev in
+    (* budget is a candidate count: truncate the wave, never exceed *)
+    let wave =
+      match !remaining with
+      | None -> wave
+      | Some r ->
+          let take = List.filteri (fun i _ -> i < r) wave in
+          remaining := Some (r - List.length take);
+          take
+    in
+    match wave with
+    | [] -> ()
+    | wave ->
+        incr wave_no;
+        let results = eval_wave workload instances ~jobs wave in
+        all := List.rev_append results !all;
+        (match on_wave with
+        | Some f ->
+            f
+              {
+                wave = !wave_no;
+                evaluated = List.length results;
+                total_so_far = List.length !all;
+              }
+        | None -> ());
+        loop results
+  in
+  loop [];
+  Report.make ~workload:workload.Workload.name
+    ~strategy:(Generator.name generator) ~probe:workload.Workload.probe
+    ~conclusion:(Generator.conclusion generator)
+    !all

@@ -1,0 +1,30 @@
+(** The parallel evaluation pool — wordlength exploration across OCaml 5
+    domains.
+
+    Runs a {!Generator.t}'s wave protocol over a {!Workload.t}: each
+    wave is distributed over [jobs] worker domains, each owning a
+    private workload instance restored to the baseline snapshot before
+    every candidate.  The resulting report is byte-identical for any
+    [jobs] value — the determinism contract the oracle's sweep gate
+    enforces. *)
+
+(** Per-wave progress callback payload. *)
+type progress = { wave : int; evaluated : int; total_so_far : int }
+
+(** [run ~workload ~generator ()] sweeps to generator exhaustion.
+
+    [jobs] (default 1) is the worker-domain count; [1] evaluates in the
+    calling domain.  [budget] caps the total number of candidates —
+    waves are truncated, never reordered, so a budgeted sweep is still
+    deterministic.  [on_wave] fires after each wave (progress
+    reporting; called in the calling domain).
+
+    Raises [Invalid_argument] on [jobs < 1] or [budget < 1]. *)
+val run :
+  ?jobs:int ->
+  ?budget:int ->
+  ?on_wave:(progress -> unit) ->
+  workload:Workload.t ->
+  generator:Generator.t ->
+  unit ->
+  Report.t

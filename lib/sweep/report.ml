@@ -1,0 +1,199 @@
+(** Sweep reports — the deterministic output contract of the engine.
+
+    A report is built from the full evaluated candidate list {e sorted
+    by candidate id}, and every aggregate statistic is folded in that
+    order with the commutative monitor merges ({!Stats.Running.merge},
+    {!Stats.Err_stats.merge}, {!Interval.join}).  Because candidate
+    evaluation itself is deterministic, the rendered report — JSON and
+    human — is byte-identical whatever worker count or scheduling
+    produced the entries.  The oracle's sweep-determinism gate holds
+    [to_json] at [jobs=1] and [jobs=N] to exactly that standard.
+
+    Wall-clock timing deliberately does {e not} appear here: callers
+    that want it (CLI, bench) print it out-of-band. *)
+
+type entry = {
+  candidate : Candidate.t;
+  metrics : Refine.Eval.metrics;
+  pareto : bool;  (** on the evaluated set's (bits, SQNR) frontier *)
+}
+
+type t = {
+  workload : string;
+  strategy : string;
+  probe : string;
+  entries : entry list;  (** ascending candidate id *)
+  conclusion : (string * string) list;  (** the generator's verdict *)
+  agg_values : Stats.Running.t;
+      (** probe value monitors of every candidate, merged in id order *)
+  agg_err : Stats.Err_stats.t;
+      (** probe error monitors of every candidate, merged in id order *)
+  agg_range : Interval.t;  (** join of observed probe ranges *)
+  agg_overflows : int;  (** Σ overflow events across candidates *)
+}
+
+let make ~workload ~strategy ~probe ~conclusion results =
+  let sorted =
+    List.sort
+      (fun ((a : Candidate.t), _) (b, _) ->
+        compare a.Candidate.id b.Candidate.id)
+      results
+  in
+  let front = Generator.pareto_front sorted in
+  let on_front (c : Candidate.t) =
+    List.exists
+      (fun ((c' : Candidate.t), _) -> c'.Candidate.id = c.Candidate.id)
+      front
+  in
+  let entries =
+    List.map
+      (fun (c, m) -> { candidate = c; metrics = m; pareto = on_front c })
+      sorted
+  in
+  let agg_values, agg_err, agg_range, agg_overflows =
+    List.fold_left
+      (fun (v, e, r, o) { metrics = m; _ } ->
+        let v =
+          match m.Refine.Eval.probe_values with
+          | Some pv -> Stats.Running.merge v pv
+          | None -> v
+        in
+        let e =
+          match m.Refine.Eval.probe_err with
+          | Some pe -> Stats.Err_stats.merge e pe
+          | None -> e
+        in
+        let r =
+          match
+            Option.bind m.Refine.Eval.probe_values Stats.Running.range
+          with
+          | Some (lo, hi) -> Interval.join r (Interval.make lo hi)
+          | None -> r
+        in
+        (v, e, r, o + m.Refine.Eval.overflow_count))
+      ( Stats.Running.create (),
+        Stats.Err_stats.create (),
+        Interval.empty,
+        0 )
+      entries
+  in
+  {
+    workload;
+    strategy;
+    probe;
+    entries;
+    conclusion;
+    agg_values;
+    agg_err;
+    agg_range;
+    agg_overflows;
+  }
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+(* Shortest-exact float literal: round-trippable and byte-stable, so the
+   determinism gate can compare reports as strings.  JSON has no
+   infinities; they surface as quoted strings. *)
+let js_float v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let js_float_opt = function None -> "null" | Some v -> js_float v
+
+let js_string s = Printf.sprintf "%S" s
+
+let js_running r =
+  Printf.sprintf
+    "{\"count\": %d, \"mean\": %s, \"min\": %s, \"max\": %s, \"sigma\": %s}"
+    (Stats.Running.count r)
+    (js_float (Stats.Running.mean r))
+    (js_float (Stats.Running.min_value r))
+    (js_float (Stats.Running.max_value r))
+    (js_float (Stats.Running.stddev r))
+
+let js_assign (a : Candidate.assign) =
+  Printf.sprintf "{\"signal\": %s, \"n\": %d, \"f\": %d}"
+    (js_string a.Candidate.signal) a.Candidate.n a.Candidate.f
+
+let js_entry e =
+  let c = e.candidate and m = e.metrics in
+  Printf.sprintf
+    "    {\"id\": %d, \"stim_seed\": %d, \"total_bits\": %d, \"sqnr_db\": \
+     %s, \"overflows\": %d, \"err_max\": %s, \"pareto\": %b, \"assigns\": \
+     [%s]}"
+    c.Candidate.id c.Candidate.stim_seed (Candidate.total_bits c)
+    (js_float_opt m.Refine.Eval.sqnr_db)
+    m.Refine.Eval.overflow_count
+    (js_float m.Refine.Eval.probe_err_max)
+    e.pareto
+    (String.concat ", " (List.map js_assign c.Candidate.assigns))
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"workload\": %s,\n" (js_string t.workload));
+  Buffer.add_string b
+    (Printf.sprintf "  \"strategy\": %s,\n" (js_string t.strategy));
+  Buffer.add_string b (Printf.sprintf "  \"probe\": %s,\n" (js_string t.probe));
+  Buffer.add_string b
+    (Printf.sprintf "  \"candidates\": %d,\n" (List.length t.entries));
+  Buffer.add_string b "  \"entries\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map js_entry t.entries));
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"aggregate\": {\"probe_values\": %s, \"consumed\": \
+                     %s, \"produced\": %s, \"range\": %s, \"overflows\": %d},\n"
+       (js_running t.agg_values)
+       (js_running (Stats.Err_stats.consumed t.agg_err))
+       (js_running (Stats.Err_stats.produced t.agg_err))
+       (match Interval.bounds t.agg_range with
+       | Some (lo, hi) ->
+           Printf.sprintf "[%s, %s]" (js_float lo) (js_float hi)
+       | None -> "null")
+       t.agg_overflows);
+  Buffer.add_string b
+    (Printf.sprintf "  \"conclusion\": {%s}\n"
+       (String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s: %s" (js_string k) (js_string v))
+             t.conclusion)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- human --------------------------------------------------------------- *)
+
+let pp ppf t =
+  Format.fprintf ppf "sweep: workload %s, strategy %s, probe %s, %d candidates@."
+    t.workload t.strategy t.probe (List.length t.entries);
+  Format.fprintf ppf "%4s %6s %4s %6s %12s %6s %8s@." "id" "seed" "f"
+    "bits" "SQNR(dB)" "ovf" "pareto";
+  List.iter
+    (fun e ->
+      let c = e.candidate in
+      Format.fprintf ppf "%4d %6d %4s %6d %12s %6d %8s@." c.Candidate.id
+        c.Candidate.stim_seed
+        (match c.Candidate.uniform_f with
+        | Some f -> string_of_int f
+        | None -> "-")
+        (Candidate.total_bits c)
+        (match e.metrics.Refine.Eval.sqnr_db with
+        | Some s when s = Float.infinity -> "inf"
+        | Some s -> Printf.sprintf "%.2f" s
+        | None -> "-")
+        e.metrics.Refine.Eval.overflow_count
+        (if e.pareto then "*" else ""))
+    t.entries;
+  Format.fprintf ppf "aggregate: probe %a@." Stats.Running.pp t.agg_values;
+  (match Interval.bounds t.agg_range with
+  | Some (lo, hi) ->
+      Format.fprintf ppf "aggregate: observed range [%g, %g], %d overflows@."
+        lo hi t.agg_overflows
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "conclusion: %s = %s@." k v)
+    t.conclusion

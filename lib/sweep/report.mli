@@ -1,0 +1,48 @@
+(** Sweep reports — the deterministic output contract of the engine.
+
+    Built from the evaluated candidates sorted by id; every aggregate
+    folds in that order with the commutative monitor merges
+    ({!Stats.Running.merge}, {!Stats.Err_stats.merge},
+    {!Interval.join}), so the rendered report — JSON and human — is
+    byte-identical whatever worker count produced the entries.  The
+    oracle's sweep-determinism gate compares {!to_json} output at
+    [jobs=1] and [jobs=N] for exact equality, which is why no timing
+    information appears here. *)
+
+type entry = {
+  candidate : Candidate.t;
+  metrics : Refine.Eval.metrics;
+  pareto : bool;  (** on the evaluated set's (bits, SQNR) frontier *)
+}
+
+type t = {
+  workload : string;
+  strategy : string;
+  probe : string;
+  entries : entry list;  (** ascending candidate id *)
+  conclusion : (string * string) list;  (** the generator's verdict *)
+  agg_values : Stats.Running.t;
+      (** probe value monitors of every candidate, merged in id order *)
+  agg_err : Stats.Err_stats.t;
+      (** probe error monitors of every candidate, merged in id order *)
+  agg_range : Interval.t;  (** join of observed probe ranges *)
+  agg_overflows : int;  (** Σ overflow events across candidates *)
+}
+
+(** Sort results by candidate id, mark the Pareto frontier, fold the
+    aggregates. *)
+val make :
+  workload:string ->
+  strategy:string ->
+  probe:string ->
+  conclusion:(string * string) list ->
+  (Candidate.t * Refine.Eval.metrics) list ->
+  t
+
+(** Canonical JSON rendering — stable float formatting (shortest exact
+    decimal; infinities as quoted strings), no timing fields; the
+    determinism gate compares these strings byte-for-byte. *)
+val to_json : t -> string
+
+(** Human-readable table plus aggregates and conclusion. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+(** Sweep workloads — self-contained designs a sweep explores.
+
+    A workload bundles everything the pool needs to evaluate candidates
+    against a design: a factory for fresh simulation instances (each
+    worker domain owns a private one), the probe signal to score, and
+    the signal specs the generators assign wordlengths to.
+
+    An {!instance} carries a baseline {!Sim.Env.snapshot} taken at
+    construction; the pool restores it before every candidate so each
+    evaluation starts from the identical untyped state — the foundation
+    of the sweep's determinism guarantee. *)
+
+type instance = {
+  env : Sim.Env.t;
+  design : Refine.Flow.design;
+  baseline : Sim.Env.snapshot;  (** configuration right after build *)
+  set_seed : int -> unit;
+      (** stimulus seed for the next [design.reset]/[design.run] *)
+}
+
+type t = {
+  name : string;
+  probe : string;  (** the signal SQNR/error metrics are read from *)
+  specs : Candidate.spec list;  (** the signals the sweep retypes *)
+  make_instance : unit -> instance;
+      (** fresh private instance; must not share mutable state with any
+          other instance (each worker domain owns exactly one) *)
+}
+
+(* --- the FIR workload ----------------------------------------------------- *)
+
+let fir_coefs = [| 0.1; 0.25; 0.3; 0.25; 0.1 |]
+
+(* int_bits budgets: x ∈ ±1.2 needs 2 bits (sign + one integer bit);
+   the accumulator chain peaks at Σ|c|·max|x| = 1.0·1.2 so 3 bits keep
+   saturation marginal rather than catastrophic. *)
+let fir_specs =
+  ({ Candidate.signal = "x"; int_bits = 2 }
+   :: List.init 5 (fun i ->
+          { Candidate.signal = Printf.sprintf "d[%d]" i; int_bits = 2 }))
+  @ List.init 5 (fun i ->
+        { Candidate.signal = Printf.sprintf "v[%d]" (i + 1); int_bits = 3 })
+  @ [ { Candidate.signal = "out"; int_bits = 3 } ]
+
+let fir ?(n = 512) () =
+  let make_instance () =
+    let env = Sim.Env.create ~seed:3 () in
+    let rng = Stats.Rng.create ~seed:12 in
+    (* consumed by [design.reset]: each candidate's stimulus stream is a
+       pure function of its stim_seed *)
+    let cur_seed = ref 0 in
+    let x = Sim.Signal.create env "x" in
+    Sim.Signal.range x (-1.2) 1.2;
+    let f = Dsp.Fir.create env ~coefs:fir_coefs () in
+    let out = Sim.Signal.create env "out" in
+    let design =
+      {
+        Refine.Flow.env;
+        reset =
+          (fun () ->
+            Sim.Env.reset env;
+            Stats.Rng.reseed rng ~seed:(12 + (7919 * !cur_seed)));
+        run =
+          (fun () ->
+            Sim.Engine.run env ~cycles:n (fun _ ->
+                let open Sim.Ops in
+                x <-- Sim.Value.of_float (Stats.Rng.uniform_sym rng 1.0);
+                out <-- Dsp.Fir.step f !!x));
+      }
+    in
+    let baseline = Sim.Env.snapshot env in
+    { env; design; baseline; set_seed = (fun s -> cur_seed := s) }
+  in
+  { name = "fir"; probe = "out"; specs = fir_specs; make_instance }
+
+let all () = [ fir () ]
+
+let find name = List.find_opt (fun w -> w.name = name) (all ())

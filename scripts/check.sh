@@ -2,12 +2,22 @@
 # Repo check — the single tier-1 entry point:
 #   1. full build (libs, tests, benches, examples);
 #   2. the deterministic test suites (unit + conformance);
-#   3. the conformance gate: differential quantization oracle,
-#      metamorphic workload invariants, golden traces, and the bench
-#      regression guard (wall-clock, so deliberately NOT part of
-#      `dune runtest`).
+#   3. API docs (odoc), when the toolchain has odoc installed;
+#   4. the conformance gate: differential quantization oracle,
+#      metamorphic workload invariants, golden traces, the parallel
+#      sweep determinism gate (jobs=1 vs jobs=N byte-identical), and
+#      the bench regression guard (wall-clock, so deliberately NOT
+#      part of `dune runtest`);
+#   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
+#      command by command so the documentation cannot rot.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check.sh: odoc not installed, skipping 'dune build @doc'"
+fi
 dune exec bin/fxrefine.exe -- check
+sh scripts/check_tutorial.sh

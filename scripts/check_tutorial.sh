@@ -1,0 +1,31 @@
+#!/bin/sh
+# Execute every command of docs/TUTORIAL.md, in order, from the repo
+# root — the tutorial's `$ `-prefixed console lines are the test
+# vector.  A command that fails (non-zero exit) fails the check, so
+# the walkthrough cannot drift from the actual CLI.
+set -eu
+cd "$(dirname "$0")/.."
+
+TUTORIAL=docs/TUTORIAL.md
+[ -f "$TUTORIAL" ] || { echo "check_tutorial: $TUTORIAL missing"; exit 1; }
+
+# Extract '$ '-prefixed lines from fenced blocks into a script.
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+sed -n 's/^\$ //p' "$TUTORIAL" > "$tmp"
+
+n=$(wc -l < "$tmp")
+[ "$n" -gt 0 ] || { echo "check_tutorial: no commands found"; exit 1; }
+echo "check_tutorial: running $n tutorial commands"
+
+lineno=0
+while IFS= read -r cmd; do
+  lineno=$((lineno + 1))
+  echo "check_tutorial [$lineno/$n]: $cmd"
+  if ! sh -c "$cmd" >/dev/null 2>&1; then
+    echo "check_tutorial: FAILED: $cmd" >&2
+    exit 1
+  fi
+done < "$tmp"
+
+echo "check_tutorial: PASS"

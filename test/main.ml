@@ -32,4 +32,6 @@ let () =
       Test_simplify.suite;
       Test_sfg_edges.suite;
       Test_hotpath.suite;
+      Test_merge.suite;
+      Test_sweep.suite;
     ]

@@ -1,0 +1,126 @@
+(* Property tests: commutative monitor merging — the algebra the
+   parallel sweep's determinism rests on.
+
+   A stream split at a random point and accumulated in two halves must
+   merge to the same statistics as single-stream accumulation (within
+   float round-off for the Welford moments, exactly for the order-free
+   aggregates), and merge must commute. *)
+
+open Fixrefine.Stats
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* Relative comparison: Chan's merge reassociates the Welford update,
+   so mean/variance agree to round-off, not bit-exactly. *)
+let close ?(rtol = 1e-12) a b =
+  a = b
+  || Float.abs (a -. b) <= rtol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let feed samples =
+  let r = Running.create () in
+  List.iter (Running.add r) samples;
+  r
+
+let split_at k l =
+  List.filteri (fun i _ -> i < k) l, List.filteri (fun i _ -> i >= k) l
+
+let gen_samples =
+  QCheck2.Gen.(
+    list_size (int_range 1 200) (float_range (-1000.0) 1000.0))
+
+let gen_split =
+  QCheck2.Gen.(pair gen_samples (int_range 0 200))
+
+(* --- Running.merge vs single-stream ------------------------------------ *)
+
+let prop_running_split_merge =
+  QCheck2.Test.make
+    ~name:"Running: split-stream merge equals single stream" ~count:500
+    gen_split
+    (fun (samples, k) ->
+      let k = k mod (List.length samples + 1) in
+      let left, right = split_at k samples in
+      let whole = feed samples in
+      let merged = Running.merge (feed left) (feed right) in
+      Running.count merged = Running.count whole
+      && close (Running.mean merged) (Running.mean whole)
+      && close (Running.variance merged) (Running.variance whole)
+      (* order-free aggregates must be exact *)
+      && Running.min_value merged = Running.min_value whole
+      && Running.max_value merged = Running.max_value whole
+      && Running.max_abs merged = Running.max_abs whole)
+
+let prop_running_merge_commutes =
+  QCheck2.Test.make ~name:"Running: merge commutes" ~count:500
+    (QCheck2.Gen.pair gen_samples gen_samples)
+    (fun (xs, ys) ->
+      let a = feed xs and b = feed ys in
+      let ab = Running.merge a b and ba = Running.merge b a in
+      Running.count ab = Running.count ba
+      && close (Running.mean ab) (Running.mean ba)
+      && close (Running.variance ab) (Running.variance ba)
+      && Running.min_value ab = Running.min_value ba
+      && Running.max_value ab = Running.max_value ba)
+
+let test_running_merge_empty () =
+  let e = Running.create () in
+  let r = feed [ 1.0; 2.0; 3.0 ] in
+  let m = Running.merge e r in
+  check bool_t "empty is identity (count)" true
+    (Running.count m = Running.count r);
+  check bool_t "empty is identity (mean)" true
+    (Running.mean m = Running.mean r);
+  check bool_t "both empty stays empty" true
+    (Running.is_empty (Running.merge e (Running.create ())))
+
+(* --- Err_stats.merge vs single-stream ---------------------------------- *)
+
+let feed_err pairs =
+  let e = Err_stats.create () in
+  List.iter (fun (c, p) -> Err_stats.record e ~consumed:c ~produced:p) pairs;
+  e
+
+let gen_err_split =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 200)
+         (pair (float_range (-1.0) 1.0) (float_range (-1.0) 1.0)))
+      (int_range 0 200))
+
+let prop_err_split_merge =
+  QCheck2.Test.make
+    ~name:"Err_stats: split-stream merge equals single stream" ~count:500
+    gen_err_split
+    (fun (pairs, k) ->
+      let k = k mod (List.length pairs + 1) in
+      let left, right = split_at k pairs in
+      let whole = feed_err pairs in
+      let merged = Err_stats.merge (feed_err left) (feed_err right) in
+      let agree side =
+        let a = side merged and b = side whole in
+        Running.count a = Running.count b
+        && close (Running.mean a) (Running.mean b)
+        && close (Running.variance a) (Running.variance b)
+        && Running.max_abs a = Running.max_abs b
+      in
+      Err_stats.count merged = Err_stats.count whole
+      && agree Err_stats.consumed && agree Err_stats.produced)
+
+let test_err_copy_independent () =
+  let e = feed_err [ (0.1, 0.2); (0.3, 0.4) ] in
+  let c = Err_stats.copy e in
+  Err_stats.record e ~consumed:9.0 ~produced:9.0;
+  check bool_t "copy unaffected by later records" true
+    (Err_stats.count c = 2 && Err_stats.count e = 3)
+
+let suite =
+  ( "merge",
+    [
+      Test_support.Qseed.to_alcotest prop_running_split_merge;
+      Test_support.Qseed.to_alcotest prop_running_merge_commutes;
+      Alcotest.test_case "running merge empty" `Quick test_running_merge_empty;
+      Test_support.Qseed.to_alcotest prop_err_split_merge;
+      Alcotest.test_case "err_stats copy independent" `Quick
+        test_err_copy_independent;
+    ] )

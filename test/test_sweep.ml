@@ -1,0 +1,228 @@
+(* Unit tests: the parallel sweep engine — env snapshots, candidate
+   evaluation, generators, and the pool's scheduling-independence
+   contract (jobs=1 and jobs=2 must render byte-identical reports). *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* --- Env.snapshot / restore_into ---------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let env = Sim.Env.create ~seed:1 () in
+  let x = Sim.Signal.create env "x" in
+  let y = Sim.Signal.create env "y" in
+  Sim.Signal.range x (-2.0) 2.0;
+  let base = Sim.Env.snapshot env in
+  (* mutate: retype both, change annotations *)
+  Sim.Signal.set_dtype x (Fixpt.Dtype.make "T" ~n:8 ~f:6 ());
+  Sim.Signal.set_dtype y (Fixpt.Dtype.make "U" ~n:10 ~f:4 ());
+  Sim.Signal.clear_range x;
+  Sim.Signal.error y 0.01;
+  Sim.Env.restore_into base env;
+  check bool_t "x untyped again" true (Sim.Signal.dtype x = None);
+  check bool_t "y untyped again" true (Sim.Signal.dtype y = None);
+  check bool_t "x range restored" true
+    (Sim.Signal.explicit_range x = Some (Interval.make (-2.0) 2.0));
+  check bool_t "y error annotation dropped" true
+    (Sim.Signal.error_injected y = None)
+
+let test_snapshot_shape_mismatch () =
+  let env_a = Sim.Env.create () in
+  ignore (Sim.Signal.create env_a "a");
+  let snap = Sim.Env.snapshot env_a in
+  let env_b = Sim.Env.create () in
+  ignore (Sim.Signal.create env_b "b");
+  check bool_t "restore into different registry raises" true
+    (try
+       Sim.Env.restore_into snap env_b;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Refine.Eval --------------------------------------------------------- *)
+
+let test_eval_unknown_signal_raises () =
+  let workload = Sweep.Workload.fir ~n:16 () in
+  let inst = workload.Sweep.Workload.make_instance () in
+  check bool_t "apply_assigns on unknown signal raises" true
+    (try
+       Refine.Eval.apply_assigns inst.Sweep.Workload.env
+         [ ("nonesuch", Fixpt.Dtype.make "T" ~n:8 ~f:6 ()) ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_sqnr_db_at_contract () =
+  let workload = Sweep.Workload.fir ~n:16 () in
+  let inst = workload.Sweep.Workload.make_instance () in
+  let env = inst.Sweep.Workload.env in
+  (* no samples yet: None, not an exception *)
+  check bool_t "no samples -> None" true
+    (Refine.Flow.sqnr_db_at env "out" = None);
+  check bool_t "unknown signal -> raise" true
+    (try
+       ignore (Refine.Flow.sqnr_db_at env "nonesuch");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- generators ---------------------------------------------------------- *)
+
+let specs =
+  [
+    { Sweep.Candidate.signal = "a"; int_bits = 2 };
+    { Sweep.Candidate.signal = "b"; int_bits = 3 };
+  ]
+
+let fake_metrics sqnr =
+  {
+    Refine.Eval.sqnr_db = Some sqnr;
+    total_bits = 0;
+    overflow_count = 0;
+    probe_err_max = 0.0;
+    probe_values = None;
+    probe_err = None;
+  }
+
+let test_grid_enumeration () =
+  let g = Sweep.Generator.grid ~specs ~f_min:3 ~f_max:5 ~seeds:[ 0; 1 ] in
+  let wave = Sweep.Generator.next g [] in
+  check int_t "3 fs x 2 seeds" 6 (List.length wave);
+  (* f-major, seed-minor, dense ids from 0 *)
+  List.iteri
+    (fun i (c : Sweep.Candidate.t) ->
+      check int_t "dense id" i c.Sweep.Candidate.id;
+      check int_t "seed order" (i mod 2) c.Sweep.Candidate.stim_seed;
+      check bool_t "f order" true
+        (c.Sweep.Candidate.uniform_f = Some (3 + (i / 2))))
+    wave;
+  (* n = int_bits + f for every assign *)
+  let c0 = List.hd wave in
+  List.iter2
+    (fun (s : Sweep.Candidate.spec) (a : Sweep.Candidate.assign) ->
+      check int_t "n = int_bits + f" (s.Sweep.Candidate.int_bits + 3)
+        a.Sweep.Candidate.n)
+    specs c0.Sweep.Candidate.assigns;
+  check int_t "single wave" 0
+    (List.length (Sweep.Generator.next g (List.map (fun c -> (c, fake_metrics 0.0)) wave)))
+
+(* Drive a generator with a synthetic SQNR model: 6 dB per fractional
+   bit, the textbook quantization slope. *)
+let drive gen sqnr_of_f =
+  let rec loop prev acc =
+    match Sweep.Generator.next gen prev with
+    | [] -> List.rev acc
+    | wave ->
+        let results =
+          List.map
+            (fun (c : Sweep.Candidate.t) ->
+              let f = Option.get c.Sweep.Candidate.uniform_f in
+              (c, fake_metrics (sqnr_of_f f)))
+            wave
+        in
+        loop results (List.rev_append results acc)
+  in
+  loop [] []
+
+let test_bisect_converges () =
+  let gen =
+    Sweep.Generator.bisect ~specs ~f_min:2 ~f_max:12 ~target_db:40.0
+      ~seeds:[ 0 ]
+  in
+  let _ = drive gen (fun f -> 6.0 *. float_of_int f) in
+  let concl = Sweep.Generator.conclusion gen in
+  (* 6f >= 40 first at f = 7 *)
+  check string_t "minimal feasible f" "7" (List.assoc "selected_f" concl);
+  check string_t "meets target" "true" (List.assoc "meets_target" concl)
+
+let test_bisect_infeasible () =
+  let gen =
+    Sweep.Generator.bisect ~specs ~f_min:2 ~f_max:6 ~target_db:1000.0
+      ~seeds:[ 0 ]
+  in
+  let results = drive gen (fun f -> 6.0 *. float_of_int f) in
+  let concl = Sweep.Generator.conclusion gen in
+  check string_t "pinned at f_max" "6" (List.assoc "selected_f" concl);
+  check string_t "reported infeasible" "false"
+    (List.assoc "meets_target" concl);
+  (* never evaluated outside [f_min, f_max] *)
+  List.iter
+    (fun ((c : Sweep.Candidate.t), _) ->
+      let f = Option.get c.Sweep.Candidate.uniform_f in
+      check bool_t "f in range" true (f >= 2 && f <= 6))
+    results
+
+let test_pareto_front () =
+  let mk id bits sqnr =
+    ( { Sweep.Candidate.id; assigns = [ { signal = "a"; n = bits; f = 0 } ];
+        stim_seed = 0; uniform_f = Some 0 },
+      fake_metrics sqnr )
+  in
+  (* (8,20) dominates (9,18); (8,20) and (12,30) are both optimal *)
+  let front =
+    Sweep.Generator.pareto_front [ mk 0 8 20.0; mk 1 9 18.0; mk 2 12 30.0 ]
+  in
+  check int_t "dominated point dropped" 2 (List.length front);
+  check bool_t "survivors" true
+    (List.for_all
+       (fun ((c : Sweep.Candidate.t), _) ->
+         c.Sweep.Candidate.id = 0 || c.Sweep.Candidate.id = 2)
+       front)
+
+(* --- the pool's determinism contract ------------------------------------- *)
+
+let run_sweep ~jobs =
+  let workload = Sweep.Workload.fir ~n:64 () in
+  let generator =
+    Sweep.Generator.grid ~specs:workload.Sweep.Workload.specs ~f_min:4
+      ~f_max:6 ~seeds:[ 0; 1 ]
+  in
+  Sweep.Pool.run ~jobs ~workload ~generator ()
+
+let test_pool_jobs_deterministic () =
+  let r1 = run_sweep ~jobs:1 and r2 = run_sweep ~jobs:2 in
+  check string_t "jobs=1 and jobs=2 byte-identical"
+    (Sweep.Report.to_json r1) (Sweep.Report.to_json r2)
+
+let test_pool_budget () =
+  let workload = Sweep.Workload.fir ~n:64 () in
+  let generator =
+    Sweep.Generator.grid ~specs:workload.Sweep.Workload.specs ~f_min:4
+      ~f_max:8 ~seeds:[ 0; 1 ]
+  in
+  let r = Sweep.Pool.run ~budget:3 ~workload ~generator () in
+  check int_t "budget truncates" 3 (List.length r.Sweep.Report.entries)
+
+let test_pool_sqnr_monotone () =
+  (* more fractional bits, better SQNR — on the real workload *)
+  let r = run_sweep ~jobs:1 in
+  let by_f f =
+    List.filter_map
+      (fun (e : Sweep.Report.entry) ->
+        if e.Sweep.Report.candidate.Sweep.Candidate.uniform_f = Some f then
+          e.Sweep.Report.metrics.Refine.Eval.sqnr_db
+        else None)
+      r.Sweep.Report.entries
+  in
+  let worst f = List.fold_left Float.min Float.infinity (by_f f) in
+  check bool_t "sqnr grows with f" true (worst 6 > worst 5 && worst 5 > worst 4)
+
+let suite =
+  ( "sweep",
+    [
+      Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+      Alcotest.test_case "snapshot shape mismatch" `Quick
+        test_snapshot_shape_mismatch;
+      Alcotest.test_case "eval unknown signal" `Quick
+        test_eval_unknown_signal_raises;
+      Alcotest.test_case "sqnr_db_at contract" `Quick test_sqnr_db_at_contract;
+      Alcotest.test_case "grid enumeration" `Quick test_grid_enumeration;
+      Alcotest.test_case "bisect converges" `Quick test_bisect_converges;
+      Alcotest.test_case "bisect infeasible" `Quick test_bisect_infeasible;
+      Alcotest.test_case "pareto front" `Quick test_pareto_front;
+      Alcotest.test_case "pool jobs determinism" `Quick
+        test_pool_jobs_deterministic;
+      Alcotest.test_case "pool budget" `Quick test_pool_budget;
+      Alcotest.test_case "pool sqnr monotone" `Quick test_pool_sqnr_monotone;
+    ] )
