@@ -9,7 +9,7 @@
    Experiment ids: table1 table2 sqnr fig1 fig2 fig3 fig4 fig5
    msb-threeway compare ablate-klsb ablate-error ablate-steering
    ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary simbench
-   sweepbench bench. *)
+   sweepbench tracebench bench. *)
 
 open Fixrefine
 
@@ -871,6 +871,74 @@ let sweepbench () =
   Format.printf "wrote BENCH_sweep.json@."
 
 (* ======================================================================= *)
+(* Observability overhead (BENCH_trace.json)                                *)
+(* ======================================================================= *)
+
+(* Throughput of the dual simulation with the null sink (tracing
+   compiled in but disabled — the default everyone pays) against the
+   counting sink (per-signal event counters live).  The null-sink
+   number is the one the fig5 bench guard holds to the BENCH_sim.json
+   budget: disabled tracing must stay one pointer compare per
+   assignment. *)
+
+let tracebench () =
+  section "tracebench: event-sink overhead (samples/sec)";
+  let measure name ~samples_per_run ~sink_for (design : Refine.Flow.design) =
+    let env = design.Refine.Flow.env in
+    (match sink_for () with
+    | Some sink -> Sim.Env.set_sink env sink
+    | None -> Sim.Env.clear_sink env);
+    design.Refine.Flow.reset ();
+    design.Refine.Flow.run ();
+    let reps = ref 0 in
+    let t0 = Sys.time () in
+    let elapsed () = Sys.time () -. t0 in
+    while elapsed () < 1.0 do
+      design.Refine.Flow.reset ();
+      design.Refine.Flow.run ();
+      incr reps
+    done;
+    let dt = elapsed () in
+    Sim.Env.clear_sink env;
+    let sps = Float.of_int (!reps * samples_per_run) /. dt in
+    Format.printf "%-18s %-9s %4d reps: %12.0f samples/sec@." name
+      (match sink_for () with Some _ -> "counting" | None -> "null")
+      !reps sps;
+    sps
+  in
+  let rows =
+    List.map
+      (fun (name, samples_per_run, design) ->
+        let null_sps = measure name ~samples_per_run ~sink_for:(fun () -> None) design in
+        let counting_sps =
+          measure name ~samples_per_run
+            ~sink_for:(fun () -> Some (Trace.Counters.sink (Trace.Counters.create ())))
+            design
+        in
+        (name, null_sps, counting_sps))
+      [
+        ( "lms-equalizer",
+          4000,
+          (Scenarios.equalizer ()).Scenarios.design );
+        ( "timing-recovery",
+          8000,
+          (Scenarios.timing ()).Scenarios.t_design );
+      ]
+  in
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"trace-sink-overhead\",\n  \"unit\": \"samples/sec\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, null_sps, counting_sps) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"null_sink\": %.0f, \"counting_sink\": %.0f, \"overhead\": %.3f }"
+              name null_sps counting_sps (null_sps /. counting_sps))
+          rows));
+  close_out oc;
+  Format.printf "wrote BENCH_trace.json@."
+
+(* ======================================================================= *)
 (* Bechamel timing benchmarks — one per experiment                          *)
 (* ======================================================================= *)
 
@@ -970,6 +1038,7 @@ let experiments =
     ("summary", summary);
     ("simbench", simbench);
     ("sweepbench", sweepbench);
+    ("tracebench", tracebench);
     ("bench", bechamel_run);
   ]
 

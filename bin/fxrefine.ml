@@ -8,10 +8,14 @@
      quantize   — quantize one value through a dtype (scriptable helper)
      sfg        — analyze a built-in flowgraph analytically, export DOT
      sweep      — parallel wordlength/stimuli exploration (multicore)
+     trace      — run one conformance workload under full tracing
+     check      — the conformance oracle
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
-   tool doubles as the experiment driver. *)
+   tool doubles as the experiment driver.  The refinement and sweep
+   subcommands accept --trace/--counters to capture a Chrome trace_event
+   JSON and per-signal event counters of the run. *)
 
 open Fixrefine
 open Cmdliner
@@ -54,6 +58,57 @@ let k_lsb_t =
 
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log actions.")
 
+let trace_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to \\$(docv) (open in \
+           chrome://tracing or Perfetto).")
+
+let counters_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "counters" ] ~docv:"FILE"
+        ~doc:"Write per-signal event counters JSON to \\$(docv).")
+
+let write_text path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* Observe one refinement run: [--counters] attaches a counting sink to
+   the design's environment for the whole flow (every monitored run
+   contributes), [--trace] collects wall-clock phase/run spans. *)
+let with_observability ~trace_file ~counters_file ~label env f =
+  let ctr =
+    match counters_file with
+    | Some _ ->
+        let c = Trace.Counters.create () in
+        Sim.Env.set_sink env (Trace.Counters.sink c);
+        Some c
+    | None -> None
+  in
+  if trace_file <> None then Trace.Spans.set_enabled true;
+  let r = f () in
+  Sim.Env.clear_sink env;
+  (match (counters_file, ctr) with
+  | Some path, Some c ->
+      write_text path
+        (Trace.Counters.to_json
+           ~meta:[ ("workload", Trace.Json.string_lit label) ]
+           c);
+      Format.eprintf "wrote counters to %s@." path
+  | _ -> ());
+  (match trace_file with
+  | Some path ->
+      Trace.Chrome.write_file ~path ~spans:(Trace.Spans.drain ()) ();
+      Trace.Spans.set_enabled false;
+      Format.eprintf "wrote trace to %s@." path
+  | None -> ());
+  r
+
 let config_of k_lsb =
   {
     Refine.Flow.default_config with
@@ -62,7 +117,7 @@ let config_of k_lsb =
 
 (* --- equalizer --------------------------------------------------------- *)
 
-let run_equalizer n seed k_lsb verbose =
+let run_equalizer n seed k_lsb trace_file counters_file verbose =
   setup_logs verbose;
   let env = Sim.Env.create ~seed:11 () in
   let rng = Stats.Rng.create ~seed in
@@ -84,7 +139,10 @@ let run_equalizer n seed k_lsb verbose =
     }
   in
   let result =
-    Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:"v[3]" design
+    with_observability ~trace_file ~counters_file ~label:"equalizer" env
+      (fun () ->
+        Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:"v[3]"
+          design)
   in
   print_flow_result env result;
   let decided = Array.of_list (Sim.Channel.recorded output) in
@@ -93,11 +151,13 @@ let run_equalizer n seed k_lsb verbose =
 let equalizer_cmd =
   Cmd.v
     (Cmd.info "equalizer" ~doc:"Refine the LMS equalizer (Fig. 1).")
-    Term.(const run_equalizer $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+    Term.(
+      const run_equalizer $ symbols_t $ seed_t $ k_lsb_t $ trace_file_t
+      $ counters_file_t $ verbose_t)
 
 (* --- timing recovery --------------------------------------------------- *)
 
-let run_timing n seed k_lsb verbose =
+let run_timing n seed k_lsb trace_file counters_file verbose =
   setup_logs verbose;
   let env = Sim.Env.create ~seed:5 () in
   let rng = Stats.Rng.create ~seed in
@@ -126,7 +186,10 @@ let run_timing n seed k_lsb verbose =
   let config =
     { (config_of k_lsb) with Refine.Flow.auto_error_lsb = -8 }
   in
-  let result = Refine.Flow.refine ~config ~sqnr_signal:"out" design in
+  let result =
+    with_observability ~trace_file ~counters_file ~label:"timing" env
+      (fun () -> Refine.Flow.refine ~config ~sqnr_signal:"out" design)
+  in
   print_flow_result env result;
   let decided = Array.of_list (Sim.Channel.recorded output) in
   Format.printf "SER after lock: %.4f@."
@@ -135,11 +198,13 @@ let run_timing n seed k_lsb verbose =
 let timing_cmd =
   Cmd.v
     (Cmd.info "timing" ~doc:"Refine the PAM timing-recovery loop (Fig. 5).")
-    Term.(const run_timing $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+    Term.(
+      const run_timing $ symbols_t $ seed_t $ k_lsb_t $ trace_file_t
+      $ counters_file_t $ verbose_t)
 
 (* --- cordic ------------------------------------------------------------ *)
 
-let run_cordic n seed k_lsb verbose =
+let run_cordic n seed k_lsb trace_file counters_file verbose =
   setup_logs verbose;
   let env = Sim.Env.create ~seed:31 () in
   let rng = Stats.Rng.create ~seed in
@@ -171,14 +236,19 @@ let run_cordic n seed k_lsb verbose =
   in
   let probe = Printf.sprintf "cor_x[%d]" iters in
   let result =
-    Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:probe design
+    with_observability ~trace_file ~counters_file ~label:"cordic" env
+      (fun () ->
+        Refine.Flow.refine ~config:(config_of k_lsb) ~sqnr_signal:probe
+          design)
   in
   print_flow_result env result
 
 let cordic_cmd =
   Cmd.v
     (Cmd.info "cordic" ~doc:"Refine a 12-stage CORDIC rotator.")
-    Term.(const run_cordic $ symbols_t $ seed_t $ k_lsb_t $ verbose_t)
+    Term.(
+      const run_cordic $ symbols_t $ seed_t $ k_lsb_t $ trace_file_t
+      $ counters_file_t $ verbose_t)
 
 (* --- quantize ----------------------------------------------------------- *)
 
@@ -230,7 +300,7 @@ let quantize_cmd =
 (* --- sweep: parallel wordlength exploration ----------------------------- *)
 
 let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
-    target_db json verbose =
+    target_db json trace_file counters_file verbose =
   setup_logs verbose;
   let workload =
     match Sweep.Workload.find workload_name with
@@ -262,11 +332,27 @@ let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
         Format.eprintf "unknown strategy %S (grid|bisect|pareto)@." s;
         exit 1
   in
+  if trace_file <> None then Trace.Spans.set_enabled true;
   let t0 = Unix.gettimeofday () in
-  let report = Sweep.Pool.run ~jobs ?budget ~workload ~generator () in
+  let report =
+    Sweep.Pool.run ~jobs ?budget
+      ~counters:(counters_file <> None)
+      ~workload ~generator ()
+  in
   let dt = Unix.gettimeofday () -. t0 in
   if json then print_string (Sweep.Report.to_json report)
   else Format.printf "%a" Sweep.Report.pp report;
+  (match counters_file with
+  | Some path ->
+      write_text path (Sweep.Report.counters_json report);
+      Format.eprintf "wrote counters to %s@." path
+  | None -> ());
+  (match trace_file with
+  | Some path ->
+      Trace.Chrome.write_file ~path ~spans:(Trace.Spans.drain ()) ();
+      Trace.Spans.set_enabled false;
+      Format.eprintf "wrote trace to %s@." path
+  | None -> ());
   (* timing goes to stderr, never into the (deterministic) report *)
   Format.eprintf "sweep: %d candidates in %.3f s (jobs=%d)@."
     (List.length report.Sweep.Report.entries)
@@ -321,7 +407,81 @@ let sweep_cmd =
           multicore); deterministic for any --jobs.")
     Term.(
       const run_sweep $ workload_t $ strategy_t $ jobs_t $ budget_t $ f_min_t
-      $ f_max_t $ seeds_t $ target_t $ json_t $ verbose_t)
+      $ f_max_t $ seeds_t $ target_t $ json_t $ trace_file_t
+      $ counters_file_t $ verbose_t)
+
+(* --- trace: one workload under full tracing ----------------------------- *)
+
+let run_trace workload_name out_path counters_file ring_cap verbose =
+  setup_logs verbose;
+  match Oracle.Workloads.find workload_name with
+  | None ->
+      Format.eprintf "unknown workload %S (available: %s)@." workload_name
+        (String.concat ", "
+           (List.map
+              (fun (w : Oracle.Workloads.t) -> w.Oracle.Workloads.name)
+              Oracle.Workloads.all));
+      exit 1
+  | Some w ->
+      let b = w.Oracle.Workloads.build () in
+      let ctr = Trace.Counters.create () in
+      let ring = Trace.Ring.create ~capacity:ring_cap () in
+      Sim.Env.set_sink b.Oracle.Workloads.env
+        (Trace.Sink.tee (Trace.Counters.sink ctr) (Trace.Ring.sink ring));
+      Trace.Spans.set_enabled true;
+      let t0 = Trace.Spans.now () in
+      b.Oracle.Workloads.run ();
+      Trace.Spans.record ~cat:"workload"
+        ~name:(Printf.sprintf "run %s" w.Oracle.Workloads.name)
+        ~t0 ~t1:(Trace.Spans.now ()) ();
+      Sim.Env.clear_sink b.Oracle.Workloads.env;
+      Format.printf "%a" Trace.Counters.pp ctr;
+      if Trace.Ring.dropped ring > 0 then
+        Format.printf
+          "ring: kept the last %d of %d events (%d dropped; raise --ring)@."
+          (Trace.Ring.length ring)
+          (Trace.Ring.length ring + Trace.Ring.dropped ring)
+          (Trace.Ring.dropped ring);
+      Trace.Chrome.write_file ~path:out_path ~spans:(Trace.Spans.drain ())
+        ~ring ();
+      Trace.Spans.set_enabled false;
+      Format.printf "wrote %s (chrome://tracing or Perfetto)@." out_path;
+      (match counters_file with
+      | Some path ->
+          write_text path
+            (Trace.Counters.to_json
+               ~meta:
+                 [ ("workload", Trace.Json.string_lit w.Oracle.Workloads.name) ]
+               ctr);
+          Format.printf "wrote %s@." path
+      | None -> ())
+
+let trace_cmd =
+  let workload_t =
+    Arg.(
+      value & pos 0 string "fir"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Conformance workload to trace (fir|lms|cordic|timing|ddc).")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome trace output path.")
+  in
+  let ring_t =
+    Arg.(
+      value & opt int 4096
+      & info [ "ring" ] ~doc:"Event ring-buffer capacity (last N events).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one conformance workload with the full observability stack: \
+          per-signal counters to stdout, the last N raw events and the \
+          wall-clock spans to a Chrome trace_event JSON.")
+    Term.(
+      const run_trace $ workload_t $ out_t $ counters_file_t $ ring_t
+      $ verbose_t)
 
 (* --- check: the conformance oracle ------------------------------------- *)
 
@@ -342,6 +502,8 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
   Format.printf "%a@." Oracle.Golden.pp_result golden;
   let sweep = Oracle.Sweep_check.run ?jobs () in
   Format.printf "%a@." Oracle.Sweep_check.pp_report sweep;
+  let trace = Oracle.Trace_check.run ?jobs () in
+  Format.printf "%a@." Oracle.Trace_check.pp_report trace;
   let bench_ok =
     if no_bench then begin
       Format.printf "bench guard: skipped (--no-bench)@.";
@@ -357,7 +519,8 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
     && Oracle.Golden.passed golden
-    && Oracle.Sweep_check.passed sweep && bench_ok
+    && Oracle.Sweep_check.passed sweep
+    && Oracle.Trace_check.passed trace && bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -409,7 +572,7 @@ let check_cmd =
        ~doc:
          "Run the conformance oracle: differential quantizer testing, \
           metamorphic workload invariants, golden traces, sweep determinism, \
-          bench guard.")
+          trace determinism, bench guard.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
       $ golden_dir_t $ jobs_t $ verbose_t)
@@ -472,5 +635,5 @@ let () =
        (Cmd.group info
           [
             equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
-            sweep_cmd; check_cmd;
+            sweep_cmd; trace_cmd; check_cmd;
           ]))

@@ -12,6 +12,9 @@
     - {!Stats}: running statistics, error statistics, SQNR, RNG;
     - {!Sim}: the simulation environment — dual fixed/float signals,
       overloaded operators, monitors, clocking, channels, VCD;
+    - {!Trace}: the observability layer — event sinks (counters, ring
+      buffer), wall-clock spans, Chrome trace_event/counters exporters
+      behind [fxrefine trace] and the [--trace]/[--counters] flags;
     - {!Sfg}: signal-flow graphs and the pure analytical analyses;
     - {!Refine}: the refinement rules, the design flow driver, and the
       two literature baselines;
@@ -30,6 +33,7 @@ module Fixpt = Fixpt
 module Interval = Interval
 module Stats = Stats
 module Sim = Sim
+module Trace = Trace
 module Sfg = Sfg
 module Refine = Refine
 module Dsp = Dsp

@@ -24,6 +24,9 @@ type metrics = {
       (** copy of the probe's value monitor (mergeable) *)
   probe_err : Stats.Err_stats.t option;
       (** copy of the probe's error monitor (mergeable) *)
+  counters : Trace.Counters.t option;
+      (** event counters over this evaluation's run (only when requested
+          with [~counters:true]; mergeable) *)
 }
 
 let total_bits env =
@@ -49,10 +52,29 @@ let apply_assigns env assigns =
     (fun (name, dt) -> Sim.Signal.set_dtype (Sim.Env.find_exn env name) dt)
     assigns
 
-let evaluate ?(assigns = []) ?probe ?on_run (design : Flow.design) =
+let evaluate ?(assigns = []) ?probe ?on_run ?(counters = false)
+    (design : Flow.design) =
   apply_assigns design.Flow.env assigns;
+  (* a requested counter set observes exactly this evaluation — reset
+     hooks (initialization assigns) included, like the env monitors; it
+     is detached before the monitors are read back, and any sink the
+     caller attached is restored *)
+  let prev_sink =
+    if counters then Some (Sim.Env.sink design.Flow.env) else None
+  in
+  let ctr =
+    if counters then begin
+      let c = Trace.Counters.create () in
+      Sim.Env.set_sink design.Flow.env (Trace.Counters.sink c);
+      Some c
+    end
+    else None
+  in
   design.Flow.reset ();
   design.Flow.run ();
+  (match prev_sink with
+  | Some s -> Sim.Env.set_sink design.Flow.env s
+  | None -> ());
   (match on_run with Some f -> f () | None -> ());
   let env = design.Flow.env in
   let probe_entry = Option.map (Sim.Env.find_exn env) probe in
@@ -74,4 +96,5 @@ let evaluate ?(assigns = []) ?probe ?on_run (design : Flow.design) =
       Option.map
         (fun e -> Stats.Err_stats.copy (Sim.Signal.err_stats e))
         probe_entry;
+    counters = ctr;
   }

@@ -16,6 +16,9 @@ type metrics = {
       (** copy of the probe's value monitor (mergeable) *)
   probe_err : Stats.Err_stats.t option;
       (** copy of the probe's error monitor (mergeable) *)
+  counters : Trace.Counters.t option;
+      (** event counters over this evaluation's run (only when requested
+          with [~counters:true]; mergeable) *)
 }
 
 (** Σ n over the environment's typed signals. *)
@@ -33,10 +36,16 @@ val apply_assigns : Sim.Env.t -> (string * Fixpt.Dtype.t) list -> unit
     once, and gathers {!metrics} (probe resolution as {!Flow.sqnr_db_at}:
     unknown probe raises).  [on_run] is invoked after the simulation —
     callers that count monitored runs (e.g. {!Flow.refine}-style
-    drivers) hook their counter here. *)
+    drivers) hook their counter here.
+
+    [counters:true] attaches a fresh {!Trace.Counters} sink for exactly
+    this evaluation's run (reset-hook initialization included, like the
+    env monitors) and returns it in [metrics.counters]; a sink the
+    caller had attached is restored afterwards. *)
 val evaluate :
   ?assigns:(string * Fixpt.Dtype.t) list ->
   ?probe:string ->
   ?on_run:(unit -> unit) ->
+  ?counters:bool ->
   Flow.design ->
   metrics

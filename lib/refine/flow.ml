@@ -108,11 +108,29 @@ let sqnr_db (s : Sim.Signal.t) =
     and [None] is reserved for "no samples yet". *)
 let sqnr_db_at env name = sqnr_db (Sim.Env.find_exn env name)
 
-(* One monitored simulation. *)
-let simulate design runs =
+(* One monitored simulation.  When span collection is on, each run is a
+   wall-clock span labelled by its role in the flow ("baseline",
+   "msb run 2", "verify", …); disabled, the clock is never read. *)
+let simulate ?(label = "sim") design runs =
+  let spanned = Trace.Spans.enabled () in
+  let t0 = if spanned then Trace.Spans.now () else 0.0 in
   design.reset ();
   design.run ();
-  incr runs
+  incr runs;
+  if spanned then
+    Trace.Spans.record ~cat:"refine" ~name:label ~t0 ~t1:(Trace.Spans.now ())
+      ()
+
+(* Phase boundary: wrap [f] in a span named after the phase. *)
+let phase_span name args f =
+  if Trace.Spans.enabled () then begin
+    let t0 = Trace.Spans.now () in
+    let r = f () in
+    Trace.Spans.record ~cat:"refine" ~name ~args:(args r)
+      ~t0 ~t1:(Trace.Spans.now ()) ();
+    r
+  end
+  else f ()
 
 (* --- MSB phase --------------------------------------------------------- *)
 
@@ -140,7 +158,10 @@ let auto_range config s =
 let run_msb_phase config design runs iterations =
   let env = design.env in
   let rec loop i =
-    simulate design runs;
+    (* the flow's first monitored run doubles as the baseline *)
+    simulate
+      ~label:(if i = 1 then "baseline" else Printf.sprintf "msb run %d" i)
+      design runs;
     let exploded = List.map Sim.Signal.name (Msb_rules.exploded_signals env) in
     let sources = explosion_sources env in
     if sources = [] || i >= config.max_iterations then begin
@@ -208,7 +229,8 @@ let run_lsb_phase config design runs iterations =
   (* the first analysis pass reuses the MSB phase's final run: range and
      error monitoring happen in the same simulation (§4) *)
   let rec loop i ~need_run =
-    if need_run then simulate design runs;
+    if need_run then
+      simulate ~label:(Printf.sprintf "lsb run %d" i) design runs;
     let diverged = Lsb_rules.diverged_signals ~config:config.lsb env in
     let names = List.map Sim.Signal.name diverged in
     if diverged = [] || i >= config.max_iterations then begin
@@ -280,12 +302,19 @@ let refine ?(config = default_config) ?sqnr_signal design =
   let runs = ref 0 in
   let iterations = ref [] in
   let env = design.env in
+  let iter_args n = [ ("iterations", string_of_int n) ] in
   (* Phase 1: MSB *)
-  let msb_iterations = run_msb_phase config design runs iterations in
+  let msb_iterations =
+    phase_span "msb-phase" iter_args (fun () ->
+        run_msb_phase config design runs iterations)
+  in
   let msb_decisions = Msb_rules.decide_all ~config:config.msb env in
   (* Phase 2: LSB (error statistics come from the same monitored runs;
      re-run only to resolve divergences) *)
-  let lsb_iterations = run_lsb_phase config design runs iterations in
+  let lsb_iterations =
+    phase_span "lsb-phase" iter_args (fun () ->
+        run_lsb_phase config design runs iterations)
+  in
   let lsb_decisions = Lsb_rules.decide_all ~config:config.lsb env in
   let sqnr_before = Option.bind sqnr_signal (sqnr_db_at env) in
   (* Phase 3: type synthesis + verification *)
@@ -295,7 +324,7 @@ let refine ?(config = default_config) ?sqnr_signal design =
      float reference of a sensitive loop re-diverges and the check is
      meaningless (§4.2); the end-to-end quality check (SER, lock) is the
      caller's, on the design outputs *)
-  simulate design runs;
+  simulate ~label:"verify" design runs;
   let sqnr_after = Option.bind sqnr_signal (sqnr_db_at env) in
   {
     msb_decisions;

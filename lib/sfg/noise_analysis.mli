@@ -6,7 +6,18 @@
     fixpoint (noise gain ≥ 1 diverges and is reported — the analytical
     mirror of §4.2's divergence). *)
 
-type moments = { mean : float; var : float }
+type moments = {
+  mean : float;
+      (** signed first-order estimate of E[ε] — floor-mode biases carry
+          their sign so opposing biases cancel through [Sub]/[Neg];
+          multiplications estimate the unknown signal expectation by the
+          range midpoint, so this is an estimate, not a bound *)
+  mag : float;
+      (** conservative bound on |E[ε]| ([|mean| <= mag] by
+          construction) — the monotone quantity the fixpoint iterates
+          on; sizing decisions should trust this one *)
+  var : float;  (** variance of ε *)
+}
 
 val zero_m : moments
 

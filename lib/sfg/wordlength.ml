@@ -33,7 +33,8 @@ type result = {
    injected at [src] through the moment system. *)
 let noise_gain graph ~ranges ~src ~out =
   let inject name =
-    if String.equal name src then { Noise_analysis.mean = 0.0; var = 1.0 }
+    if String.equal name src then
+      { Noise_analysis.zero_m with Noise_analysis.var = 1.0 }
     else Noise_analysis.zero_m
   in
   (* Injection at arbitrary (non-input) nodes: model by treating the node
@@ -65,9 +66,13 @@ let noise_gain graph ~ranges ~src ~out =
               else next
         in
         let next =
+          (* only the bound moments are monotone; the signed mean is
+             left free (see {!Noise_analysis.run}) — irrelevant here
+             anyway, the gain probe reads variances *)
           {
-            Noise_analysis.mean =
-              Float.max next.Noise_analysis.mean cur.(i).Noise_analysis.mean;
+            next with
+            Noise_analysis.mag =
+              Float.max next.Noise_analysis.mag cur.(i).Noise_analysis.mag;
             var = Float.max next.Noise_analysis.var cur.(i).Noise_analysis.var;
           }
         in

@@ -99,6 +99,9 @@ and t = {
           the "constructor initialization" of the paper's listings
           (coefficient loading etc.) that every fresh simulation
           re-executes *)
+  mutable sink : Trace.Sink.t;
+      (** observability sink; {!Trace.Sink.null} (the default) keeps the
+          hot path down to one physical-equality guard per assignment *)
 }
 
 let src = Logs.Src.create "fixrefine.sim" ~doc:"fixed-point simulation engine"
@@ -118,6 +121,7 @@ let create ?(seed = 0x51CA5) ?(policy = Count) () =
     policy;
     warned = 0;
     reset_hooks = [];
+    sink = Trace.Sink.null;
   }
 
 (** Register an initialization action re-run after every {!reset}
@@ -130,6 +134,21 @@ let at_reset ?(now = true) t f =
 let time t = t.time
 let rng t = t.rng
 let set_policy t p = t.policy <- p
+
+(** Attach an observability sink.  Registration events are replayed for
+    every signal already in the registry, so the sink's id→name map is
+    complete whatever the attachment order.  One sink per environment;
+    fan out with {!Trace.Sink.tee}. *)
+let set_sink t s =
+  t.sink <- s;
+  if not (Trace.Sink.is_null s) then
+    for i = 0 to t.n_entries - 1 do
+      let e = t.entries.(i) in
+      s.Trace.Sink.on_register ~id:e.id ~name:e.name
+    done
+
+let clear_sink t = t.sink <- Trace.Sink.null
+let sink t = t.sink
 
 let compile_dtype = function
   | None -> None
@@ -179,6 +198,8 @@ let register t ~name ~kind ~dtype =
   t.entries.(t.n_entries) <- e;
   t.n_entries <- t.n_entries + 1;
   Hashtbl.add t.by_name name e;
+  if t.sink != Trace.Sink.null then
+    t.sink.Trace.Sink.on_register ~id:e.id ~name:e.name;
   e
 
 (** Signals in declaration order — the order the paper's tables use. *)

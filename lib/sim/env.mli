@@ -85,6 +85,19 @@ val rng : t -> Stats.Rng.t
 (** Change what [Error]-mode overflows do. *)
 val set_policy : t -> overflow_policy -> unit
 
+(** Attach an observability sink (see {!Trace.Sink}).  Registration
+    events replay for every signal already in the registry, so the
+    sink's id→name map is complete whatever the attachment order.  One
+    sink per environment; fan out with {!Trace.Sink.tee}. *)
+val set_sink : t -> Trace.Sink.t -> unit
+
+(** Detach — back to {!Trace.Sink.null} (one pointer compare per
+    assignment, no allocation). *)
+val clear_sink : t -> unit
+
+(** The currently attached sink ({!Trace.Sink.null} when disabled). *)
+val sink : t -> Trace.Sink.t
+
 (** Declare a signal (use {!Signal.create} / {!Signal.create_reg}).
     Raises [Invalid_argument] if the name is already registered. *)
 val register : t -> name:string -> kind:kind -> dtype:Fixpt.Dtype.t option -> entry

@@ -179,6 +179,11 @@ let quantize_in (t : t) fx_in =
       let fx = Fixpt.Quantize.exec_into q fx_in qscratch in
       if qscratch.Fixpt.Quantize.flag <> 0.0 then begin
         let raw = qscratch.Fixpt.Quantize.raw in
+        (* the sink sees the event before the policy may abort the run *)
+        (let snk = Env.sink t.Env.env in
+         if snk != Trace.Sink.null then
+           snk.Trace.Sink.on_overflow ~id:t.Env.id ~time:(Env.time t.Env.env)
+             ~raw ~saturating:q.Fixpt.Quantize.saturating);
         if q.Fixpt.Quantize.error_mode then Env.record_overflow t.Env.env t raw
         else begin
           t.Env.n_overflow <- t.Env.n_overflow + 1;
@@ -259,6 +264,17 @@ let assign (t : t) (v : Value.t) =
   Stats.Err_stats.record t.Env.err
     ~consumed:(v.Value.fl -. v.Value.fx)
     ~produced:(fl' -. fx');
+  (* disabled tracing costs exactly this pointer compare: argument
+     computation (and any allocation) happens only behind the guard *)
+  (let snk = Env.sink t.Env.env in
+   if snk != Trace.Sink.null then
+     let quantized, rounded =
+       match t.Env.quant with
+       | Some qz -> (true, qz.Env.q.Fixpt.Quantize.round_nearest)
+       | None -> (false, false)
+     in
+     snk.Trace.Sink.on_assign ~id:t.Env.id ~time:(Env.time t.Env.env)
+       ~err:(fl' -. fx') ~quantized ~rounded);
   match t.Env.kind with
   | Env.Comb ->
       t.Env.v.Env.fx <- fx';

@@ -50,14 +50,31 @@ let merge a b =
 
 (** Precision of an error population, expressed as the LSB position [p]
     such that the step [2^p] matches [k * sigma]; [None] when the error
-    is identically zero (floating-point signal: infinite precision). *)
+    is identically zero (floating-point signal: infinite precision).
+
+    Edge cases (the §5.2 σ-rule contract):
+
+    - [k <= 0], [k] nan or infinite → [Invalid_argument].  Before this
+      guard, [log2] of a non-positive product returned nan, which
+      [Float.to_int] silently truncated to 0 — a plausible-looking LSB;
+    - σ = 0 with [max_abs > 0] — a {e constant} non-zero error (every
+      sample identical, e.g. a pure DC offset from a floor quantizer on
+      a constant signal).  The magnitude itself stands in for σ so the
+      constant error is still representable at the returned step;
+    - the result is clamped to the float exponent range before
+      truncation, so denormal-small or overflowing [k·s] products yield
+      the extreme finite positions instead of truncating ±infinity. *)
 let precision_of ?(k = 1.0) run =
+  if not (Float.is_finite k) || k <= 0.0 then
+    invalid_arg "Err_stats.precision_of: k must be positive and finite";
   let sigma = Running.stddev run in
   let m = Running.max_abs run in
   if sigma = 0.0 && m = 0.0 then None
   else
     let s = if sigma > 0.0 then sigma else m in
-    Some (Float.to_int (Float.floor (Float.log2 (k *. s))))
+    let p = Float.floor (Float.log2 (k *. s)) in
+    (* 2^-1074 (smallest denormal) .. 2^1023 (largest exponent) *)
+    Some (Float.to_int (Float.max (-1074.0) (Float.min 1023.0 p)))
 
 let consumed_precision ?k t = precision_of ?k t.consumed
 let produced_precision ?k t = precision_of ?k t.produced

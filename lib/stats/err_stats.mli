@@ -31,7 +31,11 @@ val copy : t -> t
 val merge : t -> t -> t
 
 (** LSB position matching [k·σ] of an error population; [None] when the
-    error is identically zero (infinite precision). *)
+    error is identically zero (infinite precision).  When σ = 0 but
+    [max_abs > 0] (constant error), the magnitude stands in for σ.  The
+    position is clamped to the float exponent range [[-1074, 1023]].
+
+    @raise Invalid_argument when [k] is non-positive, nan or infinite. *)
 val precision_of : ?k:float -> Running.t -> int option
 
 val consumed_precision : ?k:float -> t -> int option

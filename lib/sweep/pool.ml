@@ -17,16 +17,28 @@
 type progress = { wave : int; evaluated : int; total_so_far : int }
 
 (* Restore the baseline, point the stimulus at the candidate's seed,
-   and evaluate — the only path by which candidates touch an env. *)
-let eval_candidate (workload : Workload.t) (inst : Workload.instance)
-    (c : Candidate.t) =
+   and evaluate — the only path by which candidates touch an env.
+   [tid] is the worker-domain lane of the optional wall-clock span. *)
+let eval_candidate ~counters ~tid (workload : Workload.t)
+    (inst : Workload.instance) (c : Candidate.t) =
+  let spanned = Trace.Spans.enabled () in
+  let t0 = if spanned then Trace.Spans.now () else 0.0 in
   Sim.Env.restore_into inst.baseline inst.env;
   inst.set_seed c.Candidate.stim_seed;
   let metrics =
-    Refine.Eval.evaluate
+    Refine.Eval.evaluate ~counters
       ~assigns:(Candidate.to_dtypes c)
       ~probe:workload.Workload.probe inst.Workload.design
   in
+  if spanned then
+    Trace.Spans.record ~cat:"sweep" ~tid
+      ~name:(Printf.sprintf "candidate %d" c.Candidate.id)
+      ~args:
+        [
+          ("seed", string_of_int c.Candidate.stim_seed);
+          ("total_bits", string_of_int (Candidate.total_bits c));
+        ]
+      ~t0 ~t1:(Trace.Spans.now ()) ();
   (c, metrics)
 
 let instance_of (workload : Workload.t) instances i =
@@ -39,7 +51,7 @@ let instance_of (workload : Workload.t) instances i =
 
 (* One wave, [nw] domains pulling from a shared atomic cursor; results
    land by wave index so completion order is irrelevant. *)
-let eval_wave_parallel workload instances ~jobs wave_arr =
+let eval_wave_parallel workload instances ~jobs ~counters wave_arr =
   let len = Array.length wave_arr in
   let results = Array.make len None in
   let cursor = Atomic.make 0 in
@@ -48,7 +60,8 @@ let eval_wave_parallel workload instances ~jobs wave_arr =
     let rec pull () =
       let k = Atomic.fetch_and_add cursor 1 in
       if k < len then begin
-        results.(k) <- Some (eval_candidate workload inst wave_arr.(k));
+        results.(k) <-
+          Some (eval_candidate ~counters ~tid:wi workload inst wave_arr.(k));
         pull ()
       end
     in
@@ -64,15 +77,18 @@ let eval_wave_parallel workload instances ~jobs wave_arr =
          | None -> assert false (* every slot below [len] was claimed *))
        results)
 
-let eval_wave workload instances ~jobs wave =
+let eval_wave workload instances ~jobs ~counters wave =
   match wave with
   | [] -> []
   | wave when jobs <= 1 ->
       let inst = instance_of workload instances 0 in
-      List.map (eval_candidate workload inst) wave
-  | wave -> eval_wave_parallel workload instances ~jobs (Array.of_list wave)
+      List.map (eval_candidate ~counters ~tid:0 workload inst) wave
+  | wave ->
+      eval_wave_parallel workload instances ~jobs ~counters
+        (Array.of_list wave)
 
-let run ?(jobs = 1) ?budget ?on_wave ~workload ~generator () =
+let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
+    () =
   if jobs < 1 then invalid_arg "Sweep.Pool.run: jobs < 1";
   (match budget with
   | Some b when b < 1 -> invalid_arg "Sweep.Pool.run: budget < 1"
@@ -96,7 +112,7 @@ let run ?(jobs = 1) ?budget ?on_wave ~workload ~generator () =
     | [] -> ()
     | wave ->
         incr wave_no;
-        let results = eval_wave workload instances ~jobs wave in
+        let results = eval_wave workload instances ~jobs ~counters wave in
         all := List.rev_append results !all;
         (match on_wave with
         | Some f ->

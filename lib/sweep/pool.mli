@@ -19,11 +19,19 @@ type progress = { wave : int; evaluated : int; total_so_far : int }
     deterministic.  [on_wave] fires after each wave (progress
     reporting; called in the calling domain).
 
+    [counters:true] gathers {!Trace.Counters} per candidate evaluation
+    (returned in each entry's metrics and folded into the report's
+    [agg_counters] in candidate-id order, so {!Report.counters_json} is
+    byte-identical for any [jobs] — the oracle's trace gate enforces
+    it).  When span collection is on ({!Trace.Spans.set_enabled}), each
+    evaluation records a wall-clock span on its worker-domain lane.
+
     Raises [Invalid_argument] on [jobs < 1] or [budget < 1]. *)
 val run :
   ?jobs:int ->
   ?budget:int ->
   ?on_wave:(progress -> unit) ->
+  ?counters:bool ->
   workload:Workload.t ->
   generator:Generator.t ->
   unit ->

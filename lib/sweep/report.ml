@@ -30,6 +30,9 @@ type t = {
       (** probe error monitors of every candidate, merged in id order *)
   agg_range : Interval.t;  (** join of observed probe ranges *)
   agg_overflows : int;  (** Σ overflow events across candidates *)
+  agg_counters : Trace.Counters.t option;
+      (** event counters of every candidate, merged in id order (only
+          when the pool ran with [~counters:true]) *)
 }
 
 let make ~workload ~strategy ~probe ~conclusion results =
@@ -50,9 +53,9 @@ let make ~workload ~strategy ~probe ~conclusion results =
       (fun (c, m) -> { candidate = c; metrics = m; pareto = on_front c })
       sorted
   in
-  let agg_values, agg_err, agg_range, agg_overflows =
+  let agg_values, agg_err, agg_range, agg_overflows, agg_counters =
     List.fold_left
-      (fun (v, e, r, o) { metrics = m; _ } ->
+      (fun (v, e, r, o, cnt) { metrics = m; _ } ->
         let v =
           match m.Refine.Eval.probe_values with
           | Some pv -> Stats.Running.merge v pv
@@ -70,11 +73,18 @@ let make ~workload ~strategy ~probe ~conclusion results =
           | Some (lo, hi) -> Interval.join r (Interval.make lo hi)
           | None -> r
         in
-        (v, e, r, o + m.Refine.Eval.overflow_count))
+        let cnt =
+          match (cnt, m.Refine.Eval.counters) with
+          | acc, None -> acc
+          | None, Some c -> Some (Trace.Counters.copy c)
+          | Some acc, Some c -> Some (Trace.Counters.merge acc c)
+        in
+        (v, e, r, o + m.Refine.Eval.overflow_count, cnt))
       ( Stats.Running.create (),
         Stats.Err_stats.create (),
         Interval.empty,
-        0 )
+        0,
+        None )
       entries
   in
   {
@@ -87,24 +97,18 @@ let make ~workload ~strategy ~probe ~conclusion results =
     agg_err;
     agg_range;
     agg_overflows;
+    agg_counters;
   }
 
 (* --- JSON ---------------------------------------------------------------- *)
 
 (* Shortest-exact float literal: round-trippable and byte-stable, so the
-   determinism gate can compare reports as strings.  JSON has no
-   infinities; they surface as quoted strings. *)
-let js_float v =
-  if Float.is_nan v then "\"nan\""
-  else if v = Float.infinity then "\"inf\""
-  else if v = Float.neg_infinity then "\"-inf\""
-  else
-    let s = Printf.sprintf "%.15g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
-
-let js_float_opt = function None -> "null" | Some v -> js_float v
-
-let js_string s = Printf.sprintf "%S" s
+   determinism gate can compare reports as strings.  The rule lives in
+   {!Trace.Json} — one canonical formatting across reports, counters
+   and trace exports. *)
+let js_float = Trace.Json.float_lit
+let js_float_opt = Trace.Json.float_opt
+let js_string = Trace.Json.string_lit
 
 let js_running r =
   Printf.sprintf
@@ -164,6 +168,27 @@ let to_json t =
              t.conclusion)));
   Buffer.add_string b "}\n";
   Buffer.contents b
+
+(** Flat counters JSON for a sweep that ran with [~counters:true]
+    ([signals] is empty otherwise).  Leads with the sweep identity —
+    but {e not} the job count or any timing — so the rendering is
+    byte-identical for any [--jobs], which the oracle's trace gate
+    compares for. *)
+let counters_json t =
+  let meta =
+    [
+      ("workload", js_string t.workload);
+      ("strategy", js_string t.strategy);
+      ("probe", js_string t.probe);
+      ("candidates", string_of_int (List.length t.entries));
+    ]
+  in
+  let counters =
+    match t.agg_counters with
+    | Some c -> c
+    | None -> Trace.Counters.create ()
+  in
+  Trace.Counters.to_json ~meta counters
 
 (* --- human --------------------------------------------------------------- *)
 

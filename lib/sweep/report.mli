@@ -27,6 +27,9 @@ type t = {
       (** probe error monitors of every candidate, merged in id order *)
   agg_range : Interval.t;  (** join of observed probe ranges *)
   agg_overflows : int;  (** Σ overflow events across candidates *)
+  agg_counters : Trace.Counters.t option;
+      (** event counters of every candidate, merged in id order (only
+          when the pool ran with [~counters:true]) *)
 }
 
 (** Sort results by candidate id, mark the Pareto frontier, fold the
@@ -40,9 +43,16 @@ val make :
   t
 
 (** Canonical JSON rendering — stable float formatting (shortest exact
-    decimal; infinities as quoted strings), no timing fields; the
-    determinism gate compares these strings byte-for-byte. *)
+    decimal; infinities as quoted strings, via {!Trace.Json}), no
+    timing fields; the determinism gate compares these strings
+    byte-for-byte. *)
 val to_json : t -> string
+
+(** Flat counters JSON of [agg_counters] (empty signal list when the
+    sweep ran without [~counters:true]) with the same canonical
+    formatting and no job-count/timing fields — byte-identical for any
+    [--jobs], which the oracle's trace gate enforces. *)
+val counters_json : t -> string
 
 (** Human-readable table plus aggregates and conclusion. *)
 val pp : Format.formatter -> t -> unit

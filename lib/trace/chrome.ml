@@ -1,0 +1,105 @@
+(** Chrome [trace_event] exporter — load the output in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Two timelines share the file, kept apart by pid:
+
+    - pid 1 "host (wall clock)": the {!Spans} — refinement phases and
+      per-candidate sweep evaluations as complete ("X") events, one tid
+      lane per worker domain, timestamps rebased to the earliest span;
+    - pid 2 "simulation (cycle time)": retained {!Ring} events as
+      instant ("i") events whose "microsecond" timestamp is the {e cycle
+      index} — deterministic simulated time, so two traces of the same
+      run line up event-for-event.
+
+    The format is the stable subset of the Trace Event Format: an object
+    with a [traceEvents] array plus metadata ("M") records naming the
+    processes. *)
+
+let us_of_cycles t = float_of_int t
+
+let buf_add_event b ~first ~name ~cat ~ph ~ts ?dur ~pid ~tid ?scope
+    ?(args = []) () =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  {\"name\": %s, \"cat\": %s, \"ph\": \"%s\", \"ts\": %s, "
+       (Json.string_lit name) (Json.string_lit cat) ph (Json.float_lit ts));
+  (match dur with
+  | Some d -> Buffer.add_string b (Printf.sprintf "\"dur\": %s, " (Json.float_lit d))
+  | None -> ());
+  (match scope with
+  | Some s -> Buffer.add_string b (Printf.sprintf "\"s\": \"%s\", " s)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf "\"pid\": %d, \"tid\": %d" pid tid);
+  if args <> [] then
+    Buffer.add_string b
+      (Printf.sprintf ", \"args\": {%s}"
+         (String.concat ", "
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s: %s" (Json.string_lit k) v)
+               args)));
+  Buffer.add_string b "}"
+
+let process_meta b ~first ~pid ~name =
+  buf_add_event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M"
+    ~ts:0.0 ~pid ~tid:0
+    ~args:[ ("name", Json.string_lit name) ]
+    ()
+
+let ring_event b ~first ring ev =
+  match ev with
+  | Ring.Assign { id; time; err; quantized; rounded } ->
+      buf_add_event b ~first
+        ~name:(Printf.sprintf "assign %s" (Ring.name_of ring id))
+        ~cat:"sim" ~ph:"i" ~ts:(us_of_cycles time) ~pid:2 ~tid:0 ~scope:"t"
+        ~args:
+          [
+            ("err", Json.float_lit err);
+            ("quantized", Json.bool_lit quantized);
+            ("rounded", Json.bool_lit rounded);
+          ]
+        ()
+  | Ring.Overflow { id; time; raw; saturating } ->
+      buf_add_event b ~first
+        ~name:(Printf.sprintf "overflow %s" (Ring.name_of ring id))
+        ~cat:"sim" ~ph:"i" ~ts:(us_of_cycles time) ~pid:2 ~tid:0 ~scope:"t"
+        ~args:
+          [
+            ("raw", Json.float_lit raw);
+            ("saturating", Json.bool_lit saturating);
+          ]
+        ()
+
+let to_json ?(spans = []) ?ring () =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  process_meta b ~first ~pid:1 ~name:"host (wall clock)";
+  if ring <> None then
+    process_meta b ~first ~pid:2 ~name:"simulation (cycle time)";
+  let origin =
+    List.fold_left (fun m (s : Spans.span) -> Float.min m s.Spans.t0)
+      Float.infinity spans
+  in
+  List.iter
+    (fun (s : Spans.span) ->
+      buf_add_event b ~first ~name:s.Spans.name ~cat:s.Spans.cat ~ph:"X"
+        ~ts:((s.Spans.t0 -. origin) *. 1e6)
+        ~dur:((s.Spans.t1 -. s.Spans.t0) *. 1e6)
+        ~pid:1 ~tid:s.Spans.tid ~args:s.Spans.args ())
+    spans;
+  (match ring with
+  | Some r -> List.iter (fun ev -> ring_event b ~first r ev) (Ring.events r)
+  | None -> ());
+  Buffer.add_string b "\n],\n";
+  Buffer.add_string b
+    (Printf.sprintf "\"displayTimeUnit\": \"ms\", \"dropped_events\": %d}\n"
+       (match ring with Some r -> Ring.dropped r | None -> 0));
+  Buffer.contents b
+
+let write_file ~path ?spans ?ring () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?spans ?ring ()))

@@ -1,0 +1,11 @@
+(** Chrome [trace_event] exporter — output loads in [chrome://tracing]
+    or Perfetto.  Spans render as complete ("X") events on a wall-clock
+    process (pid 1, one tid lane per worker domain, rebased to the
+    earliest span); ring events render as instants ("i") on a
+    simulated-time process (pid 2) whose timestamps are cycle indices. *)
+
+(** Render the trace JSON. *)
+val to_json : ?spans:Spans.span list -> ?ring:Ring.t -> unit -> string
+
+(** [to_json] straight to a file. *)
+val write_file : path:string -> ?spans:Spans.span list -> ?ring:Ring.t -> unit -> unit

@@ -1,0 +1,234 @@
+(** The counting sink: per-signal event counters.
+
+    Answers the questions the end-of-run reports cannot: how many
+    assignments a signal saw, how its quantizations split between
+    round-to-nearest and floor, how often it wrapped versus saturated,
+    and the largest produced error |ε_p| together with the cycle it
+    occurred in (the "when did it first go wrong" watermark).
+
+    All state is flat mutable ints/floats — recording an event allocates
+    nothing beyond the boxed float arguments of the callback itself.
+
+    {!merge} combines counters from disjoint runs (sweep candidates,
+    worker domains) commutatively and associatively: counts add, the
+    error watermark takes the larger |ε| and, on an exact tie, the
+    smaller cycle index.  Folding per-candidate counters in candidate-id
+    order therefore renders byte-identically for any worker count —
+    the discipline {!Sweep.Report} already applies to its monitor
+    aggregates, extended here to event counts and enforced by the
+    oracle's trace gate. *)
+
+type sig_counters = {
+  cs_name : string;
+  mutable assigns : int;  (** every {!Sim.Signal.assign} *)
+  mutable quantized : int;  (** assignments that ran a dtype cast *)
+  mutable rounds : int;  (** casts with round-to-nearest *)
+  mutable floors : int;  (** casts with floor (truncation) *)
+  mutable wraps : int;  (** overflow events resolved by wrap-around *)
+  mutable sats : int;  (** overflow events resolved by saturation *)
+  mutable err_max : float;  (** max |ε_p| watermark *)
+  mutable err_max_time : int;  (** cycle index of the watermark; -1 = none *)
+}
+
+type t = {
+  mutable slots : sig_counters option array;  (** indexed by signal id *)
+  mutable n : int;  (** 1 + highest registered id *)
+}
+
+let create () = { slots = [||]; n = 0 }
+
+let fresh_slot name =
+  {
+    cs_name = name;
+    assigns = 0;
+    quantized = 0;
+    rounds = 0;
+    floors = 0;
+    wraps = 0;
+    sats = 0;
+    err_max = 0.0;
+    err_max_time = -1;
+  }
+
+let ensure t id =
+  let cap = Array.length t.slots in
+  if id >= cap then begin
+    let grown = Array.make (max 16 (max (id + 1) (2 * cap))) None in
+    Array.blit t.slots 0 grown 0 cap;
+    t.slots <- grown
+  end;
+  if id >= t.n then t.n <- id + 1
+
+let on_register t ~id ~name =
+  ensure t id;
+  match t.slots.(id) with
+  | Some _ -> ()  (* re-attach replay: keep accumulated counts *)
+  | None -> t.slots.(id) <- Some (fresh_slot name)
+
+let on_assign t ~id ~time ~err ~quantized ~rounded =
+  if id < Array.length t.slots then
+    match t.slots.(id) with
+    | None -> ()
+    | Some c ->
+        c.assigns <- c.assigns + 1;
+        if quantized then begin
+          c.quantized <- c.quantized + 1;
+          if rounded then c.rounds <- c.rounds + 1
+          else c.floors <- c.floors + 1
+        end;
+        let a = Float.abs err in
+        if a > c.err_max then begin
+          c.err_max <- a;
+          c.err_max_time <- time
+        end
+
+let on_overflow t ~id ~time:(_ : int) ~raw:(_ : float) ~saturating =
+  if id < Array.length t.slots then
+    match t.slots.(id) with
+    | None -> ()
+    | Some c ->
+        if saturating then c.sats <- c.sats + 1 else c.wraps <- c.wraps + 1
+
+let sink t =
+  {
+    Sink.sink_name = "counters";
+    on_register = (fun ~id ~name -> on_register t ~id ~name);
+    on_assign =
+      (fun ~id ~time ~err ~quantized ~rounded ->
+        on_assign t ~id ~time ~err ~quantized ~rounded);
+    on_overflow =
+      (fun ~id ~time ~raw ~saturating -> on_overflow t ~id ~time ~raw ~saturating);
+  }
+
+let reset t =
+  for i = 0 to t.n - 1 do
+    match t.slots.(i) with
+    | None -> ()
+    | Some c ->
+        c.assigns <- 0;
+        c.quantized <- 0;
+        c.rounds <- 0;
+        c.floors <- 0;
+        c.wraps <- 0;
+        c.sats <- 0;
+        c.err_max <- 0.0;
+        c.err_max_time <- -1
+  done
+
+let copy_slot c =
+  {
+    cs_name = c.cs_name;
+    assigns = c.assigns;
+    quantized = c.quantized;
+    rounds = c.rounds;
+    floors = c.floors;
+    wraps = c.wraps;
+    sats = c.sats;
+    err_max = c.err_max;
+    err_max_time = c.err_max_time;
+  }
+
+let copy t =
+  { n = t.n; slots = Array.map (Option.map copy_slot) t.slots }
+
+(* Merge one slot pair in place into [c] (commutative & associative:
+   sums, max watermark, min cycle on an exact watermark tie). *)
+let merge_into c (d : sig_counters) =
+  c.assigns <- c.assigns + d.assigns;
+  c.quantized <- c.quantized + d.quantized;
+  c.rounds <- c.rounds + d.rounds;
+  c.floors <- c.floors + d.floors;
+  c.wraps <- c.wraps + d.wraps;
+  c.sats <- c.sats + d.sats;
+  if
+    d.err_max > c.err_max
+    || (d.err_max = c.err_max && d.err_max_time >= 0
+        && (c.err_max_time < 0 || d.err_max_time < c.err_max_time))
+  then begin
+    c.err_max <- d.err_max;
+    c.err_max_time <- d.err_max_time
+  end
+
+let merge a b =
+  let n = max a.n b.n in
+  let slot_of t i =
+    if i < Array.length t.slots then t.slots.(i) else None
+  in
+  let r = create () in
+  if n > 0 then ensure r (n - 1);
+  for i = 0 to n - 1 do
+    r.slots.(i) <-
+      (match (slot_of a i, slot_of b i) with
+      | None, None -> None
+      | Some c, None | None, Some c -> Some (copy_slot c)
+      | Some ca, Some cb ->
+          if not (String.equal ca.cs_name cb.cs_name) then
+            invalid_arg
+              (Printf.sprintf
+                 "Trace.Counters.merge: signal %d is %S on one side, %S on \
+                  the other"
+                 i ca.cs_name cb.cs_name);
+          let c = copy_slot ca in
+          merge_into c cb;
+          Some c)
+  done;
+  r
+
+let signals t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    match t.slots.(i) with
+    | Some c -> acc := (i, c) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let total f t =
+  List.fold_left (fun acc (_, c) -> acc + f c) 0 (signals t)
+
+let total_assigns = total (fun c -> c.assigns)
+let total_overflows = total (fun c -> c.wraps + c.sats)
+
+(* --- rendering --------------------------------------------------------- *)
+
+let js_signal (id, c) =
+  Printf.sprintf
+    "    {\"id\": %d, \"signal\": %s, \"assigns\": %d, \"quantized\": %d, \
+     \"rounds\": %d, \"floors\": %d, \"wraps\": %d, \"sats\": %d, \
+     \"err_max\": %s, \"err_max_time\": %d}"
+    id (Json.string_lit c.cs_name) c.assigns c.quantized c.rounds c.floors
+    c.wraps c.sats (Json.float_lit c.err_max) c.err_max_time
+
+(** Flat counters JSON.  [meta] key/value pairs (values already rendered
+    as JSON literals) lead the object; signals follow in id order, then
+    the totals — everything canonical, so the trace gate compares the
+    string. *)
+let to_json ?(meta = []) t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "  %s: %s,\n" (Json.string_lit k) v))
+    meta;
+  Buffer.add_string b "  \"signals\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n" (List.map js_signal (signals t)));
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"totals\": {\"assigns\": %d, \"overflows\": %d}\n"
+       (total_assigns t) (total_overflows t));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf "%-14s %9s %9s %7s %7s %6s %6s %12s %8s@." "signal"
+    "assigns" "quant" "round" "floor" "wrap" "sat" "max|eps|" "at";
+  List.iter
+    (fun (_, c) ->
+      Format.fprintf ppf "%-14s %9d %9d %7d %7d %6d %6d %12.4g %8s@."
+        c.cs_name c.assigns c.quantized c.rounds c.floors c.wraps c.sats
+        c.err_max
+        (if c.err_max_time < 0 then "-" else string_of_int c.err_max_time))
+    (signals t);
+  Format.fprintf ppf "total: %d assigns, %d overflows@." (total_assigns t)
+    (total_overflows t)

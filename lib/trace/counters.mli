@@ -1,0 +1,57 @@
+(** The counting sink: per-signal event counters (assignments,
+    round-vs-floor quantizations, wrap/saturation overflow events, and
+    the max |ε_p| watermark with its cycle index).
+
+    {!merge} is commutative and associative (sums; larger watermark;
+    smaller cycle on an exact watermark tie), so per-candidate counters
+    folded in candidate-id order render byte-identically for any worker
+    count — the determinism contract the oracle's trace gate enforces
+    on {!to_json} output. *)
+
+type sig_counters = {
+  cs_name : string;
+  mutable assigns : int;  (** every {!Sim.Signal.assign} *)
+  mutable quantized : int;  (** assignments that ran a dtype cast *)
+  mutable rounds : int;  (** casts with round-to-nearest *)
+  mutable floors : int;  (** casts with floor (truncation) *)
+  mutable wraps : int;  (** overflow events resolved by wrap-around *)
+  mutable sats : int;  (** overflow events resolved by saturation *)
+  mutable err_max : float;  (** max |ε_p| watermark *)
+  mutable err_max_time : int;  (** cycle index of the watermark; -1 = none *)
+}
+
+type t
+
+(** Fresh, empty counter set. *)
+val create : unit -> t
+
+(** The {!Sink.t} feeding [t].  Attach with {!Sim.Env.set_sink}. *)
+val sink : t -> Sink.t
+
+(** Zero every counter, keeping the registered signal layout. *)
+val reset : t -> unit
+
+(** Deep copy (snapshot of a mutable accumulator). *)
+val copy : t -> t
+
+(** Combine counters from two disjoint event streams.  Commutative and
+    associative.  Raises [Invalid_argument] when both sides registered
+    the same id under different names (different designs). *)
+val merge : t -> t -> t
+
+(** Registered signals in id order. *)
+val signals : t -> (int * sig_counters) list
+
+(** Σ assigns over all signals. *)
+val total_assigns : t -> int
+
+(** Σ wrap + saturation events over all signals. *)
+val total_overflows : t -> int
+
+(** Flat counters JSON with the canonical {!Json} formatting; [meta]
+    key/value pairs (values pre-rendered as JSON literals) lead the
+    object.  Byte-stable — determinism gates compare the string. *)
+val to_json : ?meta:(string * string) list -> t -> string
+
+(** Human-readable per-signal table. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Canonical JSON literal rendering shared by every exporter.
+
+    One float formatting rule for the whole observability surface (and
+    re-used by {!Sweep.Report}): shortest exact decimal that round-trips
+    back to the same IEEE value, so two renderings of the same data are
+    byte-identical — the property the determinism gates compare for.
+    JSON has no non-finite numbers; they surface as quoted strings. *)
+
+let float_lit v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let float_opt = function None -> "null" | Some v -> float_lit v
+
+(* OCaml's %S escaping is a JSON-compatible subset for the ASCII signal
+   names and keys this library emits. *)
+let string_lit s = Printf.sprintf "%S" s
+
+let bool_lit b = if b then "true" else "false"

@@ -1,0 +1,17 @@
+(** Canonical JSON literal rendering shared by every exporter (and by
+    {!Sweep.Report}): one byte-stable formatting rule so determinism
+    gates can compare rendered output as strings. *)
+
+(** Shortest exact decimal that round-trips ([%.15g], falling back to
+    [%.17g]); nan/±inf render as the quoted strings ["nan"], ["inf"],
+    ["-inf"]. *)
+val float_lit : float -> string
+
+(** [float_lit], with [None] as [null]. *)
+val float_opt : float option -> string
+
+(** Quoted/escaped string literal. *)
+val string_lit : string -> string
+
+(** [true]/[false]. *)
+val bool_lit : bool -> string

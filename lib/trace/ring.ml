@@ -1,0 +1,79 @@
+(** The ring-buffer sink: the last [capacity] raw events.
+
+    Where {!Counters} aggregates, the ring answers "what happened right
+    before the interesting moment": it retains a bounded window of
+    individual assignment/overflow events (flight-recorder style) with a
+    running total of how many were dropped.  The Chrome exporter renders
+    retained events as instants on the cycle-index timeline. *)
+
+type event =
+  | Assign of {
+      id : int;
+      time : int;  (** cycle index *)
+      err : float;  (** produced error ε_p *)
+      quantized : bool;
+      rounded : bool;
+    }
+  | Overflow of {
+      id : int;
+      time : int;
+      raw : float;  (** the out-of-range pre-cast value *)
+      saturating : bool;
+    }
+
+type t = {
+  buf : event option array;
+  mutable total : int;  (** events ever pushed *)
+  mutable names : string array;  (** id → signal name *)
+  mutable n_names : int;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.Ring.create: capacity < 1";
+  { buf = Array.make capacity None; total = 0; names = [||]; n_names = 0 }
+
+let capacity t = Array.length t.buf
+
+let on_register t ~id ~name =
+  let cap = Array.length t.names in
+  if id >= cap then begin
+    let grown = Array.make (max 16 (max (id + 1) (2 * cap))) "" in
+    Array.blit t.names 0 grown 0 cap;
+    t.names <- grown
+  end;
+  t.names.(id) <- name;
+  if id >= t.n_names then t.n_names <- id + 1
+
+let push t ev =
+  t.buf.(t.total mod Array.length t.buf) <- Some ev;
+  t.total <- t.total + 1
+
+let sink t =
+  {
+    Sink.sink_name = "ring";
+    on_register = (fun ~id ~name -> on_register t ~id ~name);
+    on_assign =
+      (fun ~id ~time ~err ~quantized ~rounded ->
+        push t (Assign { id; time; err; quantized; rounded }));
+    on_overflow =
+      (fun ~id ~time ~raw ~saturating ->
+        push t (Overflow { id; time; raw; saturating }));
+  }
+
+let name_of t id = if id < t.n_names then t.names.(id) else string_of_int id
+
+let dropped t = max 0 (t.total - Array.length t.buf)
+
+let length t = min t.total (Array.length t.buf)
+
+(** Retained events, oldest first. *)
+let events t =
+  let cap = Array.length t.buf in
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)

@@ -1,0 +1,41 @@
+(** The ring-buffer sink: flight recorder over the last [capacity] raw
+    assignment/overflow events, with a count of older drops. *)
+
+type event =
+  | Assign of {
+      id : int;
+      time : int;  (** cycle index *)
+      err : float;  (** produced error ε_p *)
+      quantized : bool;
+      rounded : bool;
+    }
+  | Overflow of {
+      id : int;
+      time : int;
+      raw : float;  (** the out-of-range pre-cast value *)
+      saturating : bool;
+    }
+
+type t
+
+(** Fresh ring ([capacity] defaults to 4096 events).  Raises
+    [Invalid_argument] on a capacity below 1. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** The {!Sink.t} feeding [t]. *)
+val sink : t -> Sink.t
+
+(** Signal name for an id seen via [on_register] (the id as a string
+    otherwise). *)
+val name_of : t -> int -> string
+
+(** Events pushed out of the window so far. *)
+val dropped : t -> int
+
+(** Retained event count (≤ capacity). *)
+val length : t -> int
+
+(** Retained events, oldest first. *)
+val events : t -> event list

@@ -1,0 +1,35 @@
+(** The event-sink interface of the observability layer.
+
+    A sink is a flat record of callbacks invoked by the simulation hot
+    path ({!Sim.Signal.assign} and its quantization cast).  The disabled
+    state is the unique value {!null}: instrumentation guards every
+    emission with one physical-equality test and computes event
+    arguments only when a real sink is attached, so disabled tracing
+    costs one pointer compare per assignment and zero allocation.
+
+    Callbacks must not raise — an observer never changes simulation
+    outcomes. *)
+
+type t = {
+  sink_name : string;  (** diagnostic label ("null", "counters", …) *)
+  on_register : id:int -> name:string -> unit;
+      (** a signal entered the registry; replayed for pre-existing
+          signals when a sink is attached late *)
+  on_assign : id:int -> time:int -> err:float -> quantized:bool -> rounded:bool -> unit;
+      (** one assignment: cycle index, produced error ε_p = [fl' - fx'],
+          whether a dtype cast ran, whether it rounds to nearest *)
+  on_overflow : id:int -> time:int -> raw:float -> saturating:bool -> unit;
+      (** the cast overflowed on [raw]; [saturating] tells clamp from
+          wrap-around *)
+}
+
+(** The disabled sink — a single toplevel value, compared physically.
+    Never rebuild an equivalent record and expect it to read as
+    disabled. *)
+val null : t
+
+(** [is_null t] — physical comparison against {!null}. *)
+val is_null : t -> bool
+
+(** Fan one event stream out to two sinks ([a] first). *)
+val tee : t -> t -> t

@@ -1,0 +1,52 @@
+(** Wall-clock spans: coarse-grained phase/candidate timing.
+
+    Spans cover the places where wall-clock actually matters — the
+    refinement flow's phase boundaries and the sweep pool's per-candidate
+    evaluations (labelled with the worker-domain id, so a Chrome trace
+    shows the pool's occupancy per lane).  They are collected in one
+    process-global, mutex-protected buffer because worker domains must
+    be able to record concurrently.
+
+    Recording is gated on a global enable flag (an [Atomic]); when
+    disabled — the default — instrumented code skips both the clock
+    reads and the record, so spans cost nothing in normal runs.  Spans
+    carry wall-clock timestamps and are therefore {e not} part of any
+    determinism contract: exporters keep them out of the canonical
+    counter output. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Chrome category ("refine", "sweep", …) *)
+  tid : int;  (** lane: worker-domain index, 0 for the main flow *)
+  t0 : float;  (** seconds (Unix epoch) *)
+  t1 : float;
+  args : (string * string) list;
+      (** extra fields, values pre-rendered as JSON literals *)
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let now = Unix.gettimeofday
+
+let lock = Mutex.create ()
+let collected : span list ref = ref []
+
+(** Record one finished span (no-op while disabled). *)
+let record ?(tid = 0) ?(args = []) ~cat ~name ~t0 ~t1 () =
+  if enabled () then begin
+    Mutex.lock lock;
+    collected := { name; cat; tid; t0; t1; args } :: !collected;
+    Mutex.unlock lock
+  end
+
+(** Take every collected span (oldest first) and clear the buffer. *)
+let drain () =
+  Mutex.lock lock;
+  let s = !collected in
+  collected := [];
+  Mutex.unlock lock;
+  List.rev s
+
+let reset () = ignore (drain () : span list)

@@ -1,0 +1,44 @@
+(** Wall-clock spans: coarse-grained phase/candidate timing, collected
+    in a process-global mutex-protected buffer (worker domains record
+    concurrently).  Gated on a global enable flag — disabled (the
+    default), instrumented code skips both clock reads and recording.
+
+    Spans carry wall-clock time and are {e not} part of any determinism
+    contract; exporters keep them out of canonical counter output. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Chrome category ("refine", "sweep", …) *)
+  tid : int;  (** lane: worker-domain index, 0 for the main flow *)
+  t0 : float;  (** seconds (Unix epoch) *)
+  t1 : float;
+  args : (string * string) list;
+      (** extra fields, values pre-rendered as JSON literals *)
+}
+
+(** Turn span collection on/off (process-global). *)
+val set_enabled : bool -> unit
+
+(** Current state of the enable flag — instrumentation sites check this
+    before reading the clock. *)
+val enabled : unit -> bool
+
+(** Wall clock (seconds, Unix epoch). *)
+val now : unit -> float
+
+(** Record one finished span (no-op while disabled). *)
+val record :
+  ?tid:int ->
+  ?args:(string * string) list ->
+  cat:string ->
+  name:string ->
+  t0:float ->
+  t1:float ->
+  unit ->
+  unit
+
+(** Take every collected span (oldest first) and clear the buffer. *)
+val drain : unit -> span list
+
+(** Clear without reading. *)
+val reset : unit -> unit

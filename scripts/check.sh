@@ -5,9 +5,11 @@
 #   3. API docs (odoc), when the toolchain has odoc installed;
 #   4. the conformance gate: differential quantization oracle,
 #      metamorphic workload invariants, golden traces, the parallel
-#      sweep determinism gate (jobs=1 vs jobs=N byte-identical), and
-#      the bench regression guard (wall-clock, so deliberately NOT
-#      part of `dune runtest`);
+#      sweep determinism gate (jobs=1 vs jobs=N byte-identical), the
+#      trace-determinism gate (sweep counters JSON byte-identical for
+#      any --jobs; counting sink observer-neutral), and the bench
+#      regression guard (wall-clock, so deliberately NOT part of
+#      `dune runtest`);
 #   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
 #      command by command so the documentation cannot rot.
 set -eu

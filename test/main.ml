@@ -32,6 +32,7 @@ let () =
       Test_simplify.suite;
       Test_sfg_edges.suite;
       Test_hotpath.suite;
+      Test_trace.suite;
       Test_merge.suite;
       Test_sweep.suite;
     ]

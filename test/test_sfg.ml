@@ -200,10 +200,45 @@ let test_noise_input_source () =
   let ranges = Sfg.Range_analysis.run g in
   let nz =
     Sfg.Noise_analysis.run g ~ranges ~input_noise:(fun _ ->
-        { Sfg.Noise_analysis.mean = 0.0; var = 1e-4 })
+        { Sfg.Noise_analysis.mean = 0.0; mag = 0.0; var = 1e-4 })
   in
   check bool_t "source noise shows" true
     (Sfg.Noise_analysis.sigma_of nz "x" = Some 0.01)
+
+let test_noise_floor_bias_cancellation () =
+  (* Regression: two floor-mode quantizers feeding a subtraction.  Each
+     injects a signed bias of −q/2; through [Sub] the biases cancel in
+     the signed mean, while the conservative |mean| bound still stacks
+     to q.  The old analysis took |·| of every operand mean at the
+     injection points' consumers, so the two biases could never cancel
+     — [y]'s mean came out q instead of 0. *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let dt =
+    Fixpt.Dtype.make "t" ~n:8 ~f:6 ~round:Fixpt.Round_mode.Floor
+      ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let q1 = Sfg.Graph.quantize g ~name:"q1" dt x in
+  let q2 = Sfg.Graph.quantize g ~name:"q2" dt x in
+  let y = Sfg.Graph.sub g ~name:"y" q1 q2 in
+  Sfg.Graph.mark_output g "y" y;
+  let ranges = Sfg.Range_analysis.run g in
+  let nz = Sfg.Noise_analysis.run g ~ranges in
+  let step = Fixpt.Dtype.step dt in
+  (match Sfg.Noise_analysis.moments_of nz "q1" with
+  | Some m ->
+      check (Alcotest.float 1e-15) "floor bias is signed (negative)"
+        (-.step /. 2.0) m.Sfg.Noise_analysis.mean;
+      check (Alcotest.float 1e-15) "bias bound" (step /. 2.0)
+        m.Sfg.Noise_analysis.mag
+  | None -> Alcotest.fail "no moments for q1");
+  match Sfg.Noise_analysis.moments_of nz "y" with
+  | Some m ->
+      check (Alcotest.float 1e-15) "biases cancel through sub" 0.0
+        m.Sfg.Noise_analysis.mean;
+      check (Alcotest.float 1e-15) "conservative bound still stacks" step
+        m.Sfg.Noise_analysis.mag
+  | None -> Alcotest.fail "no moments for y"
 
 let test_noise_stable_loop_converges () =
   (* acc' = 0.5·acc + q(x): loop gain 0.25 in variance; total =
@@ -321,6 +356,8 @@ let suite =
       Alcotest.test_case "noise adds variances" `Quick
         test_noise_adds_variances;
       Alcotest.test_case "noise input source" `Quick test_noise_input_source;
+      Alcotest.test_case "noise floor-bias cancellation" `Quick
+        test_noise_floor_bias_cancellation;
       Alcotest.test_case "noise stable loop" `Quick
         test_noise_stable_loop_converges;
       Alcotest.test_case "noise unstable loop" `Quick

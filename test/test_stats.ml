@@ -183,6 +183,75 @@ let test_err_precision_of () =
   | Some p -> check int_t "position of 2^-7 noise" (-7) p
   | None -> Alcotest.fail "expected a precision")
 
+let test_err_precision_bad_k () =
+  let r = Running.create () in
+  Running.add r 0.25;
+  let raises k =
+    try
+      ignore (Err_stats.precision_of ~k r);
+      false
+    with Invalid_argument _ -> true
+  in
+  check bool_t "k = 0 raises" true (raises 0.0);
+  check bool_t "k < 0 raises" true (raises (-2.0));
+  check bool_t "k nan raises" true (raises Float.nan);
+  check bool_t "k infinite raises" true (raises Float.infinity);
+  (* the guard fires even on the identically-zero population *)
+  check bool_t "bad k beats the None path" true
+    (try
+       ignore (Err_stats.precision_of ~k:(-1.0) (Running.create ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_err_precision_constant_error () =
+  (* σ = 0 but max_abs > 0: a pure DC offset (e.g. floor bias on a
+     constant signal).  The magnitude stands in for σ. *)
+  let r = Running.create () in
+  for _ = 1 to 50 do
+    Running.add r (-0.125)
+  done;
+  check (float_t 0.0) "sigma is zero" 0.0 (Running.stddev r);
+  (match Err_stats.precision_of r with
+  | Some p -> check int_t "constant 2^-3 error" (-3) p
+  | None -> Alcotest.fail "constant error must have a precision");
+  (* extreme products clamp to the float exponent range instead of
+     truncating an infinity *)
+  let big = Running.create () in
+  Running.add big 1e308;
+  Running.add big (-1e308);
+  (match Err_stats.precision_of ~k:1e30 big with
+  | Some p -> check int_t "overflowing k*s clamps" 1023 p
+  | None -> Alcotest.fail "expected a precision");
+  let tiny = Running.create () in
+  Running.add tiny Float.min_float;
+  (match Err_stats.precision_of ~k:1e-300 tiny with
+  | Some p -> check bool_t "underflowing k*s clamps" true (p >= -1074)
+  | None -> Alcotest.fail "expected a precision")
+
+(* §5.2 σ-rule: the returned position p brackets the target step,
+   2^p <= k·σ < 2^(p+1) (σ standing in for max_abs on constant
+   errors).  Tolerant comparison absorbs log2 rounding at power-of-two
+   boundaries. *)
+let prop_precision_sigma_rule =
+  QCheck2.Test.make ~name:"precision_of brackets k*sigma (sigma-rule)"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 60) (float_range (-50.0) 50.0))
+        (float_range 0.125 8.0))
+    (fun (xs, k) ->
+      let r = Running.create () in
+      List.iter (Running.add r) xs;
+      let sigma = Running.stddev r in
+      let m = Running.max_abs r in
+      match Err_stats.precision_of ~k r with
+      | None -> sigma = 0.0 && m = 0.0
+      | Some p ->
+          let s = if sigma > 0.0 then sigma else m in
+          let step = 2.0 ** Float.of_int p in
+          let tol = 1.0 +. 1e-9 in
+          step <= k *. s *. tol && k *. s < 2.0 *. step *. tol)
+
 (* --- Histogram --------------------------------------------------------- *)
 
 let test_histogram_binning () =
@@ -272,6 +341,10 @@ let suite =
       Alcotest.test_case "err record" `Quick test_err_stats_record;
       Alcotest.test_case "err loss verdicts" `Quick test_err_loss_verdicts;
       Alcotest.test_case "err precision_of" `Quick test_err_precision_of;
+      Alcotest.test_case "err precision bad k" `Quick test_err_precision_bad_k;
+      Alcotest.test_case "err precision constant error" `Quick
+        test_err_precision_constant_error;
+      Test_support.Qseed.to_alcotest prop_precision_sigma_rule;
       Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
       Alcotest.test_case "histogram coverage" `Quick test_histogram_coverage;
       Alcotest.test_case "histogram chi-square" `Quick

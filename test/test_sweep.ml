@@ -83,6 +83,7 @@ let fake_metrics sqnr =
     probe_err_max = 0.0;
     probe_values = None;
     probe_err = None;
+    counters = None;
   }
 
 let test_grid_enumeration () =

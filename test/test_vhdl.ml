@@ -156,6 +156,42 @@ let test_formats_of_types () =
   check bool_t "mapped" true (Fixpt.Qformat.equal (f "a") (Fixpt.Dtype.fmt dt));
   check bool_t "default for unknown" true (Fixpt.Qformat.n (f "zzz") = 16)
 
+(* Elaboration safety at wide widths: VHDL universal integers are only
+   guaranteed 32 bits, so the emitted text must never clamp through a
+   [2 ** (width - 1)] literal — the sat() bounds are bit aggregates.
+   Also pins down that the dead clk port stub stayed dead. *)
+let test_wide_width_no_power_literal () =
+  List.iter
+    (fun n ->
+      let g = fir_graph () in
+      let formats = Vhdl.Of_sfg.uniform_formats ~n ~f:(n - 4) in
+      let e =
+        Vhdl.Of_sfg.entity
+          ~saturating:(fun _ -> true)
+          ~name:(Printf.sprintf "fir%d" n)
+          ~formats g
+      in
+      let text = Vhdl.Emit.entity e in
+      let label fmt = Printf.sprintf fmt n in
+      check bool_t (label "n=%d emits sat calls") true (contains "sat(" text);
+      check bool_t
+        (label "n=%d no power-of-two literal")
+        false
+        (contains "2 ** " text);
+      check bool_t
+        (label "n=%d aggregate max bound")
+        true
+        (contains "('0', others => '1')" text);
+      check bool_t
+        (label "n=%d aggregate min bound")
+        true
+        (contains "('1', others => '0')" text);
+      check bool_t
+        (label "n=%d declares wide signal")
+        true
+        (contains (Printf.sprintf "signed(%d downto 0)" (n - 1)) text))
+    [ 32; 48; 63 ]
+
 let test_const_mantissa () =
   (* constants become to_signed(mant, w) with mant = c / step *)
   let g = Sfg.Graph.create () in
@@ -186,5 +222,7 @@ let suite =
       Alcotest.test_case "of_sfg sanitization" `Quick
         test_of_sfg_name_sanitization;
       Alcotest.test_case "formats_of_types" `Quick test_formats_of_types;
+      Alcotest.test_case "wide widths elaborate-safe" `Quick
+        test_wide_width_no_power_literal;
       Alcotest.test_case "const mantissa" `Quick test_const_mantissa;
     ] )
