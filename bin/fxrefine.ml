@@ -8,8 +8,9 @@
      quantize   — quantize one value through a dtype (scriptable helper)
      sfg        — analyze a built-in flowgraph analytically, export DOT
      sweep      — parallel wordlength/stimuli exploration (multicore)
+     faultsim   — run a sweep under a seeded fault-injection plan
      trace      — run one conformance workload under full tracing
-     check      — the conformance oracle
+     check      — the conformance oracle (--faults adds the fault gate)
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
@@ -410,6 +411,186 @@ let sweep_cmd =
       $ f_max_t $ seeds_t $ target_t $ json_t $ trace_file_t
       $ counters_file_t $ verbose_t)
 
+(* --- faultsim: a sweep under seeded fault injection --------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_faultsim workload_name strategy jobs f_min f_max n_seeds plan_file
+    fault_seed nan_rate inf_rate denormal_rate extreme_rate extreme_mag
+    bitflip_rate overflow_rate starve_after targets on_overflow emit_plan
+    json counters_file verbose =
+  setup_logs verbose;
+  let plan =
+    match plan_file with
+    | Some path -> (
+        match Fault.Plan.of_json (read_file path) with
+        | Ok p -> p
+        | Error e ->
+            Format.eprintf "cannot parse fault plan %s: %s@." path e;
+            exit 1)
+    | None -> (
+        match Fault.Plan.policy_override_of_string on_overflow with
+        | Error e ->
+            Format.eprintf "--on-overflow: %s@." e;
+            exit 1
+        | Ok on_overflow ->
+            Fault.Plan.make ~seed:fault_seed ~nan_rate ~inf_rate
+              ~denormal_rate ~extreme_rate ~extreme_mag ~bitflip_rate
+              ~force_overflow_rate:overflow_rate ?starve_after ~targets
+              ~on_overflow ())
+  in
+  if emit_plan then print_string (Fault.Plan.to_json plan)
+  else begin
+    let workload =
+      match Sweep.Workload.find workload_name with
+      | Some w -> w
+      | None ->
+          Format.eprintf "unknown workload %S (available: %s)@." workload_name
+            (String.concat ", "
+               (List.map
+                  (fun (w : Sweep.Workload.t) -> w.Sweep.Workload.name)
+                  (Sweep.Workload.all ())));
+          exit 1
+    in
+    let workload = Fault.Inject.workload plan workload in
+    let specs = workload.Sweep.Workload.specs in
+    let seeds = List.init n_seeds Fun.id in
+    let generator =
+      match strategy with
+      | "grid" -> Sweep.Generator.grid ~specs ~f_min ~f_max ~seeds
+      | "pareto" -> Sweep.Generator.pareto ~specs ~f_min ~f_max ~seeds ()
+      | s ->
+          Format.eprintf "unknown strategy %S (grid|pareto)@." s;
+          exit 1
+    in
+    Format.eprintf "faultsim: plan %a@." Fault.Plan.pp plan;
+    let report =
+      Sweep.Pool.run ~jobs
+        ~counters:(counters_file <> None)
+        ~workload ~generator ()
+    in
+    if json then print_string (Sweep.Report.to_json report)
+    else Format.printf "%a" Sweep.Report.pp report;
+    (match counters_file with
+    | Some path ->
+        write_text path (Sweep.Report.counters_json report);
+        Format.eprintf "wrote counters to %s@." path
+    | None -> ());
+    Format.eprintf "faultsim: %d evaluated, %d quarantined (jobs=%d)@."
+      (List.length report.Sweep.Report.entries)
+      (List.length report.Sweep.Report.failures)
+      jobs
+  end
+
+let faultsim_cmd =
+  let workload_t =
+    Arg.(
+      value & opt string "fir"
+      & info [ "workload" ] ~doc:"Built-in workload to explore under faults.")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "grid"
+      & info [ "strategy" ] ~doc:"Search strategy: \\$(b,grid) or \\$(b,pareto).")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~doc:"Worker domains (1 = sequential).")
+  in
+  let f_min_t =
+    Arg.(value & opt int 4 & info [ "f-min" ] ~doc:"Smallest fractional width.")
+  in
+  let f_max_t =
+    Arg.(value & opt int 7 & info [ "f-max" ] ~doc:"Largest fractional width.")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~doc:"Stimulus seeds per wordlength (0..N-1).")
+  in
+  let plan_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Load the fault plan from canonical JSON (as written by \
+             \\$(b,--emit-plan)); overrides all plan flags.")
+  in
+  let fault_seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~doc:"Fault schedule seed (pure-hash replay).")
+  in
+  let rate name doc = Arg.(value & opt float 0.0 & info [ name ] ~doc) in
+  let nan_t = rate "nan-rate" "Stimulus sample -> NaN probability." in
+  let inf_t = rate "inf-rate" "Stimulus sample -> +/-infinity probability." in
+  let denormal_t =
+    rate "denormal-rate" "Stimulus sample -> IEEE denormal probability."
+  in
+  let extreme_t =
+    rate "extreme-rate" "Stimulus sample -> +/-extreme-mag probability."
+  in
+  let extreme_mag_t =
+    Arg.(
+      value & opt float 1e30
+      & info [ "extreme-mag" ] ~doc:"Magnitude of an extreme sample.")
+  in
+  let bitflip_t =
+    rate "bitflip-rate" "Post-quantization SEU probability per assignment."
+  in
+  let overflow_t =
+    rate "overflow-rate" "Forced overflow probability per assignment."
+  in
+  let starve_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "starve-after" ]
+          ~doc:"Stimulus channels produce only this many samples.")
+  in
+  let targets_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "target" ] ~docv:"SIGNAL"
+          ~doc:"Inject only into \\$(docv) (repeatable; default: all).")
+  in
+  let on_overflow_t =
+    Arg.(
+      value & opt string "keep"
+      & info [ "on-overflow" ]
+          ~doc:
+            "Overflow policy override: \\$(b,keep), \\$(b,raise) (crash + \
+             quarantine) or \\$(b,collect) (record and keep going).")
+  in
+  let emit_plan_t =
+    Arg.(
+      value & flag
+      & info [ "emit-plan" ]
+          ~doc:"Print the canonical plan JSON and exit (no simulation).")
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Canonical JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Run a wordlength sweep under a seeded, deterministic \
+          fault-injection plan: SEU bitflips and forced overflows at the \
+          assignment site, with crashing candidates quarantined into a \
+          partial report that is byte-identical for any --jobs.")
+    Term.(
+      const run_faultsim $ workload_t $ strategy_t $ jobs_t $ f_min_t
+      $ f_max_t $ seeds_t $ plan_t $ fault_seed_t $ nan_t $ inf_t
+      $ denormal_t $ extreme_t $ extreme_mag_t $ bitflip_t $ overflow_t
+      $ starve_t $ targets_t $ on_overflow_t $ emit_plan_t $ json_t
+      $ counters_file_t $ verbose_t)
+
 (* --- trace: one workload under full tracing ----------------------------- *)
 
 let run_trace workload_name out_path counters_file ring_cap verbose =
@@ -485,7 +666,8 @@ let trace_cmd =
 
 (* --- check: the conformance oracle ------------------------------------- *)
 
-let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
+let run_check seed per_combo update_golden no_bench golden_dir jobs faults
+    verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -504,6 +686,14 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
   Format.printf "%a@." Oracle.Sweep_check.pp_report sweep;
   let trace = Oracle.Trace_check.run ?jobs () in
   Format.printf "%a@." Oracle.Trace_check.pp_report trace;
+  let faults_ok =
+    if faults then begin
+      let fr = Oracle.Fault_check.run ?jobs () in
+      Format.printf "%a@." Oracle.Fault_check.pp_report fr;
+      Oracle.Fault_check.passed fr
+    end
+    else true
+  in
   let bench_ok =
     if no_bench then begin
       Format.printf "bench guard: skipped (--no-bench)@.";
@@ -520,7 +710,7 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs verbose =
     && Oracle.Metamorphic.passed meta
     && Oracle.Golden.passed golden
     && Oracle.Sweep_check.passed sweep
-    && Oracle.Trace_check.passed trace && bench_ok
+    && Oracle.Trace_check.passed trace && faults_ok && bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -567,15 +757,24 @@ let check_cmd =
             "Worker domains for the sweep-determinism gate (default: \
              recommended domain count, at least 2).")
   in
+  let faults_t =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Also run the fault-injection gate: schedule replay, faulted \
+             sweep quarantine determinism, collect-policy degradation.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the conformance oracle: differential quantizer testing, \
           metamorphic workload invariants, golden traces, sweep determinism, \
-          trace determinism, bench guard.")
+          trace determinism, bench guard; \\$(b,--faults) adds the \
+          fault-injection gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
-      $ golden_dir_t $ jobs_t $ verbose_t)
+      $ golden_dir_t $ jobs_t $ faults_t $ verbose_t)
 
 (* --- sfg ---------------------------------------------------------------- *)
 
@@ -630,10 +829,23 @@ let () =
     Cmd.info "fxrefine" ~version:"1.0.0"
       ~doc:"DSP ASIC fixed-point refinement (DATE 1999 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
-            sweep_cmd; trace_cmd; check_cmd;
-          ]))
+  (* Exit codes: 0 success, 1 gate/usage failure, 2 crash.  A crash
+     prints one line (registered exception printers make it precise);
+     the backtrace hides behind FXREFINE_DEBUG=1 so scripted callers
+     get stable stderr. *)
+  let debug = Sys.getenv_opt "FXREFINE_DEBUG" = Some "1" in
+  if debug then Printexc.record_backtrace true;
+  try
+    exit
+      (Cmd.eval ~catch:false
+         (Cmd.group info
+            [
+              equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
+              sweep_cmd; faultsim_cmd; trace_cmd; check_cmd;
+            ]))
+  with e ->
+    let bt = Printexc.get_backtrace () in
+    Format.eprintf "fxrefine: %s@." (Printexc.to_string e);
+    if debug then Format.eprintf "%s@." bt
+    else Format.eprintf "(set FXREFINE_DEBUG=1 for a backtrace)@.";
+    exit 2

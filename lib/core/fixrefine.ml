@@ -22,6 +22,10 @@
       recovery) and a block library;
     - {!Sweep}: the parallel (multicore) wordlength/stimuli exploration
       engine behind [fxrefine sweep];
+    - {!Fault}: seeded deterministic fault injection (stimulus
+      corruption, SEU bitflips, forced overflows, stream starvation)
+      and the graceful-degradation plumbing behind [fxrefine faultsim]
+      and [fxrefine check --faults];
     - {!Vhdl}: VHDL generation for refined datapaths;
     - {!Oracle}: the conformance oracle — executable quantization spec,
       differential testing, metamorphic workload invariants, golden
@@ -38,5 +42,6 @@ module Sfg = Sfg
 module Refine = Refine
 module Dsp = Dsp
 module Sweep = Sweep
+module Fault = Fault
 module Vhdl = Vhdl
 module Oracle = Oracle

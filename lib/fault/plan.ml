@@ -1,0 +1,424 @@
+(** Seeded, deterministic fault schedules.
+
+    A plan is a pure description: which fault classes to inject, at
+    which rates, into which signals.  Whether a particular fault fires
+    is a {e pure hash} of [(plan seed, stream tag, key, index)] — never
+    the state of an RNG that other code advances — so the schedule is
+    independent of evaluation order, worker count, and scheduling.  The
+    same [(seed, plan)] replays the identical fault set anywhere, which
+    is what lets the oracle's fault gate compare runs byte-for-byte and
+    a sweep quarantine the {e same} candidates at any [--jobs].
+
+    The hash is the SplitMix64 finalizer over an FNV-1a digest of the
+    stream/key strings — the same mixer as {!Stats.Rng}, reused as a
+    stateless function. *)
+
+(** What the fault layer does to the overflow policy of an armed
+    environment (see {!Inject.arm_env}). *)
+type policy_override =
+  | Keep  (** leave the design's own policy in place *)
+  | Force_raise  (** {!Sim.Env.Raise}: faults crash the run *)
+  | Force_collect
+      (** {!Sim.Env.Collect}: faults are recorded and the run
+          continues (graceful degradation) *)
+
+type t = {
+  seed : int;  (** schedule seed — everything replays from it *)
+  nan_rate : float;  (** stimulus sample → NaN *)
+  inf_rate : float;  (** stimulus sample → ±∞ *)
+  denormal_rate : float;  (** stimulus sample → an IEEE denormal *)
+  extreme_rate : float;  (** stimulus sample → ±[extreme_mag] *)
+  extreme_mag : float;  (** magnitude of an extreme sample *)
+  bitflip_rate : float;  (** post-quantization SEU per assignment *)
+  force_overflow_rate : float;  (** forced overflow event per assignment *)
+  starve_after : int option;  (** channel produces only this many samples *)
+  targets : string list;  (** signal names to inject into; [] = all *)
+  on_overflow : policy_override;
+}
+
+let make ?(seed = 0) ?(nan_rate = 0.0) ?(inf_rate = 0.0)
+    ?(denormal_rate = 0.0) ?(extreme_rate = 0.0) ?(extreme_mag = 1e30)
+    ?(bitflip_rate = 0.0) ?(force_overflow_rate = 0.0) ?starve_after
+    ?(targets = []) ?(on_overflow = Keep) () =
+  let check_rate what r =
+    if Float.is_nan r || r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.Plan.make: %s not in [0, 1]" what)
+  in
+  check_rate "nan_rate" nan_rate;
+  check_rate "inf_rate" inf_rate;
+  check_rate "denormal_rate" denormal_rate;
+  check_rate "extreme_rate" extreme_rate;
+  check_rate "bitflip_rate" bitflip_rate;
+  check_rate "force_overflow_rate" force_overflow_rate;
+  if not (Float.is_finite extreme_mag) || extreme_mag <= 0.0 then
+    invalid_arg "Fault.Plan.make: extreme_mag must be finite positive";
+  (match starve_after with
+  | Some n when n < 0 -> invalid_arg "Fault.Plan.make: starve_after < 0"
+  | _ -> ());
+  {
+    seed;
+    nan_rate;
+    inf_rate;
+    denormal_rate;
+    extreme_rate;
+    extreme_mag;
+    bitflip_rate;
+    force_overflow_rate;
+    starve_after;
+    targets;
+    on_overflow;
+  }
+
+(** A plan that injects nothing (rates 0, no starvation, [Keep]). *)
+let none = make ()
+
+let is_target t name = t.targets = [] || List.mem name t.targets
+
+(* --- the pure-hash schedule -------------------------------------------- *)
+
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001B3L)
+    s;
+  !h
+
+(* SplitMix64 finalizer (same mixer as Stats.Rng). *)
+let mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 t ~stream ~key ~index =
+  let z = mix (Int64.add (Int64.of_int t.seed) (fnv1a stream)) in
+  let z = mix (Int64.add z (fnv1a key)) in
+  mix (Int64.add z (Int64.of_int index))
+
+(** [draw t ~stream ~key ~index] — uniform float in [[0, 1)], a pure
+    function of the plan seed and the three coordinates. *)
+let draw t ~stream ~key ~index =
+  Int64.to_float (Int64.shift_right_logical (hash64 t ~stream ~key ~index) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+(** [fires t ~stream ~key ~index ~rate] — does the fault of stream
+    [stream] fire at this coordinate?  Pure; scheduling-independent. *)
+let fires t ~stream ~key ~index ~rate =
+  rate > 0.0 && draw t ~stream ~key ~index < rate
+
+(* Stream tags: one per fault class, so the classes are independent
+   coin flips even at the same (key, index). *)
+let stream_nan = "stim-nan"
+let stream_inf = "stim-inf"
+let stream_denormal = "stim-denormal"
+let stream_extreme = "stim-extreme"
+let stream_bitflip = "bitflip"
+let stream_force_overflow = "force-overflow"
+
+(** The assignment-site fault classes firing for signal [key] at cycle
+    [index] under tag [tag] (the per-candidate discriminator; "" for a
+    standalone run) — short stable kind strings, the vocabulary of
+    [on_fault] sink events. *)
+let assign_faults t ~tag ~signal ~time =
+  if not (is_target t signal) then []
+  else begin
+    let key = signal ^ "\x00" ^ tag in
+    let acc = ref [] in
+    if fires t ~stream:stream_force_overflow ~key ~index:time
+         ~rate:t.force_overflow_rate
+    then acc := "force-overflow" :: !acc;
+    if fires t ~stream:stream_bitflip ~key ~index:time ~rate:t.bitflip_rate
+    then acc := "bitflip" :: !acc;
+    !acc
+  end
+
+(** The stimulus fault class (if any) for sample [index] of channel
+    [key]: first match in the order NaN, ∞, denormal, extreme. *)
+let stimulus_fault t ~tag ~channel ~index =
+  if not (is_target t channel) then None
+  else
+    let key = channel ^ "\x00" ^ tag in
+    if fires t ~stream:stream_nan ~key ~index ~rate:t.nan_rate then
+      Some `Nan
+    else if fires t ~stream:stream_inf ~key ~index ~rate:t.inf_rate then
+      Some `Inf
+    else if fires t ~stream:stream_denormal ~key ~index ~rate:t.denormal_rate
+    then Some `Denormal
+    else if fires t ~stream:stream_extreme ~key ~index ~rate:t.extreme_rate
+    then Some `Extreme
+    else None
+
+(** Render the assignment-site schedule over an explicit grid —
+    [(time, signal, kind)] in (time, signal, kind) order.  This is the
+    replayable artifact the fault gate compares: it must be identical
+    however many times and wherever it is computed. *)
+let schedule t ?(tag = "") ~signals ~cycles () =
+  List.concat_map
+    (fun time ->
+      List.concat_map
+        (fun signal ->
+          List.rev_map
+            (fun kind -> (time, signal, kind))
+            (assign_faults t ~tag ~signal ~time))
+        signals)
+    (List.init cycles Fun.id)
+
+(* --- rendering --------------------------------------------------------- *)
+
+let policy_override_to_string = function
+  | Keep -> "keep"
+  | Force_raise -> "raise"
+  | Force_collect -> "collect"
+
+let policy_override_of_string = function
+  | "keep" -> Ok Keep
+  | "raise" -> Ok Force_raise
+  | "collect" -> Ok Force_collect
+  | s -> Error (Printf.sprintf "unknown on_overflow %S" s)
+
+(** Canonical flat JSON (fixed key order, {!Trace.Json} float
+    formatting) — byte-stable, so plans can be compared as strings and
+    round-trip through {!of_json}. *)
+let to_json t =
+  Printf.sprintf
+    "{\"seed\": %d, \"nan_rate\": %s, \"inf_rate\": %s, \"denormal_rate\": \
+     %s, \"extreme_rate\": %s, \"extreme_mag\": %s, \"bitflip_rate\": %s, \
+     \"force_overflow_rate\": %s, \"starve_after\": %s, \"targets\": [%s], \
+     \"on_overflow\": %s}"
+    t.seed
+    (Trace.Json.float_lit t.nan_rate)
+    (Trace.Json.float_lit t.inf_rate)
+    (Trace.Json.float_lit t.denormal_rate)
+    (Trace.Json.float_lit t.extreme_rate)
+    (Trace.Json.float_lit t.extreme_mag)
+    (Trace.Json.float_lit t.bitflip_rate)
+    (Trace.Json.float_lit t.force_overflow_rate)
+    (match t.starve_after with Some n -> string_of_int n | None -> "null")
+    (String.concat ", "
+       (List.map Trace.Json.string_lit t.targets))
+    (Trace.Json.string_lit (policy_override_to_string t.on_overflow))
+
+(* --- a minimal flat-JSON reader ---------------------------------------- *)
+
+(* The plan grammar is one flat object of numbers, null, strings and
+   string arrays — small enough to parse by recursive descent without a
+   JSON dependency (the container bakes none in). *)
+
+exception Parse of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+type tok =
+  | Tobj_open
+  | Tobj_close
+  | Tarr_open
+  | Tarr_close
+  | Tcolon
+  | Tcomma
+  | Tstring of string
+  | Tnumber of float
+  | Tnull
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' -> push Tobj_open; incr i
+    | '}' -> push Tobj_close; incr i
+    | '[' -> push Tarr_open; incr i
+    | ']' -> push Tarr_close; incr i
+    | ':' -> push Tcolon; incr i
+    | ',' -> push Tcomma; incr i
+    | '"' ->
+        let b = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= n then parse_error "unterminated string"
+          else
+            match s.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                if !i + 1 >= n then parse_error "unterminated escape";
+                (match s.[!i + 1] with
+                | '"' -> Buffer.add_char b '"'
+                | '\\' -> Buffer.add_char b '\\'
+                | '/' -> Buffer.add_char b '/'
+                | 'n' -> Buffer.add_char b '\n'
+                | 't' -> Buffer.add_char b '\t'
+                | 'r' -> Buffer.add_char b '\r'
+                | e -> parse_error "unsupported escape \\%c" e);
+                i := !i + 2;
+                scan ()
+            | c ->
+                Buffer.add_char b c;
+                incr i;
+                scan ()
+        in
+        scan ();
+        push (Tstring (Buffer.contents b))
+    | 'n' when !i + 4 <= n && String.sub s !i 4 = "null" ->
+        push Tnull;
+        i := !i + 4
+    | '-' | '+' | '0' .. '9' ->
+        let j = ref !i in
+        while
+          !j < n
+          && (match s.[!j] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | 'x' | 'a' .. 'f'
+             | 'A' .. 'F' | 'p' | 'P' ->
+                 true
+             | _ -> false)
+        do
+          incr j
+        done;
+        let lit = String.sub s !i (!j - !i) in
+        (match float_of_string_opt lit with
+        | Some f -> push (Tnumber f)
+        | None -> parse_error "bad number %S" lit);
+        i := !j
+    | c -> parse_error "unexpected character %C" c);
+  done;
+  List.rev !toks
+
+type jvalue =
+  | Jnum of float
+  | Jstr of string
+  | Jnull
+  | Jarr of string list
+
+(* Parse exactly one flat object { "key": scalar-or-string-array, ... }. *)
+let parse_flat_object s =
+  let toks = tokenize s in
+  let expect t rest what =
+    match rest with
+    | x :: rest when x = t -> rest
+    | _ -> parse_error "expected %s" what
+  in
+  let rec members acc rest =
+    match rest with
+    | Tobj_close :: rest -> (List.rev acc, rest)
+    | Tstring k :: rest -> (
+        let rest = expect Tcolon rest "':'" in
+        let v, rest =
+          match rest with
+          | Tnumber f :: rest -> (Jnum f, rest)
+          | Tstring v :: rest -> (Jstr v, rest)
+          | Tnull :: rest -> (Jnull, rest)
+          | Tarr_open :: rest ->
+              let rec elems acc rest =
+                match rest with
+                | Tarr_close :: rest -> (List.rev acc, rest)
+                | Tstring v :: Tcomma :: rest -> elems (v :: acc) rest
+                | Tstring v :: rest -> elems (v :: acc) rest
+                | _ -> parse_error "expected string array element"
+              in
+              let vs, rest = elems [] rest in
+              (Jarr vs, rest)
+          | _ -> parse_error "expected value for key %S" k
+        in
+        match rest with
+        | Tcomma :: rest -> members ((k, v) :: acc) rest
+        | Tobj_close :: rest -> (List.rev ((k, v) :: acc), rest)
+        | _ -> parse_error "expected ',' or '}' after key %S" k)
+    | _ -> parse_error "expected member or '}'"
+  in
+  match toks with
+  | Tobj_open :: rest -> (
+      match members [] rest with
+      | fields, [] -> fields
+      | _, _ -> parse_error "trailing tokens after object")
+  | _ -> parse_error "expected '{'"
+
+(** Parse a plan from its flat JSON object.  Unknown keys are an error
+    (they would silently change the experiment); missing keys take the
+    {!make} defaults.  Returns [Error msg] on malformed input. *)
+let of_json s =
+  match parse_flat_object s with
+  | exception Parse msg -> Error (Printf.sprintf "Fault.Plan.of_json: %s" msg)
+  | fields -> (
+      let p = ref none in
+      let num what v =
+        match v with
+        | Jnum f -> f
+        | _ -> parse_error "%s: expected a number" what
+      in
+      let inum what v =
+        let f = num what v in
+        if Float.is_integer f then int_of_float f
+        else parse_error "%s: expected an integer" what
+      in
+      try
+        List.iter
+          (fun (k, v) ->
+            match k with
+            | "seed" -> p := { !p with seed = inum k v }
+            | "nan_rate" -> p := { !p with nan_rate = num k v }
+            | "inf_rate" -> p := { !p with inf_rate = num k v }
+            | "denormal_rate" -> p := { !p with denormal_rate = num k v }
+            | "extreme_rate" -> p := { !p with extreme_rate = num k v }
+            | "extreme_mag" -> p := { !p with extreme_mag = num k v }
+            | "bitflip_rate" -> p := { !p with bitflip_rate = num k v }
+            | "force_overflow_rate" ->
+                p := { !p with force_overflow_rate = num k v }
+            | "starve_after" -> (
+                match v with
+                | Jnull -> p := { !p with starve_after = None }
+                | v -> p := { !p with starve_after = Some (inum k v) })
+            | "targets" -> (
+                match v with
+                | Jarr vs -> p := { !p with targets = vs }
+                | _ -> parse_error "targets: expected a string array")
+            | "on_overflow" -> (
+                match v with
+                | Jstr s -> (
+                    match policy_override_of_string s with
+                    | Ok o -> p := { !p with on_overflow = o }
+                    | Error e -> parse_error "%s" e)
+                | _ -> parse_error "on_overflow: expected a string")
+            | k -> parse_error "unknown key %S" k)
+          fields;
+        (* revalidate through make: rates from JSON must obey the same
+           bounds as rates from code *)
+        let q = !p in
+        Ok
+          (make ~seed:q.seed ~nan_rate:q.nan_rate ~inf_rate:q.inf_rate
+             ~denormal_rate:q.denormal_rate ~extreme_rate:q.extreme_rate
+             ~extreme_mag:q.extreme_mag ~bitflip_rate:q.bitflip_rate
+             ~force_overflow_rate:q.force_overflow_rate
+             ?starve_after:q.starve_after ~targets:q.targets
+             ~on_overflow:q.on_overflow ())
+      with
+      | Parse msg -> Error (Printf.sprintf "Fault.Plan.of_json: %s" msg)
+      | Invalid_argument msg -> Error msg)
+
+let pp ppf t =
+  let rate name r =
+    if r > 0.0 then Format.fprintf ppf "%s %g; " name r
+  in
+  Format.fprintf ppf "plan(seed %d; " t.seed;
+  rate "nan" t.nan_rate;
+  rate "inf" t.inf_rate;
+  rate "denormal" t.denormal_rate;
+  rate "extreme" t.extreme_rate;
+  rate "bitflip" t.bitflip_rate;
+  rate "force-overflow" t.force_overflow_rate;
+  (match t.starve_after with
+  | Some n -> Format.fprintf ppf "starve after %d; " n
+  | None -> ());
+  (match t.targets with
+  | [] -> ()
+  | ts -> Format.fprintf ppf "targets %s; " (String.concat "," ts));
+  Format.fprintf ppf "overflow %s)"
+    (policy_override_to_string t.on_overflow)

@@ -191,6 +191,26 @@ let widen a b =
           hi = (if b.hi > a.hi then Float.infinity else a.hi);
         }
 
+(** Capped widening: like {!widen}, but an escaping side lands on the
+    corresponding bound of [within] instead of infinity.  The degraded
+    fallback of the analytical fixpoint: when a feedback range keeps
+    growing, cap it at the declared ([range()]) bound and report the
+    node as degraded rather than propagating an exploded interval
+    through the rest of the graph. *)
+let widen_within ~within a b =
+  match within with
+  | Empty -> widen a b
+  | Range w -> (
+      match (a, b) with
+      | Empty, x -> x
+      | x, Empty -> x
+      | Range a, Range b ->
+          Range
+            {
+              lo = (if b.lo < a.lo then Float.min a.lo w.lo else a.lo);
+              hi = (if b.hi > a.hi then Float.max a.hi w.hi else a.hi);
+            })
+
 (** An interval with an infinite endpoint, or wider than [threshold]
     (default [2^64]), counts as exploded for MSB purposes. *)
 let is_exploded ?(threshold = 1.8446744073709552e19) = function

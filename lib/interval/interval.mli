@@ -65,6 +65,13 @@ val clamp : into:t -> t -> t
     of the analytical fixpoint on feedback loops. *)
 val widen : t -> t -> t
 
+(** Capped widening: an escaping side lands on the corresponding bound
+    of [within] (never tighter than the current bound) instead of
+    infinity — the degraded "range exploded, capped to declared bound"
+    fallback of {!Sfg.Range_analysis}.  Falls back to {!widen} when
+    [within] is {!empty}. *)
+val widen_within : within:t -> t -> t -> t
+
 (** Infinite endpoint or wider than [threshold] (default [2^64]):
     counts as an MSB explosion. *)
 val is_exploded : ?threshold:float -> t -> bool

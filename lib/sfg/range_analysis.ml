@@ -22,6 +22,9 @@
 type result = {
   ranges : (string * Interval.t) array;  (** per node, in node order *)
   exploded : string list;  (** nodes whose range is unbounded *)
+  degraded : string list;
+      (** nodes whose range exploded but was capped to the declared
+          bound (graceful degradation; disjoint from [exploded]) *)
   iterations : int;  (** rounds until fixpoint *)
 }
 
@@ -46,12 +49,17 @@ let approx_equal a b =
 
 (** Run the analysis.  [widen_after] — rounds of exact iteration before
     widening kicks in (more rounds = tighter results on loops that do
-    converge, slower detection of explosions). *)
+    converge, slower detection of explosions).  [declared] — a declared
+    ([range()]-style) bound per node name: a node whose range would
+    widen to infinity is instead capped at its declared bound and
+    reported in [degraded] rather than [exploded] — analysis survives
+    the explosion with a sound-but-flagged fallback. *)
 let run ?(widen_after = default_widen_after) ?(max_iter = default_max_iter)
-    graph =
+    ?(declared : string -> Interval.t option = fun _ -> None) graph =
   Graph.validate_exn graph;
   let ns = Array.of_list (Graph.nodes graph) in
   let cur = Array.make (Array.length ns) Interval.empty in
+  let capped = Array.make (Array.length ns) false in
   (* Delays start from their initial value so loops have a seed. *)
   Array.iteri
     (fun i (n : Node.t) ->
@@ -75,10 +83,19 @@ let run ?(widen_after = default_widen_after) ?(max_iter = default_max_iter)
               Node.eval_range (Node.Delay init) args
           | op -> Node.eval_range op args
         in
-        (* monotone accumulation, then widening once past the budget *)
+        (* monotone accumulation, then widening once past the budget;
+           a declared bound turns the infinity jump into a finite cap *)
         let next = Interval.join cur.(i) next in
         let next =
-          if !iter > widen_after then Interval.widen cur.(i) next else next
+          if !iter > widen_after then (
+            match declared n.Node.name with
+            | Some within ->
+                let w = Interval.widen_within ~within cur.(i) next in
+                if not (approx_equal w (Interval.widen cur.(i) next)) then
+                  capped.(i) <- true;
+                w
+            | None -> Interval.widen cur.(i) next)
+          else next
         in
         if not (approx_equal next cur.(i)) then begin
           cur.(i) <- next;
@@ -107,7 +124,16 @@ let run ?(widen_after = default_widen_after) ?(max_iter = default_max_iter)
            if Interval.is_exploded cur.(n.Node.id) then Some n.Node.name
            else None)
   in
-  { ranges; exploded; iterations = !iter }
+  (* a node counts degraded only when the cap actually bounded it; a
+     node still unbounded after capping stays an explosion *)
+  let degraded =
+    Array.to_list ns
+    |> List.filter_map (fun (n : Node.t) ->
+           if capped.(n.Node.id) && not (Interval.is_exploded cur.(n.Node.id))
+           then Some n.Node.name
+           else None)
+  in
+  { ranges; exploded; degraded; iterations = !iter }
 
 let range_of result name =
   Array.to_list result.ranges
@@ -132,4 +158,7 @@ let pp ppf result =
   if result.exploded <> [] then
     Format.fprintf ppf "exploded: %s@,"
       (String.concat ", " result.exploded);
+  if result.degraded <> [] then
+    Format.fprintf ppf "degraded to declared bound: %s@,"
+      (String.concat ", " result.degraded);
   Format.fprintf ppf "@]"

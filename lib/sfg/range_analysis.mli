@@ -9,13 +9,26 @@
 type result = {
   ranges : (string * Interval.t) array;  (** per node, node order *)
   exploded : string list;
+  degraded : string list;
+      (** nodes whose range exploded but was capped to the declared
+          bound passed via [?declared] (graceful degradation; disjoint
+          from [exploded]) *)
   iterations : int;
 }
 
 val default_widen_after : int
 val default_max_iter : int
 
-val run : ?widen_after:int -> ?max_iter:int -> Graph.t -> result
+(** [declared] supplies an optional declared ([range()]-style) bound
+    per node name: a node whose range would widen to infinity is capped
+    there and reported in [degraded] instead of [exploded].  Default:
+    no declared bounds (behaviour unchanged). *)
+val run :
+  ?widen_after:int ->
+  ?max_iter:int ->
+  ?declared:(string -> Interval.t option) ->
+  Graph.t ->
+  result
 
 (** First node with that name; [None] if absent. *)
 val range_of : result -> string -> Interval.t option

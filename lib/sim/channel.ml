@@ -30,6 +30,22 @@ let name t = t.name
 
 exception Empty of string
 
+let () =
+  Printexc.register_printer (function
+    | Empty name ->
+        Some
+          (Printf.sprintf
+             "Sim.Channel.Empty: channel %S read while empty and unbacked"
+             name)
+    | _ -> None)
+
+(** The backing generator of a source channel, if any. *)
+let producer t = t.producer
+
+(** Replace (or install) the backing generator.  The fault layer wraps
+    the original producer through this to corrupt or starve stimuli. *)
+let set_producer t f = t.producer <- f
+
 (** [get t] — consume the next sample; pulls from the producer if the
     FIFO is empty.  Raises [Empty] on an unproduced, unbacked channel. *)
 let get t =

@@ -4,6 +4,8 @@
 
 type t
 
+(** Raised by {!get} on an unproduced, unbacked channel.  A [Printexc]
+    printer is registered, so an uncaught raise names the channel. *)
 exception Empty of string
 
 (** [record:true] keeps every consumed sample for scoring. *)
@@ -11,6 +13,14 @@ val create : ?record:bool -> string -> t
 
 (** Source channel: [get] returns [f 0], [f 1], … *)
 val of_fun : string -> (int -> float) -> t
+
+(** The backing generator of a source channel, if any. *)
+val producer : t -> (int -> float) option
+
+(** Replace (or install) the backing generator.  The fault layer wraps
+    the original producer through this to corrupt or starve stimuli
+    (see {!Fault.Inject}). *)
+val set_producer : t -> (int -> float) option -> unit
 
 (** The channel's declared name. *)
 val name : t -> string

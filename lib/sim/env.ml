@@ -33,8 +33,23 @@ type overflow_policy =
   | Count  (** record silently; reports show the count *)
   | Warn  (** log a warning (first few per signal) and record *)
   | Raise  (** abort simulation with {!Overflow} *)
+  | Collect
+      (** degraded-mode {!Raise}: record a structured {!fault_record}
+          and keep simulating — the crash becomes a diagnostic *)
 
 exception Overflow of { signal : string; value : float; time : int }
+
+let () =
+  Printexc.register_printer (function
+    | Overflow { signal; value; time } ->
+        Some
+          (Printf.sprintf "Sim.Env.Overflow: signal %S value %g at cycle %d"
+             signal value time)
+    | _ -> None)
+
+(** One collected overflow under the {!Collect} policy: which signal
+    received which out-of-range raw value at which cycle. *)
+type fault_record = { f_signal : string; f_value : float; f_time : int }
 
 (** The simulation values of one signal: current committed fixed/float
     pair plus the staged pair of registered signals.  A dedicated
@@ -102,6 +117,12 @@ and t = {
   mutable sink : Trace.Sink.t;
       (** observability sink; {!Trace.Sink.null} (the default) keeps the
           hot path down to one physical-equality guard per assignment *)
+  mutable collected : fault_record list;
+      (** overflows recorded under {!Collect}, newest first *)
+  mutable injector : (entry -> float -> float) option;
+      (** post-quantization value transform applied by {!Signal.assign}
+          — the fault-injection hook ([lib/fault]); [None] (the
+          default) keeps the hot path down to one match per assignment *)
 }
 
 let src = Logs.Src.create "fixrefine.sim" ~doc:"fixed-point simulation engine"
@@ -122,6 +143,8 @@ let create ?(seed = 0x51CA5) ?(policy = Count) () =
     warned = 0;
     reset_hooks = [];
     sink = Trace.Sink.null;
+    collected = [];
+    injector = None;
   }
 
 (** Register an initialization action re-run after every {!reset}
@@ -149,6 +172,21 @@ let set_sink t s =
 
 let clear_sink t = t.sink <- Trace.Sink.null
 let sink t = t.sink
+
+(** Arm the fault-injection hook: [f entry fx'] maps every
+    post-quantization value before it is stored or staged.  One injector
+    per environment (the fault layer composes schedules itself); [f]
+    must be deterministic in [(entry, time)] for replayability. *)
+let set_injector t f = t.injector <- Some f
+
+let clear_injector t = t.injector <- None
+let injector t = t.injector
+
+(** Faults collected under the {!Collect} policy, in chronological
+    order. *)
+let collected_faults t = List.rev t.collected
+
+let collected_count t = List.length t.collected
 
 let compile_dtype = function
   | None -> None
@@ -227,6 +265,11 @@ let record_overflow t e raw =
               | None -> "<float>"))
       end
   | Raise -> raise (Overflow { signal = e.name; value = raw; time = t.time })
+  | Collect ->
+      t.collected <-
+        { f_signal = e.name; f_value = raw; f_time = t.time } :: t.collected;
+      if t.sink != Trace.Sink.null then
+        t.sink.Trace.Sink.on_fault ~id:e.id ~time:t.time ~kind:"collect"
 
 (** Stage a register write for the next {!tick}, tracking the entry on
     the environment's dirty list (first write this cycle only). *)
@@ -294,6 +337,7 @@ let reset ?(keep_monitors = false) ?(reseed = true) t =
   t.n_dirty <- 0;
   t.time <- 0;
   t.warned <- 0;
+  t.collected <- [];
   if reseed then Stats.Rng.reseed t.rng ~seed:t.seed;
   (* reseed precedes the hooks: a hook's [Signal.init] may consume the
      RNG through an [error()] injection *)

@@ -26,8 +26,18 @@ type overflow_policy =
   | Count  (** record silently; reports show the count *)
   | Warn  (** log a warning (first few) and record *)
   | Raise  (** abort simulation with {!Overflow} *)
+  | Collect
+      (** degraded-mode {!Raise}: record a structured {!fault_record}
+          and keep simulating — the crash becomes a diagnostic,
+          retrievable via {!collected_faults} *)
 
+(** Raised by an [Error]-mode overflow under {!Raise}.  A [Printexc]
+    printer is registered, so an uncaught raise prints the signal name,
+    offending value and cycle instead of the opaque constructor. *)
 exception Overflow of { signal : string; value : float; time : int }
+
+(** One collected overflow under the {!Collect} policy. *)
+type fault_record = { f_signal : string; f_value : float; f_time : int }
 
 type t
 
@@ -97,6 +107,28 @@ val clear_sink : t -> unit
 
 (** The currently attached sink ({!Trace.Sink.null} when disabled). *)
 val sink : t -> Trace.Sink.t
+
+(** Arm the fault-injection hook: [f entry fx'] maps every
+    post-quantization value before it is stored or staged (see
+    {!Fault.Inject}).  One injector per environment — the fault layer
+    composes schedules itself.  [f] must be deterministic in
+    [(entry, time)] for replayability, and is expected to emit its own
+    [on_fault] sink events / overflow records. *)
+val set_injector : t -> (entry -> float -> float) -> unit
+
+(** Disarm the fault-injection hook (back to one [match] per
+    assignment, no transform). *)
+val clear_injector : t -> unit
+
+(** The armed injector, if any. *)
+val injector : t -> (entry -> float -> float) option
+
+(** Faults recorded under the {!Collect} policy, chronological.
+    Cleared by {!reset}. *)
+val collected_faults : t -> fault_record list
+
+(** Number of collected faults (length of {!collected_faults}). *)
+val collected_count : t -> int
 
 (** Declare a signal (use {!Signal.create} / {!Signal.create_reg}).
     Raises [Invalid_argument] if the name is already registered. *)

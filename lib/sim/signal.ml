@@ -256,6 +256,12 @@ let assign (t : t) (v : Value.t) =
   | None -> ());
   monitor_range t v;
   let fx' = quantize_in t v.Value.fx in
+  (* fault-injection hook: disabled injection costs exactly this match —
+     the transform (SEU bitflips, forced overflow, …) runs only when a
+     plan armed the environment (see Fault.Inject) *)
+  let fx' =
+    match Env.injector t.Env.env with None -> fx' | Some f -> f t fx'
+  in
   let fl' =
     match t.Env.error_inject with
     | Some h -> fx' +. Stats.Rng.uniform_sym (Env.rng t.Env.env) h

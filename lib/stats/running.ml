@@ -42,8 +42,12 @@ let copy t =
   { count = t.count; mean = t.mean; m2 = t.m2; min = t.min; max = t.max;
     max_abs = t.max_abs }
 
+(* Non-finite samples are skipped entirely: a NaN would poison every
+   accumulator and a single ±∞ (an injected fault or exploded range)
+   would pin min/max and destroy the mean — the monitors must keep
+   reporting on the finite part of a faulted stream. *)
 let add t v =
-  if not (Float.is_nan v) then begin
+  if Float.is_finite v then begin
     t.count <- t.count +. 1.0;
     let delta = v -. t.mean in
     t.mean <- t.mean +. (delta /. t.count);

@@ -9,7 +9,8 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
-(** NaN samples are ignored. *)
+(** Non-finite samples (NaN, ±∞) are ignored — injected faults must
+    not poison the accumulators. *)
 val add : t -> float -> unit
 
 val count : t -> int

@@ -21,9 +21,12 @@ let reset t =
   t.noise_energy <- 0.0;
   t.count <- 0
 
-(** [add t ~reference ~actual] accumulates one sample pair. *)
+(** [add t ~reference ~actual] accumulates one sample pair.  Pairs with
+    a non-finite member are skipped: a NaN or injected ±∞ would poison
+    both energy sums for good, and SQNR must keep scoring the finite
+    part of a faulted stream. *)
 let add t ~reference ~actual =
-  if not (Float.is_nan reference || Float.is_nan actual) then begin
+  if Float.is_finite reference && Float.is_finite actual then begin
     t.signal_energy <- t.signal_energy +. (reference *. reference);
     let e = reference -. actual in
     t.noise_energy <- t.noise_energy +. (e *. e);

@@ -7,7 +7,8 @@ type t
 val create : unit -> t
 val reset : t -> unit
 
-(** Accumulate one sample pair (NaN pairs ignored). *)
+(** Accumulate one sample pair (pairs with a non-finite member are
+    ignored — injected faults must not poison the energy sums). *)
 val add : t -> reference:float -> actual:float -> unit
 
 val count : t -> int

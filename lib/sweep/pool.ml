@@ -16,6 +16,21 @@
 
 type progress = { wave : int; evaluated : int; total_so_far : int }
 
+(** A worker domain died outside the per-candidate containment (e.g.
+    instance construction failed).  Raised only after {e every} domain
+    of the wave has been joined, so no domain is left running and no
+    result slot is silently unclaimed. *)
+exception Worker_failure of { worker : int; candidate : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failure { worker; candidate; exn } ->
+        Some
+          (Printf.sprintf
+             "Sweep.Pool.Worker_failure: worker %d died on candidate %d: %s"
+             worker candidate (Printexc.to_string exn))
+    | _ -> None)
+
 (* Restore the baseline, point the stimulus at the candidate's seed,
    and evaluate — the only path by which candidates touch an env.
    [tid] is the worker-domain lane of the optional wall-clock span. *)
@@ -49,27 +64,64 @@ let instance_of (workload : Workload.t) instances i =
       instances.(i) <- Some inst;
       inst
 
+(* Per-candidate containment: one evaluation attempt, retried once on a
+   {e fresh} instance (the first failure may have corrupted the
+   worker's private env in ways the baseline restore cannot undo — the
+   replacement also protects every later candidate on this worker).  A
+   persistent failure is quarantined as an [Error] carrying the printed
+   exception and the attempt count — a pure function of (baseline,
+   candidate), so the quarantine list is identical for any [jobs]. *)
+let eval_candidate_contained ~counters ~tid (workload : Workload.t) instances
+    wi (c : Candidate.t) =
+  let inst = instance_of workload instances wi in
+  match eval_candidate ~counters ~tid workload inst c with
+  | (_, m) -> (c, Ok m)
+  | exception _first ->
+      let fresh = workload.Workload.make_instance () in
+      instances.(wi) <- Some fresh;
+      (match eval_candidate ~counters ~tid workload fresh c with
+      | (_, m) -> (c, Ok m)
+      | exception exn2 -> (c, Error (Printexc.to_string exn2, 2)))
+
 (* One wave, [nw] domains pulling from a shared atomic cursor; results
-   land by wave index so completion order is irrelevant. *)
+   land by wave index so completion order is irrelevant.  A domain that
+   dies outside the per-candidate containment parks its exception (and
+   the candidate id it was on); every domain is joined before anything
+   re-raises — no abandoned domains, no unclaimed slots. *)
 let eval_wave_parallel workload instances ~jobs ~counters wave_arr =
   let len = Array.length wave_arr in
   let results = Array.make len None in
   let cursor = Atomic.make 0 in
+  let nw = min jobs len in
+  let worker_err = Array.make nw None in
   let worker wi () =
-    let inst = instance_of workload instances wi in
     let rec pull () =
       let k = Atomic.fetch_and_add cursor 1 in
       if k < len then begin
-        results.(k) <-
-          Some (eval_candidate ~counters ~tid:wi workload inst wave_arr.(k));
+        (try
+           results.(k) <-
+             Some
+               (eval_candidate_contained ~counters ~tid:wi workload instances
+                  wi wave_arr.(k))
+         with exn ->
+           worker_err.(wi) <- Some (exn, wave_arr.(k).Candidate.id);
+           raise Exit);
         pull ()
       end
     in
-    pull ()
+    try pull () with Exit -> ()
   in
-  let nw = min jobs len in
   let domains = Array.init nw (fun wi -> Domain.spawn (worker wi)) in
+  (* join ALL domains first: re-raising at the first failed join would
+     abandon running domains and leave slots unclaimed *)
   Array.iter Domain.join domains;
+  Array.iteri
+    (fun wi err ->
+      match err with
+      | Some (exn, candidate) ->
+          raise (Worker_failure { worker = wi; candidate; exn })
+      | None -> ())
+    worker_err;
   Array.to_list
     (Array.map
        (function
@@ -81,8 +133,9 @@ let eval_wave workload instances ~jobs ~counters wave =
   match wave with
   | [] -> []
   | wave when jobs <= 1 ->
-      let inst = instance_of workload instances 0 in
-      List.map (eval_candidate ~counters ~tid:0 workload inst) wave
+      List.map
+        (eval_candidate_contained ~counters ~tid:0 workload instances 0)
+        wave
   | wave ->
       eval_wave_parallel workload instances ~jobs ~counters
         (Array.of_list wave)
@@ -96,6 +149,7 @@ let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
   let instances = Array.make jobs None in
   let remaining = ref budget in
   let all = ref [] in
+  let failures = ref [] in
   let wave_no = ref 0 in
   let rec loop prev =
     let wave = Generator.next generator prev in
@@ -112,15 +166,29 @@ let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
     | [] -> ()
     | wave ->
         incr wave_no;
-        let results = eval_wave workload instances ~jobs ~counters wave in
+        let outcomes = eval_wave workload instances ~jobs ~counters wave in
+        (* quarantined candidates are kept out of the generator's view
+           (it can only score metrics) but still count as evaluated *)
+        let results, failed =
+          List.partition_map
+            (fun (c, r) ->
+              match r with
+              | Ok m -> Either.Left (c, m)
+              | Error (error, attempts) ->
+                  Either.Right
+                    { Report.candidate = c; error; attempts })
+            outcomes
+        in
         all := List.rev_append results !all;
+        failures := List.rev_append failed !failures;
         (match on_wave with
         | Some f ->
             f
               {
                 wave = !wave_no;
-                evaluated = List.length results;
-                total_so_far = List.length !all;
+                evaluated = List.length outcomes;
+                total_so_far =
+                  List.length !all + List.length !failures;
               }
         | None -> ());
         loop results
@@ -128,5 +196,5 @@ let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
   loop [];
   Report.make ~workload:workload.Workload.name
     ~strategy:(Generator.name generator) ~probe:workload.Workload.probe
-    ~conclusion:(Generator.conclusion generator)
+    ~conclusion:(Generator.conclusion generator) ~failures:!failures
     !all

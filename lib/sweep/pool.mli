@@ -11,6 +11,12 @@
 (** Per-wave progress callback payload. *)
 type progress = { wave : int; evaluated : int; total_so_far : int }
 
+(** A worker domain died outside the per-candidate containment (e.g.
+    workload instance construction failed).  Raised only after every
+    domain of the wave was joined — no abandoned domains, no silently
+    unclaimed result slots.  A [Printexc] printer is registered. *)
+exception Worker_failure of { worker : int; candidate : int; exn : exn }
+
 (** [run ~workload ~generator ()] sweeps to generator exhaustion.
 
     [jobs] (default 1) is the worker-domain count; [1] evaluates in the
@@ -25,6 +31,14 @@ type progress = { wave : int; evaluated : int; total_so_far : int }
     byte-identical for any [jobs] — the oracle's trace gate enforces
     it).  When span collection is on ({!Trace.Spans.set_enabled}), each
     evaluation records a wall-clock span on its worker-domain lane.
+
+    Graceful degradation: a candidate whose evaluation raises is
+    retried once on a {e fresh} instance (which also replaces the
+    worker's private instance for later candidates); a persistent
+    failure is quarantined into the report's {!Report.failures} instead
+    of aborting the sweep, so an injected or real fault yields a
+    partial-but-deterministic report — byte-identical for any [jobs],
+    quarantine list included.
 
     Raises [Invalid_argument] on [jobs < 1] or [budget < 1]. *)
 val run :

@@ -18,6 +18,17 @@ type entry = {
   pareto : bool;  (** on the evaluated set's (bits, SQNR) frontier *)
 }
 
+(** A quarantined candidate: evaluation failed persistently (it was
+    retried on a fresh instance), and the sweep degraded to a partial
+    report instead of aborting.  [error] is the printed exception — a
+    pure function of (baseline, candidate), so the quarantine list
+    renders identically for any worker count. *)
+type failure = {
+  candidate : Candidate.t;
+  error : string;  (** printed exception of the last attempt *)
+  attempts : int;  (** evaluation attempts before quarantine *)
+}
+
 type t = {
   workload : string;
   strategy : string;
@@ -33,9 +44,16 @@ type t = {
   agg_counters : Trace.Counters.t option;
       (** event counters of every candidate, merged in id order (only
           when the pool ran with [~counters:true]) *)
+  failures : failure list;  (** quarantined candidates, ascending id *)
 }
 
-let make ~workload ~strategy ~probe ~conclusion results =
+let make ~workload ~strategy ~probe ~conclusion ?(failures = []) results =
+  let failures =
+    List.sort
+      (fun (a : failure) b ->
+        compare a.candidate.Candidate.id b.candidate.Candidate.id)
+      failures
+  in
   let sorted =
     List.sort
       (fun ((a : Candidate.t), _) (b, _) ->
@@ -98,6 +116,7 @@ let make ~workload ~strategy ~probe ~conclusion results =
     agg_range;
     agg_overflows;
     agg_counters;
+    failures;
   }
 
 (* --- JSON ---------------------------------------------------------------- *)
@@ -123,7 +142,7 @@ let js_assign (a : Candidate.assign) =
   Printf.sprintf "{\"signal\": %s, \"n\": %d, \"f\": %d}"
     (js_string a.Candidate.signal) a.Candidate.n a.Candidate.f
 
-let js_entry e =
+let js_entry (e : entry) =
   let c = e.candidate and m = e.metrics in
   Printf.sprintf
     "    {\"id\": %d, \"stim_seed\": %d, \"total_bits\": %d, \"sqnr_db\": \
@@ -149,6 +168,17 @@ let to_json t =
   Buffer.add_string b "  \"entries\": [\n";
   Buffer.add_string b (String.concat ",\n" (List.map js_entry t.entries));
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"failures\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun (f : failure) ->
+               Printf.sprintf
+                 "{\"id\": %d, \"stim_seed\": %d, \"attempts\": %d, \
+                  \"error\": %s}"
+                 f.candidate.Candidate.id f.candidate.Candidate.stim_seed
+                 f.attempts (js_string f.error))
+             t.failures)));
   Buffer.add_string b
     (Printf.sprintf "  \"aggregate\": {\"probe_values\": %s, \"consumed\": \
                      %s, \"produced\": %s, \"range\": %s, \"overflows\": %d},\n"
@@ -198,7 +228,7 @@ let pp ppf t =
   Format.fprintf ppf "%4s %6s %4s %6s %12s %6s %8s@." "id" "seed" "f"
     "bits" "SQNR(dB)" "ovf" "pareto";
   List.iter
-    (fun e ->
+    (fun (e : entry) ->
       let c = e.candidate in
       Format.fprintf ppf "%4d %6d %4s %6d %12s %6d %8s@." c.Candidate.id
         c.Candidate.stim_seed
@@ -213,6 +243,16 @@ let pp ppf t =
         e.metrics.Refine.Eval.overflow_count
         (if e.pareto then "*" else ""))
     t.entries;
+  if t.failures <> [] then begin
+    Format.fprintf ppf "quarantined: %d candidate(s)@."
+      (List.length t.failures);
+    List.iter
+      (fun (f : failure) ->
+        Format.fprintf ppf "  id %d (seed %d, %d attempts): %s@."
+          f.candidate.Candidate.id f.candidate.Candidate.stim_seed
+          f.attempts f.error)
+      t.failures
+  end;
   Format.fprintf ppf "aggregate: probe %a@." Stats.Running.pp t.agg_values;
   (match Interval.bounds t.agg_range with
   | Some (lo, hi) ->

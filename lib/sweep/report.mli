@@ -15,6 +15,17 @@ type entry = {
   pareto : bool;  (** on the evaluated set's (bits, SQNR) frontier *)
 }
 
+(** A quarantined candidate: evaluation failed persistently (retried
+    once on a fresh instance) and the sweep degraded to a partial
+    report instead of aborting.  [error] is the printed exception — a
+    pure function of (baseline, candidate), so the quarantine list
+    renders identically for any worker count. *)
+type failure = {
+  candidate : Candidate.t;
+  error : string;  (** printed exception of the last attempt *)
+  attempts : int;  (** evaluation attempts before quarantine *)
+}
+
 type t = {
   workload : string;
   strategy : string;
@@ -30,15 +41,18 @@ type t = {
   agg_counters : Trace.Counters.t option;
       (** event counters of every candidate, merged in id order (only
           when the pool ran with [~counters:true]) *)
+  failures : failure list;  (** quarantined candidates, ascending id *)
 }
 
 (** Sort results by candidate id, mark the Pareto frontier, fold the
-    aggregates. *)
+    aggregates.  [failures] (default none) are the quarantined
+    candidates, sorted by id. *)
 val make :
   workload:string ->
   strategy:string ->
   probe:string ->
   conclusion:(string * string) list ->
+  ?failures:failure list ->
   (Candidate.t * Refine.Eval.metrics) list ->
   t
 

@@ -70,6 +70,12 @@ let ring_event b ~first ring ev =
             ("saturating", Json.bool_lit saturating);
           ]
         ()
+  | Ring.Fault { id; time; kind } ->
+      buf_add_event b ~first
+        ~name:(Printf.sprintf "fault %s" (Ring.name_of ring id))
+        ~cat:"fault" ~ph:"i" ~ts:(us_of_cycles time) ~pid:2 ~tid:0 ~scope:"t"
+        ~args:[ ("kind", Json.string_lit kind) ]
+        ()
 
 let to_json ?(spans = []) ?ring () =
   let b = Buffer.create 4096 in

@@ -26,6 +26,7 @@ type sig_counters = {
   mutable floors : int;  (** casts with floor (truncation) *)
   mutable wraps : int;  (** overflow events resolved by wrap-around *)
   mutable sats : int;  (** overflow events resolved by saturation *)
+  mutable faults : int;  (** injected / collected fault events *)
   mutable err_max : float;  (** max |ε_p| watermark *)
   mutable err_max_time : int;  (** cycle index of the watermark; -1 = none *)
 }
@@ -46,6 +47,7 @@ let fresh_slot name =
     floors = 0;
     wraps = 0;
     sats = 0;
+    faults = 0;
     err_max = 0.0;
     err_max_time = -1;
   }
@@ -89,6 +91,12 @@ let on_overflow t ~id ~time:(_ : int) ~raw:(_ : float) ~saturating =
     | Some c ->
         if saturating then c.sats <- c.sats + 1 else c.wraps <- c.wraps + 1
 
+let on_fault t ~id ~time:(_ : int) ~kind:(_ : string) =
+  if id < Array.length t.slots then
+    match t.slots.(id) with
+    | None -> ()
+    | Some c -> c.faults <- c.faults + 1
+
 let sink t =
   {
     Sink.sink_name = "counters";
@@ -98,6 +106,7 @@ let sink t =
         on_assign t ~id ~time ~err ~quantized ~rounded);
     on_overflow =
       (fun ~id ~time ~raw ~saturating -> on_overflow t ~id ~time ~raw ~saturating);
+    on_fault = (fun ~id ~time ~kind -> on_fault t ~id ~time ~kind);
   }
 
 let reset t =
@@ -111,6 +120,7 @@ let reset t =
         c.floors <- 0;
         c.wraps <- 0;
         c.sats <- 0;
+        c.faults <- 0;
         c.err_max <- 0.0;
         c.err_max_time <- -1
   done
@@ -124,6 +134,7 @@ let copy_slot c =
     floors = c.floors;
     wraps = c.wraps;
     sats = c.sats;
+    faults = c.faults;
     err_max = c.err_max;
     err_max_time = c.err_max_time;
   }
@@ -140,6 +151,7 @@ let merge_into c (d : sig_counters) =
   c.floors <- c.floors + d.floors;
   c.wraps <- c.wraps + d.wraps;
   c.sats <- c.sats + d.sats;
+  c.faults <- c.faults + d.faults;
   if
     d.err_max > c.err_max
     || (d.err_max = c.err_max && d.err_max_time >= 0
@@ -188,6 +200,7 @@ let total f t =
 
 let total_assigns = total (fun c -> c.assigns)
 let total_overflows = total (fun c -> c.wraps + c.sats)
+let total_faults = total (fun c -> c.faults)
 
 (* --- rendering --------------------------------------------------------- *)
 
@@ -195,9 +208,9 @@ let js_signal (id, c) =
   Printf.sprintf
     "    {\"id\": %d, \"signal\": %s, \"assigns\": %d, \"quantized\": %d, \
      \"rounds\": %d, \"floors\": %d, \"wraps\": %d, \"sats\": %d, \
-     \"err_max\": %s, \"err_max_time\": %d}"
+     \"faults\": %d, \"err_max\": %s, \"err_max_time\": %d}"
     id (Json.string_lit c.cs_name) c.assigns c.quantized c.rounds c.floors
-    c.wraps c.sats (Json.float_lit c.err_max) c.err_max_time
+    c.wraps c.sats c.faults (Json.float_lit c.err_max) c.err_max_time
 
 (** Flat counters JSON.  [meta] key/value pairs (values already rendered
     as JSON literals) lead the object; signals follow in id order, then
@@ -215,20 +228,21 @@ let to_json ?(meta = []) t =
     (String.concat ",\n" (List.map js_signal (signals t)));
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"totals\": {\"assigns\": %d, \"overflows\": %d}\n"
-       (total_assigns t) (total_overflows t));
+    (Printf.sprintf
+       "  \"totals\": {\"assigns\": %d, \"overflows\": %d, \"faults\": %d}\n"
+       (total_assigns t) (total_overflows t) (total_faults t));
   Buffer.add_string b "}\n";
   Buffer.contents b
 
 let pp ppf t =
-  Format.fprintf ppf "%-14s %9s %9s %7s %7s %6s %6s %12s %8s@." "signal"
-    "assigns" "quant" "round" "floor" "wrap" "sat" "max|eps|" "at";
+  Format.fprintf ppf "%-14s %9s %9s %7s %7s %6s %6s %6s %12s %8s@." "signal"
+    "assigns" "quant" "round" "floor" "wrap" "sat" "fault" "max|eps|" "at";
   List.iter
     (fun (_, c) ->
-      Format.fprintf ppf "%-14s %9d %9d %7d %7d %6d %6d %12.4g %8s@."
+      Format.fprintf ppf "%-14s %9d %9d %7d %7d %6d %6d %6d %12.4g %8s@."
         c.cs_name c.assigns c.quantized c.rounds c.floors c.wraps c.sats
-        c.err_max
+        c.faults c.err_max
         (if c.err_max_time < 0 then "-" else string_of_int c.err_max_time))
     (signals t);
-  Format.fprintf ppf "total: %d assigns, %d overflows@." (total_assigns t)
-    (total_overflows t)
+  Format.fprintf ppf "total: %d assigns, %d overflows, %d faults@."
+    (total_assigns t) (total_overflows t) (total_faults t)

@@ -16,6 +16,7 @@ type sig_counters = {
   mutable floors : int;  (** casts with floor (truncation) *)
   mutable wraps : int;  (** overflow events resolved by wrap-around *)
   mutable sats : int;  (** overflow events resolved by saturation *)
+  mutable faults : int;  (** injected / collected fault events *)
   mutable err_max : float;  (** max |ε_p| watermark *)
   mutable err_max_time : int;  (** cycle index of the watermark; -1 = none *)
 }
@@ -47,6 +48,9 @@ val total_assigns : t -> int
 
 (** Σ wrap + saturation events over all signals. *)
 val total_overflows : t -> int
+
+(** Σ injected / collected fault events over all signals. *)
+val total_faults : t -> int
 
 (** Flat counters JSON with the canonical {!Json} formatting; [meta]
     key/value pairs (values pre-rendered as JSON literals) lead the

@@ -20,6 +20,11 @@ type event =
       raw : float;  (** the out-of-range pre-cast value *)
       saturating : bool;
     }
+  | Fault of {
+      id : int;
+      time : int;
+      kind : string;  (** stable fault-class tag ("bitflip", …) *)
+    }
 
 type t = {
   buf : event option array;
@@ -60,6 +65,7 @@ let sink t =
     on_overflow =
       (fun ~id ~time ~raw ~saturating ->
         push t (Overflow { id; time; raw; saturating }));
+    on_fault = (fun ~id ~time ~kind -> push t (Fault { id; time; kind }));
   }
 
 let name_of t id = if id < t.n_names then t.names.(id) else string_of_int id

@@ -15,6 +15,11 @@ type event =
       raw : float;  (** the out-of-range pre-cast value *)
       saturating : bool;
     }
+  | Fault of {
+      id : int;
+      time : int;
+      kind : string;  (** stable fault-class tag ("bitflip", …) *)
+    }
 
 type t
 

@@ -21,7 +21,10 @@
     Event vocabulary (the paper's §4 monitors, per event instead of per
     run): every {!Sim.Signal.assign} emits [on_assign] with the produced
     difference error ε_p; every quantizer overflow additionally emits
-    [on_overflow], distinguishing saturation from wrap-around. *)
+    [on_overflow], distinguishing saturation from wrap-around; every
+    injected or degraded-and-collected fault (the resilience layer of
+    [lib/fault]) emits [on_fault] with a short machine-stable kind tag
+    ("bitflip", "stim-nan", "force-overflow", "collect", …). *)
 
 type t = {
   sink_name : string;  (** diagnostic label ("null", "counters", …) *)
@@ -33,6 +36,9 @@ type t = {
   on_overflow : id:int -> time:int -> raw:float -> saturating:bool -> unit;
       (** the cast overflowed on [raw]; [saturating] tells clamp from
           wrap-around *)
+  on_fault : id:int -> time:int -> kind:string -> unit;
+      (** a fault was injected into, or collected from, the signal;
+          [kind] is a short stable tag of the fault class *)
 }
 
 let nop2 ~id:(_ : int) ~name:(_ : string) = ()
@@ -45,6 +51,8 @@ let nop_overflow ~id:(_ : int) ~time:(_ : int) ~raw:(_ : float)
     ~saturating:(_ : bool) =
   ()
 
+let nop_fault ~id:(_ : int) ~time:(_ : int) ~kind:(_ : string) = ()
+
 (** The disabled sink.  A single toplevel value: instrumentation sites
     compare against it {e physically}, so never rebuild an equivalent
     record and expect it to read as disabled. *)
@@ -54,6 +62,7 @@ let null =
     on_register = nop2;
     on_assign = nop_assign;
     on_overflow = nop_overflow;
+    on_fault = nop_fault;
   }
 
 let is_null t = t == null
@@ -74,4 +83,8 @@ let tee a b =
       (fun ~id ~time ~raw ~saturating ->
         a.on_overflow ~id ~time ~raw ~saturating;
         b.on_overflow ~id ~time ~raw ~saturating);
+    on_fault =
+      (fun ~id ~time ~kind ->
+        a.on_fault ~id ~time ~kind;
+        b.on_fault ~id ~time ~kind);
   }

@@ -21,6 +21,11 @@ type t = {
   on_overflow : id:int -> time:int -> raw:float -> saturating:bool -> unit;
       (** the cast overflowed on [raw]; [saturating] tells clamp from
           wrap-around *)
+  on_fault : id:int -> time:int -> kind:string -> unit;
+      (** a fault was injected into, or collected from, the signal by
+          the resilience layer ([lib/fault]); [kind] is a short stable
+          tag of the fault class ("bitflip", "stim-nan",
+          "force-overflow", "collect", …) *)
 }
 
 (** The disabled sink — a single toplevel value, compared physically.

@@ -7,19 +7,33 @@
 #      metamorphic workload invariants, golden traces, the parallel
 #      sweep determinism gate (jobs=1 vs jobs=N byte-identical), the
 #      trace-determinism gate (sweep counters JSON byte-identical for
-#      any --jobs; counting sink observer-neutral), and the bench
+#      any --jobs; counting sink observer-neutral), the fault-injection
+#      gate (--faults: schedule replay, faulted-sweep quarantine
+#      determinism, collect-policy degradation), and the bench
 #      regression guard (wall-clock, so deliberately NOT part of
 #      `dune runtest`);
 #   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
 #      command by command so the documentation cannot rot.
+#
+# Long-running steps are wrapped in `timeout` where available, so a
+# hung worker domain or a wedged simulation fails the check instead of
+# blocking it forever.
 set -eu
 cd "$(dirname "$0")/.."
-dune build @all
-dune runtest
+
+# timeout(1) is coreutils; degrade to no wrapper where it is missing.
+if command -v timeout >/dev/null 2>&1; then
+  with_timeout() { timeout "$@"; }
+else
+  with_timeout() { shift; "$@"; }
+fi
+
+with_timeout 600 dune build @all
+with_timeout 600 dune runtest
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else
   echo "check.sh: odoc not installed, skipping 'dune build @doc'"
 fi
-dune exec bin/fxrefine.exe -- check
-sh scripts/check_tutorial.sh
+with_timeout 900 dune exec bin/fxrefine.exe -- check --faults
+with_timeout 600 sh scripts/check_tutorial.sh

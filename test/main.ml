@@ -35,4 +35,5 @@ let () =
       Test_trace.suite;
       Test_merge.suite;
       Test_sweep.suite;
+      Test_fault.suite;
     ]

@@ -185,7 +185,8 @@ let test_ring_wraps_and_orders () =
     List.map
       (function
         | Trace.Ring.Assign { time; _ } -> time
-        | Trace.Ring.Overflow { time; _ } -> time)
+        | Trace.Ring.Overflow { time; _ } -> time
+        | Trace.Ring.Fault { time; _ } -> time)
       (Trace.Ring.events ring)
   in
   check bool_t "oldest first, newest retained" true (times = [ 4; 5; 6; 7 ]);
