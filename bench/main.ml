@@ -819,6 +819,75 @@ let simbench () =
   Format.printf "wrote BENCH_sim.json@."
 
 (* ======================================================================= *)
+(* Compiled flat-schedule executor throughput (BENCH_compile.json)          *)
+(* ======================================================================= *)
+
+(* Lane-samples/sec of the flat-schedule executor on the extracted lms
+   and timing flowgraphs, at batch 1 (single stimulus vector) and batch
+   64 (structure-of-arrays batching) — measured by the same scenario
+   code the [check --compiled] bench guard replays
+   (Oracle.Bench_guard.compiled_rows).  The sim_baseline column is the
+   dual-simulation engine's throughput on the same design from
+   BENCH_sim.json ("after"), the reference the ISSUE targets multiply:
+   >= 5x single-vector, >= 10x batched. *)
+
+let compilebench () =
+  section "compilebench: flat-schedule executor throughput (lane-samples/sec)";
+  let sim_baselines =
+    let fallback =
+      [ ("lms-equalizer", 576687.0); ("timing-recovery", 298569.0) ]
+    in
+    if Sys.file_exists "BENCH_sim.json" then
+      match
+        Oracle.Bench_guard.parse_baselines
+          (In_channel.with_open_bin "BENCH_sim.json" In_channel.input_all)
+      with
+      | [] -> fallback
+      | parsed -> parsed
+    else fallback
+  in
+  let sim_of row =
+    let wl =
+      if String.length row >= 3 && String.sub row 0 3 = "lms" then
+        "lms-equalizer"
+      else "timing-recovery"
+    in
+    List.assoc wl sim_baselines
+  in
+  let rows = Oracle.Bench_guard.compiled_rows ~budget_seconds:1.0 () in
+  List.iter
+    (fun (name, steps, sps) ->
+      Format.printf
+        "%-20s %7d steps/run: %12.0f lane-samples/sec  (%.1fx dual-sim)@."
+        name steps sps
+        (sps /. sim_of name))
+    rows;
+  let oc = open_out "BENCH_compile.json" in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"compile-flat-schedule\",\n\
+      \  \"unit\": \"lane-samples/sec\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, steps, sps) ->
+              let sim = sim_of name in
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"samples_per_run\": %d, \
+                 \"sim_baseline\": %.0f, \"after\": %.0f, \
+                 \"speedup_vs_sim\": %.2f }"
+                name steps sim sps (sps /. sim))
+            rows))
+  in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_compile.json@."
+
+(* ======================================================================= *)
 (* Parallel sweep scaling (BENCH_sweep.json)                                *)
 (* ======================================================================= *)
 
@@ -1037,6 +1106,7 @@ let experiments =
     ("ablate-widen", ablate_widen);
     ("summary", summary);
     ("simbench", simbench);
+    ("compilebench", compilebench);
     ("sweepbench", sweepbench);
     ("tracebench", tracebench);
     ("bench", bechamel_run);

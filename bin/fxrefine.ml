@@ -10,7 +10,10 @@
      sweep      — parallel wordlength/stimuli exploration (multicore)
      faultsim   — run a sweep under a seeded fault-injection plan
      trace      — run one conformance workload under full tracing
-     check      — the conformance oracle (--faults adds the fault gate)
+     check      — the conformance oracle (--faults adds the fault gate,
+                  --compiled the compiled-executor gate)
+     compile    — lower workload flowgraphs to the batched flat-schedule
+                  executor; equality spot check + throughput
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
@@ -667,7 +670,7 @@ let trace_cmd =
 (* --- check: the conformance oracle ------------------------------------- *)
 
 let run_check seed per_combo update_golden no_bench golden_dir jobs faults
-    verbose =
+    compiled verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -694,6 +697,14 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     end
     else true
   in
+  let compiled_ok =
+    if compiled then begin
+      let cr = Oracle.Compile_check.run () in
+      Format.printf "%a@." Oracle.Compile_check.pp_report cr;
+      Oracle.Compile_check.passed cr
+    end
+    else true
+  in
   let bench_ok =
     if no_bench then begin
       Format.printf "bench guard: skipped (--no-bench)@.";
@@ -705,12 +716,21 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
       Oracle.Bench_guard.passed bench
     end
   in
+  let compile_bench_ok =
+    if compiled && not no_bench then begin
+      let bench = Oracle.Bench_guard.run_compiled () in
+      Format.printf "compiled %a@." Oracle.Bench_guard.pp_report bench;
+      Oracle.Bench_guard.passed bench
+    end
+    else true
+  in
   let ok =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
     && Oracle.Golden.passed golden
     && Oracle.Sweep_check.passed sweep
-    && Oracle.Trace_check.passed trace && faults_ok && bench_ok
+    && Oracle.Trace_check.passed trace && faults_ok && compiled_ok
+    && bench_ok && compile_bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -765,16 +785,164 @@ let check_cmd =
             "Also run the fault-injection gate: schedule replay, faulted \
              sweep quarantine determinism, collect-policy degradation.")
   in
+  let compiled_t =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "Also run the compiled-executor gate: byte-equality between \
+             the flat-schedule executor and the interpreter over every \
+             conformance workload graph (batched, with fault replay), \
+             sweep metric parity, and the compiled-throughput guard \
+             against BENCH_compile.json (unless \\$(b,--no-bench)).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the conformance oracle: differential quantizer testing, \
           metamorphic workload invariants, golden traces, sweep determinism, \
           trace determinism, bench guard; \\$(b,--faults) adds the \
-          fault-injection gate.")
+          fault-injection gate, \\$(b,--compiled) the compiled-executor \
+          gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
-      $ golden_dir_t $ jobs_t $ faults_t $ verbose_t)
+      $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verbose_t)
+
+(* --- compile: inspect the flat-schedule executor ------------------------ *)
+
+let run_compile workload_name batch steps verbose =
+  setup_logs verbose;
+  let workloads =
+    match workload_name with
+    | "all" -> Oracle.Workloads.all
+    | name -> (
+        match Oracle.Workloads.find name with
+        | Some w -> [ w ]
+        | None ->
+            Format.eprintf "compile: unknown workload %s@." name;
+            exit 1)
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun (w : Oracle.Workloads.t) ->
+      let b = w.Oracle.Workloads.build () in
+      match b.Oracle.Workloads.extract_graph with
+      | None ->
+          Format.printf "%-8s no extractor@." w.Oracle.Workloads.name
+      | Some extract -> (
+          match Compile.compile ~batch (extract ()) with
+          | exception Compile.Cannot_compile msg ->
+              all_ok := false;
+              Format.printf "%-8s cannot compile: %s@."
+                w.Oracle.Workloads.name msg
+          | prog ->
+              (* quick equality spot-check, then throughput *)
+              let g = extract () in
+              let plan = Fault.Plan.make ~seed:97 () in
+              let ranges = Hashtbl.create 8 in
+              List.iter
+                (fun (n : Sfg.Node.t) ->
+                  match n.Sfg.Node.op with
+                  | Sfg.Node.Input iv ->
+                      let lo = Interval.lo iv and hi = Interval.hi iv in
+                      let r =
+                        if
+                          Float.is_finite lo && Float.is_finite hi
+                          && hi -. lo > 0.0
+                          && hi -. lo <= 1e6
+                        then (lo, hi)
+                        else (-1.0, 1.0)
+                      in
+                      Hashtbl.replace ranges n.Sfg.Node.name r
+                  | _ -> ())
+                (Sfg.Graph.nodes g);
+              let stim name lane step =
+                let lo, hi =
+                  match Hashtbl.find_opt ranges name with
+                  | Some r -> r
+                  | None -> (-1.0, 1.0)
+                in
+                let u =
+                  Fault.Plan.draw plan ~stream:"stim"
+                    ~key:(Printf.sprintf "%d:%s" lane name)
+                    ~index:step
+                in
+                lo +. (u *. (hi -. lo))
+              in
+              let prog_eq = Compile.compile ~batch:2 g in
+              let ct =
+                Compile.traces prog_eq ~steps:32
+                  ~inputs:(fun name ~lane step -> stim name lane step)
+              in
+              let mism = ref 0 in
+              for lane = 0 to 1 do
+                let it =
+                  Sfg.Graph.simulate g ~steps:32 ~inputs:(fun name step ->
+                      stim name lane step)
+                in
+                List.iter2
+                  (fun (_, per_lane) (_, itr) ->
+                    Array.iteri
+                      (fun s iv ->
+                        if
+                          Int64.bits_of_float per_lane.(lane).(s)
+                          <> Int64.bits_of_float iv
+                        then incr mism)
+                      itr)
+                  ct it
+              done;
+              if !mism > 0 then all_ok := false;
+              let buf =
+                Array.init 8192 (fun i -> Float.sin (Float.of_int i) *. 0.75)
+              in
+              let inputs _name ~lane step =
+                Array.unsafe_get buf ((lane + (step * 31)) land 8191)
+              in
+              Compile.run prog ~steps ~inputs;
+              let reps = ref 0 in
+              let t0 = Sys.time () in
+              let elapsed () = Sys.time () -. t0 in
+              while elapsed () < 0.3 || !reps = 0 do
+                Compile.run prog ~steps ~inputs;
+                incr reps
+              done;
+              let sps =
+                Float.of_int (!reps * steps * batch) /. elapsed ()
+              in
+              Format.printf
+                "%-8s %3d nodes -> %3d instrs  B=%-3d %8d steps/run  \
+                 %12.0f lane-samples/sec  equality(B=2,32 steps): %s@."
+                w.Oracle.Workloads.name (Compile.node_count prog)
+                (Compile.instr_count prog) batch steps sps
+                (if !mism = 0 then "ok" else Printf.sprintf "%d MISMATCHES" !mism)))
+    workloads;
+  if not !all_ok then exit 1
+
+let compile_cmd =
+  let workload_t =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Conformance workload to compile (fir|lms|cordic|timing|ddc|all).")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 64
+      & info [ "batch"; "B" ] ~doc:"Stimulus vectors advanced per tick.")
+  in
+  let steps_t =
+    Arg.(
+      value & opt int 4096 & info [ "steps" ] ~doc:"Ticks per measured run.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Lower conformance-workload flowgraphs to the flat-schedule \
+          batched executor: per-workload instruction counts, a \
+          compiled-vs-interpreted equality spot check, and batched \
+          throughput.")
+    Term.(const run_compile $ workload_t $ batch_t $ steps_t $ verbose_t)
 
 (* --- sfg ---------------------------------------------------------------- *)
 
@@ -841,7 +1009,7 @@ let () =
          (Cmd.group info
             [
               equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
-              sweep_cmd; faultsim_cmd; trace_cmd; check_cmd;
+              sweep_cmd; faultsim_cmd; trace_cmd; check_cmd; compile_cmd;
             ]))
   with e ->
     let bt = Printexc.get_backtrace () in

@@ -1,0 +1,480 @@
+(** Flat-schedule compilation of a signal-flow graph — see the
+    interface for the design rationale.
+
+    Layout: node [i]'s lane-[l] value lives at [fx.(i * batch + l)]
+    (structure-of-arrays).  Delay registers get a separate
+    double-buffered block indexed by a dense register number; the
+    commit phase writes next-state into the shadow buffer and swaps
+    the two, so a register's read in the {e next} step cannot observe a
+    partially-committed store regardless of schedule position.
+
+    Constants are materialized once at {!reset} (the interpreter
+    re-evaluates [Const] every cycle to the same value, so hoisting is
+    observationally identical), which keeps the per-tick instruction
+    stream down to the data-dependent operations. *)
+
+exception Cannot_compile of string
+
+let () =
+  Printexc.register_printer (function
+    | Cannot_compile m -> Some (Printf.sprintf "Compile.Cannot_compile: %s" m)
+    | _ -> None)
+
+type inject = name:string -> lane:int -> step:int -> float -> float
+
+(* One fused quantization point: the compiled cast plus its overflow
+   tally (events summed over lanes and steps, like the clock-true
+   simulator's per-signal [n_overflow]). *)
+type quant = {
+  qname : string;
+  q : Fixpt.Quantize.compiled;
+  mutable ovf : int;
+}
+
+(* The instruction stream.  [dst]/[a]/[b]/[c] are node slots (scaled by
+   [batch] at execution time); [reg] is a dense delay-register number;
+   [input] indexes the resolved stimulus closures; [k] indexes
+   [quants]. *)
+type instr =
+  | Iinput of { dst : int; input : int }
+  | Iadd of { dst : int; a : int; b : int }
+  | Isub of { dst : int; a : int; b : int }
+  | Imul of { dst : int; a : int; b : int }
+  | Idiv of { dst : int; a : int; b : int }
+  | Ineg of { dst : int; a : int }
+  | Iabs of { dst : int; a : int }
+  | Imin of { dst : int; a : int; b : int }
+  | Imax of { dst : int; a : int; b : int }
+  | Ishift of { dst : int; a : int; scale : float }
+  | Idelay of { dst : int; reg : int }
+  | Iquant of { dst : int; a : int; k : int }
+  | Isat of { dst : int; a : int; lo : float; hi : float }
+  | Isel of { dst : int; c : int; a : int; b : int }
+  | Icopy of { dst : int; a : int }
+
+type t = {
+  batch : int;
+  dual : bool;
+  names : string array;  (* node id -> name *)
+  program : instr array;
+  input_names : string array;  (* input index -> node name *)
+  consts : (int * float) array;  (* node slot, value: applied at reset *)
+  quants : quant array;
+  commits : (int * int) array;  (* register number, source node slot *)
+  delay_inits : float array;  (* per register number *)
+  fx : float array;  (* node_count * batch *)
+  mutable regs : float array;  (* n_regs * batch, current state *)
+  mutable regs_nxt : float array;  (* shadow buffer, swapped at commit *)
+  fl : float array;  (* float-reference lattice; [||] unless dual *)
+  mutable regs_fl : float array;
+  mutable regs_fl_nxt : float array;
+  scratch : Fixpt.Quantize.scratch;  (* program-private: domain-safe *)
+  by_name : (string, int) Hashtbl.t;  (* name -> node id, last wins *)
+}
+
+let batch t = t.batch
+let node_count t = Array.length t.names
+let instr_count t = Array.length t.program
+let find t name = Hashtbl.find_opt t.by_name name
+let value t ~id ~lane = t.fx.((id * t.batch) + lane)
+
+let value_ref t ~id ~lane =
+  if not t.dual then
+    invalid_arg "Compile.value_ref: program compiled without ~dual:true";
+  t.fl.((id * t.batch) + lane)
+
+let overflows t =
+  Array.to_list (Array.map (fun q -> (q.qname, q.ovf)) t.quants)
+
+let overflow_count t = Array.fold_left (fun acc q -> acc + q.ovf) 0 t.quants
+
+(* --- lowering ---------------------------------------------------------- *)
+
+let compile ?(batch = 1) ?(dual = false) (g : Sfg.Graph.t) =
+  if batch < 1 then invalid_arg "Compile.compile: batch < 1";
+  (match Sfg.Graph.validate g with
+  | Ok () -> ()
+  | Error m -> raise (Cannot_compile m));
+  let spanned = Trace.Spans.enabled () in
+  let t0 = if spanned then Trace.Spans.now () else 0.0 in
+  let ns = Array.of_list (Sfg.Graph.nodes g) in
+  let n = Array.length ns in
+  let names = Array.map (fun (nd : Sfg.Node.t) -> nd.Sfg.Node.name) ns in
+  let by_name = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i name -> Hashtbl.replace by_name name i) names;
+  let program = ref [] in
+  let inputs = ref [] in
+  let n_inputs = ref 0 in
+  let consts = ref [] in
+  let quants = ref [] in
+  let n_quants = ref 0 in
+  let commits = ref [] in
+  let inits = ref [] in
+  let n_regs = ref 0 in
+  Array.iteri
+    (fun i (nd : Sfg.Node.t) ->
+      if nd.Sfg.Node.id <> i then
+        raise (Cannot_compile "node ids are not dense in schedule order");
+      let arg j =
+        let s = List.nth nd.Sfg.Node.inputs j in
+        (* the graph builder only references existing nodes, so any
+           same-or-forward reference outside a delay is a broken
+           schedule, not a user error *)
+        (match nd.Sfg.Node.op with
+        | Sfg.Node.Delay _ -> ()
+        | _ ->
+            if s >= i then
+              raise
+                (Cannot_compile
+                   (Printf.sprintf "node %s reads forward reference %d"
+                      nd.Sfg.Node.name s)));
+        s
+      in
+      let emit ins = program := ins :: !program in
+      match nd.Sfg.Node.op with
+      | Sfg.Node.Input _ ->
+          let input = !n_inputs in
+          incr n_inputs;
+          inputs := nd.Sfg.Node.name :: !inputs;
+          emit (Iinput { dst = i; input })
+      | Sfg.Node.Const c -> consts := (i, c) :: !consts
+      | Sfg.Node.Add -> emit (Iadd { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Sub -> emit (Isub { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Mul -> emit (Imul { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Div -> emit (Idiv { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Neg -> emit (Ineg { dst = i; a = arg 0 })
+      | Sfg.Node.Abs -> emit (Iabs { dst = i; a = arg 0 })
+      | Sfg.Node.Min -> emit (Imin { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Max -> emit (Imax { dst = i; a = arg 0; b = arg 1 })
+      | Sfg.Node.Shift k ->
+          emit (Ishift { dst = i; a = arg 0; scale = 2.0 ** Float.of_int k })
+      | Sfg.Node.Delay init ->
+          let reg = !n_regs in
+          incr n_regs;
+          inits := init :: !inits;
+          (* delay inputs may point anywhere, including forward: the
+             register breaks the dependence *)
+          let src = List.nth nd.Sfg.Node.inputs 0 in
+          commits := (reg, src) :: !commits;
+          emit (Idelay { dst = i; reg })
+      | Sfg.Node.Quantize dt ->
+          let k = !n_quants in
+          incr n_quants;
+          quants :=
+            { qname = nd.Sfg.Node.name; q = Fixpt.Quantize.of_dtype dt; ovf = 0 }
+            :: !quants;
+          emit (Iquant { dst = i; a = arg 0; k })
+      | Sfg.Node.Saturate lim ->
+          emit
+            (Isat
+               { dst = i; a = arg 0; lo = Interval.lo lim; hi = Interval.hi lim })
+      | Sfg.Node.Select ->
+          emit (Isel { dst = i; c = arg 0; a = arg 1; b = arg 2 })
+      | Sfg.Node.Alias -> emit (Icopy { dst = i; a = arg 0 }))
+    ns;
+  let nr = !n_regs in
+  let t =
+    {
+      batch;
+      dual;
+      names;
+      program = Array.of_list (List.rev !program);
+      input_names = Array.of_list (List.rev !inputs);
+      consts = Array.of_list (List.rev !consts);
+      quants = Array.of_list (List.rev !quants);
+      commits = Array.of_list (List.rev !commits);
+      delay_inits = Array.of_list (List.rev !inits);
+      fx = Array.make (Stdlib.max 1 (n * batch)) 0.0;
+      regs = Array.make (Stdlib.max 1 (nr * batch)) 0.0;
+      regs_nxt = Array.make (Stdlib.max 1 (nr * batch)) 0.0;
+      fl = (if dual then Array.make (Stdlib.max 1 (n * batch)) 0.0 else [||]);
+      regs_fl =
+        (if dual then Array.make (Stdlib.max 1 (nr * batch)) 0.0 else [||]);
+      regs_fl_nxt =
+        (if dual then Array.make (Stdlib.max 1 (nr * batch)) 0.0 else [||]);
+      scratch = Fixpt.Quantize.create_scratch ();
+      by_name;
+    }
+  in
+  if spanned then
+    Trace.Spans.record ~cat:"compile" ~tid:0 ~name:"compile"
+      ~args:
+        [
+          ("nodes", string_of_int n);
+          ("instrs", string_of_int (Array.length t.program));
+          ("batch", string_of_int batch);
+        ]
+      ~t0 ~t1:(Trace.Spans.now ()) ();
+  t
+
+let reset t =
+  let b = t.batch in
+  Array.fill t.fx 0 (Array.length t.fx) 0.0;
+  Array.iter
+    (fun (slot, v) -> Array.fill t.fx (slot * b) b v)
+    t.consts;
+  Array.iteri
+    (fun reg init -> Array.fill t.regs (reg * b) b init)
+    t.delay_inits;
+  Array.iter (fun q -> q.ovf <- 0) t.quants;
+  if t.dual then begin
+    Array.fill t.fl 0 (Array.length t.fl) 0.0;
+    Array.iter (fun (slot, v) -> Array.fill t.fl (slot * b) b v) t.consts;
+    Array.iteri
+      (fun reg init -> Array.fill t.regs_fl (reg * b) b init)
+      t.delay_inits
+  end
+
+(* --- execution --------------------------------------------------------- *)
+
+(* Fixed-lattice evaluation of one instruction over every lane.  The
+   [feeds] closures are the pre-resolved stimulus functions; when
+   [dual], the raw (pre-injection) input sample is mirrored into the
+   float lattice here so the stimulus closure is sampled once per
+   lattice at most. *)
+let exec_fx t ~(inject : inject option) ~step feeds ins =
+  let b = t.batch in
+  let fx = t.fx in
+  match ins with
+  | Iinput { dst; input } ->
+      let o = dst * b in
+      let feed : lane:int -> int -> float = Array.unsafe_get feeds input in
+      let name = t.input_names.(input) in
+      for l = 0 to b - 1 do
+        let v = feed ~lane:l step in
+        if t.dual then Array.unsafe_set t.fl (o + l) v;
+        let v =
+          match inject with
+          | None -> v
+          | Some f -> f ~name ~lane:l ~step v
+        in
+        Array.unsafe_set fx (o + l) v
+      done
+  | Iadd { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Array.unsafe_get fx (oa + l) +. Array.unsafe_get fx (ob + l))
+      done
+  | Isub { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Array.unsafe_get fx (oa + l) -. Array.unsafe_get fx (ob + l))
+      done
+  | Imul { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Array.unsafe_get fx (oa + l) *. Array.unsafe_get fx (ob + l))
+      done
+  | Idiv { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Array.unsafe_get fx (oa + l) /. Array.unsafe_get fx (ob + l))
+      done
+  | Ineg { dst; a } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l) (-.Array.unsafe_get fx (oa + l))
+      done
+  | Iabs { dst; a } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l) (Float.abs (Array.unsafe_get fx (oa + l)))
+      done
+  | Imin { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Float.min (Array.unsafe_get fx (oa + l))
+             (Array.unsafe_get fx (ob + l)))
+      done
+  | Imax { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Float.max (Array.unsafe_get fx (oa + l))
+             (Array.unsafe_get fx (ob + l)))
+      done
+  | Ishift { dst; a; scale } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l) (Array.unsafe_get fx (oa + l) *. scale)
+      done
+  | Idelay { dst; reg } -> Array.blit t.regs (reg * b) fx (dst * b) b
+  | Iquant { dst; a; k } ->
+      let qq = t.quants.(k) in
+      let c = qq.q and s = t.scratch in
+      let o = dst * b and oa = a * b in
+      (match inject with
+      | None ->
+          for l = 0 to b - 1 do
+            let v =
+              Fixpt.Quantize.exec_into c (Array.unsafe_get fx (oa + l)) s
+            in
+            if s.Fixpt.Quantize.flag <> 0.0 then qq.ovf <- qq.ovf + 1;
+            Array.unsafe_set fx (o + l) v
+          done
+      | Some f ->
+          for l = 0 to b - 1 do
+            let v =
+              Fixpt.Quantize.exec_into c (Array.unsafe_get fx (oa + l)) s
+            in
+            if s.Fixpt.Quantize.flag <> 0.0 then qq.ovf <- qq.ovf + 1;
+            Array.unsafe_set fx (o + l) (f ~name:qq.qname ~lane:l ~step v)
+          done)
+  | Isat { dst; a; lo; hi } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (Float.max lo (Float.min hi (Array.unsafe_get fx (oa + l))))
+      done
+  | Isel { dst; c; a; b = rb } ->
+      let o = dst * b and oc = c * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fx (o + l)
+          (if Array.unsafe_get fx (oc + l) >= 0.5 then
+             Array.unsafe_get fx (oa + l)
+           else Array.unsafe_get fx (ob + l))
+      done
+  | Icopy { dst; a } -> Array.blit fx (a * b) fx (dst * b) b
+
+(* Float-reference lattice: same arithmetic, [Quantize]/[Saturate] are
+   identities, [Select] steered by the {e fixed} lattice's condition
+   (§4.2 — decisions follow the implementation).  Inputs were already
+   mirrored by [exec_fx]. *)
+let exec_fl t ins =
+  let b = t.batch in
+  let fl = t.fl in
+  match ins with
+  | Iinput _ -> ()
+  | Iadd { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Array.unsafe_get fl (oa + l) +. Array.unsafe_get fl (ob + l))
+      done
+  | Isub { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Array.unsafe_get fl (oa + l) -. Array.unsafe_get fl (ob + l))
+      done
+  | Imul { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Array.unsafe_get fl (oa + l) *. Array.unsafe_get fl (ob + l))
+      done
+  | Idiv { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Array.unsafe_get fl (oa + l) /. Array.unsafe_get fl (ob + l))
+      done
+  | Ineg { dst; a } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l) (-.Array.unsafe_get fl (oa + l))
+      done
+  | Iabs { dst; a } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l) (Float.abs (Array.unsafe_get fl (oa + l)))
+      done
+  | Imin { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Float.min (Array.unsafe_get fl (oa + l))
+             (Array.unsafe_get fl (ob + l)))
+      done
+  | Imax { dst; a; b = rb } ->
+      let o = dst * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (Float.max (Array.unsafe_get fl (oa + l))
+             (Array.unsafe_get fl (ob + l)))
+      done
+  | Ishift { dst; a; scale } ->
+      let o = dst * b and oa = a * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l) (Array.unsafe_get fl (oa + l) *. scale)
+      done
+  | Idelay { dst; reg } -> Array.blit t.regs_fl (reg * b) fl (dst * b) b
+  | Iquant { dst; a; k = _ } | Isat { dst; a; lo = _; hi = _ } | Icopy { dst; a }
+    ->
+      Array.blit fl (a * b) fl (dst * b) b
+  | Isel { dst; c; a; b = rb } ->
+      let o = dst * b and oc = c * b and oa = a * b and ob = rb * b in
+      for l = 0 to b - 1 do
+        Array.unsafe_set fl (o + l)
+          (if Array.unsafe_get t.fx (oc + l) >= 0.5 then
+             Array.unsafe_get fl (oa + l)
+           else Array.unsafe_get fl (ob + l))
+      done
+
+let commit t =
+  let b = t.batch in
+  Array.iter
+    (fun (reg, src) -> Array.blit t.fx (src * b) t.regs_nxt (reg * b) b)
+    t.commits;
+  let cur = t.regs in
+  t.regs <- t.regs_nxt;
+  t.regs_nxt <- cur;
+  if t.dual then begin
+    Array.iter
+      (fun (reg, src) -> Array.blit t.fl (src * b) t.regs_fl_nxt (reg * b) b)
+      t.commits;
+    let cur = t.regs_fl in
+    t.regs_fl <- t.regs_fl_nxt;
+    t.regs_fl_nxt <- cur
+  end
+
+let run ?inject ?on_step t ~steps ~inputs =
+  if steps < 0 then invalid_arg "Compile.run: steps < 0";
+  let spanned = Trace.Spans.enabled () in
+  let t0 = if spanned then Trace.Spans.now () else 0.0 in
+  reset t;
+  let feeds = Array.map (fun name -> inputs name) t.input_names in
+  let prog = t.program in
+  let np = Array.length prog in
+  for step = 0 to steps - 1 do
+    for i = 0 to np - 1 do
+      exec_fx t ~inject ~step feeds (Array.unsafe_get prog i)
+    done;
+    if t.dual then
+      for i = 0 to np - 1 do
+        exec_fl t (Array.unsafe_get prog i)
+      done;
+    commit t;
+    match on_step with Some f -> f step | None -> ()
+  done;
+  if spanned then
+    Trace.Spans.record ~cat:"compile" ~tid:0 ~name:"exec"
+      ~args:
+        [
+          ("steps", string_of_int steps);
+          ("batch", string_of_int t.batch);
+          ("samples", string_of_int (steps * t.batch));
+        ]
+      ~t0 ~t1:(Trace.Spans.now ()) ();
+  ()
+
+let traces ?inject t ~steps ~inputs =
+  let n = node_count t in
+  let b = t.batch in
+  let out =
+    Array.init n (fun _ -> Array.init b (fun _ -> Array.make steps 0.0))
+  in
+  run ?inject t ~steps ~inputs ~on_step:(fun s ->
+      for i = 0 to n - 1 do
+        let row = Array.unsafe_get out i in
+        let base = i * b in
+        for l = 0 to b - 1 do
+          (Array.unsafe_get row l).(s) <- Array.unsafe_get t.fx (base + l)
+        done
+      done);
+  Array.to_list (Array.mapi (fun i tr -> (t.names.(i), tr)) out)

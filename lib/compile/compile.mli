@@ -1,0 +1,124 @@
+(** Flat-schedule compilation of a signal-flow graph.
+
+    {!Sfg.Graph.simulate} walks the node list every cycle, pattern
+    matching each operator and allocating an argument list per node —
+    fine for an oracle, hopeless for a sweep that re-simulates a design
+    thousands of times.  [compile] lowers a closed graph once into a
+    flat program over preallocated float arrays:
+
+    - the schedule is the node-id order (construction order, which the
+      graph guarantees is topological for everything except delay
+      feedback — exactly the dependence a delay breaks);
+    - each {!Sfg.Node.Quantize} node is fused at compile time to its
+      {!Fixpt.Quantize.compiled} record (via the memoized
+      {!Fixpt.Quantize.of_dtype} cache), so the per-sample cast is the
+      same allocation-free [exec_into] the clock-true simulator uses;
+    - delay registers live in a double-buffered block committed by an
+      index (buffer) swap after every tick;
+    - there are no per-sample hash or name lookups: names are resolved
+      to array slots at compile time.
+
+    {b Batching.} The value store is structure-of-arrays: node [i]'s
+    value for lane [l] lives at [i * batch + l], so [batch] independent
+    stimulus vectors advance per tick through the same instruction
+    stream.  Lanes never interact; compiled execution of lane [l] is
+    bit-identical to a [batch = 1] run fed lane [l]'s stimulus (the
+    oracle property {!Oracle.Compile_check} enforces).
+
+    {b Fidelity.} Per node and step, the computed value is bit-identical
+    to the interpreter's: same operator semantics ({!Sfg.Node.eval_value}),
+    same quantizer code, same delay-commit schedule.  The compiled
+    executor is checked against {!Sfg.Graph.simulate} by byte-equality,
+    with and without fault injection.
+
+    {b Dual lattice.} With [~dual:true] the program also advances the
+    float-reference lattice of the clock-true simulator (§4.2): the
+    same arithmetic over a parallel value store in which [Quantize] and
+    [Saturate] are identities and [Select] is steered by the fixed
+    lattice's condition.  That is what candidate evaluation needs to
+    reproduce the per-signal consumed/produced error monitors. *)
+
+(** Raised by {!compile} on a graph it cannot lower — unconnected
+    feedback delays ({!Sfg.Graph.validate} failure) or a node schedule
+    that is not topological. *)
+exception Cannot_compile of string
+
+(** A compiled program: the instruction stream plus its value store.
+    Mutable (running it advances the store); not domain-shareable —
+    each worker owns its own program, like workload instances. *)
+type t
+
+(** Fault-injection hook: applied to the value of [Input] and
+    [Quantize] nodes (after the cast), per lane and step — the same
+    two sites the clock-true simulator's assignment injector covers.
+    Must be pure in [(name, lane, step, value)] for replay to be
+    deterministic. *)
+type inject = name:string -> lane:int -> step:int -> float -> float
+
+(** [compile ?batch ?dual g] lowers [g].  [batch] (default 1) is the
+    lane count B; [dual] (default false) enables the float-reference
+    lattice.  Raises {!Cannot_compile} on an incomplete graph and
+    [Invalid_argument] on [batch < 1].  Records a ["compile"] span when
+    {!Trace.Spans} collection is on. *)
+val compile : ?batch:int -> ?dual:bool -> Sfg.Graph.t -> t
+
+val batch : t -> int
+val node_count : t -> int
+
+(** Number of lowered instructions (constants are hoisted to {!reset},
+    so this can be smaller than {!node_count}). *)
+val instr_count : t -> int
+
+(** Slot of the {e last} node named [name] (assignment order, like the
+    simulator's name resolution). *)
+val find : t -> string -> int option
+
+(** [value t ~id ~lane] — node [id]'s fixed-lattice value for [lane],
+    as of the last executed step. *)
+val value : t -> id:int -> lane:int -> float
+
+(** Float-reference lattice read-back.  Raises [Invalid_argument] on a
+    program compiled without [~dual:true]. *)
+val value_ref : t -> id:int -> lane:int -> float
+
+(** Overflow events per [Quantize] node, in schedule order, summed over
+    lanes and steps since the last {!reset}. *)
+val overflows : t -> (string * int) list
+
+(** Total overflow events since the last {!reset}. *)
+val overflow_count : t -> int
+
+(** Reinitialize the store: values zeroed, constants re-materialized,
+    delay registers back to their init values, overflow counters
+    cleared.  {!run} calls this itself. *)
+val reset : t -> unit
+
+(** [run ?inject ?on_step t ~steps ~inputs] executes [steps] ticks from
+    a fresh {!reset}.  [inputs name ~lane step] feeds each [Input]
+    node; it is resolved per input node once (so [inputs name] may
+    precompute), and must be pure — the dual lattice and fault replay
+    may sample it more than once.  [on_step s] runs after step [s]'s
+    delay commit, with the store readable through {!value}/{!value_ref}.
+    Records an ["exec"] span when {!Trace.Spans} collection is on.
+
+    NaN reaching a [Quantize] node raises [Invalid_argument] exactly
+    like the interpreter's cast. *)
+val run :
+  ?inject:inject ->
+  ?on_step:(int -> unit) ->
+  t ->
+  steps:int ->
+  inputs:(string -> lane:int -> int -> float) ->
+  unit
+
+(** [traces ?inject t ~steps ~inputs] — {!run}, capturing every node's
+    per-lane trace: [(name, per_lane)] in node order with
+    [per_lane.(l).(s)] the lane-[l] value at step [s].  Lane [l]'s
+    column is byte-comparable to {!Sfg.Graph.simulate} fed the same
+    stimulus. *)
+val traces :
+  ?inject:inject ->
+  t ->
+  steps:int ->
+  inputs:(string -> lane:int -> int -> float) ->
+  (string * float array array) list

@@ -16,6 +16,10 @@
       buffer), wall-clock spans, Chrome trace_event/counters exporters
       behind [fxrefine trace] and the [--trace]/[--counters] flags;
     - {!Sfg}: signal-flow graphs and the pure analytical analyses;
+    - {!Compile}: the flat-schedule batched executor — extracted graphs
+      lowered to preallocated-array programs with fused quantizers,
+      behind [fxrefine compile], [fxrefine check --compiled] and the
+      sweep's compiled candidate evaluation;
     - {!Refine}: the refinement rules, the design flow driver, and the
       two literature baselines;
     - {!Dsp}: the paper's example designs (LMS equalizer, PAM timing
@@ -39,6 +43,7 @@ module Stats = Stats
 module Sim = Sim
 module Trace = Trace
 module Sfg = Sfg
+module Compile = Compile
 module Refine = Refine
 module Dsp = Dsp
 module Sweep = Sweep

@@ -209,5 +209,9 @@ let workload plan (w : Sweep.Workload.t) =
             (fun s ->
               cur_tag := string_of_int s;
               inst.Sweep.Workload.set_seed s);
+          (* the injector arms around [design.run] only: the compiled
+             path skips that closure entirely, so a faulted workload
+             must stay on the clock-true interpreter *)
+          compiled = None;
         });
   }

@@ -250,17 +250,24 @@ let exec (c : compiled) v : outcome =
    ({!quantize}, {!cast}, the SFG interpreter) share the precomputation
    too.  Dtypes are small immutable records: structural hashing is exact.
    The table is bounded defensively — wordlength searches can synthesize
-   thousands of throwaway types. *)
+   thousands of throwaway types.  Guarded by a mutex: sweep worker
+   domains retype signals (and compile graphs) concurrently, and an
+   unsynchronized Hashtbl resize corrupts under parallel access. *)
 let memo : (Dtype.t, compiled) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
 
 let of_dtype dt =
-  match Hashtbl.find_opt memo dt with
-  | Some c -> c
-  | None ->
-      if Hashtbl.length memo > 4096 then Hashtbl.reset memo;
-      let c = compile dt in
-      Hashtbl.add memo dt c;
-      c
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      match Hashtbl.find_opt memo dt with
+      | Some c -> c
+      | None ->
+          if Hashtbl.length memo > 4096 then Hashtbl.reset memo;
+          let c = compile dt in
+          Hashtbl.add memo dt c;
+          c)
 
 (** [quantize dtype v] casts [v] through [dtype]'s quantization scheme.
     NaN input raises [Invalid_argument]; infinities saturate (or wrap to

@@ -180,6 +180,97 @@ let run ?(baseline_file = default_baseline_file) ?(threshold = 0.8)
       in
       { threshold; entries; note = None }
 
+(* --- compiled-executor throughput (BENCH_compile.json) ------------------ *)
+
+let default_compiled_baseline_file = "BENCH_compile.json"
+
+(* The graphs the compiled rows run: the extracted flowgraphs of the
+   lms and timing conformance workloads — the same extraction the
+   sweep's compiled candidate path uses. *)
+let scenario_graph name =
+  match Workloads.find name with
+  | None -> failwith ("Bench_guard: unknown workload " ^ name)
+  | Some w -> (
+      let b = w.Workloads.build () in
+      match b.Workloads.extract_graph with
+      | Some f -> f ()
+      | None -> failwith ("Bench_guard: workload has no extractor: " ^ name))
+
+(* simbench's protocol on the flat-schedule executor: one warm-up run,
+   then whole-run repetitions for the budget.  Throughput counts
+   lane-samples (steps x batch): the quantity a batched sweep consumes. *)
+let measure_compiled ~budget prog ~steps =
+  let buf = Array.init 8192 (fun i -> Float.sin (Float.of_int i) *. 0.75) in
+  let inputs _name ~lane step =
+    Array.unsafe_get buf ((lane + (step * 31)) land 8191)
+  in
+  Compile.run prog ~steps ~inputs;
+  let reps = ref 0 in
+  let t0 = Sys.time () in
+  let elapsed () = Sys.time () -. t0 in
+  while elapsed () < budget || !reps = 0 do
+    Compile.run prog ~steps ~inputs;
+    incr reps
+  done;
+  Float.of_int (!reps * steps * Compile.batch prog) /. elapsed ()
+
+let compiled_rows ?(budget_seconds = 0.5) () =
+  let lms = scenario_graph "lms" and timing = scenario_graph "timing" in
+  List.map
+    (fun (name, g, batch, steps) ->
+      let prog = Compile.compile ~batch g in
+      (name, steps, measure_compiled ~budget:budget_seconds prog ~steps))
+    [
+      ("lms-compiled-b1", lms, 1, 4000);
+      ("lms-compiled-b64", lms, 64, 4000);
+      ("timing-compiled-b1", timing, 1, 8000);
+      ("timing-compiled-b64", timing, 64, 8000);
+    ]
+
+let run_compiled ?(baseline_file = default_compiled_baseline_file)
+    ?(threshold = 0.8) ?(budget_seconds = 0.5) () =
+  if not (Sys.file_exists baseline_file) then
+    {
+      threshold;
+      entries = [];
+      note =
+        Some (Printf.sprintf "baseline %s not found: skipped" baseline_file);
+    }
+  else
+    let baselines =
+      try
+        parse_baselines
+          (In_channel.with_open_bin baseline_file In_channel.input_all)
+      with Sys_error _ -> []
+    in
+    if baselines = [] then
+      {
+        threshold;
+        entries = [];
+        note =
+          Some
+            (Printf.sprintf "no baselines parsed from %s: skipped"
+               baseline_file);
+      }
+    else
+      let entries =
+        List.filter_map
+          (fun (bench, samples_per_run, measured) ->
+            match List.assoc_opt bench baselines with
+            | None -> None
+            | Some baseline ->
+                Some
+                  {
+                    bench;
+                    samples_per_run;
+                    baseline;
+                    measured;
+                    ratio = measured /. baseline;
+                  })
+          (compiled_rows ~budget_seconds ())
+      in
+      { threshold; entries; note = None }
+
 let passed r = List.for_all (fun e -> e.ratio >= r.threshold) r.entries
 
 let pp_report ppf r =

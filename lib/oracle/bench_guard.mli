@@ -40,5 +40,26 @@ val run :
   unit ->
   report
 
+val default_compiled_baseline_file : string
+
+(** The compiled-executor throughput rows, shared with [bench/main.ml]'s
+    [compilebench]: the extracted lms and timing flowgraphs on the
+    flat-schedule executor at batch 1 and 64, as
+    [(name, samples_per_run, lane_samples_per_sec)].  Throughput counts
+    lane-samples (steps × batch) — the quantity a batched sweep
+    consumes. *)
+val compiled_rows :
+  ?budget_seconds:float -> unit -> (string * int * float) list
+
+(** {!run}, but for the compiled-executor rows against the committed
+    [BENCH_compile.json] baselines (its [after] fields).  Same skip
+    semantics on a missing/unparseable baseline file. *)
+val run_compiled :
+  ?baseline_file:string ->
+  ?threshold:float ->
+  ?budget_seconds:float ->
+  unit ->
+  report
+
 val passed : report -> bool
 val pp_report : Format.formatter -> report -> unit

@@ -9,6 +9,7 @@ type built = {
   probe : string;
   run : unit -> unit;
   graph : Sfg.Graph.t option;
+  extract_graph : (unit -> Sfg.Graph.t) option;
   divergence_bound : float option;
   max_divergence : unit -> float;
   sqnr : Stats.Sqnr.t;
@@ -130,12 +131,21 @@ let build_fir () =
       run;
     }
   in
+  let extract_graph () =
+    Sim.Extract.graph env
+      ~step:(fun () ->
+        let open Sim.Ops in
+        x <-- Sim.Value.of_float stimulus.(0);
+        ignore (Dsp.Fir.step fir !!x))
+      ()
+  in
   {
     env;
     workload = name;
     probe;
     run;
     graph = Some graph;
+    extract_graph = Some extract_graph;
     divergence_bound = Some bound;
     max_divergence = (fun () -> !(tk.tk_div));
     sqnr = tk.tk_sqnr;
@@ -205,12 +215,16 @@ let build_lms () =
       run;
     }
   in
+  let extract_graph () =
+    Sim.Extract.graph env ~step:(fun () -> Dsp.Lms_equalizer.step eq) ()
+  in
   {
     env;
     workload = name;
     probe;
     run;
     graph = Some graph;
+    extract_graph = Some extract_graph;
     divergence_bound = None (* decision-feedback loop: no closed form *);
     max_divergence = (fun () -> !(tk.tk_div));
     sqnr = tk.tk_sqnr;
@@ -264,12 +278,22 @@ let build_cordic () =
     cordic_amplification iters *. Float.of_int (iters + 1) *. step /. 2.0
     *. 1.5
   in
+  let extract_graph () =
+    Sim.Extract.graph env
+      ~step:(fun () ->
+        let x, y, z = stimulus.(0) in
+        ignore
+          (Dsp.Cordic.rotate cor ~x:(Sim.Value.of_float x)
+             ~y:(Sim.Value.of_float y) ~z:(Sim.Value.of_float z)))
+      ()
+  in
   {
     env;
     workload = name;
     probe;
     run;
     graph = None;
+    extract_graph = Some extract_graph;
     divergence_bound = Some bound;
     max_divergence = (fun () -> !(tk.tk_div));
     sqnr = tk.tk_sqnr;
@@ -331,12 +355,16 @@ let build_timing () =
       run;
     }
   in
+  let extract_graph () =
+    Sim.Extract.graph env ~step:(fun () -> Dsp.Timing_recovery.step tr) ()
+  in
   {
     env;
     workload = name;
     probe;
     run;
     graph = None;
+    extract_graph = Some extract_graph;
     divergence_bound = None (* two nested feedback loops *);
     max_divergence = (fun () -> !(tk.tk_div));
     sqnr = tk.tk_sqnr;
@@ -391,12 +419,21 @@ let build_ddc () =
     *. (Float.of_int rate ** Float.of_int order)
     *. 1.25
   in
+  let extract_graph () =
+    Sim.Extract.graph env
+      ~step:(fun () ->
+        let open Sim.Ops in
+        x <-- Sim.Value.of_float stimulus.(0);
+        ignore (Dsp.Ddc.step ddc !!x))
+      ()
+  in
   {
     env;
     workload = name;
     probe;
     run;
     graph = None;
+    extract_graph = Some extract_graph;
     divergence_bound = Some bound;
     max_divergence = (fun () -> !(tk.tk_div));
     sqnr = tk.tk_sqnr;

@@ -12,6 +12,12 @@ type built = {
   run : unit -> unit;  (** one full monitored stimulus set *)
   graph : Sfg.Graph.t option;
       (** hand-written analytical twin, when the block library has one *)
+  extract_graph : (unit -> Sfg.Graph.t) option;
+      (** record one cycle of the design's own step body and return the
+          extracted flowgraph ({!Sim.Extract.graph}) — the graphs
+          {!Compile_check} runs compiled-vs-interpreted equality over.
+          Calling it advances the design by one cycle (extraction is one
+          more ordinary simulated cycle). *)
   divergence_bound : float option;
       (** sound bound on [|fx - fl|] at the probe, from the accumulated
           lsb steps of the quantization points on the path (feed-forward

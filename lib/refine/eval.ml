@@ -98,3 +98,97 @@ let evaluate ?(assigns = []) ?probe ?on_run ?(counters = false)
         probe_entry;
     counters = ctr;
   }
+
+(* --- compiled evaluation ----------------------------------------------- *)
+
+type compiled_eval = {
+  extract : unit -> Sfg.Graph.t;
+  cycles : int;
+  stimulus : seed:int -> string -> int -> float;
+}
+
+(* Internal: any condition that sends the evaluation back to the
+   clock-true interpreter. *)
+exception Fallback
+
+(* Locate the probe's monitor points in the extracted graph.  The
+   recorded assignment pipeline is [expr → name_q (Quantize, if typed)
+   → name_sat (Saturate, if annotated) → name (Alias/Delay)]; the env
+   monitors observe the {e incoming} expression value ([pre], the range
+   monitor and the consumed error) and the {e post-cast} value ([post],
+   the produced error) — the saturation annotation never clamps at
+   assignment time, so it is peeled. *)
+let probe_monitors g prog probe =
+  match Compile.find prog probe with
+  | None -> None
+  | Some pid -> (
+      let nd = Sfg.Graph.node g pid in
+      match (nd.Sfg.Node.op, nd.Sfg.Node.inputs) with
+      | (Sfg.Node.Alias | Sfg.Node.Delay _), [ src ] -> (
+          let src =
+            let s = Sfg.Graph.node g src in
+            match (s.Sfg.Node.op, s.Sfg.Node.inputs) with
+            | Sfg.Node.Saturate _, [ inner ]
+              when String.equal s.Sfg.Node.name (probe ^ "_sat") ->
+                inner
+            | _ -> src
+          in
+          let post = Sfg.Graph.node g src in
+          match (post.Sfg.Node.op, post.Sfg.Node.inputs) with
+          | Sfg.Node.Quantize _, [ pre ]
+            when String.equal post.Sfg.Node.name (probe ^ "_q") ->
+              Some (pre, src)
+          | _ -> Some (src, src))
+      | _ -> None)
+
+let evaluate_compiled ?(assigns = []) ?probe ~seed (ce : compiled_eval)
+    (design : Flow.design) =
+  try
+    apply_assigns design.Flow.env assigns;
+    design.Flow.reset ();
+    let g = ce.extract () in
+    let prog = Compile.compile ~dual:true g in
+    let pm =
+      match probe with
+      | None -> None
+      | Some p -> (
+          match probe_monitors g prog p with
+          | Some pm -> Some pm
+          | None -> raise Fallback)
+    in
+    let vals = Stats.Running.create () in
+    let errs = Stats.Err_stats.create () in
+    let stim = ce.stimulus ~seed in
+    let inputs name = fun ~lane:_ step -> stim name step in
+    let on_step =
+      Option.map
+        (fun (pre, post) _step ->
+          let fxpre = Compile.value prog ~id:pre ~lane:0 in
+          let flpre = Compile.value_ref prog ~id:pre ~lane:0 in
+          let fxpost = Compile.value prog ~id:post ~lane:0 in
+          Stats.Running.add vals fxpre;
+          Stats.Err_stats.record errs ~consumed:(flpre -. fxpre)
+            ~produced:(flpre -. fxpost))
+        pm
+    in
+    Compile.run ?on_step prog ~steps:ce.cycles ~inputs;
+    let env = design.Flow.env in
+    let produced = Stats.Err_stats.produced errs in
+    {
+      sqnr_db =
+        (match pm with
+        | None -> None
+        | Some _ -> Flow.sqnr_db_of ~values:vals ~errors:produced);
+      total_bits = total_bits env;
+      overflow_count = Compile.overflow_count prog;
+      probe_err_max =
+        (match pm with
+        | None -> 0.0
+        | Some _ -> Stats.Running.max_abs produced);
+      probe_values = (match pm with None -> None | Some _ -> Some vals);
+      probe_err = (match pm with None -> None | Some _ -> Some errs);
+      counters = None;
+    }
+  with Compile.Cannot_compile _ | Invalid_argument _ | Not_found | Fallback
+  ->
+    evaluate ~assigns ?probe design

@@ -49,3 +49,44 @@ val evaluate :
   ?counters:bool ->
   Flow.design ->
   metrics
+
+(** What a workload must provide for its candidates to be evaluated on
+    the compiled executor instead of the clock-true simulator. *)
+type compiled_eval = {
+  extract : unit -> Sfg.Graph.t;
+      (** record one cycle of the (just reset, freshly retyped) design
+          and return its closed flowgraph — called once per evaluation
+          so the candidate's quantizers are fused into the program *)
+  cycles : int;  (** stimulus length of one run *)
+  stimulus : seed:int -> string -> int -> float;
+      (** [stimulus ~seed name step] — the {e same} sample the design's
+          own [reset]/[run] pair would feed input node [name] at
+          [step] under stimulus seed [seed]; must be pure in all three
+          (partial application per seed may precompute) *)
+}
+
+(** [evaluate_compiled ~assigns ~probe ~seed ce design] — {!evaluate},
+    but on the flat-schedule executor: apply [assigns], reset, extract
+    the candidate's graph, {!Compile.compile} it (dual-lattice), run
+    [ce.cycles] ticks of [ce.stimulus ~seed], and rebuild {!metrics}
+    from the program's probe chain and fused overflow counters.
+
+    For a design/probe whose recorded pipeline matches the clock-true
+    monitors (no error injection at the probe, saturation annotations
+    that never clamp on the run's stimulus), the metrics are
+    bit-identical to {!evaluate}'s — the property the sweep determinism
+    gate and [test_compile] rely on.
+
+    Falls back to {!evaluate} (interpreted) when the extractor cannot
+    close the design, compilation fails, or the probe cannot be located
+    in the extracted graph.  [metrics.counters] is always [None]: a
+    counter-attached evaluation observes env events the compiled run
+    does not generate, so the pool routes [~counters:true] requests to
+    the interpreter. *)
+val evaluate_compiled :
+  ?assigns:(string * Fixpt.Dtype.t) list ->
+  ?probe:string ->
+  seed:int ->
+  compiled_eval ->
+  Flow.design ->
+  metrics

@@ -88,19 +88,22 @@ module Log = (val Logs.src_log src)
     monitor (valid because both are gathered over the same run).
     [None] means "no samples recorded yet", never "no such signal" —
     name resolution is {!sqnr_db_at}'s job. *)
-let sqnr_db (s : Sim.Signal.t) =
-  let v = Sim.Signal.range_stats s in
-  let e = Stats.Err_stats.produced (Sim.Signal.err_stats s) in
-  if Stats.Running.count v = 0 then None
+let sqnr_db_of ~values ~errors =
+  if Stats.Running.count values = 0 then None
   else
     let p_signal =
-      Stats.Running.variance v +. (Stats.Running.mean v ** 2.0)
+      Stats.Running.variance values +. (Stats.Running.mean values ** 2.0)
     in
     let p_noise =
-      Stats.Running.variance e +. (Stats.Running.mean e ** 2.0)
+      Stats.Running.variance errors +. (Stats.Running.mean errors ** 2.0)
     in
     if p_noise <= 0.0 then Some Float.infinity
     else Some (10.0 *. Float.log10 (p_signal /. p_noise))
+
+let sqnr_db (s : Sim.Signal.t) =
+  sqnr_db_of
+    ~values:(Sim.Signal.range_stats s)
+    ~errors:(Stats.Err_stats.produced (Sim.Signal.err_stats s))
 
 (** Name-resolving variant.  A misspelt probe used to dissolve into a
     silent [None] (indistinguishable from "signal never assigned"); now

@@ -70,6 +70,14 @@ val sqnr_db : Sim.Signal.t -> float option
     for its [sqnr_signal] probe. *)
 val sqnr_db_at : Sim.Env.t -> string -> float option
 
+(** The formula under {!sqnr_db}, over explicit monitors: signal power
+    from [values] (variance + mean², the second raw moment), noise
+    power likewise from [errors].  Exposed so the compiled evaluation
+    path ({!Eval.evaluate_compiled}) computes bit-identical SQNR from
+    its own probe accumulators. *)
+val sqnr_db_of :
+  values:Stats.Running.t -> errors:Stats.Running.t -> float option
+
 (** Apply derived types; pre-existing designer types are preserved
     unless [overwrite]. *)
 val apply_types :

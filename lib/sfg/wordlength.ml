@@ -124,7 +124,11 @@ let assign ?(widen_after = Range_analysis.default_widen_after) graph ~output
             else
               (* q²/12 · gain ≤ budget_each  ⇒  q ≤ sqrt(12·budget/gain) *)
               let q = sqrt (12.0 *. var_budget_each /. gain) in
-              Some (Float.to_int (Float.floor (Float.log2 q)))
+              (* a huge gain underflows q to 0 and log2 to −∞, whose
+                 int conversion is unspecified: clamp to the float
+                 exponent range, like [Err_stats.precision_of] *)
+              let p = Float.floor (Float.log2 q) in
+              Some (Float.to_int (Float.max (-1074.0) (Float.min 1023.0 p)))
           end
         in
         { name; msb; lsb })
@@ -135,6 +139,9 @@ let assign ?(widen_after = Range_analysis.default_widen_after) graph ~output
     List.fold_left
       (fun acc a ->
         match (acc, a.msb, a.lsb) with
+        (* an inverted format (msb < lsb) has no representable width:
+           refuse to total it instead of summing a negative count *)
+        | Some _, Some m, Some l when m < l -> None
         | Some total, Some m, Some l -> Some (total + (m - l + 1))
         | Some total, Some _, None -> Some total (* no quantizer here *)
         | _, None, _ -> None

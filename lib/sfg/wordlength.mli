@@ -7,12 +7,18 @@
 type assignment = {
   name : string;
   msb : int option;  (** [None] — range exploded *)
-  lsb : int option;  (** [None] — node needs no quantization *)
+  lsb : int option;
+      (** [None] — node needs no quantization.  Always within the float
+          exponent range [[-1074, 1023]]: a vanishing noise budget (huge
+          gain) clamps to the subnormal floor rather than overflowing
+          the int conversion. *)
 }
 
 type result = {
   assignments : assignment list;
-  total_bits : int option;  (** [None] if any signal has no finite format *)
+  total_bits : int option;
+      (** [None] if any signal has no finite format, or if an assignment
+          is inverted ([msb < lsb] — no representable width) *)
   exploded : string list;
 }
 

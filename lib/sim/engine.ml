@@ -37,16 +37,17 @@ let run env ~cycles step =
     Env.tick env
   done
 
-(** [run_until env step] — run until [step] returns [false] (checked
-    after the tick); returns the number of executed cycles.  [~max]
-    bounds runaway loops. *)
+(** [run_until env step] — run until [step] returns [false] or [~max]
+    cycles have executed.  Both exits return the same quantity: the
+    number of executed-and-committed cycles (every [step] call is
+    followed by its clock tick, including the final one), so callers
+    can rely on [result = ticks] whichever way the loop stopped. *)
 let run_until ?(max = 1_000_000) env step =
-  let rec go cycle =
-    if cycle >= max then cycle
-    else begin
-      let continue = step cycle in
-      Env.tick env;
-      if continue then go (cycle + 1) else cycle + 1
-    end
-  in
-  go 0
+  let committed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !committed < max do
+    continue_ := step !committed;
+    Env.tick env;
+    incr committed
+  done;
+  !committed

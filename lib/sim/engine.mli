@@ -26,6 +26,13 @@ val run_processors : t -> cycles:int -> unit
     times. *)
 val run : Env.t -> cycles:int -> (int -> unit) -> unit
 
-(** Run until [step] returns [false] (tick after each step); returns the
-    executed cycle count.  [max] bounds runaway loops. *)
+(** Run until [step] returns [false] (tick after each step); [max]
+    bounds runaway loops (default one million cycles).
+
+    Returns the number of executed-and-committed cycles, with the same
+    meaning on {e both} exits: every call to [step] — including the one
+    that returned [false] — is followed by its [Env.tick], and each
+    such step+tick pair counts once.  So a loop stopped by the bound
+    returns exactly [max], and a loop whose [step] first returns
+    [false] at cycle [c] returns [c + 1]. *)
 val run_until : ?max:int -> Env.t -> (int -> bool) -> int

@@ -28,7 +28,15 @@ let graph env ?(outputs = []) ~step () =
       let s = Env.find_exn env name in
       match Hashtbl.find_opt r.Record.drivers s.Env.id with
       | Some node -> Sfg.Graph.mark_output r.Record.graph name node
-      | None -> ())
+      | None ->
+          (* silently dropping the output used to hand the analyses a
+             graph whose "output" was whatever node happened to share a
+             prefix — a typo'd name then optimizes the wrong node *)
+          invalid_arg
+            (Printf.sprintf
+               "Extract.graph: output %S was never assigned during the \
+                recorded cycle (typo, or a branch not taken this cycle?)"
+               name))
     outputs;
   r.Record.graph
 

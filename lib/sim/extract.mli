@@ -12,7 +12,13 @@
 
 (** [graph env ~step ()] — extract; [outputs] marks signals as graph
     outputs.  The recorded cycle is an ordinary simulated cycle (it also
-    lands in the monitors) and includes the [Env.tick]. *)
+    lands in the monitors) and includes the [Env.tick].
+
+    Raises [Invalid_argument] when an [outputs] entry names a signal
+    that was never assigned during the recorded cycle (a typo'd name,
+    or a strobed branch that did not fire this cycle) — a silently
+    dropped output would hand the downstream analyses the wrong
+    node. *)
 val graph :
   Env.t -> ?outputs:string list -> step:(unit -> unit) -> unit -> Sfg.Graph.t
 

@@ -33,9 +33,12 @@ type t = {
   mutable fresh : int;  (** counter for synthetic op-node names *)
 }
 
-let current : t option ref = ref None
+(* Domain-local: parallel sweep workers each extract (and therefore
+   record) inside their own domain — a shared ref would cross-record
+   their graphs into each other. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let active () = !current
+let active () = Domain.DLS.get current
 
 let start () =
   let t =
@@ -46,10 +49,10 @@ let start () =
       fresh = 0;
     }
   in
-  current := Some t;
+  Domain.DLS.set current (Some t);
   t
 
-let stop () = current := None
+let stop () = Domain.DLS.set current None
 
 let synth_name t base =
   t.fresh <- t.fresh + 1;
@@ -72,6 +75,6 @@ let op t op_kind (args : Value.t list) =
 (* Is this session currently mid-recording?  Exposed for the operator
    layer: [map_node] runs [f] only when recording. *)
 let map_node f v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> v
   | Some t -> Value.with_node v (f t)

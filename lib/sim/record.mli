@@ -13,10 +13,10 @@ type t = {
   mutable fresh : int;
 }
 
-(** The active session, if any.  At most one session exists at a time. *)
-val current : t option ref
-
-(** The recorder currently capturing, if any. *)
+(** The recorder currently capturing, if any.  The session is
+    domain-local: at most one per domain, and parallel sweep workers
+    can extract concurrently without cross-recording each other's
+    graphs. *)
 val active : unit -> t option
 
 (** Begin a session (replacing any active one). *)

@@ -41,9 +41,19 @@ let eval_candidate ~counters ~tid (workload : Workload.t)
   Sim.Env.restore_into inst.baseline inst.env;
   inst.set_seed c.Candidate.stim_seed;
   let metrics =
-    Refine.Eval.evaluate ~counters
-      ~assigns:(Candidate.to_dtypes c)
-      ~probe:workload.Workload.probe inst.Workload.design
+    (* compiled fast path when the workload supports it; a counter
+       sweep stays interpreted — counters observe env assignment events
+       the compiled run does not generate *)
+    match inst.Workload.compiled with
+    | Some ce when not counters ->
+        Refine.Eval.evaluate_compiled
+          ~assigns:(Candidate.to_dtypes c)
+          ~probe:workload.Workload.probe ~seed:c.Candidate.stim_seed ce
+          inst.Workload.design
+    | _ ->
+        Refine.Eval.evaluate ~counters
+          ~assigns:(Candidate.to_dtypes c)
+          ~probe:workload.Workload.probe inst.Workload.design
   in
   if spanned then
     Trace.Spans.record ~cat:"sweep" ~tid

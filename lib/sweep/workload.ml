@@ -16,6 +16,11 @@ type instance = {
   baseline : Sim.Env.snapshot;  (** configuration right after build *)
   set_seed : int -> unit;
       (** stimulus seed for the next [design.reset]/[design.run] *)
+  compiled : Refine.Eval.compiled_eval option;
+      (** compiled-executor support ({!Refine.Eval.evaluate_compiled});
+          [None] keeps every evaluation on the clock-true interpreter —
+          the fault wrapper strips it, since its injector arms around
+          [design.run] only *)
 }
 
 type t = {
@@ -69,7 +74,33 @@ let fir ?(n = 512) () =
       }
     in
     let baseline = Sim.Env.snapshot env in
-    { env; design; baseline; set_seed = (fun s -> cur_seed := s) }
+    let compiled =
+      Some
+        {
+          Refine.Eval.extract =
+            (fun () ->
+              Sim.Extract.graph env ~outputs:[ "out" ]
+                ~step:(fun () ->
+                  let open Sim.Ops in
+                  x <-- Sim.Value.of_float (Stats.Rng.uniform_sym rng 1.0);
+                  out <-- Dsp.Fir.step f !!x)
+                ());
+          cycles = n;
+          stimulus =
+            (fun ~seed ->
+              (* the same create/reseed protocol as [design.reset], so
+                 sample [step] is bit-identical to what the clock-true
+                 run would feed [x] *)
+              let srng = Stats.Rng.create ~seed:12 in
+              Stats.Rng.reseed srng ~seed:(12 + (7919 * seed));
+              let buf =
+                Array.init n (fun _ -> Stats.Rng.uniform_sym srng 1.0)
+              in
+              fun name step ->
+                if String.equal name "x_in" then buf.(step) else 0.0);
+        }
+    in
+    { env; design; baseline; set_seed = (fun s -> cur_seed := s); compiled }
   in
   { name = "fir"; probe = "out"; specs = fir_specs; make_instance }
 

@@ -13,6 +13,14 @@ type instance = {
   baseline : Sim.Env.snapshot;  (** configuration right after build *)
   set_seed : int -> unit;
       (** stimulus seed for the next [design.reset]/[design.run] *)
+  compiled : Refine.Eval.compiled_eval option;
+      (** compiled-executor support: when present, the pool evaluates
+          candidates with {!Refine.Eval.evaluate_compiled} (identical
+          metrics, ~an order of magnitude faster); [None] — or a
+          [~counters:true] sweep — keeps the clock-true interpreter.
+          The fault wrapper ({!Fault.Inject.workload}) strips it: its
+          injector arms around [design.run], which the compiled path
+          does not execute. *)
 }
 
 type t = {

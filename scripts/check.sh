@@ -9,9 +9,12 @@
 #      trace-determinism gate (sweep counters JSON byte-identical for
 #      any --jobs; counting sink observer-neutral), the fault-injection
 #      gate (--faults: schedule replay, faulted-sweep quarantine
-#      determinism, collect-policy degradation), and the bench
-#      regression guard (wall-clock, so deliberately NOT part of
-#      `dune runtest`);
+#      determinism, collect-policy degradation), the compiled-executor
+#      gate (--compiled: flat-schedule executor byte-identical to the
+#      interpreter on every workload graph, batched and under fault
+#      replay; sweep metric parity; BENCH_compile.json throughput
+#      guard), and the bench regression guard (wall-clock, so
+#      deliberately NOT part of `dune runtest`);
 #   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
 #      command by command so the documentation cannot rot.
 #
@@ -36,4 +39,5 @@ else
   echo "check.sh: odoc not installed, skipping 'dune build @doc'"
 fi
 with_timeout 900 dune exec bin/fxrefine.exe -- check --faults
+with_timeout 900 dune exec bin/fxrefine.exe -- check --compiled
 with_timeout 600 sh scripts/check_tutorial.sh

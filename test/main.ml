@@ -36,4 +36,5 @@ let () =
       Test_merge.suite;
       Test_sweep.suite;
       Test_fault.suite;
+      Test_compile.suite;
     ]

@@ -1,0 +1,407 @@
+(* Unit + conformance tests: the flat-schedule compiled executor.
+
+   The contract under test is byte-equality: every node's value, at
+   every step and lane, must be bit-identical between
+   [Compile.run]/[Compile.traces] and the reference interpreter
+   [Sfg.Graph.simulate] — across batch sizes, overflow/round modes and
+   fault-plan replay.  Plus the satellite fixes this PR carries:
+   [Engine.run_until] exit semantics, the [Wordlength.assign] LSB
+   clamp, and [Extract.graph]'s missing-output error. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let bits = Int64.bits_of_float
+
+(* Pure, NaN-free stimulus: a hash of (name, lane, step) scaled into
+   (-2, 2) — lanes get genuinely different streams. *)
+let stim name lane step =
+  let h = Hashtbl.hash (name, lane, step * 7919) in
+  Float.of_int ((h land 0xFFFF) - 0x8000) /. 16384.0
+
+(* Compiled-vs-interpreted byte equality over every node, step, lane.
+   [cinject]/[iinject] must encode the same fault function (per-lane
+   curried for the interpreter). *)
+let assert_traces_equal ~what ~batch ~steps ?cinject ?iinject g =
+  let prog = Compile.compile ~batch g in
+  let ct =
+    Compile.traces ?inject:cinject prog ~steps ~inputs:(fun name ~lane step ->
+        stim name lane step)
+  in
+  for lane = 0 to batch - 1 do
+    let it =
+      Sfg.Graph.simulate
+        ?inject:(Option.map (fun f -> f lane) iinject)
+        g ~steps
+        ~inputs:(fun name step -> stim name lane step)
+    in
+    List.iter2
+      (fun (cn, per_lane) (iname, itr) ->
+        check Alcotest.string (what ^ ": node order") iname cn;
+        let carr = per_lane.(lane) in
+        Array.iteri
+          (fun s iv ->
+            if bits carr.(s) <> bits iv then
+              Alcotest.failf
+                "%s: node %s lane %d step %d: compiled %h <> interpreted %h"
+                what cn lane s carr.(s) iv)
+          itr)
+      ct it
+  done
+
+(* A graph exercising every operator: arithmetic, shift, min/max,
+   select, saturate, two quantization points, a feedback delay and a
+   feed-forward delay line. *)
+let zoo ~overflow ~round () =
+  let dt1 = Fixpt.Dtype.make "T1" ~n:8 ~f:5 ~overflow ~round () in
+  let dt2 = Fixpt.Dtype.make "T2" ~n:10 ~f:6 ~overflow ~round () in
+  let g = Sfg.Graph.create () in
+  let a = Sfg.Graph.input g "a" ~lo:(-2.0) ~hi:2.0 in
+  let b = Sfg.Graph.input g "b" ~lo:(-2.0) ~hi:2.0 in
+  let k = Sfg.Graph.const g ~name:"k" 0.8125 in
+  let s = Sfg.Graph.add g a b in
+  let d = Sfg.Graph.sub g s k in
+  let m = Sfg.Graph.mul g d a in
+  let den =
+    Sfg.Graph.add g ~name:"den" (Sfg.Graph.abs g b)
+      (Sfg.Graph.const g ~name:"c15" 1.5)
+  in
+  let q1 = Sfg.Graph.quantize g ~name:"q1" dt1 (Sfg.Graph.div g m den) in
+  let mn = Sfg.Graph.min_ g q1 a in
+  let mx = Sfg.Graph.max_ g mn (Sfg.Graph.neg g a) in
+  let sh = Sfg.Graph.shift g mx (-2) in
+  let sat = Sfg.Graph.saturate g ~name:"sat" sh ~lo:(-0.75) ~hi:0.75 in
+  let acc = Sfg.Graph.delay g ~init:0.25 "acc" in
+  let fb =
+    Sfg.Graph.add g ~name:"fb" sat (Sfg.Graph.shift g ~name:"half" acc (-1))
+  in
+  let q2 = Sfg.Graph.quantize g ~name:"q2" dt2 fb in
+  Sfg.Graph.connect_delay g acc q2;
+  let sel = Sfg.Graph.select g a q2 sat in
+  let y = Sfg.Graph.alias g ~name:"y" sel in
+  ignore (Sfg.Graph.delay_of g "dline" y);
+  Sfg.Graph.mark_output g "y" y;
+  g
+
+let mode_name ov rd =
+  Printf.sprintf "%s/%s"
+    (Fixpt.Overflow_mode.to_string ov)
+    (Fixpt.Round_mode.to_string rd)
+
+(* --- byte equality: modes × batch sizes -------------------------------- *)
+
+let test_equality_modes_batches () =
+  List.iter
+    (fun overflow ->
+      List.iter
+        (fun round ->
+          List.iter
+            (fun batch ->
+              assert_traces_equal
+                ~what:
+                  (Printf.sprintf "zoo %s B=%d" (mode_name overflow round)
+                     batch)
+                ~batch ~steps:48
+                (zoo ~overflow ~round ()))
+            [ 1; 4; 64 ])
+        [ Fixpt.Round_mode.Round; Fixpt.Round_mode.Floor ])
+    [ Fixpt.Overflow_mode.Wrap; Fixpt.Overflow_mode.Saturate ]
+
+(* --- fault-plan replay under compilation ------------------------------- *)
+
+(* The fault function both executors replay: SEU bitflips at the two
+   quantization points, sign flips at the inputs — all drawn from a
+   pure fault plan, so per-(name, lane, step) coordinates decide. *)
+let test_fault_replay () =
+  let plan = Fault.Plan.make ~seed:9 () in
+  let dt_of = Hashtbl.create 4 in
+  let g = zoo ~overflow:Fixpt.Overflow_mode.Saturate ~round:Fixpt.Round_mode.Round () in
+  List.iter
+    (fun (n : Sfg.Node.t) ->
+      match n.Sfg.Node.op with
+      | Sfg.Node.Quantize dt -> Hashtbl.replace dt_of n.Sfg.Node.name dt
+      | _ -> ())
+    (Sfg.Graph.nodes g);
+  let fault lane ~name ~step v =
+    let key = Printf.sprintf "%d:%s" lane name in
+    match Hashtbl.find_opt dt_of name with
+    | Some dt ->
+        if Fault.Plan.fires plan ~stream:"seu" ~key ~index:step ~rate:0.15
+        then
+          let n = Fixpt.Dtype.n dt in
+          let bit =
+            let u = Fault.Plan.draw plan ~stream:"bit" ~key ~index:step in
+            min (n - 1) (int_of_float (u *. Float.of_int n))
+          in
+          Fault.Inject.flip_bit dt ~bit v
+        else v
+    | None ->
+        if Fault.Plan.fires plan ~stream:"neg" ~key ~index:step ~rate:0.1
+        then -.v
+        else v
+  in
+  List.iter
+    (fun batch ->
+      assert_traces_equal
+        ~what:(Printf.sprintf "zoo faulted B=%d" batch)
+        ~batch ~steps:48
+        ~cinject:(fun ~name ~lane ~step v -> fault lane ~name ~step v)
+        ~iinject:(fun lane -> fault lane)
+        g)
+    [ 1; 4; 64 ]
+
+(* --- qcheck: batching never reorders per-vector outputs ---------------- *)
+
+let qcheck_batch_no_reorder =
+  QCheck_alcotest.to_alcotest
+  @@ QCheck2.Test.make ~name:"batched lane = its own single-lane run"
+       ~count:40
+       QCheck2.Gen.(pair (int_range 1 9) (int_range 1 40))
+       (fun (batch, steps) ->
+         let g =
+           zoo ~overflow:Fixpt.Overflow_mode.Wrap
+             ~round:Fixpt.Round_mode.Floor ()
+         in
+         let prog = Compile.compile ~batch g in
+         let batched =
+           Compile.traces prog ~steps ~inputs:(fun name ~lane step ->
+               stim name lane step)
+         in
+         let ok = ref true in
+         for lane = 0 to batch - 1 do
+           (* one lane alone, through a batch-1 program fed that lane's
+              stimulus: must reproduce the batched lane bit-for-bit *)
+           let single = Compile.compile ~batch:1 g in
+           let st =
+             Compile.traces single ~steps ~inputs:(fun name ~lane:_ step ->
+                 stim name lane step)
+           in
+           List.iter2
+             (fun (_, bl) (_, sl) ->
+               Array.iteri
+                 (fun s v -> if bits bl.(lane).(s) <> bits v then ok := false)
+                 sl.(0))
+             batched st
+         done;
+         !ok)
+
+(* --- compiled candidate evaluation: metric parity with the env --------- *)
+
+let fir_assigns =
+  let dt name ~int_bits ~f =
+    Fixpt.Dtype.make name
+      ~n:(int_bits + f)
+      ~f ~overflow:Fixpt.Overflow_mode.Saturate ~round:Fixpt.Round_mode.Round
+      ()
+  in
+  [ ("x", dt "Tx" ~int_bits:2 ~f:7) ]
+  @ List.init 5 (fun i ->
+        (Printf.sprintf "d[%d]" i, dt "Td" ~int_bits:2 ~f:7))
+  @ List.init 5 (fun i ->
+        (Printf.sprintf "v[%d]" (i + 1), dt "Tv" ~int_bits:3 ~f:9))
+  @ [ ("out", dt "To" ~int_bits:3 ~f:8) ]
+
+let stats_equal what (a : Stats.Running.t) (b : Stats.Running.t) =
+  check int_t (what ^ " count") (Stats.Running.count a)
+    (Stats.Running.count b);
+  List.iter
+    (fun (field, fa, fb) ->
+      if bits fa <> bits fb then
+        Alcotest.failf "%s %s: %h <> %h" what field fa fb)
+    [
+      ("mean", Stats.Running.mean a, Stats.Running.mean b);
+      ("variance", Stats.Running.variance a, Stats.Running.variance b);
+      ("min", Stats.Running.min_value a, Stats.Running.min_value b);
+      ("max", Stats.Running.max_value a, Stats.Running.max_value b);
+    ]
+
+let test_fir_compiled_metric_parity () =
+  let w = Option.get (Sweep.Workload.find "fir") in
+  let inst = w.Sweep.Workload.make_instance () in
+  let ce = Option.get inst.Sweep.Workload.compiled in
+  let probe = w.Sweep.Workload.probe in
+  let eval_interp seed =
+    Sim.Env.restore_into inst.Sweep.Workload.baseline inst.Sweep.Workload.env;
+    inst.Sweep.Workload.set_seed seed;
+    Refine.Eval.evaluate ~assigns:fir_assigns ~probe
+      inst.Sweep.Workload.design
+  in
+  let eval_comp seed =
+    Sim.Env.restore_into inst.Sweep.Workload.baseline inst.Sweep.Workload.env;
+    inst.Sweep.Workload.set_seed seed;
+    Refine.Eval.evaluate_compiled ~assigns:fir_assigns ~probe ~seed ce
+      inst.Sweep.Workload.design
+  in
+  (* prove the compiled path actually compiles (no silent fallback):
+     extraction closes, the program builds, the probe resolves *)
+  Sim.Env.restore_into inst.Sweep.Workload.baseline inst.Sweep.Workload.env;
+  Refine.Eval.apply_assigns inst.Sweep.Workload.env fir_assigns;
+  inst.Sweep.Workload.design.Refine.Flow.reset ();
+  let g = ce.Refine.Eval.extract () in
+  let prog = Compile.compile ~dual:true g in
+  check bool_t "probe node present" true (Compile.find prog probe <> None);
+  List.iter
+    (fun seed ->
+      let mi = eval_interp seed in
+      let mc = eval_comp seed in
+      check int_t "total_bits" mi.Refine.Eval.total_bits
+        mc.Refine.Eval.total_bits;
+      check int_t "overflow_count" mi.Refine.Eval.overflow_count
+        mc.Refine.Eval.overflow_count;
+      (match (mi.Refine.Eval.sqnr_db, mc.Refine.Eval.sqnr_db) with
+      | Some a, Some b when bits a = bits b -> ()
+      | None, None -> ()
+      | a, b ->
+          Alcotest.failf "sqnr mismatch (seed %d): %s <> %s" seed
+            (match a with Some v -> Printf.sprintf "%h" v | None -> "None")
+            (match b with Some v -> Printf.sprintf "%h" v | None -> "None"));
+      if bits mi.Refine.Eval.probe_err_max <> bits mc.Refine.Eval.probe_err_max
+      then
+        Alcotest.failf "probe_err_max (seed %d): %h <> %h" seed
+          mi.Refine.Eval.probe_err_max mc.Refine.Eval.probe_err_max;
+      stats_equal "probe values"
+        (Option.get mi.Refine.Eval.probe_values)
+        (Option.get mc.Refine.Eval.probe_values);
+      stats_equal "produced err"
+        (Stats.Err_stats.produced (Option.get mi.Refine.Eval.probe_err))
+        (Stats.Err_stats.produced (Option.get mc.Refine.Eval.probe_err));
+      stats_equal "consumed err"
+        (Stats.Err_stats.consumed (Option.get mi.Refine.Eval.probe_err))
+        (Stats.Err_stats.consumed (Option.get mc.Refine.Eval.probe_err)))
+    [ 0; 1; 7 ]
+
+(* --- conformance workloads: the full oracle gate ----------------------- *)
+
+let test_conformance_gate () =
+  let r = Oracle.Compile_check.run () in
+  List.iter
+    (fun (x : Oracle.Compile_check.result) ->
+      if not x.Oracle.Compile_check.ok then
+        Alcotest.failf "%s: %s" x.Oracle.Compile_check.name
+          x.Oracle.Compile_check.detail)
+    r.Oracle.Compile_check.results;
+  check bool_t "gate covers all five workloads and the sweep" true
+    (List.length r.Oracle.Compile_check.results >= 11)
+
+(* --- satellite: run_until exit semantics ------------------------------- *)
+
+let test_run_until_exits () =
+  (* bound exit: exactly [max] step+tick pairs, result = ticks *)
+  let env = Sim.Env.create ~seed:1 () in
+  let steps = ref 0 in
+  let n =
+    Sim.Engine.run_until ~max:10 env (fun _ ->
+        incr steps;
+        true)
+  in
+  check int_t "bound exit: cycles" 10 n;
+  check int_t "bound exit: step calls" 10 !steps;
+  check int_t "bound exit: committed ticks" 10 (Sim.Env.time env);
+  (* normal exit: step says stop at cycle 4, its tick still commits *)
+  let env2 = Sim.Env.create ~seed:1 () in
+  let n2 = Sim.Engine.run_until env2 (fun c -> c < 4) in
+  check int_t "normal exit: cycles" 5 n2;
+  check int_t "normal exit: committed ticks" 5 (Sim.Env.time env2)
+
+(* --- satellite: Wordlength.assign LSB clamp ---------------------------- *)
+
+let test_wordlength_lsb_clamp () =
+  (* x * 1e150 * 1e150: the inner product node has noise gain 1e300 to
+     the output; with a tiny budget, q underflows to exactly 0 and the
+     unclamped log2 was -inf (unspecified int conversion) *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let m1 = Sfg.Graph.mul g ~name:"m1" x (Sfg.Graph.const g ~name:"k1" 1e150) in
+  let m2 =
+    Sfg.Graph.mul g ~name:"m2" m1 (Sfg.Graph.const g ~name:"k2" 1e150)
+  in
+  Sfg.Graph.mark_output g "y" (Sfg.Graph.alias g ~name:"y" m2);
+  let r = Sfg.Wordlength.assign g ~output:"y" ~sigma_budget:1e-15 in
+  List.iter
+    (fun (a : Sfg.Wordlength.assignment) ->
+      match a.Sfg.Wordlength.lsb with
+      | Some l ->
+          check bool_t
+            (Printf.sprintf "%s lsb %d within float exponent range"
+               a.Sfg.Wordlength.name l)
+            true
+            (l >= -1074 && l <= 1023)
+      | None -> ())
+    r.Sfg.Wordlength.assignments;
+  let m1a =
+    List.find
+      (fun (a : Sfg.Wordlength.assignment) -> a.Sfg.Wordlength.name = "m1")
+      r.Sfg.Wordlength.assignments
+  in
+  check bool_t "huge-gain node clamps to the subnormal floor" true
+    (m1a.Sfg.Wordlength.lsb = Some (-1074))
+
+let test_wordlength_inverted_total () =
+  (* a tiny-range signal under a huge budget: msb < lsb — no
+     representable width, so the total must refuse, not go negative *)
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1e-8) ~hi:1e-8 in
+  let y = Sfg.Graph.add g ~name:"s" x x in
+  Sfg.Graph.mark_output g "y" (Sfg.Graph.alias g ~name:"y" y);
+  let r = Sfg.Wordlength.assign g ~output:"y" ~sigma_budget:1e6 in
+  let inverted =
+    List.exists
+      (fun (a : Sfg.Wordlength.assignment) ->
+        match (a.Sfg.Wordlength.msb, a.Sfg.Wordlength.lsb) with
+        | Some m, Some l -> m < l
+        | _ -> false)
+      r.Sfg.Wordlength.assignments
+  in
+  check bool_t "setup produced an inverted format" true inverted;
+  check bool_t "inverted format refuses a total" true
+    (r.Sfg.Wordlength.total_bits = None)
+
+(* --- satellite: Extract.graph missing-output error --------------------- *)
+
+let test_extract_missing_output () =
+  let env = Sim.Env.create ~seed:1 () in
+  let x = Sim.Signal.create env "x" in
+  let _y = Sim.Signal.create env "y" in
+  match
+    Sim.Extract.graph env ~outputs:[ "y" ]
+      ~step:(fun () ->
+        let open Sim.Ops in
+        x <-- Sim.Value.of_float 0.5)
+      ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument for unassigned output"
+  | exception Invalid_argument m ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      check bool_t "error names the output" true (contains m "\"y\"");
+      check bool_t "error says never assigned" true
+        (contains m "never assigned")
+
+let suite =
+  ( "compile",
+    [
+      Alcotest.test_case "byte equality: modes x batches" `Quick
+        test_equality_modes_batches;
+      Alcotest.test_case "byte equality under fault replay" `Quick
+        test_fault_replay;
+      qcheck_batch_no_reorder;
+      Alcotest.test_case "fir compiled metrics = interpreted" `Quick
+        test_fir_compiled_metric_parity;
+      Alcotest.test_case "conformance workloads: compiled oracle gate"
+        `Quick test_conformance_gate;
+      Alcotest.test_case "run_until: both exits count committed ticks"
+        `Quick test_run_until_exits;
+      Alcotest.test_case "wordlength lsb clamps at float exponent range"
+        `Quick test_wordlength_lsb_clamp;
+      Alcotest.test_case "wordlength total rejects inverted formats" `Quick
+        test_wordlength_inverted_total;
+      Alcotest.test_case "extract: unassigned output raises" `Quick
+        test_extract_missing_output;
+    ] )
