@@ -9,7 +9,7 @@
    Experiment ids: table1 table2 sqnr fig1 fig2 fig3 fig4 fig5
    msb-threeway compare ablate-klsb ablate-error ablate-steering
    ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary simbench
-   sweepbench tracebench bench. *)
+   compilebench verifybench sweepbench tracebench bench. *)
 
 open Fixrefine
 
@@ -888,6 +888,53 @@ let compilebench () =
   Format.printf "wrote BENCH_compile.json@."
 
 (* ======================================================================= *)
+(* Verification-engine throughput (BENCH_verify.json)                       *)
+(* ======================================================================= *)
+
+(* Transitions/sec of the bit-level verification oracle on the two
+   guard scenarios (Oracle.Bench_guard.verify_rows): the exhaustive
+   biquad no-overflow proof and the bounded lms limit-cycle closure.
+   One repetition is a whole verification run — graph rebuild, compile,
+   state-space search — so "after" is honest end-to-end proof
+   throughput, the number [check --verify]'s bench guard regresses
+   against. *)
+
+let verifybench () =
+  section "verifybench: verification-oracle throughput (transitions/sec)";
+  let rows = Oracle.Bench_guard.verify_rows ~budget_seconds:1.0 () in
+  List.iter
+    (fun (name, transitions, tps) ->
+      Format.printf
+        "%-22s %7d transitions/run: %12.0f transitions/sec  (%.3f ms/proof)@."
+        name transitions tps
+        (float_of_int transitions /. tps *. 1e3))
+    rows;
+  let oc = open_out "BENCH_verify.json" in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"verify-state-space\",\n\
+      \  \"unit\": \"transitions/sec\",\n\
+      \  \"scenarios\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, transitions, tps) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"transitions_per_run\": %d, \
+                 \"proof_ms\": %.3f, \"after\": %.0f }"
+                name transitions
+                (float_of_int transitions /. tps *. 1e3)
+                tps)
+            rows))
+  in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_verify.json@."
+
+(* ======================================================================= *)
 (* Parallel sweep scaling (BENCH_sweep.json)                                *)
 (* ======================================================================= *)
 
@@ -1107,6 +1154,7 @@ let experiments =
     ("summary", summary);
     ("simbench", simbench);
     ("compilebench", compilebench);
+    ("verifybench", verifybench);
     ("sweepbench", sweepbench);
     ("tracebench", tracebench);
     ("bench", bechamel_run);

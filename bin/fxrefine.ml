@@ -11,9 +11,13 @@
      faultsim   — run a sweep under a seeded fault-injection plan
      trace      — run one conformance workload under full tracing
      check      — the conformance oracle (--faults adds the fault gate,
-                  --compiled the compiled-executor gate)
+                  --compiled the compiled-executor gate, --verify the
+                  verification-oracle gate)
      compile    — lower workload flowgraphs to the batched flat-schedule
                   executor; equality spot check + throughput
+     verify     — prove/refute no-overflow and no-limit-cycle on a
+                  design's flowgraph by exhaustive/bounded bit-level
+                  search; counterexamples as hex-float stimuli
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
@@ -670,7 +674,7 @@ let trace_cmd =
 (* --- check: the conformance oracle ------------------------------------- *)
 
 let run_check seed per_combo update_golden no_bench golden_dir jobs faults
-    compiled verbose =
+    compiled with_verify verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -724,13 +728,29 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     end
     else true
   in
+  let verify_ok =
+    if with_verify then begin
+      let vr = Oracle.Verify_check.run ~update:update_golden ?dir:golden_dir () in
+      Format.printf "%a@." Oracle.Verify_check.pp_report vr;
+      Oracle.Verify_check.passed vr
+    end
+    else true
+  in
+  let verify_bench_ok =
+    if with_verify && not no_bench then begin
+      let bench = Oracle.Bench_guard.run_verify () in
+      Format.printf "verify %a@." Oracle.Bench_guard.pp_report bench;
+      Oracle.Bench_guard.passed bench
+    end
+    else true
+  in
   let ok =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
     && Oracle.Golden.passed golden
     && Oracle.Sweep_check.passed sweep
     && Oracle.Trace_check.passed trace && faults_ok && compiled_ok
-    && bench_ok && compile_bench_ok
+    && bench_ok && compile_bench_ok && verify_ok && verify_bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -796,6 +816,20 @@ let check_cmd =
              sweep metric parity, and the compiled-throughput guard \
              against BENCH_compile.json (unless \\$(b,--no-bench)).")
   in
+  let verify_t =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also run the verification-oracle gate: prove/refute \
+             no-overflow and no-limit-cycle on every conformance workload \
+             flowgraph plus the pinned biquad exemplars, cross-check \
+             refutations against the range analysis (soundness), pin the \
+             counterexample stimuli as golden files and replay them \
+             through interpreter and compiled executor, plus the \
+             verification-throughput guard against BENCH_verify.json \
+             (unless \\$(b,--no-bench)).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -803,10 +837,10 @@ let check_cmd =
           metamorphic workload invariants, golden traces, sweep determinism, \
           trace determinism, bench guard; \\$(b,--faults) adds the \
           fault-injection gate, \\$(b,--compiled) the compiled-executor \
-          gate.")
+          gate, \\$(b,--verify) the verification-oracle gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
-      $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verbose_t)
+      $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verify_t $ verbose_t)
 
 (* --- compile: inspect the flat-schedule executor ------------------------ *)
 
@@ -944,6 +978,148 @@ let compile_cmd =
           throughput.")
     Term.(const run_compile $ workload_t $ batch_t $ steps_t $ verbose_t)
 
+(* --- verify: the sound bit-level verification oracle -------------------- *)
+
+let verify_targets () =
+  List.map
+    (fun (w : Oracle.Workloads.t) ->
+      ( w.Oracle.Workloads.name,
+        fun () ->
+          let b = w.Oracle.Workloads.build () in
+          match b.Oracle.Workloads.extract_graph with
+          | Some f -> f ()
+          | None -> (
+              match b.Oracle.Workloads.graph with
+              | Some g -> g
+              | None ->
+                  failwith ("no flowgraph for " ^ w.Oracle.Workloads.name)) ))
+    Oracle.Workloads.all
+  @ Verify.Designs.all
+
+let run_verify design prop_str max_bits depth max_states json verbose =
+  setup_logs verbose;
+  let properties =
+    match prop_str with
+    | "all" -> [ Verify.Engine.No_overflow; Verify.Engine.No_limit_cycle ]
+    | s -> (
+        match Verify.Engine.property_of_string s with
+        | Some p -> [ p ]
+        | None ->
+            Format.eprintf
+              "verify: unknown property %S (overflow|limit-cycle|all)@." s;
+            exit 1)
+  in
+  let targets =
+    match design with
+    | "all" -> verify_targets ()
+    | name -> (
+        match List.assoc_opt name (verify_targets ()) with
+        | Some mk -> [ (name, mk) ]
+        | None ->
+            Format.eprintf "verify: unknown design %S (available: %s, all)@."
+              name
+              (String.concat ", " (List.map fst (verify_targets ())));
+            exit 1)
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map
+      (fun (name, mk) ->
+        ( name,
+          List.map
+            (fun prop ->
+              Verify.Engine.verify ~max_bits ~depth ~max_states prop (mk ()))
+            properties ))
+      targets
+  in
+  (* the report itself is deterministic; timing goes to stderr only *)
+  if json then begin
+    print_string "[";
+    List.iteri
+      (fun i (name, rs) ->
+        if i > 0 then print_string ",";
+        Printf.printf "{\"design\":\"%s\",\"reports\":[" name;
+        List.iteri
+          (fun j r ->
+            if j > 0 then print_string ",";
+            print_string (Verify.Engine.report_to_json r))
+          rs;
+        print_string "]}")
+      reports;
+    print_string "]\n"
+  end
+  else
+    List.iter
+      (fun (name, rs) ->
+        List.iter
+          (fun (r : Verify.Engine.report) ->
+            Format.printf "%-16s %a@." name Verify.Engine.pp_report r;
+            match r.Verify.Engine.verdict with
+            | Verify.Engine.Refuted ce ->
+                print_string
+                  (Verify.Stim.to_string ~property:r.Verify.Engine.property ce)
+            | _ -> ())
+          rs)
+      reports;
+  Format.eprintf "verify: %d design(s) in %.3f s@." (List.length reports)
+    (Unix.gettimeofday () -. t0)
+
+let verify_cmd =
+  let design_t =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"DESIGN"
+          ~doc:
+            "Design flowgraph to verify: a conformance workload \
+             (fir|lms|cordic|timing|ddc), a pinned exemplar \
+             (biquad-under|biquad-repaired), or \\$(b,all).")
+  in
+  let property_t =
+    Arg.(
+      value & opt string "all"
+      & info [ "property" ]
+          ~doc:
+            "Property to check: \\$(b,overflow), \\$(b,limit-cycle) or \
+             \\$(b,all).")
+  in
+  let max_bits_t =
+    Arg.(
+      value & opt int 10
+      & info [ "max-bits" ]
+          ~doc:
+            "Exhaustive-alphabet budget: enumerate all inputs when the \
+             total input entropy fits this many bits, else fall back to \
+             corner stimuli (refute-only).")
+  in
+  let depth_t =
+    Arg.(
+      value & opt int 64
+      & info [ "depth" ]
+          ~doc:
+            "Bounded-unrolling depth for corner stimuli and the \
+             zero-input limit-cycle horizon k.")
+  in
+  let max_states_t =
+    Arg.(
+      value & opt int 65536
+      & info [ "max-states" ] ~doc:"Reachable-state budget of the search.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Canonical (deterministic) JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Prove or refute no-overflow and zero-input limit-cycle freedom \
+          on a design's flowgraph by exhaustive or bounded bit-level \
+          state-space search over the compiled executor; refutations come \
+          with a concrete hex-float counterexample stimulus.")
+    Term.(
+      const run_verify $ design_t $ property_t $ max_bits_t $ depth_t
+      $ max_states_t $ json_t $ verbose_t)
+
 (* --- sfg ---------------------------------------------------------------- *)
 
 let run_sfg auto dot_path =
@@ -1010,6 +1186,7 @@ let () =
             [
               equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
               sweep_cmd; faultsim_cmd; trace_cmd; check_cmd; compile_cmd;
+              verify_cmd;
             ]))
   with e ->
     let bt = Printexc.get_backtrace () in

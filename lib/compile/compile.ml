@@ -463,6 +463,51 @@ let run ?inject ?on_step t ~steps ~inputs =
       ~t0 ~t1:(Trace.Spans.now ()) ();
   ()
 
+(* --- single-step drive ------------------------------------------------- *)
+
+let input_names t = Array.copy t.input_names
+let register_count t = Array.length t.delay_inits
+let initial_state t = Array.copy t.delay_inits
+
+let read_state t ~lane dst =
+  let nr = Array.length t.delay_inits in
+  if Array.length dst <> nr then
+    invalid_arg "Compile.read_state: destination length <> register_count";
+  if lane < 0 || lane >= t.batch then invalid_arg "Compile.read_state: lane";
+  let b = t.batch in
+  for r = 0 to nr - 1 do
+    Array.unsafe_set dst r (Array.unsafe_get t.regs ((r * b) + lane))
+  done
+
+let write_state t ~lane src =
+  let nr = Array.length t.delay_inits in
+  if Array.length src <> nr then
+    invalid_arg "Compile.write_state: source length <> register_count";
+  if lane < 0 || lane >= t.batch then invalid_arg "Compile.write_state: lane";
+  let b = t.batch in
+  for r = 0 to nr - 1 do
+    Array.unsafe_set t.regs ((r * b) + lane) (Array.unsafe_get src r)
+  done
+
+let step_once ?inject t ~step ~inputs =
+  let feeds =
+    Array.map
+      (fun name ->
+        let f = inputs name in
+        fun ~lane (_ : int) -> f ~lane)
+      t.input_names
+  in
+  let prog = t.program in
+  let np = Array.length prog in
+  for i = 0 to np - 1 do
+    exec_fx t ~inject ~step feeds (Array.unsafe_get prog i)
+  done;
+  if t.dual then
+    for i = 0 to np - 1 do
+      exec_fl t (Array.unsafe_get prog i)
+    done;
+  commit t
+
 let traces ?inject t ~steps ~inputs =
   let n = node_count t in
   let b = t.batch in

@@ -111,6 +111,51 @@ val run :
   inputs:(string -> lane:int -> int -> float) ->
   unit
 
+(** {2 Single-step drive}
+
+    The verification engine ({!Verify}) enumerates the register state
+    space explicitly: it plants a candidate state in the delay
+    registers, advances exactly one tick, and reads the successor
+    state back out.  These accessors expose that per-tick semantics
+    without disturbing the batched {!run} contract — lane [l] of a
+    single step is still bit-identical to a [batch = 1] step fed the
+    same state and stimulus. *)
+
+(** Input node names, in stimulus-resolution order (the order [inputs]
+    closures are resolved by {!run}). *)
+val input_names : t -> string array
+
+(** Number of delay registers (the machine's state dimension). *)
+val register_count : t -> int
+
+(** The reset state: every delay register's declared init value, as a
+    fresh array of length {!register_count}. *)
+val initial_state : t -> float array
+
+(** [read_state t ~lane dst] copies lane [lane]'s current register
+    block into [dst] (length must equal {!register_count}). *)
+val read_state : t -> lane:int -> float array -> unit
+
+(** [write_state t ~lane src] plants [src] as lane [lane]'s register
+    state.  Overwrites whatever {!reset}/{!step_once} left there. *)
+val write_state : t -> lane:int -> float array -> unit
+
+(** [step_once ?inject t ~step ~inputs] advances every lane exactly one
+    tick from the current register state: executes the full instruction
+    stream (both lattices when dual) and commits the delay registers.
+    Unlike {!run} it performs {e no} reset — callers own the state via
+    {!write_state} — and overflow tallies keep accumulating, so
+    {!overflow_count} deltas attribute events to individual steps.
+    [inputs name ~lane] feeds each input node for this tick; [step] is
+    only forwarded to the [inject] hook.  NaN reaching a [Quantize]
+    raises [Invalid_argument] exactly like {!run}. *)
+val step_once :
+  ?inject:inject ->
+  t ->
+  step:int ->
+  inputs:(string -> lane:int -> float) ->
+  unit
+
 (** [traces ?inject t ~steps ~inputs] — {!run}, capturing every node's
     per-lane trace: [(name, per_lane)] in node order with
     [per_lane.(l).(s)] the lane-[l] value at step [s].  Lane [l]'s

@@ -20,6 +20,10 @@
       lowered to preallocated-array programs with fused quantizers,
       behind [fxrefine compile], [fxrefine check --compiled] and the
       sweep's compiled candidate evaluation;
+    - {!Verify}: the sound bit-level verification oracle — exhaustive
+      or bounded explicit-state search over the compiled executor that
+      proves or refutes no-overflow and no-limit-cycle on refined
+      designs, behind [fxrefine verify] and [fxrefine check --verify];
     - {!Refine}: the refinement rules, the design flow driver, and the
       two literature baselines;
     - {!Dsp}: the paper's example designs (LMS equalizer, PAM timing
@@ -44,6 +48,7 @@ module Sim = Sim
 module Trace = Trace
 module Sfg = Sfg
 module Compile = Compile
+module Verify = Verify
 module Refine = Refine
 module Dsp = Dsp
 module Sweep = Sweep

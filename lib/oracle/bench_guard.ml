@@ -271,6 +271,91 @@ let run_compiled ?(baseline_file = default_compiled_baseline_file)
       in
       { threshold; entries; note = None }
 
+(* --- verification-engine throughput (BENCH_verify.json) ---------------- *)
+
+let default_verify_baseline_file = "BENCH_verify.json"
+
+(* The measured unit is one whole verification run (graph rebuild,
+   compile, search) — the wall-clock a `check --verify` caller pays —
+   and throughput counts executed transitions/sec, the verifier's
+   analogue of samples/sec. *)
+let verify_scenarios () =
+  let lms = scenario_graph "lms" in
+  [
+    ( "verify-biquad-proof",
+      fun () ->
+        Verify.Engine.verify ~max_bits:10 ~depth:48 ~max_states:4096
+          Verify.Engine.No_overflow
+          (Verify.Designs.biquad_repaired ()) );
+    ( "verify-lms-closure",
+      fun () ->
+        Verify.Engine.verify ~max_bits:10 ~depth:48 ~max_states:4096
+          Verify.Engine.No_limit_cycle lms );
+  ]
+
+let measure_verify ~budget once =
+  let r = once () in
+  let per = r.Verify.Engine.stats.Verify.Engine.transitions in
+  let reps = ref 0 in
+  let t0 = Sys.time () in
+  let elapsed () = Sys.time () -. t0 in
+  while elapsed () < budget || !reps = 0 do
+    ignore (once ());
+    incr reps
+  done;
+  (per, Float.of_int (!reps * per) /. elapsed ())
+
+let verify_rows ?(budget_seconds = 0.5) () =
+  List.map
+    (fun (name, once) ->
+      let per, rate = measure_verify ~budget:budget_seconds once in
+      (name, per, rate))
+    (verify_scenarios ())
+
+let run_verify ?(baseline_file = default_verify_baseline_file)
+    ?(threshold = 0.8) ?(budget_seconds = 0.5) () =
+  if not (Sys.file_exists baseline_file) then
+    {
+      threshold;
+      entries = [];
+      note =
+        Some (Printf.sprintf "baseline %s not found: skipped" baseline_file);
+    }
+  else
+    let baselines =
+      try
+        parse_baselines
+          (In_channel.with_open_bin baseline_file In_channel.input_all)
+      with Sys_error _ -> []
+    in
+    if baselines = [] then
+      {
+        threshold;
+        entries = [];
+        note =
+          Some
+            (Printf.sprintf "no baselines parsed from %s: skipped"
+               baseline_file);
+      }
+    else
+      let entries =
+        List.filter_map
+          (fun (bench, samples_per_run, measured) ->
+            match List.assoc_opt bench baselines with
+            | None -> None
+            | Some baseline ->
+                Some
+                  {
+                    bench;
+                    samples_per_run;
+                    baseline;
+                    measured;
+                    ratio = measured /. baseline;
+                  })
+          (verify_rows ~budget_seconds ())
+      in
+      { threshold; entries; note = None }
+
 let passed r = List.for_all (fun e -> e.ratio >= r.threshold) r.entries
 
 let pp_report ppf r =

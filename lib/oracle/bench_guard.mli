@@ -61,5 +61,24 @@ val run_compiled :
   unit ->
   report
 
+val default_verify_baseline_file : string
+
+(** Verification-engine throughput rows, shared with [bench/main.ml]'s
+    [verifybench]: one whole verification run per repetition (graph
+    rebuild, compile, state-space search) as
+    [(name, transitions_per_run, transitions_per_sec)] — the exhaustive
+    biquad no-overflow proof and the bounded lms limit-cycle closure. *)
+val verify_rows : ?budget_seconds:float -> unit -> (string * int * float) list
+
+(** {!run}, but for the verification rows against the committed
+    [BENCH_verify.json] baselines.  Same skip semantics on a
+    missing/unparseable baseline file. *)
+val run_verify :
+  ?baseline_file:string ->
+  ?threshold:float ->
+  ?budget_seconds:float ->
+  unit ->
+  report
+
 val passed : report -> bool
 val pp_report : Format.formatter -> report -> unit

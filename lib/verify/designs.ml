@@ -1,0 +1,27 @@
+let biquad ~acc_bits () =
+  let g = Sfg.Graph.create () in
+  let x = Sfg.Graph.input g "x" ~lo:(-1.0) ~hi:1.0 in
+  let in_dt = Fixpt.Dtype.make "xq" ~n:3 ~f:1 () in
+  let xq = Sfg.Graph.quantize g ~name:"xq" in_dt x in
+  let y1 = Sfg.Graph.delay g "y1" in
+  let y2 = Sfg.Graph.delay_of g "y2" y1 in
+  let a1 = Sfg.Graph.const g ~name:"a1" 1.25 in
+  let a2 = Sfg.Graph.const g ~name:"a2" 0.625 in
+  let fb =
+    Sfg.Graph.sub g ~name:"fb"
+      (Sfg.Graph.mul g ~name:"a1y1" a1 y1)
+      (Sfg.Graph.mul g ~name:"a2y2" a2 y2)
+  in
+  let s = Sfg.Graph.add g ~name:"s" xq fb in
+  let acc_dt = Fixpt.Dtype.make "acc" ~n:acc_bits ~f:2 () in
+  let y = Sfg.Graph.quantize g ~name:"y" acc_dt s in
+  Sfg.Graph.connect_delay g y1 y;
+  Sfg.Graph.mark_output g "y" y;
+  Sfg.Graph.validate_exn g;
+  g
+
+let biquad_under () = biquad ~acc_bits:5 ()
+let biquad_repaired () = biquad ~acc_bits:6 ()
+
+let all =
+  [ ("biquad-under", biquad_under); ("biquad-repaired", biquad_repaired) ]

@@ -1,0 +1,759 @@
+(** Explicit-state verification over the compiled executor — see the
+    interface for the soundness contract.
+
+    The search state is the vector of delay-register values.  For a
+    refined design those live on a quantizer grid, so the reachable set
+    is finite and breadth-first closure under the full input alphabet
+    is a {e proof}.  Transitions execute the real compiled program
+    ({!Compile.step_once}) with one lane per alphabet letter: planting
+    the same state in every lane and stepping once evaluates every
+    admissible input in a single pass, and the program's overflow
+    tallies attribute events to the step just taken.  A batch-1 twin
+    program pinpoints the exact letter (and quantizer) when the batched
+    tally fires, so counterexamples are rebuilt in deterministic
+    first-state/first-letter order. *)
+
+type property = No_overflow | No_limit_cycle
+
+type violation =
+  | Overflow of { node : string; step : int }
+  | Limit_cycle of { start : int; period : int }
+
+type counterexample = {
+  steps : int;
+  stimulus : (string * float array) list;
+  violation : violation;
+}
+
+type verdict = Proved | Refuted of counterexample | Bounded_out of string
+
+type stats = {
+  letters : int;
+  exhaustive : bool;
+  states : int;
+  transitions : int;
+  truncated : bool;
+  crashed : bool;
+}
+
+type report = { property : property; verdict : verdict; stats : stats }
+
+let property_name = function
+  | No_overflow -> "no-overflow"
+  | No_limit_cycle -> "no-limit-cycle"
+
+let property_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "overflow" | "no-overflow" -> Some No_overflow
+  | "limit-cycle" | "no-limit-cycle" | "limitcycle" -> Some No_limit_cycle
+  | _ -> None
+
+(* --- growable arrays ---------------------------------------------------- *)
+
+module Dyn = struct
+  type 'a t = { mutable a : 'a array; mutable n : int; dummy : 'a }
+
+  let create dummy = { a = Array.make 64 dummy; n = 0; dummy }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let b = Array.make (2 * t.n) t.dummy in
+      Array.blit t.a 0 b 0 t.n;
+      t.a <- b
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let get t i = t.a.(i)
+  let len t = t.n
+end
+
+(* --- input alphabet ----------------------------------------------------- *)
+
+(* One input node's admissible sample set.  [values] are {e admissible}
+   reals (inside the declared interval); when [grid] they are exactly
+   one representative per reachable post-quantization value, which is
+   behaviour-complete when the quantizer is the input's sole consumer. *)
+type ispec = { iname : string; values : float array; grid : bool; zero : float }
+
+let resolve_alias g id =
+  let rec go id =
+    let nd = Sfg.Graph.node g id in
+    match nd.Sfg.Node.op with
+    | Sfg.Node.Alias -> go (List.hd nd.Sfg.Node.inputs)
+    | _ -> id
+  in
+  go id
+
+(* The quantizer directly downstream of input [id] (through aliases),
+   provided it is the input's only real consumer — the condition under
+   which quantizer-grid representatives cover every behaviour. *)
+let sole_quantizer g id =
+  let dt = ref None and consumers = ref 0 in
+  List.iter
+    (fun (nd : Sfg.Node.t) ->
+      match nd.Sfg.Node.op with
+      | Sfg.Node.Alias -> ()
+      | op ->
+          List.iter
+            (fun s ->
+              if resolve_alias g s = id then begin
+                incr consumers;
+                match op with
+                | Sfg.Node.Quantize d when !dt = None -> dt := Some d
+                | _ -> ()
+              end)
+            nd.Sfg.Node.inputs)
+    (Sfg.Graph.nodes g);
+  if !consumers = 1 then !dt else None
+
+let max_grid_per_input = 4096
+
+(* Admissible representatives of the post-quantization image of
+   [lo, hi]: the cast is monotone inside the representable range, so
+   the image is every grid point between [cast lo] and [cast hi]; each
+   representative is the grid point clamped back into the declared
+   interval (so extreme letters stay admissible while quantizing to
+   their grid value). *)
+let grid_values dt ~lo ~hi =
+  let min_v = Fixpt.Dtype.min_value dt and max_v = Fixpt.Dtype.max_value dt in
+  if lo < min_v || hi > max_v then None
+  else
+    let step = Fixpt.Dtype.step dt in
+    let klo = Fixpt.Quantize.cast dt lo /. step
+    and khi = Fixpt.Quantize.cast dt hi /. step in
+    let klo = Float.to_int (Float.round klo)
+    and khi = Float.to_int (Float.round khi) in
+    let count = khi - klo + 1 in
+    if count < 1 || count > max_grid_per_input then None
+    else
+      Some
+        (Array.init count (fun i ->
+             let v = Float.of_int (klo + i) *. step in
+             Float.max lo (Float.min hi v)))
+
+let corner_values dt ~lo ~hi =
+  let with_dt f = match dt with Some d -> [ f d ] | None -> [] in
+  let candidates =
+    [ lo; hi; 0.0; Float.succ lo; Float.pred hi; 0.5 *. lo; 0.5 *. hi ]
+    @ with_dt Fixpt.Dtype.min_value
+    @ with_dt Fixpt.Dtype.max_value
+    @ with_dt Fixpt.Dtype.step
+    @ with_dt (fun d -> -.Fixpt.Dtype.step d)
+    @ with_dt (fun d -> lo +. Fixpt.Dtype.step d)
+    @ with_dt (fun d -> hi -. Fixpt.Dtype.step d)
+  in
+  let ok v = Float.is_finite v && v >= lo && v <= hi in
+  let vs = List.sort_uniq compare (List.filter ok candidates) in
+  match vs with [] -> [| lo |] | _ -> Array.of_list vs
+
+let sanitize dt iv =
+  let lo, hi =
+    match iv with
+    | Interval.Range { lo; hi } -> (lo, hi)
+    | Interval.Empty -> (nan, nan)
+  in
+  let dflt f d = match dt with Some x -> f x | None -> d in
+  let lo = if Float.is_finite lo then lo else dflt Fixpt.Dtype.min_value (-1.0) in
+  let hi = if Float.is_finite hi then hi else dflt Fixpt.Dtype.max_value 1.0 in
+  if lo <= hi then (lo, hi) else (hi, lo)
+
+let input_specs g =
+  List.filter_map
+    (fun (nd : Sfg.Node.t) ->
+      match nd.Sfg.Node.op with
+      | Sfg.Node.Input iv ->
+          let dt = sole_quantizer g nd.Sfg.Node.id in
+          let lo, hi = sanitize dt iv in
+          let zero = Float.max lo (Float.min hi 0.0) in
+          let values, grid =
+            match dt with
+            | Some d -> (
+                match grid_values d ~lo ~hi with
+                | Some vs -> (vs, true)
+                | None -> (corner_values dt ~lo ~hi, false))
+            | None -> (corner_values dt ~lo ~hi, false)
+          in
+          Some { iname = nd.Sfg.Node.name; values; grid; zero }
+      | _ -> None)
+    (Sfg.Graph.nodes g)
+
+let max_corner_letters = 256
+
+(* The alphabet: the cross product of per-input sample sets, input 0
+   slowest-varying.  Exhaustive iff every input contributed its full
+   grid and the product fits in [2^max_bits]; otherwise the per-input
+   sets degrade to corners and the product is capped (refute-only). *)
+let build_alphabet ~max_bits specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let cap = 1 lsl max_bits in
+  let product limit vs =
+    Array.fold_left
+      (fun acc (v : float array) ->
+        if acc > limit then acc else acc * Stdlib.max 1 (Array.length v))
+      1 vs
+  in
+  let grids = Array.map (fun s -> s.values) specs in
+  let exhaustive =
+    Array.for_all (fun s -> s.grid) specs && product cap grids <= cap
+  in
+  let sets =
+    if exhaustive then grids
+    else
+      Array.map
+        (fun s ->
+          if s.grid && Array.length s.values <= 8 then s.values
+          else
+            let dt = None in
+            let lo = s.values.(0)
+            and hi = s.values.(Array.length s.values - 1) in
+            corner_values dt ~lo ~hi)
+        specs
+  in
+  let limit = if exhaustive then cap else max_corner_letters in
+  let total = Stdlib.min (product limit sets) limit in
+  let truncated = (not exhaustive) && product limit sets > limit in
+  let counters = Array.make n 0 in
+  let letters =
+    Array.init total (fun _ ->
+        let letter = Array.init n (fun i -> sets.(i).(counters.(i))) in
+        (* increment the mixed-radix counter, last input fastest *)
+        let rec bump i =
+          if i >= 0 then begin
+            counters.(i) <- counters.(i) + 1;
+            if counters.(i) >= Array.length sets.(i) then begin
+              counters.(i) <- 0;
+              bump (i - 1)
+            end
+          end
+        in
+        bump (n - 1);
+        letter)
+  in
+  (specs, letters, exhaustive, truncated)
+
+(* --- reachable-state closure ------------------------------------------- *)
+
+type search = {
+  sts : float array Dyn.t;  (* state id -> register vector *)
+  parent : (int * int) Dyn.t;  (* state id -> (pred id, letter) *)
+  depth : int Dyn.t;
+  mutable transitions : int;
+  mutable truncated : bool;
+  mutable crashed : bool;
+  mutable hit : (int * int * string) option;  (* (state, letter, node) *)
+}
+
+let key_of nr (st : float array) =
+  let b = Bytes.create (nr * 8) in
+  for r = 0 to nr - 1 do
+    Bytes.set_int64_le b (r * 8) (Int64.bits_of_float st.(r))
+  done;
+  Bytes.unsafe_to_string b
+
+(* Step the batch-1 twin from [st] under letter [l]: the successor
+   state, the first quantizer that overflowed (schedule order), or the
+   arithmetic escape. *)
+let step1 prog1 ~idx ~letters ~st ~l ~step =
+  Compile.write_state prog1 ~lane:0 st;
+  let before = Compile.overflows prog1 in
+  match
+    Compile.step_once prog1 ~step ~inputs:(fun name ->
+        let i = idx name in
+        fun ~lane:_ -> letters.(l).(i))
+  with
+  | exception Invalid_argument _ -> `Crash
+  | () ->
+      let after = Compile.overflows prog1 in
+      let node =
+        List.find_map
+          (fun ((n, c0), (_, c1)) -> if c1 > c0 then Some n else None)
+          (List.combine before after)
+      in
+      let nr = Compile.register_count prog1 in
+      let succ = Array.make nr 0.0 in
+      Compile.read_state prog1 ~lane:0 succ;
+      `Step (succ, node)
+
+let explore ~prog ~prog1 ~idx ~letters ~max_states ~depth_limit
+    ~stop_on_overflow =
+  let nl = Array.length letters in
+  let nr = Compile.register_count prog in
+  let s =
+    {
+      sts = Dyn.create [||];
+      parent = Dyn.create (-1, -1);
+      depth = Dyn.create 0;
+      transitions = 0;
+      truncated = false;
+      crashed = false;
+      hit = None;
+    }
+  in
+  let tbl = Hashtbl.create 1024 in
+  let add ~pred ~letter ~d st =
+    let k = key_of nr st in
+    if not (Hashtbl.mem tbl k) then
+      if Dyn.len s.sts >= max_states then s.truncated <- true
+      else begin
+        Hashtbl.add tbl k (Dyn.len s.sts);
+        Dyn.push s.sts st;
+        Dyn.push s.parent (pred, letter);
+        Dyn.push s.depth d
+      end
+  in
+  add ~pred:(-1) ~letter:(-1) ~d:0 (Compile.initial_state prog);
+  let scratch = Array.make nr 0.0 in
+  (* per-letter fallback: replay each letter on the twin to attribute
+     overflows / salvage successors around a crash *)
+  let slow_path sid st d =
+    let l = ref 0 in
+    while !l < nl && s.hit = None do
+      (match step1 prog1 ~idx ~letters ~st ~l:!l ~step:d with
+      | `Crash -> s.crashed <- true
+      | `Step (succ, node) -> (
+          match node with
+          | Some n when stop_on_overflow -> s.hit <- Some (sid, !l, n)
+          | _ -> add ~pred:sid ~letter:!l ~d:(d + 1) succ));
+      incr l
+    done
+  in
+  let cursor = ref 0 in
+  while !cursor < Dyn.len s.sts && s.hit = None do
+    let sid = !cursor in
+    incr cursor;
+    let d = Dyn.get s.depth sid in
+    if depth_limit < 0 || d < depth_limit then begin
+      let st = Dyn.get s.sts sid in
+      for lane = 0 to nl - 1 do
+        Compile.write_state prog ~lane st
+      done;
+      let ovf0 = Compile.overflow_count prog in
+      s.transitions <- s.transitions + nl;
+      match
+        Compile.step_once prog ~step:d ~inputs:(fun name ->
+            let i = idx name in
+            fun ~lane -> letters.(lane).(i))
+      with
+      | exception Invalid_argument _ ->
+          (* NaN escaped somewhere in the batch: redo this state on the
+             twin so untainted letters still contribute successors *)
+          slow_path sid st d
+      | () ->
+          let delta = Compile.overflow_count prog - ovf0 in
+          if delta > 0 && stop_on_overflow then slow_path sid st d
+          else
+            for lane = 0 to nl - 1 do
+              Compile.read_state prog ~lane scratch;
+              add ~pred:sid ~letter:lane ~d:(d + 1) (Array.copy scratch)
+            done
+    end
+    else s.truncated <- true
+  done;
+  s
+
+(* --- counterexample construction --------------------------------------- *)
+
+let path_letters search sid =
+  let rec go acc sid =
+    let pred, letter = Dyn.get search.parent sid in
+    if pred < 0 then acc else go (letter :: acc) pred
+  in
+  go [] sid
+
+(* Stimulus arrays: the path's letters, then [tail] extra samples (the
+   refuting letter, or the zero-input tail of a limit cycle). *)
+let build_stimulus specs letters ~path ~tail =
+  let n = Array.length specs in
+  let prefix = List.length path in
+  let steps = prefix + Array.length tail in
+  List.init n (fun i ->
+      let arr = Array.make (Stdlib.max 1 steps) 0.0 in
+      List.iteri (fun t l -> arr.(t) <- letters.(l).(i)) path;
+      Array.iteri
+        (fun t (letter : [ `Letter of int | `Zero ]) ->
+          arr.(prefix + t) <-
+            (match letter with
+            | `Letter l -> letters.(l).(i)
+            | `Zero -> specs.(i).zero))
+        tail;
+      (specs.(i).iname, Array.sub arr 0 steps))
+
+(* --- zero-input limit-cycle scan --------------------------------------- *)
+
+type lc_result =
+  | Lc_none  (** every scanned state decays within the horizon *)
+  | Lc_unknown  (** some walk did not resolve within the horizon *)
+  | Lc_found of { sid : int; start : int; period : int }
+
+let scan_limit_cycles ~prog1 ~idx ~letters:_ ~specs ~search ~horizon =
+  let nr = Compile.register_count prog1 in
+  let n_in = Array.length specs in
+  let zero_inputs name =
+    let i = idx name in
+    fun ~lane:_ -> specs.(i).zero
+  in
+  ignore n_in;
+  let decays : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let all_zero st = Array.for_all (fun v -> v = 0.0) st in
+  let result = ref Lc_none in
+  let sid = ref 0 in
+  while !sid < Dyn.len search.sts && (match !result with Lc_found _ -> false | _ -> true) do
+    let cur = Array.copy (Dyn.get search.sts !sid) in
+    let seen = Hashtbl.create 64 in
+    let traj = Dyn.create "" in
+    let resolved = ref false in
+    while not !resolved do
+      let k = key_of nr cur in
+      if Hashtbl.mem decays k then begin
+        for i = 0 to Dyn.len traj - 1 do
+          Hashtbl.replace decays (Dyn.get traj i) ()
+        done;
+        resolved := true
+      end
+      else
+        match Hashtbl.find_opt seen k with
+        | Some j ->
+            (* revisit: the cycle is traj[j ..].  All-zero states form
+               the decayed fixed point; anything else is a sustained
+               zero-input oscillation (period 1 = a DC offset). *)
+            let period = Dyn.len traj - j in
+            let nonzero = not (all_zero cur) in
+            (* a cycle containing any nonzero register state is
+               non-decaying: the all-zero state is a fixed point, so a
+               cycle through it never leaves it *)
+            if nonzero then result := Lc_found { sid = !sid; start = j; period }
+            else
+              for i = 0 to Dyn.len traj - 1 do
+                Hashtbl.replace decays (Dyn.get traj i) ()
+              done;
+            resolved := true
+        | None ->
+            if Dyn.len traj >= horizon then begin
+              if !result = Lc_none then result := Lc_unknown;
+              resolved := true
+            end
+            else begin
+              Hashtbl.add seen k (Dyn.len traj);
+              Dyn.push traj k;
+              Compile.write_state prog1 ~lane:0 cur;
+              search.transitions <- search.transitions + 1;
+              match
+                Compile.step_once prog1 ~step:(Dyn.len traj) ~inputs:zero_inputs
+              with
+              | exception Invalid_argument _ ->
+                  search.crashed <- true;
+                  if !result = Lc_none then result := Lc_unknown;
+                  resolved := true
+              | () -> Compile.read_state prog1 ~lane:0 cur
+            end
+    done;
+    incr sid
+  done;
+  !result
+
+(* --- replay / confirmation --------------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let confirm g (ce : counterexample) =
+  let ( let* ) = Result.bind in
+  let steps = ce.steps in
+  if steps <= 0 then Error "empty counterexample"
+  else
+    let stim name =
+      match List.assoc_opt name ce.stimulus with
+      | Some arr -> fun step -> arr.(step)
+      | None -> fun _ -> 0.0
+    in
+    let* interp =
+      match Sfg.Graph.simulate g ~steps ~inputs:stim with
+      | tr -> Ok (Array.of_list tr)
+      | exception e ->
+          Error (Printf.sprintf "interpreter raised %s" (Printexc.to_string e))
+    in
+    let* comp =
+      match
+        let prog = Compile.compile ~batch:1 g in
+        Compile.traces prog ~steps ~inputs:(fun name ~lane:_ -> stim name)
+      with
+      | tr -> Ok (Array.of_list tr)
+      | exception e ->
+          Error (Printf.sprintf "compiled raised %s" (Printexc.to_string e))
+    in
+    let ns = Array.of_list (Sfg.Graph.nodes g) in
+    let* () =
+      if Array.length interp <> Array.length comp then
+        Error "trace arity mismatch"
+      else Ok ()
+    in
+    let mismatch = ref None in
+    Array.iteri
+      (fun i (name, (itr : float array)) ->
+        let _, ctr = comp.(i) in
+        let ctr = ctr.(0) in
+        for t = 0 to steps - 1 do
+          if !mismatch = None && bits itr.(t) <> bits ctr.(t) then
+            mismatch := Some (name, t)
+        done)
+      interp;
+    let* () =
+      match !mismatch with
+      | Some (name, t) ->
+          Error
+            (Printf.sprintf "interpreter/compiled diverge at %s step %d" name t)
+      | None -> Ok ()
+    in
+    let tr i = snd interp.(i) in
+    match ce.violation with
+    | Overflow { node; step } ->
+        let id = ref (-1) in
+        Array.iteri
+          (fun i (nd : Sfg.Node.t) ->
+            if nd.Sfg.Node.name = node then id := i)
+          ns;
+        if !id < 0 then Error (Printf.sprintf "no node named %s" node)
+        else if step < 0 || step >= steps then Error "overflow step out of range"
+        else begin
+          match ns.(!id).Sfg.Node.op with
+          | Sfg.Node.Quantize dt ->
+              let src = List.hd ns.(!id).Sfg.Node.inputs in
+              let v = (tr src).(step) in
+              let outcome = Fixpt.Quantize.quantize dt v in
+              if outcome.Fixpt.Quantize.overflow <> None then Ok ()
+              else
+                Error
+                  (Printf.sprintf "cast of %h at %s step %d does not overflow"
+                     v node step)
+          | _ -> Error (Printf.sprintf "%s is not a quantize node" node)
+        end
+    | Limit_cycle { start; period } ->
+        if period <= 0 then Error "non-positive period"
+        else if start + (2 * period) > steps then
+          Error "stimulus too short to exhibit the cycle"
+        else
+          let delays = ref [] in
+          Array.iteri
+            (fun i (nd : Sfg.Node.t) ->
+              match nd.Sfg.Node.op with
+              | Sfg.Node.Delay _ -> delays := i :: !delays
+              | _ -> ())
+            ns;
+          let delays = List.rev !delays in
+          if delays = [] then Error "graph has no registers"
+          else
+            let recurs =
+              List.for_all
+                (fun d ->
+                  let a = tr d in
+                  let ok = ref true in
+                  for t = 0 to period - 1 do
+                    if bits a.(start + t) <> bits a.(start + period + t) then
+                      ok := false
+                  done;
+                  !ok)
+                delays
+            in
+            let nonzero =
+              List.exists
+                (fun d ->
+                  let a = tr d in
+                  let nz = ref false in
+                  for t = 0 to period - 1 do
+                    if a.(start + t) <> 0.0 then nz := true
+                  done;
+                  !nz)
+                delays
+            in
+            if not recurs then Error "register state does not recur"
+            else if not nonzero then Error "cycle is the zero fixed point"
+            else Ok ()
+
+(* --- top-level search --------------------------------------------------- *)
+
+let bounded_reason ~exhaustive ~truncated ~crashed ~extra =
+  let r = ref [] in
+  if crashed then r := "arithmetic escape (NaN) on an explored path" :: !r;
+  if truncated then r := "state/letter budget exceeded" :: !r;
+  if not exhaustive then r := "corner stimuli only (input space too large)" :: !r;
+  (match extra with Some e -> r := e :: !r | None -> ());
+  match !r with [] -> "search bounded" | rs -> String.concat "; " rs
+
+let verify ?(max_bits = 10) ?(depth = 64) ?(max_states = 65536) property g =
+  if max_bits < 0 || max_bits > 20 then
+    invalid_arg "Verify.verify: max_bits out of [0, 20]";
+  if depth < 1 then invalid_arg "Verify.verify: depth < 1";
+  if max_states < 1 then invalid_arg "Verify.verify: max_states < 1";
+  let specs, letters, exhaustive, alpha_truncated =
+    build_alphabet ~max_bits (input_specs g)
+  in
+  let nl = Array.length letters in
+  let prog = Compile.compile ~batch:(Stdlib.max 1 nl) g in
+  let prog1 = Compile.compile ~batch:1 g in
+  Compile.reset prog;
+  Compile.reset prog1;
+  let itbl = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace itbl s.iname i) specs;
+  let idx name = try Hashtbl.find itbl name with Not_found -> 0 in
+  let depth_limit = if exhaustive then -1 else depth in
+  let stop_on_overflow = property = No_overflow in
+  let search =
+    explore ~prog ~prog1 ~idx ~letters ~max_states ~depth_limit
+      ~stop_on_overflow
+  in
+  if alpha_truncated then search.truncated <- true;
+  let mk_stats () =
+    {
+      letters = nl;
+      exhaustive;
+      states = Dyn.len search.sts;
+      transitions = search.transitions;
+      truncated = search.truncated;
+      crashed = search.crashed;
+    }
+  in
+  let refute ce =
+    match confirm g ce with
+    | Ok () -> Refuted ce
+    | Error why ->
+        (* an unconfirmable counterexample is an engine defect, not a
+           verdict: stay sound and report the search as inconclusive *)
+        Bounded_out (Printf.sprintf "counterexample failed replay: %s" why)
+  in
+  let verdict =
+    match property with
+    | No_overflow -> (
+        match search.hit with
+        | Some (sid, letter, node) ->
+            let path = path_letters search sid in
+            let stimulus =
+              build_stimulus specs letters ~path ~tail:[| `Letter letter |]
+            in
+            let step = List.length path in
+            refute
+              { steps = step + 1; stimulus; violation = Overflow { node; step } }
+        | None ->
+            if
+              exhaustive && (not search.truncated) && not search.crashed
+            then Proved
+            else
+              Bounded_out
+                (bounded_reason ~exhaustive ~truncated:search.truncated
+                   ~crashed:search.crashed ~extra:None))
+    | No_limit_cycle -> (
+        let closure_complete =
+          exhaustive && (not search.truncated) && not search.crashed
+        in
+        let horizon =
+          if closure_complete then Stdlib.max depth (Dyn.len search.sts + 1)
+          else depth
+        in
+        match
+          scan_limit_cycles ~prog1 ~idx ~letters ~specs ~search ~horizon
+        with
+        | Lc_found { sid; start; period } ->
+            let path = path_letters search sid in
+            let prefix = List.length path in
+            let tail = Array.make (start + (2 * period)) `Zero in
+            let stimulus = build_stimulus specs letters ~path ~tail in
+            refute
+              {
+                steps = prefix + start + (2 * period);
+                stimulus;
+                violation = Limit_cycle { start = prefix + start; period };
+              }
+        | Lc_none ->
+            if closure_complete then Proved
+            else
+              Bounded_out
+                (bounded_reason ~exhaustive ~truncated:search.truncated
+                   ~crashed:search.crashed ~extra:None)
+        | Lc_unknown ->
+            Bounded_out
+              (bounded_reason ~exhaustive ~truncated:search.truncated
+                 ~crashed:search.crashed
+                 ~extra:(Some "zero-input walk exceeded the horizon")))
+  in
+  { property; verdict; stats = mk_stats () }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let violation_to_json b = function
+  | Overflow { node; step } ->
+      Printf.bprintf b "{\"kind\":\"overflow\",\"node\":\"%s\",\"step\":%d}"
+        (json_escape node) step
+  | Limit_cycle { start; period } ->
+      Printf.bprintf b
+        "{\"kind\":\"limit-cycle\",\"start\":%d,\"period\":%d}" start period
+
+let counterexample_to_json b ce =
+  Printf.bprintf b "{\"steps\":%d,\"violation\":" ce.steps;
+  violation_to_json b ce.violation;
+  Buffer.add_string b ",\"stimulus\":{";
+  List.iteri
+    (fun i (name, arr) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":[" (json_escape name);
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "\"%h\"" v)
+        arr;
+      Buffer.add_char b ']')
+    ce.stimulus;
+  Buffer.add_string b "}}"
+
+let report_to_json r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "{\"property\":\"%s\",\"verdict\":\"%s\""
+    (property_name r.property)
+    (match r.verdict with
+    | Proved -> "proved"
+    | Refuted _ -> "refuted"
+    | Bounded_out _ -> "bounded-out");
+  (match r.verdict with
+  | Proved -> ()
+  | Refuted ce ->
+      Buffer.add_string b ",\"counterexample\":";
+      counterexample_to_json b ce
+  | Bounded_out why ->
+      Printf.bprintf b ",\"reason\":\"%s\"" (json_escape why));
+  let s = r.stats in
+  Printf.bprintf b
+    ",\"stats\":{\"letters\":%d,\"exhaustive\":%b,\"states\":%d,\"transitions\":%d,\"truncated\":%b,\"crashed\":%b}}"
+    s.letters s.exhaustive s.states s.transitions s.truncated s.crashed;
+  Buffer.contents b
+
+let pp_report ppf r =
+  let verdict_str =
+    match r.verdict with
+    | Proved -> "PROVED"
+    | Refuted { violation = Overflow { node; step }; _ } ->
+        Printf.sprintf "REFUTED (overflow at %s, step %d)" node step
+    | Refuted { violation = Limit_cycle { start; period }; _ } ->
+        Printf.sprintf "REFUTED (limit cycle, start %d, period %d)" start
+          period
+    | Bounded_out why -> Printf.sprintf "BOUNDED OUT (%s)" why
+  in
+  let s = r.stats in
+  Format.fprintf ppf "%s: %s — %d letters%s, %d states, %d transitions%s%s"
+    (property_name r.property) verdict_str s.letters
+    (if s.exhaustive then " (exhaustive)" else " (corners)")
+    s.states s.transitions
+    (if s.truncated then ", truncated" else "")
+    (if s.crashed then ", crashed" else "")

@@ -1,0 +1,103 @@
+(** Sound bit-level verification of closed signal-flow graphs.
+
+    The refinement flow's range estimates (statistic monitoring,
+    {!Sfg.Range_analysis}) are fast but unsound: a feedback loop can
+    overflow under the declared input range, or sustain a zero-input
+    limit cycle, without either estimate noticing — exactly the failure
+    modes the SMT-BMC literature verifies exhaustively for fixed-point
+    filters (Abreu et al., arXiv:1305.2892; de Mello et al.,
+    arXiv:1706.05088).  This engine is the pure-OCaml third leg: it
+    bit-blasts small-wordlength state spaces by explicit-state search
+    over the {e compiled} executor ({!Compile.step_once}), so every
+    transition it explores uses byte-for-byte the semantics the
+    simulator and sweep run.
+
+    {b Input alphabet.}  Each [Input] node's admissible values are the
+    grid points of the quantizer directly downstream of it (through
+    [Alias] links), restricted to the declared interval.  When the total
+    input entropy is at most [max_bits], the alphabet is the {e full}
+    cross product and search verdicts are exhaustive; otherwise the
+    engine falls back to corner-driven stimuli (interval endpoints,
+    zero, ±full-scale, ±1 ulp) over a bounded unrolling of [depth]
+    cycles — an underapproximation that can refute but never prove.
+
+    {b Soundness.}  [Proved] is returned only when the alphabet was
+    exhaustive and the reachable register-state closure completed
+    within budget with no arithmetic escape: every reachable state
+    under every admissible input has then literally been executed.
+    [Refuted] is returned only after the counterexample has been
+    replayed through both the graph interpreter and the compiled
+    executor (byte-equal) with the violation reproduced.  Everything
+    else is [Bounded_out]. *)
+
+(** The two properties of ROADMAP item 3. *)
+type property =
+  | No_overflow
+      (** no [Quantize] node ever wraps/saturates under the declared
+          input range *)
+  | No_limit_cycle
+      (** from every reachable post-stimulus state, the zero-input
+          response decays to the all-zero register state within
+          [depth] cycles (no non-decaying cycle) *)
+
+type violation =
+  | Overflow of { node : string; step : int }
+      (** quantizer [node] overflows at cycle [step] of the stimulus *)
+  | Limit_cycle of { start : int; period : int }
+      (** register state at cycle [start] recurs at [start + period]
+          with a nonzero register in between *)
+
+(** A concrete refuting stimulus: per-input sample arrays (all of
+    length [steps], in the compiled program's input order) driving the
+    graph from reset into the violation. *)
+type counterexample = {
+  steps : int;
+  stimulus : (string * float array) list;
+  violation : violation;
+}
+
+type verdict =
+  | Proved
+  | Refuted of counterexample
+  | Bounded_out of string  (** why the search was inconclusive *)
+
+(** Search statistics — deterministic counters only (no wall-clock), so
+    rendered reports are byte-identical across runs. *)
+type stats = {
+  letters : int;  (** input alphabet size (cross product) *)
+  exhaustive : bool;  (** alphabet covered the whole declared grid *)
+  states : int;  (** distinct register states discovered *)
+  transitions : int;  (** (state, letter) edges executed *)
+  truncated : bool;  (** a state/letter/depth budget was hit *)
+  crashed : bool;  (** an explored transition raised (NaN at a cast) *)
+}
+
+type report = { property : property; verdict : verdict; stats : stats }
+
+val property_name : property -> string
+val property_of_string : string -> property option
+
+(** [verify ?max_bits ?depth ?max_states property g] — run the search.
+    [max_bits] (default 10) bounds the exhaustive alphabet at
+    [2^max_bits] letters; [depth] (default 64) is the corner-mode
+    unrolling bound and the limit-cycle horizon k; [max_states]
+    (default 65536) bounds the reachable-state closure.  Raises
+    {!Compile.Cannot_compile} on an unclosed graph. *)
+val verify :
+  ?max_bits:int -> ?depth:int -> ?max_states:int -> property -> Sfg.Graph.t -> report
+
+(** [confirm g ce] replays [ce] through {!Sfg.Graph.simulate} and a
+    fresh batch-1 {!Compile} program: checks every node trace
+    byte-equal between the two, then re-establishes the violation from
+    the traces (recomputing the refuted quantizer's cast for
+    [Overflow]; comparing register states bitwise for [Limit_cycle]).
+    [Ok ()] on success, [Error reason] naming the first divergence. *)
+val confirm : Sfg.Graph.t -> counterexample -> (unit, string) result
+
+(** Canonical JSON rendering of a report — stable key order, hex-float
+    ([%h]) numerics, no timing: byte-identical across runs for the same
+    graph and budgets. *)
+val report_to_json : report -> string
+
+(** Human-readable one-or-few-line rendering. *)
+val pp_report : Format.formatter -> report -> unit

@@ -13,8 +13,12 @@
 #      gate (--compiled: flat-schedule executor byte-identical to the
 #      interpreter on every workload graph, batched and under fault
 #      replay; sweep metric parity; BENCH_compile.json throughput
-#      guard), and the bench regression guard (wall-clock, so
-#      deliberately NOT part of `dune runtest`);
+#      guard), the verification-oracle gate (--verify: prove/refute
+#      no-overflow and no-limit-cycle on every workload flowgraph,
+#      range-analysis soundness cross-check, counterexample stimuli
+#      pinned as golden files and replayed through both executors;
+#      BENCH_verify.json throughput guard), and the bench regression
+#      guard (wall-clock, so deliberately NOT part of `dune runtest`);
 #   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
 #      command by command so the documentation cannot rot.
 #
@@ -40,4 +44,5 @@ else
 fi
 with_timeout 900 dune exec bin/fxrefine.exe -- check --faults
 with_timeout 900 dune exec bin/fxrefine.exe -- check --compiled
+with_timeout 900 dune exec bin/fxrefine.exe -- check --verify
 with_timeout 600 sh scripts/check_tutorial.sh

@@ -37,4 +37,5 @@ let () =
       Test_sweep.suite;
       Test_fault.suite;
       Test_compile.suite;
+      Test_verify.suite;
     ]

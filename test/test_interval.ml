@@ -156,6 +156,56 @@ let prop_neg_involution =
   QCheck2.Test.make ~name:"neg involution" ~count:1000 gen_interval (fun a ->
       Interval.equal (Interval.neg (Interval.neg a)) a)
 
+(* Degenerate-heavy generator: zero-width points (±0.0 included),
+   infinite endpoints, Empty — the widen_within edge cases gen_interval
+   never produces. *)
+let gen_interval_edgy =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, gen_interval);
+        (2, map (fun a -> Interval.make a a) (float_range (-100.0) 100.0));
+        ( 1,
+          oneofl
+            [
+              Interval.empty;
+              Interval.entire;
+              Interval.make 0.0 0.0;
+              Interval.make (-0.0) 0.0;
+              Interval.make Float.neg_infinity 0.0;
+              Interval.make 0.0 Float.infinity;
+            ] );
+      ])
+
+(* Range_analysis re-applies the cap on every fixpoint sweep, so a
+   widened bound must be a fixed point of another application with the
+   same observation — including zero-width and infinite intervals. *)
+let prop_widen_within_idempotent =
+  QCheck2.Test.make ~name:"widen_within idempotent" ~count:2000
+    QCheck2.Gen.(triple gen_interval_edgy gen_interval_edgy gen_interval_edgy)
+    (fun (within, a, b) ->
+      let w1 = Interval.widen_within ~within a b in
+      Interval.equal (Interval.widen_within ~within w1 b) w1)
+
+let test_widen_within_degenerate () =
+  let point x = iv x x in
+  (* a zero-width cap never widens past itself, and re-application is
+     stable even when the observation escapes both sides *)
+  let w1 = Interval.widen_within ~within:(point 1.0) (iv 0.0 1.0) (iv (-2.0) 3.0) in
+  check bool_t "point cap" true (Interval.equal w1 (iv 0.0 1.0));
+  check bool_t "point cap stable" true
+    (Interval.equal (Interval.widen_within ~within:(point 1.0) w1 (iv (-2.0) 3.0)) w1);
+  (* empty cap falls back to plain widen, still idempotent *)
+  let w2 = Interval.widen_within ~within:Interval.empty (iv 0.0 1.0) (iv 0.0 2.0) in
+  check bool_t "empty cap = widen" true
+    (Interval.equal w2 (Interval.widen (iv 0.0 1.0) (iv 0.0 2.0)));
+  check bool_t "empty cap stable" true
+    (Interval.equal (Interval.widen_within ~within:Interval.empty w2 (iv 0.0 2.0)) w2);
+  (* signed zero: -0.0 compares equal to 0.0, so a [-0.0, 0.0] observation
+     must not widen a [0.0, 0.0] bound *)
+  let z = Interval.widen_within ~within:Interval.entire (point 0.0) (iv (-0.0) 0.0) in
+  check bool_t "signed zero" true (Interval.equal z (point 0.0))
+
 let suite =
   ( "interval",
     [
@@ -171,6 +221,8 @@ let suite =
       Alcotest.test_case "shift" `Quick test_shift;
       Alcotest.test_case "clamp" `Quick test_clamp;
       Alcotest.test_case "widen" `Quick test_widen;
+      Alcotest.test_case "widen_within degenerate" `Quick
+        test_widen_within_degenerate;
       Alcotest.test_case "exploded" `Quick test_exploded;
       Alcotest.test_case "observe" `Quick test_observe;
       Alcotest.test_case "mag" `Quick test_mag;
@@ -183,4 +235,5 @@ let suite =
       Test_support.Qseed.to_alcotest prop_join_upper_bound;
       Test_support.Qseed.to_alcotest prop_widen_upper_bound;
       Test_support.Qseed.to_alcotest prop_neg_involution;
+      Test_support.Qseed.to_alcotest prop_widen_within_idempotent;
     ] )
