@@ -987,6 +987,85 @@ let sweepbench () =
   Format.printf "wrote BENCH_sweep.json@."
 
 (* ======================================================================= *)
+(* Evaluation cache effectiveness (BENCH_serve.json)                        *)
+(* ======================================================================= *)
+
+(* Cold vs warm wall-clock of an identical re-sweep through the
+   content-addressed evaluation cache: the warm pass must answer ≥90%
+   of candidate evaluations from the persisted entries and come back
+   ≥5× faster — a hit replaces compile + n-cycle run with one
+   extraction cycle, a hash and a decode.  Unlike sweepbench's scaling
+   target this is core-count independent, so it holds even in a
+   single-core container. *)
+
+let servebench () =
+  section "servebench: content-addressed evaluation cache";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fxservebench-%d" (Unix.getpid ()))
+  in
+  let sweep ~cache =
+    let workload = Sweep.Workload.fir ~n:2048 () in
+    let generator =
+      Sweep.Generator.grid ~specs:workload.Sweep.Workload.specs ~f_min:2
+        ~f_max:10 ~seeds:[ 0; 1; 2; 3 ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Sweep.Pool.run ~jobs:1 ?cache ~workload ~generator () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (report, dt)
+  in
+  (* warm-up without the cache: fault in all code paths before timing *)
+  ignore (sweep ~cache:None);
+  let cold_cache = Serve.Cache.create ~dir () in
+  let cold_report, t_cold =
+    sweep ~cache:(Some (Serve.Codec.eval_cache cold_cache))
+  in
+  (* a fresh cache value over the same directory: warm hits come from
+     the persisted entries, as in a separate process *)
+  let warm_cache = Serve.Cache.create ~dir () in
+  let warm_report, t_warm =
+    sweep ~cache:(Some (Serve.Codec.eval_cache warm_cache))
+  in
+  let s = Serve.Cache.stats warm_cache in
+  let looked = s.Serve.Cache.hits + s.Serve.Cache.misses in
+  let hit_rate =
+    if looked = 0 then 0.0
+    else float_of_int s.Serve.Cache.hits /. float_of_int looked
+  in
+  let speedup = t_cold /. t_warm in
+  let candidates = List.length cold_report.Sweep.Report.entries in
+  let identical =
+    Sweep.Report.to_json cold_report = Sweep.Report.to_json warm_report
+  in
+  Format.printf
+    "%d candidates: cold %.3f s, warm %.3f s -> %.1fx, hit rate %.0f%%, \
+     reports %s@."
+    candidates t_cold t_warm speedup (100.0 *. hit_rate)
+    (if identical then "byte-identical" else "DIVERGED");
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"serve-cache\",\n\
+    \  \"workload\": \"fir\",\n\
+    \  \"strategy\": \"grid\",\n\
+    \  \"candidates\": %d,\n\
+    \  \"seconds_cold\": %.4f,\n\
+    \  \"seconds_warm\": %.4f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"hit_rate\": %.4f,\n\
+    \  \"reports_identical\": %b,\n\
+    \  \"target\": \"hit_rate >= 0.9 and speedup >= 5x on an identical \
+     re-sweep\"\n\
+     }\n"
+    candidates t_cold t_warm speedup s.Serve.Cache.hits s.Serve.Cache.misses
+    hit_rate identical;
+  close_out oc;
+  Format.printf "wrote BENCH_serve.json@."
+
+(* ======================================================================= *)
 (* Observability overhead (BENCH_trace.json)                                *)
 (* ======================================================================= *)
 
@@ -1156,6 +1235,7 @@ let experiments =
     ("compilebench", compilebench);
     ("verifybench", verifybench);
     ("sweepbench", sweepbench);
+    ("servebench", servebench);
     ("tracebench", tracebench);
     ("bench", bechamel_run);
   ]

@@ -12,12 +12,17 @@
      trace      — run one conformance workload under full tracing
      check      — the conformance oracle (--faults adds the fault gate,
                   --compiled the compiled-executor gate, --verify the
-                  verification-oracle gate)
+                  verification-oracle gate, --serve the cache/daemon
+                  gate)
      compile    — lower workload flowgraphs to the batched flat-schedule
                   executor; equality spot check + throughput
      verify     — prove/refute no-overflow and no-limit-cycle on a
                   design's flowgraph by exhaustive/bounded bit-level
                   search; counterexamples as hex-float stimuli
+     serve      — refinement daemon: sweep jobs over a Unix socket,
+                  all sharing one content-addressed evaluation cache
+     submit     — client for a running serve daemon (sweep/ping/
+                  stats/shutdown)
 
    Each refinement subcommand prints the paper-style MSB/LSB tables and
    a flow summary; options control workload size, k_LSB and seeds so the
@@ -308,7 +313,7 @@ let quantize_cmd =
 (* --- sweep: parallel wordlength exploration ----------------------------- *)
 
 let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
-    target_db json trace_file counters_file verbose =
+    target_db cache_dir json trace_file counters_file verbose =
   setup_logs verbose;
   let workload =
     match Sweep.Workload.find workload_name with
@@ -341,9 +346,13 @@ let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
         exit 1
   in
   if trace_file <> None then Trace.Spans.set_enabled true;
+  (* a persistent cache makes identical re-sweeps answer from disk; the
+     report stays byte-identical either way (the serve gate's contract) *)
+  let store = Option.map (fun dir -> Serve.Cache.create ~dir ()) cache_dir in
+  let cache = Option.map Serve.Codec.eval_cache store in
   let t0 = Unix.gettimeofday () in
   let report =
-    Sweep.Pool.run ~jobs ?budget
+    Sweep.Pool.run ~jobs ?budget ?cache
       ~counters:(counters_file <> None)
       ~workload ~generator ()
   in
@@ -364,7 +373,17 @@ let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
   (* timing goes to stderr, never into the (deterministic) report *)
   Format.eprintf "sweep: %d candidates in %.3f s (jobs=%d)@."
     (List.length report.Sweep.Report.entries)
-    dt jobs
+    dt jobs;
+  match store with
+  | Some c ->
+      let s = Serve.Cache.stats c in
+      let looked = s.Serve.Cache.hits + s.Serve.Cache.misses in
+      Format.eprintf "cache: %d hits, %d misses (%.0f%% hit rate), %d entries@."
+        s.Serve.Cache.hits s.Serve.Cache.misses
+        (if looked = 0 then 0.0
+         else 100.0 *. float_of_int s.Serve.Cache.hits /. float_of_int looked)
+        s.Serve.Cache.entries
+  | None -> ()
 
 let sweep_cmd =
   let workload_t =
@@ -408,6 +427,18 @@ let sweep_cmd =
   let json_t =
     Arg.(value & flag & info [ "json" ] ~doc:"Canonical JSON report.")
   in
+  let cache_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~doc:
+            "Content-addressed evaluation cache directory: compiled \
+             candidate evaluations are looked up before computing and \
+             persisted after, so an identical re-sweep answers from disk. \
+             The report is byte-identical with or without the cache; a \
+             hit-rate line goes to stderr.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -415,7 +446,7 @@ let sweep_cmd =
           multicore); deterministic for any --jobs.")
     Term.(
       const run_sweep $ workload_t $ strategy_t $ jobs_t $ budget_t $ f_min_t
-      $ f_max_t $ seeds_t $ target_t $ json_t $ trace_file_t
+      $ f_max_t $ seeds_t $ target_t $ cache_dir_t $ json_t $ trace_file_t
       $ counters_file_t $ verbose_t)
 
 (* --- faultsim: a sweep under seeded fault injection --------------------- *)
@@ -674,7 +705,7 @@ let trace_cmd =
 (* --- check: the conformance oracle ------------------------------------- *)
 
 let run_check seed per_combo update_golden no_bench golden_dir jobs faults
-    compiled with_verify verbose =
+    compiled with_verify with_serve verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -744,6 +775,14 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     end
     else true
   in
+  let serve_ok =
+    if with_serve then begin
+      let sr = Oracle.Serve_check.run ?jobs () in
+      Format.printf "%a@." Oracle.Serve_check.pp_report sr;
+      Oracle.Serve_check.passed sr
+    end
+    else true
+  in
   let ok =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
@@ -751,6 +790,7 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     && Oracle.Sweep_check.passed sweep
     && Oracle.Trace_check.passed trace && faults_ok && compiled_ok
     && bench_ok && compile_bench_ok && verify_ok && verify_bench_ok
+    && serve_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -830,6 +870,17 @@ let check_cmd =
              verification-throughput guard against BENCH_verify.json \
              (unless \\$(b,--no-bench)).")
   in
+  let serve_t =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Also run the serve gate: the content-addressed evaluation \
+             cache must be byte-transparent (no-cache vs cold vs warm vs \
+             parallel-warm reports identical, warm answering every \
+             candidate from disk), and a daemon round trip over a real \
+             Unix socket must return the same byte-identical report.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -837,10 +888,12 @@ let check_cmd =
           metamorphic workload invariants, golden traces, sweep determinism, \
           trace determinism, bench guard; \\$(b,--faults) adds the \
           fault-injection gate, \\$(b,--compiled) the compiled-executor \
-          gate, \\$(b,--verify) the verification-oracle gate.")
+          gate, \\$(b,--verify) the verification-oracle gate, \
+          \\$(b,--serve) the cache/daemon gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
-      $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verify_t $ verbose_t)
+      $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verify_t $ serve_t
+      $ verbose_t)
 
 (* --- compile: inspect the flat-schedule executor ------------------------ *)
 
@@ -1168,6 +1221,177 @@ let sfg_cmd =
     (Cmd.info "sfg" ~doc:"Static analysis of the equalizer flowgraph.")
     Term.(const run_sfg $ auto_t $ dot_t)
 
+(* --- serve / submit: refinement-as-a-service ---------------------------- *)
+
+let run_serve socket cache_dir max_entries verbose =
+  setup_logs verbose;
+  Format.eprintf "fxrefine serve: socket %s%s@." socket
+    (match cache_dir with
+    | Some d -> Printf.sprintf ", cache %s" d
+    | None -> ", in-memory cache");
+  Serve.Daemon.run ?cache_dir ?max_entries
+    ~log:(fun m -> Format.eprintf "fxrefine serve: %s@." m)
+    ~socket ()
+
+let serve_cmd =
+  let socket_t =
+    Arg.(
+      value
+      & opt string "fxrefine.sock"
+      & info [ "socket" ] ~doc:"Unix-domain socket path to listen on.")
+  in
+  let cache_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~doc:
+            "Persist the shared evaluation cache here (in-memory only \
+             when omitted).")
+  in
+  let max_entries_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ]
+          ~doc:"Cache size bound; oldest entries are evicted first (FIFO).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the refinement daemon: accept sweep jobs over a Unix-domain \
+          socket (line-delimited JSON), all jobs sharing one \
+          content-addressed evaluation cache.  Stops on a \\$(b,shutdown) \
+          request (see \\$(b,fxrefine submit --op shutdown)).")
+    Term.(const run_serve $ socket_t $ cache_dir_t $ max_entries_t $ verbose_t)
+
+let run_submit socket op workload strategy f_min f_max n_seeds jobs budget
+    target_db timeout_s verbose =
+  setup_logs verbose;
+  let client =
+    match Serve.Client.connect_retry ~attempts:30 ~delay_s:0.1 socket with
+    | c -> c
+    | exception exn ->
+        Format.eprintf "submit: cannot reach daemon at %s: %s@." socket
+          (Printexc.to_string exn);
+        exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close client)
+    (fun () ->
+      let request =
+        match op with
+        | "ping" -> Serve.Protocol.Ping { id = "cli" }
+        | "stats" -> Serve.Protocol.Stats { id = "cli" }
+        | "shutdown" -> Serve.Protocol.Shutdown { id = "cli" }
+        | "sweep" ->
+            Serve.Protocol.Sweep
+              {
+                id = "cli";
+                params =
+                  {
+                    Serve.Protocol.workload;
+                    strategy;
+                    f_min;
+                    f_max;
+                    seeds = n_seeds;
+                    jobs;
+                    budget;
+                    target_db;
+                    timeout_s;
+                  };
+              }
+        | s ->
+            Format.eprintf "unknown op %S (sweep|ping|stats|shutdown)@." s;
+            exit 1
+      in
+      match Serve.Client.request client request with
+      | Serve.Protocol.Pong _ -> Format.printf "pong@."
+      | Serve.Protocol.Bye _ -> Format.printf "daemon shutting down@."
+      | Serve.Protocol.Stats_reply { stats; _ } ->
+          Format.printf "cache: %a@." Serve.Cache.pp_stats stats
+      | Serve.Protocol.Report { report; hits; misses; _ } ->
+          print_string report;
+          Format.eprintf "job: %d cache hits, %d misses@." hits misses
+      | Serve.Protocol.Error { message; _ } ->
+          Format.eprintf "daemon error: %s@." message;
+          exit 1
+      | exception Serve.Client.Protocol_error m ->
+          Format.eprintf "submit: %s@." m;
+          exit 1)
+
+let submit_cmd =
+  let socket_t =
+    Arg.(
+      value
+      & opt string "fxrefine.sock"
+      & info [ "socket" ] ~doc:"Unix-domain socket the daemon listens on.")
+  in
+  let op_t =
+    Arg.(
+      value & opt string "sweep"
+      & info [ "op" ]
+          ~doc:
+            "Operation: \\$(b,sweep) (submit a job, print its canonical \
+             JSON report), \\$(b,ping), \\$(b,stats) or \\$(b,shutdown).")
+  in
+  let workload_t =
+    Arg.(
+      value & opt string "fir"
+      & info [ "workload" ] ~doc:"Built-in workload for \\$(b,--op sweep).")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "grid"
+      & info [ "strategy" ]
+          ~doc:"Search strategy: \\$(b,grid), \\$(b,bisect) or \\$(b,pareto).")
+  in
+  let f_min_t =
+    Arg.(value & opt int 2 & info [ "f-min" ] ~doc:"Smallest fractional width.")
+  in
+  let f_max_t =
+    Arg.(value & opt int 10 & info [ "f-max" ] ~doc:"Largest fractional width.")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~doc:"Stimulus seeds per wordlength (0..N-1).")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~doc:"Worker domains for the job.")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~doc:"Cap on the number of evaluated candidates.")
+  in
+  let target_t =
+    Arg.(
+      value & opt float 40.0
+      & info [ "target-db" ] ~doc:"SQNR target for \\$(b,bisect).")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ]
+          ~doc:"Wall-clock job limit in seconds (checked between waves).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one request to a running \\$(b,fxrefine serve) daemon and \
+          print the response: a sweep job's canonical JSON report (cache \
+          hit/miss counts on stderr), a cache stats snapshot, a liveness \
+          ping, or a shutdown.")
+    Term.(
+      const run_submit $ socket_t $ op_t $ workload_t $ strategy_t $ f_min_t
+      $ f_max_t $ seeds_t $ jobs_t $ budget_t $ target_t $ timeout_t
+      $ verbose_t)
+
 let () =
   let info =
     Cmd.info "fxrefine" ~version:"1.0.0"
@@ -1186,7 +1410,7 @@ let () =
             [
               equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
               sweep_cmd; faultsim_cmd; trace_cmd; check_cmd; compile_cmd;
-              verify_cmd;
+              verify_cmd; serve_cmd; submit_cmd;
             ]))
   with e ->
     let bt = Printexc.get_backtrace () in

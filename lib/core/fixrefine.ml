@@ -34,6 +34,11 @@
       corruption, SEU bitflips, forced overflows, stream starvation)
       and the graceful-degradation plumbing behind [fxrefine faultsim]
       and [fxrefine check --faults];
+    - {!Serve}: refinement-as-a-service — the content-addressed
+      evaluation cache (persistent memoization of candidate
+      evaluations) and the [fxrefine serve] daemon executing sweep
+      jobs over a Unix socket, behind [fxrefine sweep --cache-dir],
+      [fxrefine serve]/[fxrefine submit] and [fxrefine check --serve];
     - {!Vhdl}: VHDL generation for refined datapaths;
     - {!Oracle}: the conformance oracle — executable quantization spec,
       differential testing, metamorphic workload invariants, golden
@@ -53,5 +58,6 @@ module Refine = Refine
 module Dsp = Dsp
 module Sweep = Sweep
 module Fault = Fault
+module Serve = Serve
 module Vhdl = Vhdl
 module Oracle = Oracle

@@ -107,6 +107,41 @@ type compiled_eval = {
   stimulus : seed:int -> string -> int -> float;
 }
 
+(* --- the evaluation cache hook ----------------------------------------- *)
+
+type cache = {
+  context : string;
+  lookup : string -> metrics option;
+  insert : string -> metrics -> unit;
+}
+
+(* The key source is itself canonical JSON over the canonical-JSON
+   pieces: the extracted graph (quantizers fused, so the candidate's
+   types are structurally part of it), the explicit assignment list
+   (guards against two candidates whose graphs coincide but whose env
+   assignment sets differ, e.g. signals outside the extracted cone),
+   the probe, the stimulus seed and run length, and the caller-pinned
+   context (evaluator version, fault plan).  MD5 over that string is
+   the content address. *)
+let cache_key ~design ~assigns ~probe ~seed ~cycles ~context =
+  let b = Buffer.create (String.length design + 256) in
+  Buffer.add_string b "{\"design\": ";
+  Buffer.add_string b design;
+  Buffer.add_string b ", \"assigns\": [";
+  List.iteri
+    (fun i (name, dt) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"signal\": %S, \"dtype\": %S}" name
+           (Fixpt.Dtype.to_string dt)))
+    assigns;
+  Buffer.add_string b
+    (Printf.sprintf "], \"probe\": %s, \"seed\": %d, \"cycles\": %d, \
+                     \"context\": %S}"
+       (match probe with Some p -> Printf.sprintf "%S" p | None -> "null")
+       seed cycles context);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* Internal: any condition that sends the evaluation back to the
    clock-true interpreter. *)
 exception Fallback
@@ -141,12 +176,33 @@ let probe_monitors g prog probe =
           | _ -> Some (src, src))
       | _ -> None)
 
-let evaluate_compiled ?(assigns = []) ?probe ~seed (ce : compiled_eval)
+let evaluate_compiled ?(assigns = []) ?probe ?cache ~seed (ce : compiled_eval)
     (design : Flow.design) =
   try
     apply_assigns design.Flow.env assigns;
     design.Flow.reset ();
     let g = ce.extract () in
+    (* cache consult: the key needs only the extracted graph (cheap, one
+       recorded cycle), not the compile or the run — those are what a
+       hit skips.  A cache that raises degrades to a miss/no-insert;
+       it must never fail an evaluation. *)
+    let key =
+      match cache with
+      | None -> None
+      | Some c ->
+          Some
+            (cache_key
+               ~design:(Sfg.Graph.canonical_json g)
+               ~assigns ~probe ~seed ~cycles:ce.cycles ~context:c.context)
+    in
+    let hit =
+      match (cache, key) with
+      | Some c, Some k -> ( try c.lookup k with _ -> None)
+      | _ -> None
+    in
+    match hit with
+    | Some m -> m
+    | None ->
     let prog = Compile.compile ~dual:true g in
     let pm =
       match probe with
@@ -174,21 +230,29 @@ let evaluate_compiled ?(assigns = []) ?probe ~seed (ce : compiled_eval)
     Compile.run ?on_step prog ~steps:ce.cycles ~inputs;
     let env = design.Flow.env in
     let produced = Stats.Err_stats.produced errs in
-    {
-      sqnr_db =
-        (match pm with
-        | None -> None
-        | Some _ -> Flow.sqnr_db_of ~values:vals ~errors:produced);
-      total_bits = total_bits env;
-      overflow_count = Compile.overflow_count prog;
-      probe_err_max =
-        (match pm with
-        | None -> 0.0
-        | Some _ -> Stats.Running.max_abs produced);
-      probe_values = (match pm with None -> None | Some _ -> Some vals);
-      probe_err = (match pm with None -> None | Some _ -> Some errs);
-      counters = None;
-    }
+    let m =
+      {
+        sqnr_db =
+          (match pm with
+          | None -> None
+          | Some _ -> Flow.sqnr_db_of ~values:vals ~errors:produced);
+        total_bits = total_bits env;
+        overflow_count = Compile.overflow_count prog;
+        probe_err_max =
+          (match pm with
+          | None -> 0.0
+          | Some _ -> Stats.Running.max_abs produced);
+        probe_values = (match pm with None -> None | Some _ -> Some vals);
+        probe_err = (match pm with None -> None | Some _ -> Some errs);
+        counters = None;
+      }
+    in
+    (match (cache, key) with
+    | Some c, Some k -> ( try c.insert k m with _ -> ())
+    | _ -> ());
+    m
   with Compile.Cannot_compile _ | Invalid_argument _ | Not_found | Fallback
   ->
+    (* interpreter fallback is never cached: its key would need the
+       un-extractable design itself *)
     evaluate ~assigns ?probe design

@@ -65,6 +65,39 @@ type compiled_eval = {
           (partial application per seed may precompute) *)
 }
 
+(** The hook a content-addressed evaluation cache plugs into
+    {!evaluate_compiled}.  The record decouples this library from the
+    cache's storage ({!Serve.Cache} provides the standard store): the
+    evaluator only computes keys and calls [lookup]/[insert].  A hook
+    that raises is degraded to a miss (lookup) or a no-op (insert) — a
+    broken cache must never fail an evaluation. *)
+type cache = {
+  context : string;
+      (** caller-pinned disambiguator folded into every key: evaluator
+          version, fault plan, … — bump it to invalidate en masse *)
+  lookup : string -> metrics option;
+      (** [lookup key] — the previously inserted metrics, if any *)
+  insert : string -> metrics -> unit;
+      (** [insert key m] — record a freshly computed result *)
+}
+
+(** [cache_key ~design ~assigns ~probe ~seed ~cycles ~context] — the
+    content address of one compiled evaluation: an MD5 hex digest over
+    canonical JSON assembling the extracted graph's
+    {!Sfg.Graph.canonical_json} ([design]), the explicit assignment
+    list, the probe, the stimulus seed, the run length, and the
+    caller's [context] string.  Deterministic across processes and
+    runs — equal inputs give equal keys, and any bit-level difference
+    in a numeric parameter changes the graph JSON and hence the key. *)
+val cache_key :
+  design:string ->
+  assigns:(string * Fixpt.Dtype.t) list ->
+  probe:string option ->
+  seed:int ->
+  cycles:int ->
+  context:string ->
+  string
+
 (** [evaluate_compiled ~assigns ~probe ~seed ce design] — {!evaluate},
     but on the flat-schedule executor: apply [assigns], reset, extract
     the candidate's graph, {!Compile.compile} it (dual-lattice), run
@@ -82,10 +115,16 @@ type compiled_eval = {
     in the extracted graph.  [metrics.counters] is always [None]: a
     counter-attached evaluation observes env events the compiled run
     does not generate, so the pool routes [~counters:true] requests to
-    the interpreter. *)
+    the interpreter.
+
+    [?cache] short-circuits the compile-and-run on a content-address
+    hit (see {!cache}); misses are inserted after computing.  The
+    interpreter fallback is never cached — its inputs are not captured
+    by the key. *)
 val evaluate_compiled :
   ?assigns:(string * Fixpt.Dtype.t) list ->
   ?probe:string ->
+  ?cache:cache ->
   seed:int ->
   compiled_eval ->
   Flow.design ->

@@ -1,0 +1,248 @@
+(** The content-addressed evaluation store — persistent memoization of
+    candidate evaluations across sweeps, processes and daemon jobs.
+
+    A cache maps opaque string keys (in practice the MD5 hex digests of
+    {!Refine.Eval.cache_key}) to opaque string payloads (in practice
+    {!Codec.encode}d metrics).  The store itself imposes no meaning on
+    either: it is a durable [(string → string)] table with bounded
+    size, crash-tolerant persistence, and domain-safe concurrent
+    access.
+
+    {2 Disk layout}
+
+    When created with [?dir], every entry is one file
+    [<key>.entry] under that directory, written atomically
+    (temporary file + [rename]) with a self-describing header:
+
+    {v fxcache1 <payload-bytes>\n<payload> v}
+
+    The explicit byte count makes truncation detectable: a file whose
+    payload is shorter (or longer) than its header claims — a crashed
+    writer, a filled disk, a hand-edited entry — is {e corrupt}; it is
+    deleted, counted in {!stats}, and treated as a miss.  A later
+    insert under the same key simply rewrites it.
+
+    {2 Concurrency}
+
+    All operations take an internal mutex, so one cache value may be
+    shared by every worker domain of a {!Sweep.Pool} run and every
+    connection thread of a {!Daemon} simultaneously.  The mutex guards
+    the in-memory index; disk writes are atomic renames, so even two
+    processes sharing a directory cannot interleave a torn entry
+    (last-writer-wins on identical keys is harmless — payloads under
+    one key are identical by construction). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  corrupt : int;
+  entries : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, string) Hashtbl.t;
+  order : string Queue.t;  (** insertion order — FIFO eviction *)
+  dir : string option;
+  max_entries : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let magic = "fxcache1"
+
+(* Keys become file names; anything outside the hex-digest alphabet
+   (plus a few safe extras) stays memory-only rather than risking path
+   tricks or unportable names. *)
+let key_is_file_safe k =
+  k <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       k
+  && k.[0] <> '.'
+
+let entry_path dir key = Filename.concat dir (key ^ ".entry")
+
+let render_entry payload =
+  Printf.sprintf "%s %d\n%s" magic (String.length payload) payload
+
+(* [None] = corrupt (bad magic, unparsable length, or a payload whose
+   byte count disagrees with the header). *)
+let parse_entry raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some nl -> (
+      match String.split_on_char ' ' (String.sub raw 0 nl) with
+      | [ m; len ] when String.equal m magic -> (
+          match int_of_string_opt len with
+          | Some n when n >= 0 && String.length raw = nl + 1 + n ->
+              Some (String.sub raw (nl + 1) n)
+          | _ -> None)
+      | _ -> None)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publication: write the whole entry beside its final name,
+   then rename — a reader (or a crash) sees the old entry or the new
+   one, never a prefix. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Locked context assumed for everything below this point. *)
+
+let evict_over_limit t =
+  match t.max_entries with
+  | None -> ()
+  | Some limit ->
+      while Hashtbl.length t.tbl > limit && not (Queue.is_empty t.order) do
+        let victim = Queue.pop t.order in
+        if Hashtbl.mem t.tbl victim then begin
+          Hashtbl.remove t.tbl victim;
+          t.evictions <- t.evictions + 1;
+          match t.dir with
+          | Some dir -> (
+              try Sys.remove (entry_path dir victim) with Sys_error _ -> ())
+          | None -> ()
+        end
+      done
+
+let remove_corrupt t path =
+  (try Sys.remove path with Sys_error _ -> ());
+  t.corrupt <- t.corrupt + 1
+
+(* Adopt an entry discovered on disk (load scan, or a miss that finds a
+   file another process wrote).  Corrupt files are deleted and counted. *)
+let adopt_from_disk t dir key =
+  let path = entry_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    match parse_entry (read_file path) with
+    | Some payload ->
+        if not (Hashtbl.mem t.tbl key) then begin
+          Hashtbl.replace t.tbl key payload;
+          Queue.push key t.order;
+          evict_over_limit t
+        end;
+        Some payload
+    | None | (exception Sys_error _) ->
+        remove_corrupt t path;
+        None
+
+let load t dir =
+  let names =
+    match Sys.readdir dir with
+    | arr ->
+        Array.sort compare arr;
+        Array.to_list arr
+    | exception Sys_error _ -> []
+  in
+  List.iter
+    (fun name ->
+      match Filename.chop_suffix_opt ~suffix:".entry" name with
+      | Some key when key_is_file_safe key ->
+          ignore (adopt_from_disk t dir key)
+      | _ -> ())
+    names
+
+let create ?dir ?max_entries () =
+  (match max_entries with
+  | Some m when m < 1 -> invalid_arg "Serve.Cache.create: max_entries < 1"
+  | _ -> ());
+  let t =
+    {
+      mutex = Mutex.create ();
+      tbl = Hashtbl.create 256;
+      order = Queue.create ();
+      dir;
+      max_entries;
+      hits = 0;
+      misses = 0;
+      inserts = 0;
+      evictions = 0;
+      corrupt = 0;
+    }
+  in
+  (match dir with
+  | Some d ->
+      mkdir_p d;
+      load t d
+  | None -> ());
+  t
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let lookup t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some payload ->
+          t.hits <- t.hits + 1;
+          Some payload
+      | None -> (
+          let disk =
+            match t.dir with
+            | Some dir when key_is_file_safe key -> adopt_from_disk t dir key
+            | _ -> None
+          in
+          match disk with
+          | Some payload ->
+              t.hits <- t.hits + 1;
+              Some payload
+          | None ->
+              t.misses <- t.misses + 1;
+              None))
+
+let insert t key payload =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        Hashtbl.replace t.tbl key payload;
+        Queue.push key t.order;
+        t.inserts <- t.inserts + 1;
+        (match t.dir with
+        | Some dir when key_is_file_safe key -> (
+            try write_atomic (entry_path dir key) (render_entry payload)
+            with Sys_error _ -> ())
+        | _ -> ());
+        evict_over_limit t
+      end)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+        entries = Hashtbl.length t.tbl;
+      })
+
+let entry_count t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d entries, %d hits, %d misses, %d inserts, %d evictions, %d corrupt"
+    s.entries s.hits s.misses s.inserts s.evictions s.corrupt

@@ -1,0 +1,54 @@
+(** Content-addressed evaluation store: a durable, bounded, domain-safe
+    [(string → string)] table memoizing candidate evaluations across
+    sweeps, processes and daemon jobs.
+
+    Keys are opaque (in practice {!Refine.Eval.cache_key} digests) and
+    payloads are opaque (in practice {!Codec.encode}d metrics).  With
+    [?dir], each entry persists as one [<key>.entry] file written
+    atomically (temp file + rename) under the header
+    [fxcache1 <payload-bytes>\n]; the explicit byte count makes
+    truncated or hand-damaged files detectable — they are deleted,
+    counted as [corrupt], and treated as misses.  All operations are
+    mutex-guarded, so one cache serves every {!Sweep.Pool} worker
+    domain and every {!Daemon} connection thread concurrently. *)
+
+type t
+
+(** Counter snapshot (monotonic over the value's lifetime, except
+    [entries] which is the current table size). *)
+type stats = {
+  hits : int;  (** lookups answered (memory or disk) *)
+  misses : int;  (** lookups answered empty *)
+  inserts : int;  (** new keys stored (duplicates are no-ops) *)
+  evictions : int;  (** entries dropped by the FIFO bound *)
+  corrupt : int;  (** damaged entry files detected and deleted *)
+  entries : int;  (** current in-memory index size *)
+}
+
+(** [create ?dir ?max_entries ()] — a fresh cache.  [dir] enables
+    persistence: the directory is created if missing and every
+    well-formed [*.entry] file in it is adopted (corrupt ones are
+    deleted and counted).  [max_entries] bounds the table; the
+    oldest-inserted entries are evicted first (FIFO), on disk too.
+    Raises [Invalid_argument] on [max_entries < 1]. *)
+val create : ?dir:string -> ?max_entries:int -> unit -> t
+
+(** [lookup t key] — the stored payload, or [None].  A key absent from
+    memory but present (and well-formed) on disk — e.g. written by
+    another process sharing [dir] — is adopted and counts as a hit. *)
+val lookup : t -> string -> string option
+
+(** [insert t key payload] — store a new entry (and persist it when the
+    cache has a directory and the key is a safe file name).  Inserting
+    an existing key is a no-op: under content addressing, equal keys
+    mean equal payloads. *)
+val insert : t -> string -> string -> unit
+
+(** Current counter snapshot. *)
+val stats : t -> stats
+
+(** Current in-memory index size (= [(stats t).entries]). *)
+val entry_count : t -> int
+
+(** One-line human rendering of a {!stats} snapshot. *)
+val pp_stats : Format.formatter -> stats -> unit

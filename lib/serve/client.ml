@@ -1,0 +1,47 @@
+(** Client side of the daemon protocol — what [fxrefine submit] (and
+    the serve gate) speak.  Synchronous: one request line out, one
+    response line back. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error m -> Some (Printf.sprintf "Serve.Client.Protocol_error: %s" m)
+    | _ -> None)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+(* Retry [connect] until the daemon's listener is up — covers the
+   start-up race of a freshly forked/backgrounded daemon. *)
+let connect_retry ?(attempts = 50) ?(delay_s = 0.1) socket =
+  let rec go n =
+    match connect socket with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+        Unix.sleepf delay_s;
+        go (n - 1)
+  in
+  go (max 1 attempts)
+
+let request t req =
+  output_string t.oc (Protocol.request_to_line req);
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | exception End_of_file ->
+      raise (Protocol_error "connection closed before response")
+  | line -> (
+      match Protocol.response_of_line line with
+      | Some resp -> resp
+      | None -> raise (Protocol_error ("malformed response: " ^ line)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

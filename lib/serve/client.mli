@@ -1,0 +1,25 @@
+(** Synchronous client of the daemon protocol — what [fxrefine submit]
+    and the serve gate speak: one request line out, one response line
+    back per call. *)
+
+type t
+
+(** The daemon answered with something unparsable, or hung up
+    mid-request.  A [Printexc] printer is registered. *)
+exception Protocol_error of string
+
+(** Connect to the daemon's Unix-domain socket.  Raises
+    [Unix.Unix_error] when nothing listens there. *)
+val connect : string -> t
+
+(** {!connect}, retried (default 50 × 0.1 s) while the socket is
+    missing or refusing — covers the start-up race against a freshly
+    backgrounded daemon.  The last failure's exception escapes. *)
+val connect_retry : ?attempts:int -> ?delay_s:float -> string -> t
+
+(** Send one request, block for its response.
+    @raise Protocol_error on an unparsable response or early EOF. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** Close the connection (idempotent). *)
+val close : t -> unit

@@ -1,0 +1,174 @@
+(** The [fxrefine serve] daemon: a long-running process executing sweep
+    jobs over a Unix-domain socket, all jobs sharing one
+    content-addressed {!Cache}.
+
+    Each accepted connection gets its own [Thread] (threads multiplex
+    fine with the pool's worker {e domains}; a sweep job spawns domains
+    from whichever thread runs it), reading line-delimited
+    {!Protocol} requests and answering one response line per request.
+    Connections are independent; concurrent sweep jobs interleave
+    safely because every shared structure — the cache, the stats — is
+    mutex-guarded, and a job's report depends only on its parameters
+    (the determinism contract), not on scheduling.
+
+    Degradation mirrors the rest of the engine: a malformed line yields
+    an [error] response (the connection stays up), an unknown workload
+    or strategy yields an [error] response, a job that raises is caught
+    and reported, and a [timeout_s] overrun — checked between waves,
+    like the pool's budget — quarantines just that job.  Only
+    [shutdown] (or a signal) stops the daemon. *)
+
+(* Raised inside a job's [on_wave] when its deadline passed. *)
+exception Timeout
+
+let build_generator (p : Protocol.sweep_params)
+    (workload : Sweep.Workload.t) =
+  let specs = workload.Sweep.Workload.specs in
+  let seeds = List.init p.Protocol.seeds Fun.id in
+  match p.Protocol.strategy with
+  | "grid" ->
+      Ok
+        (Sweep.Generator.grid ~specs ~f_min:p.Protocol.f_min
+           ~f_max:p.Protocol.f_max ~seeds)
+  | "bisect" ->
+      Ok
+        (Sweep.Generator.bisect ~specs ~f_min:p.Protocol.f_min
+           ~f_max:p.Protocol.f_max ~target_db:p.Protocol.target_db ~seeds)
+  | "pareto" ->
+      Ok
+        (Sweep.Generator.pareto ~specs ~f_min:p.Protocol.f_min
+           ~f_max:p.Protocol.f_max ~seeds ())
+  | s -> Result.Error (Printf.sprintf "unknown strategy %S (grid|bisect|pareto)" s)
+
+let run_sweep_job cache ~id (p : Protocol.sweep_params) =
+  match Sweep.Workload.find p.Protocol.workload with
+  | None ->
+      Protocol.Error
+        {
+          id;
+          message = Printf.sprintf "unknown workload %S" p.Protocol.workload;
+        }
+  | Some workload -> (
+      if p.Protocol.f_min > p.Protocol.f_max then
+        Protocol.Error { id; message = "f_min > f_max" }
+      else if p.Protocol.seeds < 1 then
+        Protocol.Error { id; message = "seeds < 1" }
+      else if p.Protocol.jobs < 1 then
+        Protocol.Error { id; message = "jobs < 1" }
+      else
+        match build_generator p workload with
+        | Result.Error message -> Protocol.Error { id; message }
+        | Ok generator -> (
+            let deadline =
+              Option.map
+                (fun t -> Unix.gettimeofday () +. t)
+                p.Protocol.timeout_s
+            in
+            let on_wave _progress =
+              match deadline with
+              | Some d when Unix.gettimeofday () > d -> raise Timeout
+              | _ -> ()
+            in
+            let s0 = Cache.stats cache in
+            match
+              Sweep.Pool.run ~jobs:p.Protocol.jobs ?budget:p.Protocol.budget
+                ~cache:(Codec.eval_cache cache) ~on_wave ~workload ~generator
+                ()
+            with
+            | report ->
+                let s1 = Cache.stats cache in
+                Protocol.Report
+                  {
+                    id;
+                    report = Sweep.Report.to_json report;
+                    hits = s1.Cache.hits - s0.Cache.hits;
+                    misses = s1.Cache.misses - s0.Cache.misses;
+                  }
+            | exception Timeout ->
+                Protocol.Error
+                  { id; message = "timeout: job exceeded its wall-clock budget" }
+            | exception exn ->
+                Protocol.Error { id; message = Printexc.to_string exn }))
+
+(* [Some response, stop?] — [stop = true] only for shutdown. *)
+let handle_request cache = function
+  | Protocol.Ping { id } -> (Protocol.Pong { id }, false)
+  | Protocol.Stats { id } ->
+      (Protocol.Stats_reply { id; stats = Cache.stats cache }, false)
+  | Protocol.Shutdown { id } -> (Protocol.Bye { id }, true)
+  | Protocol.Sweep { id; params } -> (run_sweep_job cache ~id params, false)
+
+type t = {
+  cache : Cache.t;
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;
+  log : string -> unit;
+}
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send resp =
+    output_string oc (Protocol.response_to_line resp);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec serve_lines () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        let stop =
+          match Protocol.request_of_line line with
+          | None ->
+              send
+                (Protocol.Error { id = ""; message = "malformed request line" });
+              false
+          | Some req ->
+              let resp, stop = handle_request t.cache req in
+              send resp;
+              stop
+        in
+        if stop then begin
+          t.log "shutdown requested";
+          Atomic.set t.stopping true;
+          (* unblock the accept loop: [shutdown] on the listening
+             socket makes the pending [accept] raise (EINVAL) — unlike
+             [close], which on Linux leaves a blocked [accept] blocked
+             forever *)
+          try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ()
+        end
+        else serve_lines ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    serve_lines
+
+let run ?cache_dir ?max_entries ?(log = fun _ -> ()) ~socket () =
+  let cache = Cache.create ?dir:cache_dir ?max_entries () in
+  (* a stale socket file from a previous run would make [bind] fail *)
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t = { cache; listener; stopping = Atomic.make false; log } in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX socket);
+      Unix.listen listener 16;
+      log (Printf.sprintf "listening on %s" socket);
+      let rec accept_loop () =
+        match Unix.accept listener with
+        | fd, _addr ->
+            ignore (Thread.create (fun () -> handle_connection t fd) ());
+            accept_loop ()
+        | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ();
+      log "stopped")

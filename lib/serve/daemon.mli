@@ -1,0 +1,22 @@
+(** The [fxrefine serve] daemon: executes sweep jobs over a Unix-domain
+    socket, every job sharing one content-addressed {!Cache}.  One
+    thread per connection, line-delimited {!Protocol} messages, one
+    response per request.  Failures degrade like the rest of the
+    engine: malformed lines, unknown workloads/strategies, raised
+    exceptions and [timeout_s] overruns each quarantine the single
+    request into an [error] response; the daemon itself only stops on a
+    [shutdown] request. *)
+
+(** [run ~socket ()] binds the Unix-domain socket at [socket] (a stale
+    socket file is unlinked first), serves until a [shutdown] request,
+    then removes the socket file and returns.  [cache_dir]/[max_entries]
+    configure the shared {!Cache}; [log] receives one-line lifecycle
+    messages (default: silent).  Blocking — callers wanting a
+    background daemon run it in their own thread or process. *)
+val run :
+  ?cache_dir:string ->
+  ?max_entries:int ->
+  ?log:(string -> unit) ->
+  socket:string ->
+  unit ->
+  unit

@@ -1,0 +1,46 @@
+(** Typed requests/responses of the daemon's job protocol and their
+    {!Wire} line codecs.  Every request carries a caller-chosen [id]
+    the daemon echoes back, so clients can correlate multiplexed
+    jobs. *)
+
+(** Parameters of a sweep job — the [fxrefine sweep] surface by name,
+    plus a wall-clock timeout the daemon checks between waves. *)
+type sweep_params = {
+  workload : string;  (** built-in workload name, e.g. ["fir"] *)
+  strategy : string;  (** [grid], [bisect] or [pareto] *)
+  f_min : int;
+  f_max : int;
+  seeds : int;  (** stimulus seeds [0..N-1], like the CLI *)
+  jobs : int;  (** worker domains for this job *)
+  budget : int option;  (** cap on evaluated candidates *)
+  target_db : float;  (** bisect's SQNR target *)
+  timeout_s : float option;  (** wall-clock limit, checked between waves *)
+}
+
+type request =
+  | Ping of { id : string }  (** liveness probe *)
+  | Stats of { id : string }  (** cache counter snapshot *)
+  | Shutdown of { id : string }  (** stop accepting; daemon exits *)
+  | Sweep of { id : string; params : sweep_params }
+
+type response =
+  | Pong of { id : string }
+  | Stats_reply of { id : string; stats : Cache.stats }
+  | Bye of { id : string }  (** shutdown acknowledged *)
+  | Report of { id : string; report : string; hits : int; misses : int }
+      (** [report] is the canonical sweep JSON ({!Sweep.Report.to_json});
+          [hits]/[misses] are the shared cache's counter deltas observed
+          across this job (approximate under concurrent jobs) *)
+  | Error of { id : string; message : string }
+
+(** One-line renderings (no trailing newline). *)
+
+val request_to_line : request -> string
+val response_to_line : response -> string
+
+(** Strict parsers; [None] on malformed lines or unknown [op]s.  A
+    request without an [id] field gets [""] (the daemon still
+    answers). *)
+
+val request_of_line : string -> request option
+val response_of_line : string -> response option

@@ -120,6 +120,62 @@ let seal_delay t d =
 
 let outputs t = List.rev t.outputs
 
+(* --- canonical serialization ------------------------------------------- *)
+
+(* Hex-float literals (%h) are exact: two graphs render identically iff
+   every numeric parameter is bit-identical, which is exactly the
+   property a content-addressed evaluation cache keys on.  Non-finite
+   bounds (open input ranges) render through %h too ("inf"/"nan"). *)
+let hex_lit v = Printf.sprintf "%h" v
+
+let op_json (op : Node.op) =
+  match op with
+  | Node.Input iv ->
+      Printf.sprintf "{\"op\": \"input\", \"lo\": \"%s\", \"hi\": \"%s\"}"
+        (hex_lit (Interval.lo iv))
+        (hex_lit (Interval.hi iv))
+  | Node.Const c -> Printf.sprintf "{\"op\": \"const\", \"c\": \"%s\"}" (hex_lit c)
+  | Node.Add -> "{\"op\": \"add\"}"
+  | Node.Sub -> "{\"op\": \"sub\"}"
+  | Node.Mul -> "{\"op\": \"mul\"}"
+  | Node.Div -> "{\"op\": \"div\"}"
+  | Node.Neg -> "{\"op\": \"neg\"}"
+  | Node.Abs -> "{\"op\": \"abs\"}"
+  | Node.Min -> "{\"op\": \"min\"}"
+  | Node.Max -> "{\"op\": \"max\"}"
+  | Node.Shift k -> Printf.sprintf "{\"op\": \"shift\", \"k\": %d}" k
+  | Node.Delay init ->
+      Printf.sprintf "{\"op\": \"delay\", \"init\": \"%s\"}" (hex_lit init)
+  | Node.Quantize dt ->
+      Printf.sprintf "{\"op\": \"quantize\", \"dtype\": %S}"
+        (Fixpt.Dtype.to_string dt)
+  | Node.Saturate iv ->
+      Printf.sprintf "{\"op\": \"saturate\", \"lo\": \"%s\", \"hi\": \"%s\"}"
+        (hex_lit (Interval.lo iv))
+        (hex_lit (Interval.hi iv))
+  | Node.Select -> "{\"op\": \"select\"}"
+  | Node.Alias -> "{\"op\": \"alias\"}"
+
+let canonical_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"nodes\": [";
+  List.iteri
+    (fun i (n : Node.t) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"id\": %d, \"name\": %S, \"node\": %s, \"inputs\": [%s]}"
+           n.Node.id n.Node.name (op_json n.Node.op)
+           (String.concat ", " (List.map string_of_int n.Node.inputs))))
+    (nodes t);
+  Buffer.add_string b "], \"outputs\": [";
+  List.iteri
+    (fun i (name, id) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "{\"name\": %S, \"id\": %d}" name id))
+    (outputs t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 (** Check the graph is complete (no dangling feedback delays). *)
 let validate t =
   match t.pending_delays with

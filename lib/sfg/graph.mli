@@ -51,6 +51,15 @@ val delay_of : t -> ?init:float -> string -> id -> id
 val mark_output : t -> string -> id -> unit
 val outputs : t -> (string * id) list
 
+(** Canonical, byte-stable JSON of the whole graph — every node (id,
+    name, operation with all numeric parameters as {e exact} hex-float
+    literals, input ids) in construction order plus the declared
+    outputs.  Two graphs render identically iff they are structurally
+    identical with bit-identical parameters, which is what makes this
+    string the hashing substrate of the content-addressed evaluation
+    cache ({!Serve.Cache}). *)
+val canonical_json : t -> string
+
 (** Pending (unconnected) delays — self-loop placeholders denoting
     hold registers. *)
 val pending_ids : t -> id list

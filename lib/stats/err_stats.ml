@@ -36,6 +36,16 @@ let count t = Running.count t.produced
 let copy t =
   { consumed = Running.copy t.consumed; produced = Running.copy t.produced }
 
+let raw t = Array.append (Running.raw t.consumed) (Running.raw t.produced)
+
+let of_raw a =
+  if Array.length a <> 12 then
+    invalid_arg "Stats.Err_stats.of_raw: expected 12 fields";
+  {
+    consumed = Running.of_raw (Array.sub a 0 6);
+    produced = Running.of_raw (Array.sub a 6 6);
+  }
+
 (** Combine the summaries of two disjoint sample streams (both sides via
     {!Running.merge}, so the result is what a single accumulator over the
     concatenated streams would hold, up to float rounding).  Commutative

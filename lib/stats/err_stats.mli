@@ -24,6 +24,15 @@ val count : t -> int
 (** Independent duplicate of the current summaries. *)
 val copy : t -> t
 
+(** Raw state as a 12-element array — the consumed population's
+    {!Running.raw} followed by the produced one's; the exact internal
+    fields, so the pair serializes and rebuilds bit-identically. *)
+val raw : t -> float array
+
+(** Rebuild from {!raw}'s output, verbatim.  Raises [Invalid_argument]
+    on a wrong-length array. *)
+val of_raw : float array -> t
+
 (** Combine the summaries of two disjoint sample streams; equals a
     single accumulator over the concatenation up to float rounding.
     Commutative/associative up to rounding — how per-worker monitors of

@@ -100,6 +100,24 @@ let merge a b =
     recorded. *)
 let range t = if t.count = 0.0 then None else Some (t.min, t.max)
 
+(* Raw-state round-trip: the exact internal fields, in a fixed order,
+   so an evaluation cache can persist a summary and rebuild it
+   bit-identically (merges over rebuilt summaries then reproduce the
+   original folds byte-for-byte). *)
+let raw t = [| t.count; t.mean; t.m2; t.min; t.max; t.max_abs |]
+
+let of_raw a =
+  if Array.length a <> 6 then
+    invalid_arg "Stats.Running.of_raw: expected 6 fields";
+  {
+    count = a.(0);
+    mean = a.(1);
+    m2 = a.(2);
+    min = a.(3);
+    max = a.(4);
+    max_abs = a.(5);
+  }
+
 let pp ppf t =
   if t.count = 0.0 then Format.fprintf ppf "(no samples)"
   else

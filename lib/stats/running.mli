@@ -39,4 +39,15 @@ val merge : t -> t -> t
 (** Observed [(min, max)]; [None] when empty. *)
 val range : t -> (float * float) option
 
+(** The accumulator's raw state as a 6-element array
+    [|count; mean; m2; min; max; max_abs|] — the exact internal fields,
+    so a summary can be serialized and rebuilt {e bit-identically}
+    (the evaluation cache's round-trip contract). *)
+val raw : t -> float array
+
+(** Rebuild a summary from {!raw}'s output.  The fields are restored
+    verbatim — [of_raw (raw t)] is indistinguishable from [t].  Raises
+    [Invalid_argument] on a wrong-length array. *)
+val of_raw : float array -> t
+
 val pp : Format.formatter -> t -> unit

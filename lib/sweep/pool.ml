@@ -34,7 +34,7 @@ let () =
 (* Restore the baseline, point the stimulus at the candidate's seed,
    and evaluate — the only path by which candidates touch an env.
    [tid] is the worker-domain lane of the optional wall-clock span. *)
-let eval_candidate ~counters ~tid (workload : Workload.t)
+let eval_candidate ?cache ~counters ~tid (workload : Workload.t)
     (inst : Workload.instance) (c : Candidate.t) =
   let spanned = Trace.Spans.enabled () in
   let t0 = if spanned then Trace.Spans.now () else 0.0 in
@@ -48,8 +48,8 @@ let eval_candidate ~counters ~tid (workload : Workload.t)
     | Some ce when not counters ->
         Refine.Eval.evaluate_compiled
           ~assigns:(Candidate.to_dtypes c)
-          ~probe:workload.Workload.probe ~seed:c.Candidate.stim_seed ce
-          inst.Workload.design
+          ~probe:workload.Workload.probe ?cache ~seed:c.Candidate.stim_seed
+          ce inst.Workload.design
     | _ ->
         Refine.Eval.evaluate ~counters
           ~assigns:(Candidate.to_dtypes c)
@@ -81,15 +81,15 @@ let instance_of (workload : Workload.t) instances i =
    persistent failure is quarantined as an [Error] carrying the printed
    exception and the attempt count — a pure function of (baseline,
    candidate), so the quarantine list is identical for any [jobs]. *)
-let eval_candidate_contained ~counters ~tid (workload : Workload.t) instances
-    wi (c : Candidate.t) =
+let eval_candidate_contained ?cache ~counters ~tid (workload : Workload.t)
+    instances wi (c : Candidate.t) =
   let inst = instance_of workload instances wi in
-  match eval_candidate ~counters ~tid workload inst c with
+  match eval_candidate ?cache ~counters ~tid workload inst c with
   | (_, m) -> (c, Ok m)
   | exception _first ->
       let fresh = workload.Workload.make_instance () in
       instances.(wi) <- Some fresh;
-      (match eval_candidate ~counters ~tid workload fresh c with
+      (match eval_candidate ?cache ~counters ~tid workload fresh c with
       | (_, m) -> (c, Ok m)
       | exception exn2 -> (c, Error (Printexc.to_string exn2, 2)))
 
@@ -98,7 +98,7 @@ let eval_candidate_contained ~counters ~tid (workload : Workload.t) instances
    dies outside the per-candidate containment parks its exception (and
    the candidate id it was on); every domain is joined before anything
    re-raises — no abandoned domains, no unclaimed slots. *)
-let eval_wave_parallel workload instances ~jobs ~counters wave_arr =
+let eval_wave_parallel ?cache workload instances ~jobs ~counters wave_arr =
   let len = Array.length wave_arr in
   let results = Array.make len None in
   let cursor = Atomic.make 0 in
@@ -111,8 +111,8 @@ let eval_wave_parallel workload instances ~jobs ~counters wave_arr =
         (try
            results.(k) <-
              Some
-               (eval_candidate_contained ~counters ~tid:wi workload instances
-                  wi wave_arr.(k))
+               (eval_candidate_contained ?cache ~counters ~tid:wi workload
+                  instances wi wave_arr.(k))
          with exn ->
            worker_err.(wi) <- Some (exn, wave_arr.(k).Candidate.id);
            raise Exit);
@@ -139,19 +139,20 @@ let eval_wave_parallel workload instances ~jobs ~counters wave_arr =
          | None -> assert false (* every slot below [len] was claimed *))
        results)
 
-let eval_wave workload instances ~jobs ~counters wave =
+let eval_wave ?cache workload instances ~jobs ~counters wave =
   match wave with
   | [] -> []
   | wave when jobs <= 1 ->
       List.map
-        (eval_candidate_contained ~counters ~tid:0 workload instances 0)
+        (eval_candidate_contained ?cache ~counters ~tid:0 workload instances
+           0)
         wave
   | wave ->
-      eval_wave_parallel workload instances ~jobs ~counters
+      eval_wave_parallel ?cache workload instances ~jobs ~counters
         (Array.of_list wave)
 
-let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
-    () =
+let run ?(jobs = 1) ?budget ?cache ?on_wave ?(counters = false) ~workload
+    ~generator () =
   if jobs < 1 then invalid_arg "Sweep.Pool.run: jobs < 1";
   (match budget with
   | Some b when b < 1 -> invalid_arg "Sweep.Pool.run: budget < 1"
@@ -176,7 +177,9 @@ let run ?(jobs = 1) ?budget ?on_wave ?(counters = false) ~workload ~generator
     | [] -> ()
     | wave ->
         incr wave_no;
-        let outcomes = eval_wave workload instances ~jobs ~counters wave in
+        let outcomes =
+          eval_wave ?cache workload instances ~jobs ~counters wave
+        in
         (* quarantined candidates are kept out of the generator's view
            (it can only score metrics) but still count as evaluated *)
         let results, failed =

@@ -32,6 +32,15 @@ exception Worker_failure of { worker : int; candidate : int; exn : exn }
     it).  When span collection is on ({!Trace.Spans.set_enabled}), each
     evaluation records a wall-clock span on its worker-domain lane.
 
+    [?cache] is a content-addressed evaluation cache hook
+    ({!Refine.Eval.cache}), consulted on the compiled fast path only;
+    interpreted and counter evaluations bypass it.  The hook must be
+    domain-safe — every worker domain calls it concurrently
+    ({!Serve.Cache}'s bindings are).  Because a hit returns exactly the
+    metrics a fresh computation would produce, the report stays
+    byte-identical cold vs warm and for any [jobs] — the serve gate's
+    contract.
+
     Graceful degradation: a candidate whose evaluation raises is
     retried once on a {e fresh} instance (which also replaces the
     worker's private instance for later candidates); a persistent
@@ -44,6 +53,7 @@ exception Worker_failure of { worker : int; candidate : int; exn : exn }
 val run :
   ?jobs:int ->
   ?budget:int ->
+  ?cache:Refine.Eval.cache ->
   ?on_wave:(progress -> unit) ->
   ?counters:bool ->
   workload:Workload.t ->

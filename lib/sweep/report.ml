@@ -47,11 +47,26 @@ type t = {
   failures : failure list;  (** quarantined candidates, ascending id *)
 }
 
+(* Total order on candidates for the quarantine list: id first, then
+   stimulus seed, then the structural assignment list.  Sorting by id
+   alone is only a total order when ids are unique — generators
+   renumber per wave, but a driver stitching reports together (or a
+   future multi-seed generator) can legitimately present duplicate
+   ids, and the determinism contract must not depend on the incoming
+   (scheduling-dependent) order of equal keys. *)
+let candidate_key (c : Candidate.t) =
+  ( c.Candidate.id,
+    c.Candidate.stim_seed,
+    List.map
+      (fun (a : Candidate.assign) ->
+        (a.Candidate.signal, a.Candidate.n, a.Candidate.f))
+      c.Candidate.assigns )
+
 let make ~workload ~strategy ~probe ~conclusion ?(failures = []) results =
   let failures =
     List.sort
       (fun (a : failure) b ->
-        compare a.candidate.Candidate.id b.candidate.Candidate.id)
+        compare (candidate_key a.candidate) (candidate_key b.candidate))
       failures
   in
   let sorted =

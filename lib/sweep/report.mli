@@ -41,12 +41,18 @@ type t = {
   agg_counters : Trace.Counters.t option;
       (** event counters of every candidate, merged in id order (only
           when the pool ran with [~counters:true]) *)
-  failures : failure list;  (** quarantined candidates, ascending id *)
+  failures : failure list;
+      (** quarantined candidates, sorted by the total candidate key
+          (id, then stimulus seed, then assignment list) — a total
+          order even when a stitched or multi-seed report presents
+          duplicate ids, so the canonical JSON never depends on the
+          scheduling-dependent arrival order *)
 }
 
 (** Sort results by candidate id, mark the Pareto frontier, fold the
     aggregates.  [failures] (default none) are the quarantined
-    candidates, sorted by id. *)
+    candidates, sorted by the total candidate key (id, stim_seed,
+    assigns). *)
 val make :
   workload:string ->
   strategy:string ->

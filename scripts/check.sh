@@ -17,10 +17,15 @@
 #      no-overflow and no-limit-cycle on every workload flowgraph,
 #      range-analysis soundness cross-check, counterexample stimuli
 #      pinned as golden files and replayed through both executors;
-#      BENCH_verify.json throughput guard), and the bench regression
+#      BENCH_verify.json throughput guard), the cache/daemon gate
+#      (--serve: no-cache vs cold vs warm vs warm-parallel sweep
+#      reports byte-identical, warm hit coverage, daemon round-trip
+#      byte-equal to the local report), and the bench regression
 #      guard (wall-clock, so deliberately NOT part of `dune runtest`);
-#   5. the tutorial walkthrough (docs/TUTORIAL.md), re-executed
-#      command by command so the documentation cannot rot.
+#   5. the transcript-bearing docs (docs/TUTORIAL.md, docs/CLI.md,
+#      docs/CACHING.md), re-executed command by command, plus a dead
+#      relative-link check over README.md and docs/*.md, so the
+#      documentation cannot rot.
 #
 # Long-running steps are wrapped in `timeout` where available, so a
 # hung worker domain or a wedged simulation fails the check instead of
@@ -45,4 +50,6 @@ fi
 with_timeout 900 dune exec bin/fxrefine.exe -- check --faults
 with_timeout 900 dune exec bin/fxrefine.exe -- check --compiled
 with_timeout 900 dune exec bin/fxrefine.exe -- check --verify
+with_timeout 900 dune exec bin/fxrefine.exe -- check --serve
+with_timeout 60 sh scripts/check_links.sh
 with_timeout 600 sh scripts/check_tutorial.sh

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Docs link checker: every relative markdown link target in README.md
+# and docs/*.md must exist on disk.  External links (http/https/
+# mailto) and pure in-page anchors (#…) are skipped; a `file#anchor`
+# link is checked for the file part.  Dead links fail the check, so a
+# rename or deletion cannot silently orphan the documentation.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Pull out the (target) of every [text](target) link, one per line.
+  targets=$(grep -o '](\([^)]*\))' "$doc" 2>/dev/null \
+              | sed 's/^](//; s/)$//') || true
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path=${target%%#*}            # strip any #anchor suffix
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    # Relative to the containing file, as markdown renderers resolve it.
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "check_links: dead link in $doc -> $target" >&2
+      fail=1
+    fi
+  done
+done
+
+[ "$checked" -gt 0 ] || { echo "check_links: no relative links found"; exit 1; }
+if [ "$fail" -ne 0 ]; then
+  echo "check_links: FAILED" >&2
+  exit 1
+fi
+echo "check_links: PASS ($checked relative links)"

@@ -1,31 +1,37 @@
 #!/bin/sh
-# Execute every command of docs/TUTORIAL.md, in order, from the repo
-# root — the tutorial's `$ `-prefixed console lines are the test
+# Execute every command of the transcript-bearing docs, in order, from
+# the repo root — the docs' `$ `-prefixed console lines are the test
 # vector.  A command that fails (non-zero exit) fails the check, so
-# the walkthrough cannot drift from the actual CLI.
+# the walkthroughs (TUTORIAL.md), the per-subcommand reference
+# (CLI.md) and the cache guide (CACHING.md) cannot drift from the
+# actual CLI.
 set -eu
 cd "$(dirname "$0")/.."
 
-TUTORIAL=docs/TUTORIAL.md
-[ -f "$TUTORIAL" ] || { echo "check_tutorial: $TUTORIAL missing"; exit 1; }
+DOCS="docs/TUTORIAL.md docs/CLI.md docs/CACHING.md"
 
-# Extract '$ '-prefixed lines from fenced blocks into a script.
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
-sed -n 's/^\$ //p' "$TUTORIAL" > "$tmp"
 
-n=$(wc -l < "$tmp")
-[ "$n" -gt 0 ] || { echo "check_tutorial: no commands found"; exit 1; }
-echo "check_tutorial: running $n tutorial commands"
+for doc in $DOCS; do
+  [ -f "$doc" ] || { echo "check_tutorial: $doc missing"; exit 1; }
 
-lineno=0
-while IFS= read -r cmd; do
-  lineno=$((lineno + 1))
-  echo "check_tutorial [$lineno/$n]: $cmd"
-  if ! sh -c "$cmd" >/dev/null 2>&1; then
-    echo "check_tutorial: FAILED: $cmd" >&2
-    exit 1
-  fi
-done < "$tmp"
+  # Extract '$ '-prefixed lines from fenced blocks into a script.
+  sed -n 's/^\$ //p' "$doc" > "$tmp"
+
+  n=$(wc -l < "$tmp")
+  [ "$n" -gt 0 ] || { echo "check_tutorial: no commands found in $doc"; exit 1; }
+  echo "check_tutorial: running $n commands from $doc"
+
+  lineno=0
+  while IFS= read -r cmd; do
+    lineno=$((lineno + 1))
+    echo "check_tutorial [$doc $lineno/$n]: $cmd"
+    if ! sh -c "$cmd" >/dev/null 2>&1; then
+      echo "check_tutorial: FAILED: $cmd" >&2
+      exit 1
+    fi
+  done < "$tmp"
+done
 
 echo "check_tutorial: PASS"

@@ -38,4 +38,5 @@ let () =
       Test_fault.suite;
       Test_compile.suite;
       Test_verify.suite;
+      Test_serve.suite;
     ]

@@ -1,0 +1,395 @@
+(* Unit tests: the refinement-as-a-service layer — cache key hashing
+   (injectivity on distinct canonical content, stability across runs),
+   the bit-exact metrics codec, the persistent content-addressed store
+   (cold/warm byte equality, FIFO eviction, corrupted-entry recovery),
+   the wire framing, and a daemon/client round trip over a real
+   socket. *)
+
+open Fixrefine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let scratch =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fxserve-test-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* --- cache keys ---------------------------------------------------------- *)
+
+let key_of ?(design = "{\"nodes\": []}") ?(assigns = []) ?(probe = Some "out")
+    ?(seed = 0) ?(cycles = 128) ?(context = "fxeval/test") () =
+  Refine.Eval.cache_key ~design ~assigns ~probe ~seed ~cycles ~context
+
+let test_key_stable_across_runs () =
+  (* pin one digest: any drift silently invalidates every persisted
+     cache in the wild, so it must be a conscious, visible change *)
+  check string_t "pinned digest" "5c7b277267e492ef6b08f232e87f172f"
+    (key_of ());
+  check string_t "recomputation is identical" (key_of ()) (key_of ())
+
+let test_key_sensitive_to_every_field () =
+  let base = key_of () in
+  let dt = Fixpt.Dtype.make "T" ~n:8 ~f:6 () in
+  check bool_t "design changes key" true
+    (base <> key_of ~design:"{\"nodes\": [1]}" ());
+  check bool_t "assigns change key" true
+    (base <> key_of ~assigns:[ ("x", dt) ] ());
+  check bool_t "probe changes key" true (base <> key_of ~probe:None ());
+  check bool_t "seed changes key" true (base <> key_of ~seed:1 ());
+  check bool_t "cycles change key" true (base <> key_of ~cycles:256 ());
+  check bool_t "context changes key" true
+    (base <> key_of ~context:"fxeval/other" ())
+
+(* Injectivity on distinct canonical JSON (up to MD5 collisions, which
+   the generator cannot hit): distinct design strings must give
+   distinct keys, and equal ones equal keys — across many random
+   shapes, not just the handful above. *)
+let prop_key_injective =
+  QCheck2.Test.make ~name:"cache key injective on distinct canonical JSON"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (pair small_nat (list_size (int_range 0 4) (int_range 0 100)))
+        (pair small_nat (list_size (int_range 0 4) (int_range 0 100))))
+    (fun ((s1, l1), (s2, l2)) ->
+      let design (s, l) =
+        Printf.sprintf "{\"seed\": %d, \"nodes\": [%s]}" s
+          (String.concat ", " (List.map string_of_int l))
+      in
+      let d1 = design (s1, l1) and d2 = design (s2, l2) in
+      let k1 = key_of ~design:d1 () and k2 = key_of ~design:d2 () in
+      if String.equal d1 d2 then String.equal k1 k2
+      else not (String.equal k1 k2))
+
+(* --- codec --------------------------------------------------------------- *)
+
+let gen_special_float =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.float;
+      QCheck2.Gen.oneofl
+        [ 0.0; -0.0; Float.infinity; Float.neg_infinity; 1e-310; 0.1 ];
+    ]
+
+let gen_metrics =
+  QCheck2.Gen.(
+    let* sqnr = option gen_special_float in
+    let* bits = int_range 0 500 in
+    let* ovf = int_range 0 10000 in
+    let* errmax = gen_special_float in
+    let* samples = list_size (int_range 0 20) gen_special_float in
+    let* with_monitors = bool in
+    let pv, pe =
+      if with_monitors then begin
+        let r = Stats.Running.create () in
+        let e = Stats.Err_stats.create () in
+        List.iter
+          (fun v ->
+            Stats.Running.add r v;
+            Stats.Err_stats.record e ~consumed:(v /. 3.0) ~produced:v)
+          samples;
+        (Some r, Some e)
+      end
+      else (None, None)
+    in
+    return
+      {
+        Refine.Eval.sqnr_db = sqnr;
+        total_bits = bits;
+        overflow_count = ovf;
+        probe_err_max = errmax;
+        probe_values = pv;
+        probe_err = pe;
+        counters = None;
+      })
+
+let float_identical a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let running_identical a b =
+  let ra = Stats.Running.raw a and rb = Stats.Running.raw b in
+  Array.length ra = Array.length rb
+  && Array.for_all2 float_identical ra rb
+
+let metrics_identical (a : Refine.Eval.metrics) (b : Refine.Eval.metrics) =
+  (match (a.Refine.Eval.sqnr_db, b.Refine.Eval.sqnr_db) with
+  | None, None -> true
+  | Some x, Some y -> float_identical x y
+  | _ -> false)
+  && a.Refine.Eval.total_bits = b.Refine.Eval.total_bits
+  && a.Refine.Eval.overflow_count = b.Refine.Eval.overflow_count
+  && float_identical a.Refine.Eval.probe_err_max b.Refine.Eval.probe_err_max
+  && (match (a.Refine.Eval.probe_values, b.Refine.Eval.probe_values) with
+     | None, None -> true
+     | Some x, Some y -> running_identical x y
+     | _ -> false)
+  &&
+  match (a.Refine.Eval.probe_err, b.Refine.Eval.probe_err) with
+  | None, None -> true
+  | Some x, Some y ->
+      Array.for_all2 float_identical (Stats.Err_stats.raw x)
+        (Stats.Err_stats.raw y)
+  | _ -> false
+
+(* nan-tolerant bit-level round trip: every field, monitor state
+   included, must come back bit-identical — the property that keeps
+   warm reports byte-equal to cold ones. *)
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec round-trips metrics bit-exactly" ~count:300
+    gen_metrics (fun m ->
+      match Serve.Codec.decode (Serve.Codec.encode m) with
+      | Some m' -> metrics_identical m m'
+      | None -> false)
+
+let test_codec_rejects_garbage () =
+  check bool_t "empty" true (Serve.Codec.decode "" = None);
+  check bool_t "wrong header" true
+    (Serve.Codec.decode "fxmetrics 99\nsqnr none\nbits 0\novf 0\nerrmax 0x0p+0\npv none\npe none"
+    = None);
+  check bool_t "truncated" true
+    (Serve.Codec.decode "fxmetrics 1\nsqnr none\nbits 0" = None);
+  check bool_t "bad monitor arity" true
+    (Serve.Codec.decode
+       "fxmetrics 1\nsqnr none\nbits 0\novf 0\nerrmax 0x0p+0\npv 0x0p+0\npe none"
+    = None)
+
+(* --- cache store --------------------------------------------------------- *)
+
+let test_cache_memory_roundtrip () =
+  let c = Serve.Cache.create () in
+  check bool_t "miss on empty" true (Serve.Cache.lookup c "k" = None);
+  Serve.Cache.insert c "k" "payload";
+  check bool_t "hit after insert" true
+    (Serve.Cache.lookup c "k" = Some "payload");
+  let s = Serve.Cache.stats c in
+  check int_t "one miss" 1 s.Serve.Cache.misses;
+  check int_t "one hit" 1 s.Serve.Cache.hits;
+  check int_t "one entry" 1 s.Serve.Cache.entries
+
+let test_cache_persistence () =
+  let dir = scratch () in
+  let c1 = Serve.Cache.create ~dir () in
+  Serve.Cache.insert c1 "aaaa" "first";
+  Serve.Cache.insert c1 "bbbb" "second";
+  (* a fresh cache value over the same directory sees the entries *)
+  let c2 = Serve.Cache.create ~dir () in
+  check int_t "entries reloaded" 2 (Serve.Cache.entry_count c2);
+  check bool_t "payload intact" true
+    (Serve.Cache.lookup c2 "aaaa" = Some "first");
+  (* disk adoption on miss: an entry another cache value writes after
+     this one's load scan is still found *)
+  let c4 = Serve.Cache.create ~dir () in
+  Serve.Cache.insert c1 "cccc" "third";
+  check bool_t "cross-process adoption" true
+    (Serve.Cache.lookup c4 "cccc" = Some "third")
+
+let test_cache_eviction () =
+  let c = Serve.Cache.create ~max_entries:2 () in
+  Serve.Cache.insert c "k1" "v1";
+  Serve.Cache.insert c "k2" "v2";
+  Serve.Cache.insert c "k3" "v3";
+  let s = Serve.Cache.stats c in
+  check int_t "bounded" 2 s.Serve.Cache.entries;
+  check int_t "one eviction" 1 s.Serve.Cache.evictions;
+  (* FIFO: the oldest entry went *)
+  check bool_t "oldest evicted" true (Serve.Cache.lookup c "k1" = None);
+  check bool_t "newest kept" true (Serve.Cache.lookup c "k3" = Some "v3")
+
+let test_cache_corrupt_recovery () =
+  let dir = scratch () in
+  let c1 = Serve.Cache.create ~dir () in
+  Serve.Cache.insert c1 "good" "intact payload";
+  Serve.Cache.insert c1 "trunc" "this one gets cut";
+  (* truncate one entry file mid-payload, plant one alien file *)
+  let path = Filename.concat dir "trunc.entry" in
+  let raw =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.sub raw 0 (String.length raw - 5));
+  close_out oc;
+  let oc = open_out_bin (Filename.concat dir "alien.entry") in
+  output_string oc "not a cache entry at all";
+  close_out oc;
+  let c2 = Serve.Cache.create ~dir () in
+  let s = Serve.Cache.stats c2 in
+  check int_t "only the intact entry survives" 1 s.Serve.Cache.entries;
+  check int_t "both damaged files detected" 2 s.Serve.Cache.corrupt;
+  check bool_t "damaged files deleted" true
+    ((not (Sys.file_exists path))
+    && not (Sys.file_exists (Filename.concat dir "alien.entry")));
+  check bool_t "good entry readable" true
+    (Serve.Cache.lookup c2 "good" = Some "intact payload");
+  check bool_t "truncated key is a clean miss" true
+    (Serve.Cache.lookup c2 "trunc" = None)
+
+(* --- cold/warm sweep byte equality --------------------------------------- *)
+
+let run_sweep ?cache () =
+  let workload = Sweep.Workload.fir ~n:64 () in
+  let specs = workload.Sweep.Workload.specs in
+  let generator =
+    Sweep.Generator.grid ~specs ~f_min:5 ~f_max:6 ~seeds:[ 0 ]
+  in
+  Sweep.Report.to_json (Sweep.Pool.run ~jobs:1 ?cache ~workload ~generator ())
+
+let test_cold_warm_byte_equal () =
+  let dir = scratch () in
+  let reference = run_sweep () in
+  let cold_cache = Serve.Cache.create ~dir () in
+  let cold = run_sweep ~cache:(Serve.Codec.eval_cache cold_cache) () in
+  let warm_cache = Serve.Cache.create ~dir () in
+  let warm = run_sweep ~cache:(Serve.Codec.eval_cache warm_cache) () in
+  check string_t "cache transparent" reference cold;
+  check string_t "warm byte-identical" cold warm;
+  let s = Serve.Cache.stats warm_cache in
+  check int_t "warm run all hits" 2 s.Serve.Cache.hits;
+  check int_t "warm run no misses" 0 s.Serve.Cache.misses
+
+(* --- wire + protocol ------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let fields =
+    [
+      ("op", Serve.Wire.String "report");
+      ("text", Serve.Wire.String "line1\nline2\t\"quoted\" \\ done");
+      ("n", Serve.Wire.Int (-42));
+      ("x", Serve.Wire.Float 0.5);
+      ("ok", Serve.Wire.Bool true);
+      ("nothing", Serve.Wire.Null);
+    ]
+  in
+  let line = Serve.Wire.to_line fields in
+  check bool_t "single line" true (not (String.contains line '\n'));
+  match Serve.Wire.of_line line with
+  | None -> Alcotest.fail "wire line did not parse"
+  | Some fields' ->
+      check bool_t "fields preserved in order" true (fields = fields');
+      check bool_t "trailing garbage rejected" true
+        (Serve.Wire.of_line (line ^ "x") = None);
+      check bool_t "non-object rejected" true (Serve.Wire.of_line "[1]" = None)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Serve.Protocol.Ping { id = "a" };
+      Serve.Protocol.Stats { id = "b" };
+      Serve.Protocol.Shutdown { id = "c" };
+      Serve.Protocol.Sweep
+        {
+          id = "d";
+          params =
+            {
+              Serve.Protocol.workload = "fir";
+              strategy = "bisect";
+              f_min = 2;
+              f_max = 10;
+              seeds = 3;
+              jobs = 2;
+              budget = Some 7;
+              target_db = 35.5;
+              timeout_s = Some 1.25;
+            };
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      check bool_t "request round-trips" true
+        (Serve.Protocol.request_of_line (Serve.Protocol.request_to_line r)
+        = Some r))
+    reqs;
+  let resps =
+    [
+      Serve.Protocol.Pong { id = "a" };
+      Serve.Protocol.Bye { id = "c" };
+      Serve.Protocol.Error { id = "e"; message = "no \"such\" workload" };
+      Serve.Protocol.Report
+        { id = "d"; report = "{\n  \"k\": 1\n}\n"; hits = 3; misses = 4 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      check bool_t "response round-trips" true
+        (Serve.Protocol.response_of_line (Serve.Protocol.response_to_line r)
+        = Some r))
+    resps
+
+(* --- daemon round trip ---------------------------------------------------- *)
+
+let test_daemon_roundtrip () =
+  let dir = scratch () in
+  let socket = Filename.concat dir "t.sock" in
+  let daemon =
+    Thread.create (fun () -> try Serve.Daemon.run ~socket () with _ -> ()) ()
+  in
+  let c = Serve.Client.connect_retry socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      check bool_t "ping" true
+        (Serve.Client.request c (Serve.Protocol.Ping { id = "1" })
+        = Serve.Protocol.Pong { id = "1" });
+      (match
+         Serve.Client.request c
+           (Serve.Protocol.Sweep
+              {
+                id = "2";
+                params =
+                  {
+                    Serve.Protocol.workload = "nonesuch";
+                    strategy = "grid";
+                    f_min = 4;
+                    f_max = 5;
+                    seeds = 1;
+                    jobs = 1;
+                    budget = None;
+                    target_db = 40.0;
+                    timeout_s = None;
+                  };
+              })
+       with
+      | Serve.Protocol.Error { id = "2"; _ } -> ()
+      | _ -> Alcotest.fail "unknown workload should answer an error");
+      check bool_t "shutdown acknowledged" true
+        (Serve.Client.request c (Serve.Protocol.Shutdown { id = "3" })
+        = Serve.Protocol.Bye { id = "3" }));
+  Thread.join daemon;
+  check bool_t "socket file removed" true (not (Sys.file_exists socket))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "key stable across runs" `Quick
+        test_key_stable_across_runs;
+      Alcotest.test_case "key sensitive to every field" `Quick
+        test_key_sensitive_to_every_field;
+      Test_support.Qseed.to_alcotest prop_key_injective;
+      Test_support.Qseed.to_alcotest prop_codec_roundtrip;
+      Alcotest.test_case "codec rejects garbage" `Quick
+        test_codec_rejects_garbage;
+      Alcotest.test_case "cache memory roundtrip" `Quick
+        test_cache_memory_roundtrip;
+      Alcotest.test_case "cache persistence" `Quick test_cache_persistence;
+      Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+      Alcotest.test_case "cache corrupt recovery" `Quick
+        test_cache_corrupt_recovery;
+      Alcotest.test_case "cold/warm byte equality" `Quick
+        test_cold_warm_byte_equal;
+      Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+      Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+      Alcotest.test_case "daemon roundtrip" `Quick test_daemon_roundtrip;
+    ] )
