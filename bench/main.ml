@@ -9,7 +9,7 @@
    Experiment ids: table1 table2 sqnr fig1 fig2 fig3 fig4 fig5
    msb-threeway compare ablate-klsb ablate-error ablate-steering
    ablate-adaptive-lsb ablate-fft-scaling ablate-widen summary simbench
-   compilebench verifybench sweepbench tracebench bench. *)
+   syncbench compilebench verifybench sweepbench tracebench bench. *)
 
 open Fixrefine
 
@@ -819,6 +819,91 @@ let simbench () =
   Format.printf "wrote BENCH_sim.json@."
 
 (* ======================================================================= *)
+(* Closed-synchronizer throughput and lock time (BENCH_sync.json)           *)
+(* ======================================================================= *)
+
+(* Samples/sec of the closed ML-TED / Gardner loops (the rows the
+   [check --sync] bench guard replays, Oracle.Bench_guard.sync_rows)
+   plus the acquisition transient: the first input sample after which
+   the recovered symbol rate stays within 1% of 1/sps for the rest of
+   the run.  The lock time is recorded for trend-watching, not
+   guarded — it is a property of the loop gains, not of the engine. *)
+
+let syncbench () =
+  section "syncbench: closed-synchronizer throughput (samples/sec)";
+  let lock_symbols ~ted ~m =
+    let n_symbols = 2000 and sps = 2 in
+    let env = Sim.Env.create ~seed:17 () in
+    let rng = Stats.Rng.create ~seed:463 in
+    let stimulus, sent, n_samples =
+      Dsp.Channel_model.drifting_tau_pam ~rng ~n_symbols ~sps ~m ~tau0:0.3
+        ~tau_drift:1e-4 ~phase:0.05 ~noise_sigma:0.01 ()
+    in
+    let input = Sim.Channel.of_fun "rx" stimulus in
+    let output = Sim.Channel.create ~record:true "symbols" in
+    let sy = Dsp.Synchronizer.create env ~ted ~m ~sps ~input ~output () in
+    Dsp.Synchronizer.run sy ~samples:n_samples;
+    let received = Array.of_list (Sim.Channel.recorded output) in
+    (* align on the locked tail, then find the first 100-symbol window
+       whose MER reaches 20 dB at that alignment — the acquisition
+       transient in symbols *)
+    let _, lag =
+      Dsp.Pam.best_mer ~skip:(Array.length received - 400) ~sent ~received ()
+    in
+    let window = 100 in
+    let window_mer k =
+      let mer = Stats.Mer.create () in
+      for i = k to k + window - 1 do
+        if i < Array.length received && i + lag >= 0 && i + lag < Array.length sent
+        then Stats.Mer.add mer ~reference:sent.(i + lag) ~actual:received.(i)
+      done;
+      Stats.Mer.db mer
+    in
+    let rec find k =
+      if k + window > Array.length received then Array.length received
+      else if window_mer k >= 20.0 then k
+      else find (k + 10)
+    in
+    find 0
+  in
+  let rows = Oracle.Bench_guard.sync_rows ~budget_seconds:1.0 () in
+  let locks =
+    [
+      ("sync-ml-pam4", lock_symbols ~ted:Dsp.Synchronizer.Ml ~m:4);
+      ("sync-gardner-pam2", lock_symbols ~ted:Dsp.Synchronizer.Gardner ~m:2);
+    ]
+  in
+  List.iter
+    (fun (name, n, sps) ->
+      Format.printf
+        "%-18s %7d samples/run: %12.0f samples/sec  (locked after %d symbols)@."
+        name n sps
+        (List.assoc name locks))
+    rows;
+  let oc = open_out "BENCH_sync.json" in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"sync-closed-loop\",\n\
+      \  \"unit\": \"samples/sec\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, n, sps) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"samples_per_run\": %d, \
+                 \"lock_symbols\": %d, \"after\": %.0f }"
+                name n (List.assoc name locks) sps)
+            rows))
+  in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_sync.json@."
+
+(* ======================================================================= *)
 (* Compiled flat-schedule executor throughput (BENCH_compile.json)          *)
 (* ======================================================================= *)
 
@@ -1232,6 +1317,7 @@ let experiments =
     ("ablate-widen", ablate_widen);
     ("summary", summary);
     ("simbench", simbench);
+    ("syncbench", syncbench);
     ("compilebench", compilebench);
     ("verifybench", verifybench);
     ("sweepbench", sweepbench);

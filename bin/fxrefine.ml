@@ -4,6 +4,8 @@
    Subcommands:
      equalizer  — refine the paper's LMS equalizer (Fig. 1, Tables 1-2)
      timing     — refine the PAM timing-recovery loop (Fig. 5, §6.1)
+     timing-ml  — refine the closed ML-TED synchronizer (4-PAM,
+                  drifting tau, MER/EVM scoring)
      cordic     — refine a CORDIC rotator
      quantize   — quantize one value through a dtype (scriptable helper)
      sfg        — analyze a built-in flowgraph analytically, export DOT
@@ -213,6 +215,103 @@ let timing_cmd =
     (Cmd.info "timing" ~doc:"Refine the PAM timing-recovery loop (Fig. 5).")
     Term.(
       const run_timing $ symbols_t $ seed_t $ k_lsb_t $ trace_file_t
+      $ counters_file_t $ verbose_t)
+
+(* --- timing-ml: the closed ML-TED synchronizer ------------------------- *)
+
+let run_timing_ml n seed k_lsb trace_file counters_file verbose =
+  setup_logs verbose;
+  let env = Sim.Env.create ~seed:17 () in
+  let rng = Stats.Rng.create ~seed in
+  let stimulus, sent, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~rng ~n_symbols:n ~m:4 ~tau0:0.3
+      ~tau_drift:1e-4 ~phase:0.05 ~noise_sigma:0.01 ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "symbols" in
+  let decisions = Sim.Channel.create ~record:true "decisions" in
+  let x_dtype =
+    Fixpt.Dtype.make "T_input" ~n:10 ~f:8
+      ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let sy =
+    Dsp.Synchronizer.create env ~ted:Dsp.Synchronizer.Ml ~m:4 ~x_dtype ~input
+      ~output ~decisions ()
+  in
+  Sim.Signal.range (Dsp.Synchronizer.input_signal sy) (-1.6) 1.6;
+  Sim.Signal.range (Dsp.Nco.mu (Dsp.Synchronizer.nco sy)) 0.0 1.0;
+  Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+  Sim.Signal.range (Sim.Env.find_exn env "mlted_err") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_out") (-2.0) 2.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_dout") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "out") (-2.0) 2.0;
+  let design =
+    {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output;
+          Sim.Channel.clear decisions);
+      run = (fun () -> Dsp.Synchronizer.run sy ~samples:n_samples);
+    }
+  in
+  (* float reference pass: lock quality before any quantization *)
+  design.Refine.Flow.reset ();
+  design.Refine.Flow.run ();
+  let skip = min 300 (n / 2) in
+  let mer_now () =
+    let received = Array.of_list (Sim.Channel.recorded output) in
+    fst (Dsp.Pam.best_mer ~skip ~sent ~received ())
+  in
+  let float_mer = mer_now () in
+  Format.printf
+    "float lock: MER %.2f dB, strobe-rate error %.4f@." float_mer
+    (Dsp.Synchronizer.strobe_rate_error sy);
+  (* §6.1's knowledge-based overrule: the NCO phase register's error
+     monitoring is meaningless under decision-steered feedback, so the
+     designer fixes its error model with error() before refinement *)
+  let auto_error_lsb = -8 in
+  let h = Refine.Lsb_rules.error_halfwidth_of_lsb auto_error_lsb in
+  Sim.Signal.error (Dsp.Nco.phase (Dsp.Synchronizer.nco sy)) h;
+  let config =
+    {
+      (config_of k_lsb) with
+      Refine.Flow.auto_error_lsb;
+      error_overrides = [ ("nco_eta", h) ];
+    }
+  in
+  let result =
+    with_observability ~trace_file ~counters_file ~label:"timing-ml" env
+      (fun () -> Refine.Flow.refine ~config ~sqnr_signal:"out" design)
+  in
+  print_flow_result env result;
+  design.Refine.Flow.reset ();
+  design.Refine.Flow.run ();
+  let refined_mer = mer_now () in
+  let evm =
+    if Float.is_finite refined_mer then 10.0 ** (-.refined_mer /. 20.0) *. 100.0
+    else 0.0
+  in
+  Format.printf
+    "refined lock: MER %.2f dB (EVM %.2f%%, delta %.2f dB), strobe-rate \
+     error %.4f@."
+    refined_mer evm (float_mer -. refined_mer)
+    (Dsp.Synchronizer.strobe_rate_error sy);
+  let decided = Array.of_list (Sim.Channel.recorded decisions) in
+  Format.printf "SER after lock: %.4f@."
+    (Dsp.Pam.best_ser ~skip ~m:4 ~sent ~decided ())
+
+let timing_ml_cmd =
+  Cmd.v
+    (Cmd.info "timing-ml"
+       ~doc:
+         "Refine the closed ML-TED symbol-timing synchronizer (4-PAM, \
+          drifting tau), with the \\$(b,\\\\S6.1) error() overrule on the \
+          NCO phase; reports MER/EVM and strobe-rate lock besides SQNR.")
+    Term.(
+      const run_timing_ml $ symbols_t $ seed_t $ k_lsb_t $ trace_file_t
       $ counters_file_t $ verbose_t)
 
 (* --- cordic ------------------------------------------------------------ *)
@@ -705,7 +804,7 @@ let trace_cmd =
 (* --- check: the conformance oracle ------------------------------------- *)
 
 let run_check seed per_combo update_golden no_bench golden_dir jobs faults
-    compiled with_verify with_serve verbose =
+    compiled with_verify with_serve with_sync verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -783,6 +882,22 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     end
     else true
   in
+  let sync_ok =
+    if with_sync then begin
+      let sr = Oracle.Sync_check.run ?jobs () in
+      Format.printf "%a@." Oracle.Sync_check.pp_report sr;
+      Oracle.Sync_check.passed sr
+    end
+    else true
+  in
+  let sync_bench_ok =
+    if with_sync && not no_bench then begin
+      let bench = Oracle.Bench_guard.run_sync () in
+      Format.printf "sync %a@." Oracle.Bench_guard.pp_report bench;
+      Oracle.Bench_guard.passed bench
+    end
+    else true
+  in
   let ok =
     Oracle.Differential.passed diff
     && Oracle.Metamorphic.passed meta
@@ -790,7 +905,7 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     && Oracle.Sweep_check.passed sweep
     && Oracle.Trace_check.passed trace && faults_ok && compiled_ok
     && bench_ok && compile_bench_ok && verify_ok && verify_bench_ok
-    && serve_ok
+    && serve_ok && sync_ok && sync_bench_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -881,6 +996,19 @@ let check_cmd =
              candidate from disk), and a daemon round trip over a real \
              Unix socket must return the same byte-identical report.")
   in
+  let sync_t =
+    Arg.(
+      value & flag
+      & info [ "sync" ]
+          ~doc:
+            "Also run the synchronizer gate: the closed ML-TED timing loop \
+             must lock on drifting-tau 4-PAM in float, stay within 2 dB MER \
+             after the \\$(b,\\\\S6.1) refinement (saturating loop-filter \
+             integrator, error()-overruled NCO phase visible in the \
+             decisions), render a jobs-independent sweep report, and hold \
+             the syncbench throughput guard against BENCH_sync.json \
+             (unless \\$(b,--no-bench)).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -889,11 +1017,12 @@ let check_cmd =
           trace determinism, bench guard; \\$(b,--faults) adds the \
           fault-injection gate, \\$(b,--compiled) the compiled-executor \
           gate, \\$(b,--verify) the verification-oracle gate, \
-          \\$(b,--serve) the cache/daemon gate.")
+          \\$(b,--serve) the cache/daemon gate, \\$(b,--sync) the \
+          synchronizer lock/refine gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
       $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verify_t $ serve_t
-      $ verbose_t)
+      $ sync_t $ verbose_t)
 
 (* --- compile: inspect the flat-schedule executor ------------------------ *)
 
@@ -1408,7 +1537,8 @@ let () =
       (Cmd.eval ~catch:false
          (Cmd.group info
             [
-              equalizer_cmd; timing_cmd; cordic_cmd; quantize_cmd; sfg_cmd;
+              equalizer_cmd; timing_cmd; timing_ml_cmd; cordic_cmd;
+              quantize_cmd; sfg_cmd;
               sweep_cmd; faultsim_cmd; trace_cmd; check_cmd; compile_cmd;
               verify_cmd; serve_cmd; submit_cmd;
             ]))

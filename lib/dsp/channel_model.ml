@@ -11,8 +11,9 @@
 
     Returns a stimulus function suitable for {!Sim.Channel.of_fun}
     together with the transmitted symbol array (for SER scoring).
-    Samples beyond [n_symbols] repeat the tail symbol pattern of zeros —
-    callers should not read past the end. *)
+    Indices outside [[0, n_symbols)] read as [0.0] (zero fill): the
+    stimulus has finite support and callers reading past the end get
+    silence, not a repeated tail. *)
 let isi_awgn ?(taps = [| 0.15; 0.8; 0.12 |]) ?(noise_sigma = 0.02) ~rng
     ~n_symbols () =
   let syms = Pam.symbols rng n_symbols in
@@ -30,7 +31,7 @@ let isi_awgn ?(taps = [| 0.15; 0.8; 0.12 |]) ?(noise_sigma = 0.02) ~rng
   in
   (* precompute so repeated reads of the same index are consistent *)
   let table = Array.init n_symbols sample in
-  let stimulus n = if n < n_symbols then table.(n) else 0.0 in
+  let stimulus n = if n < 0 || n >= n_symbols then 0.0 else table.(n) in
   (stimulus, syms)
 
 (** Pulse-shaped PAM waveform sampled at [sps] samples per symbol with a
@@ -46,6 +47,38 @@ let timing_offset_pam ?(beta = 0.35) ?(sps = 2) ?(noise_sigma = 0.01)
     Array.init n_samples (fun n ->
         let t = (Float.of_int n /. Float.of_int sps) -. tau in
         Pam.waveform_sample ~beta syms t
+        +. Stats.Rng.gauss_ms gauss ~mean:0.0 ~sigma:noise_sigma)
+  in
+  let stimulus n = if n >= 0 && n < n_samples then table.(n) else 0.0 in
+  (stimulus, syms, n_samples)
+
+(** Pulse-shaped M-PAM waveform with a slowly {e drifting} fractional
+    timing offset and a static carrier-phase mismatch — the closed
+    synchronizer's acquisition-and-tracking stimulus.  Sample [n] is
+
+    [cos(phase) · s(n/sps − tau(n)) + w_n],  [tau(n) = tau0 + tau_drift·n/sps]
+
+    so the loop must first acquire [tau0] and then track a timing ramp
+    (a small sample-clock frequency offset between transmitter and
+    receiver); the [cos(phase)] factor models the amplitude loss of a
+    carrier-phase offset on a PAM (real-valued) detector.  Indices
+    outside [[0, n_samples)] read as [0.0], like every stimulus here.
+    Returns [(stimulus, symbols, n_samples)]. *)
+let drifting_tau_pam ?(beta = 0.35) ?(sps = 2) ?(m = 2)
+    ?(noise_sigma = 0.01) ?(tau0 = 0.3) ?(tau_drift = 0.0) ?(phase = 0.0)
+    ~rng ~n_symbols () =
+  let syms =
+    if m = 2 then Pam.symbols rng n_symbols
+    else Pam.symbols_m rng ~m n_symbols
+  in
+  let gauss = Stats.Rng.gauss_state (Stats.Rng.split rng) in
+  let gain = cos phase in
+  let n_samples = n_symbols * sps in
+  let table =
+    Array.init n_samples (fun n ->
+        let sym_time = Float.of_int n /. Float.of_int sps in
+        let tau = tau0 +. (tau_drift *. sym_time) in
+        (gain *. Pam.waveform_sample ~beta syms (sym_time -. tau))
         +. Stats.Rng.gauss_ms gauss ~mean:0.0 ~sigma:noise_sigma)
   in
   let stimulus n = if n >= 0 && n < n_samples then table.(n) else 0.0 in

@@ -4,7 +4,8 @@
 
 (** ISI + AWGN at symbol rate: [x_n = Σ_j taps_j·a_{n-j} + w_n].
     Returns the stimulus function (precomputed; consistent on repeated
-    reads) and the transmitted symbols. *)
+    reads) and the transmitted symbols.  Indices outside
+    [[0, n_symbols)] read as [0.0] (zero fill, finite support). *)
 val isi_awgn :
   ?taps:float array ->
   ?noise_sigma:float ->
@@ -21,6 +22,24 @@ val timing_offset_pam :
   ?sps:int ->
   ?noise_sigma:float ->
   ?tau:float ->
+  rng:Stats.Rng.t ->
+  n_symbols:int ->
+  unit ->
+  (int -> float) * float array * int
+
+(** Pulse-shaped M-PAM with a drifting timing offset
+    [tau(n) = tau0 + tau_drift·n/sps] and a carrier-phase amplitude
+    factor [cos phase] — the closed synchronizer's
+    acquisition-and-tracking stimulus.  Returns
+    [(stimulus, symbols, n_samples)]; out-of-range indices read 0.0. *)
+val drifting_tau_pam :
+  ?beta:float ->
+  ?sps:int ->
+  ?m:int ->
+  ?noise_sigma:float ->
+  ?tau0:float ->
+  ?tau_drift:float ->
+  ?phase:float ->
   rng:Stats.Rng.t ->
   n_symbols:int ->
   unit ->

@@ -1,0 +1,24 @@
+(** Decision-directed maximum-likelihood timing-error detector
+    (matched-filter derivative form): [err = â_k · y'(μ)] at symbol
+    strobes, with the decision sliced on the fixed-point value (§4.2)
+    over a PAM-M constellation.  One sample per symbol; extends to
+    M-PAM where Gardner does not need to. *)
+
+type t
+
+val create : Sim.Env.t -> ?prefix:string -> ?m:int -> unit -> t
+
+(** The constellation size [m] the detector slices against. *)
+val constellation : t -> int
+
+val decision : t -> Sim.Signal.t
+val error : t -> Sim.Signal.t
+val signals : t -> Sim.Signal.t list
+
+(** Timing error at a symbol strobe from the interpolant [y] and its
+    μ-derivative [ydot]; drives and returns [err]. *)
+val detect : t -> y:Sim.Value.t -> ydot:Sim.Value.t -> Sim.Value.t
+
+(** Float reference: [−decide_pam ~m y · ydot] (sign matched to the
+    decrementing NCO, like {!Gardner_ted}). *)
+val reference : m:int -> y:float -> ydot:float -> float

@@ -9,6 +9,18 @@ type t
 val create : Sim.Env.t -> ?prefix:string -> sps:int -> unit -> t
 val phase : t -> Sim.Signal.t
 val mu : t -> Sim.Signal.t
+
+(** The decremented phase before wrap (fresh after {!step}; with the
+    registered [phase] still reading pre-update, the pair exposes the
+    half-crossing a [sps = 2]-style Gardner mid-sample needs). *)
+val next_phase : t -> Sim.Signal.t
+
+(** The clamped control word W driven by the last {!step}. *)
+val control : t -> Sim.Signal.t
+
+(** 1/sps — the nominal per-sample phase decrement. *)
+val nominal : t -> float
+
 val signals : t -> Sim.Signal.t list
 
 (** Advance one input sample; [(strobed, mu)].  The strobe decision is

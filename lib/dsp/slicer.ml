@@ -24,12 +24,15 @@ let step t (w : Sim.Value.t) : Sim.Value.t =
 
 (** Multi-level PAM-M slicer on normalized levels
     [±1/(m−1), ±3/(m−1), …, ±1]: snaps the fixed-point input to the
-    nearest level (decision on the fixed value, as always). *)
+    nearest level (decision on the fixed value, as always).  The level
+    index is rounded {e after} the whole affine map — rounding the
+    numerator alone yields half-integer indices off the constellation
+    for boundary inputs. *)
 let decide_pam ~m v =
   if m < 2 || m mod 2 <> 0 then invalid_arg "Slicer.decide_pam: bad m";
   let span = Float.of_int (m - 1) in
-  let k = Float.round ((v *. span) +. span) /. 2.0 in
-  let k = Float.max 0.0 (Float.min (span -. 0.0) k) in
+  let k = Float.round (((v *. span) +. span) /. 2.0) in
+  let k = Float.max 0.0 (Float.min span k) in
   ((2.0 *. k) -. span) /. span
 
 let step_pam t ~m (w : Sim.Value.t) : Sim.Value.t =

@@ -117,6 +117,36 @@ let timing_design () =
     },
     n_samples )
 
+(* The closed synchronizer loop (mirrors bench/main.ml's syncbench
+   rows): the drifting-tau M-PAM stimulus of the sync conformance
+   workload at bench length. *)
+let sync_design ~ted ~m () =
+  let n_symbols = 4000 and sps = 2 in
+  let env = Sim.Env.create ~seed:17 () in
+  let rng = Stats.Rng.create ~seed:463 in
+  let stimulus, _sent, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~rng ~n_symbols ~sps ~m ~tau0:0.3
+      ~tau_drift:1e-4 ~phase:0.05 ~noise_sigma:0.01 ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "symbols" in
+  let x_dtype =
+    Fixpt.Dtype.make "T_input" ~n:10 ~f:8
+      ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let sy = Dsp.Synchronizer.create env ~ted ~m ~sps ~x_dtype ~input ~output () in
+  Sim.Signal.range (Dsp.Synchronizer.input_signal sy) (-1.6) 1.6;
+  ( {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output);
+      run = (fun () -> Dsp.Synchronizer.run sy ~samples:n_samples);
+    },
+    n_samples )
+
 (* Same protocol as simbench: one warm-up run, then whole-run
    repetitions for the time budget. *)
 let measure ~budget (design : Refine.Flow.design) ~samples_per_run =
@@ -177,6 +207,66 @@ let run ?(baseline_file = default_baseline_file) ?(threshold = 0.8)
             ("lms-equalizer", equalizer_design);
             ("timing-recovery", timing_design);
           ]
+      in
+      { threshold; entries; note = None }
+
+(* --- synchronizer throughput (BENCH_sync.json) -------------------------- *)
+
+let default_sync_baseline_file = "BENCH_sync.json"
+
+(* The rows syncbench writes and this guard re-measures: dual-simulation
+   samples/sec of the closed loop, per detector. *)
+let sync_rows ?(budget_seconds = 0.5) () =
+  List.map
+    (fun (name, ted, m) ->
+      let design, samples_per_run = sync_design ~ted ~m () in
+      (name, samples_per_run, measure ~budget:budget_seconds design ~samples_per_run))
+    [
+      ("sync-ml-pam4", Dsp.Synchronizer.Ml, 4);
+      ("sync-gardner-pam2", Dsp.Synchronizer.Gardner, 2);
+    ]
+
+let run_sync ?(baseline_file = default_sync_baseline_file) ?(threshold = 0.8)
+    ?(budget_seconds = 0.5) () =
+  if not (Sys.file_exists baseline_file) then
+    {
+      threshold;
+      entries = [];
+      note =
+        Some (Printf.sprintf "baseline %s not found: skipped" baseline_file);
+    }
+  else
+    let baselines =
+      try
+        parse_baselines
+          (In_channel.with_open_bin baseline_file In_channel.input_all)
+      with Sys_error _ -> []
+    in
+    if baselines = [] then
+      {
+        threshold;
+        entries = [];
+        note =
+          Some
+            (Printf.sprintf "no baselines parsed from %s: skipped"
+               baseline_file);
+      }
+    else
+      let entries =
+        List.filter_map
+          (fun (bench, samples_per_run, measured) ->
+            match List.assoc_opt bench baselines with
+            | None -> None
+            | Some baseline ->
+                Some
+                  {
+                    bench;
+                    samples_per_run;
+                    baseline;
+                    measured;
+                    ratio = measured /. baseline;
+                  })
+          (sync_rows ~budget_seconds ())
       in
       { threshold; entries; note = None }
 

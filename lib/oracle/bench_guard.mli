@@ -61,6 +61,24 @@ val run_compiled :
   unit ->
   report
 
+val default_sync_baseline_file : string
+
+(** Closed-synchronizer throughput rows, shared with [bench/main.ml]'s
+    [syncbench]: dual-simulation samples/sec of the ML-TED 4-PAM and
+    Gardner 2-PAM loops on the drifting-τ stimulus at 4000 symbols, as
+    [(name, samples_per_run, samples_per_sec)]. *)
+val sync_rows : ?budget_seconds:float -> unit -> (string * int * float) list
+
+(** {!run}, but for the synchronizer rows against the committed
+    [BENCH_sync.json] baselines (its [after] fields).  Same skip
+    semantics on a missing/unparseable baseline file. *)
+val run_sync :
+  ?baseline_file:string ->
+  ?threshold:float ->
+  ?budget_seconds:float ->
+  unit ->
+  report
+
 val default_verify_baseline_file : string
 
 (** Verification-engine throughput rows, shared with [bench/main.ml]'s

@@ -155,11 +155,39 @@ let vhdl_testbench () =
   let dut = Vhdl.Of_sfg.entity ~name:"fir_dut" ~formats (vhdl_fir_graph ()) in
   Vhdl.Testbench.emit ~latency:1 ~dut ~formats vectors
 
+(* The synchronizer's refined feedback slice — ML-TED error into the PI
+   loop filter, the saturating-integrator outcome of the §6.1 flow —
+   extracted as a flowgraph.  Gains are exact binary fractions
+   (kp = 1/64, ki = 1/2048) and the sliced decision folds to an exact
+   constant, so the emitted text is platform-stable (no divider, no
+   libm). *)
+let vhdl_sync_loop () =
+  let env = Sim.Env.create () in
+  let dec = Sim.Signal.create env "dec" in
+  Sim.Signal.range dec (-1.0) 1.0;
+  let ydot = Sim.Signal.create env "ydot" in
+  Sim.Signal.range ydot (-4.0) 4.0;
+  let ml = Dsp.Ml_ted.create env () in
+  let lf = Dsp.Loop_filter.create env ~kp:0.015625 ~ki:0.00048828125 () in
+  let step () =
+    let open Sim.Ops in
+    dec <-- Sim.Value.of_float 1.0;
+    ydot <-- Sim.Value.of_float 0.5;
+    let e = Dsp.Ml_ted.detect ml ~y:!!dec ~ydot:!!ydot in
+    ignore (Dsp.Loop_filter.step lf e)
+  in
+  let g = Sim.Extract.graph env ~outputs:[ "lf_lferr" ] ~step () in
+  Vhdl.Emit.entity
+    (Vhdl.Of_sfg.entity
+       ~saturating:(fun n -> String.equal n "lf_integ")
+       ~name:"sync_loop" ~formats:vhdl_formats g)
+
 let vhdl_cases () =
   [
     ("fir_wrap.vhd", vhdl_wrap ());
     ("fir_sat.vhd", vhdl_sat ());
     ("fir_tb.vhd", vhdl_testbench ());
+    ("sync_loop.vhd", vhdl_sync_loop ());
   ]
 
 (* --- file plumbing ------------------------------------------------------ *)

@@ -1,0 +1,28 @@
+(** Synchronizer gate: the closed ML-TED timing loop must lock in float,
+    stay within 2 dB MER after §6.1 refinement with the saturating
+    integrator and the [error()]-overruled NCO phase visible in the
+    decisions, and sweep deterministically across worker counts. *)
+
+type outcome = {
+  float_mer_db : float;
+  refined_mer_db : float;
+  mer_delta_db : float;
+  float_rate_err : float;
+  refined_rate_err : float;
+  sqnr_after_db : float option;
+  integrator_dtype : string;
+  integrator_saturating : bool;
+  integrator_case_b : bool;
+  nco_phase_overruled : bool;
+}
+
+type sweep_result = { jobs : int; candidates : int; identical : bool }
+type report = { outcome : outcome; sweep : sweep_result }
+
+(** Build, lock, refine, re-lock and sweep the synchronizer workload.
+    [jobs] (default [min 4 (recommended_domain_count)], at least 2) is
+    the parallel side of the determinism comparison. *)
+val run : ?jobs:int -> unit -> report
+
+val passed : report -> bool
+val pp_report : Format.formatter -> report -> unit

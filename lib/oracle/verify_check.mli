@@ -1,7 +1,7 @@
 (** Verification-oracle gate — wires {!Verify.Engine} into the
     conformance machinery ([fxrefine check --verify]).
 
-    Over the five conformance workloads' extracted flowgraphs plus the
+    Over the six conformance workloads' extracted flowgraphs plus the
     two pinned biquad exemplars ({!Verify.Designs}), for both
     properties (no-overflow, no-limit-cycle):
 

@@ -1,4 +1,4 @@
-(* The five standard conformance workloads.  Everything here is
+(* The six standard conformance workloads.  Everything here is
    deterministic: fixed environment seeds, fixed stimulus generator
    seeds, fixed sample counts — so a build+run is bit-reproducible and
    its trace can be snapshotted as a golden file. *)
@@ -375,6 +375,84 @@ let build_timing () =
     vcd = (fun () -> !(tk.tk_vcd));
   }
 
+(* --- Closed ML-TED synchronizer: drifting-tau M-PAM, decision-directed - *)
+
+let build_sync () =
+  let name = "sync" in
+  let n_symbols = 700 in
+  let rng = Stats.Rng.create ~seed:463 in
+  let stimulus, _sent, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~rng ~n_symbols ~m:4 ~tau0:0.3
+      ~tau_drift:1e-4 ~phase:0.05 ~noise_sigma:0.01 ()
+  in
+  let peak = Dsp.Channel_model.peak stimulus ~n:n_samples in
+  let r = Float.max 1.6 (snap_up 0.00390625 (peak +. 0.00390625)) in
+  let env = Sim.Env.create ~seed:17 () in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create "symbols" in
+  let x_dtype =
+    Fixpt.Dtype.make "T_input" ~n:10 ~f:8
+      ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let sy =
+    Dsp.Synchronizer.create env ~ted:Dsp.Synchronizer.Ml ~m:4 ~x_dtype
+      ~input ~output ()
+  in
+  Sim.Signal.range (Dsp.Synchronizer.input_signal sy) (-.r) r;
+  (* knowledge-based saturation choices, same §6.1 reasoning as the
+     Gardner loop, plus the ML-TED's own signals: the derivative
+     matched filter swings harder than the interpolant, and the
+     decision is on the constellation by construction *)
+  Sim.Signal.range (Dsp.Nco.mu (Dsp.Synchronizer.nco sy)) 0.0 1.0;
+  Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+  Sim.Signal.range (Sim.Env.find_exn env "mlted_err") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_out") (-2.0) 2.0;
+  Sim.Signal.range (Sim.Env.find_exn env "ip_dout") (-4.0) 4.0;
+  Sim.Signal.range (Sim.Env.find_exn env "out") (-2.0) 2.0;
+  let probe = "out" in
+  let probe_sig = Sim.Env.find_exn env probe in
+  let tk = tracker () in
+  let run () =
+    with_vcd tk ~name
+      ~signals:[ Dsp.Synchronizer.input_signal sy; probe_sig ]
+      (fun sample ->
+        Sim.Engine.run env ~cycles:n_samples (fun cycle ->
+            Dsp.Synchronizer.step sy;
+            observe tk probe_sig;
+            sample cycle))
+  in
+  let design =
+    {
+      Refine.Flow.env;
+      reset =
+        (fun () ->
+          Sim.Env.reset env;
+          Sim.Channel.clear input;
+          Sim.Channel.clear output;
+          reset_tracker tk);
+      run;
+    }
+  in
+  let extract_graph () =
+    Sim.Extract.graph env ~step:(fun () -> Dsp.Synchronizer.step sy) ()
+  in
+  {
+    env;
+    workload = name;
+    probe;
+    run;
+    graph = None;
+    extract_graph = Some extract_graph;
+    divergence_bound = None (* nested feedback loops, like timing *);
+    max_divergence = (fun () -> !(tk.tk_div));
+    sqnr = tk.tk_sqnr;
+    predicted_sqnr_db = None;
+    sqnr_tolerance_db = 0.0;
+    stat_tolerance = 0.25;
+    design = Some design;
+    vcd = (fun () -> !(tk.tk_vcd));
+  }
+
 (* --- DDC: NCO + CORDIC mixer + CIC decimators -------------------------- *)
 
 let build_ddc () =
@@ -450,6 +528,7 @@ let all =
     { name = "lms"; build = build_lms };
     { name = "cordic"; build = build_cordic };
     { name = "timing"; build = build_timing };
+    { name = "sync"; build = build_sync };
     { name = "ddc"; build = build_ddc };
   ]
 

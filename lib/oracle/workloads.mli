@@ -1,7 +1,7 @@
-(** The standard conformance workloads: the five example designs the
+(** The standard conformance workloads: the six example designs the
     metamorphic invariants and golden traces run over — FIR, LMS
-    equalizer, CORDIC rotator, PAM timing recovery, and the DDC front
-    end.  Each build is fully deterministic (fixed seeds, fixed
+    equalizer, CORDIC rotator, PAM timing recovery, the closed ML-TED
+    M-PAM symbol synchronizer, and the DDC front end.  Each build is fully deterministic (fixed seeds, fixed
     stimulus sizes) and fresh (its own [Sim.Env.t]), so a workload can
     be rebuilt and re-run bit-identically. *)
 
@@ -42,7 +42,7 @@ type built = {
 
 type t = { name : string; build : unit -> built }
 
-(** [fir; lms; cordic; timing; ddc]. *)
+(** [fir; lms; cordic; timing; sync; ddc]. *)
 val all : t list
 
 val find : string -> t option

@@ -104,6 +104,77 @@ let fir ?(n = 512) () =
   in
   { name = "fir"; probe = "out"; specs = fir_specs; make_instance }
 
-let all () = [ fir () ]
+(* --- the closed ML-TED synchronizer workload ------------------------------ *)
+
+(* int_bits budgets: the drifting-tau M-PAM stimulus peaks under 2.0;
+   the derivative matched filter swings up to ~4x the interpolant; the
+   loop-filter signals are small by design and the NCO phase lives in
+   [-W, 1). *)
+let sync_specs =
+  [
+    { Candidate.signal = "in"; int_bits = 2 };
+    { Candidate.signal = "ip_out"; int_bits = 2 };
+    { Candidate.signal = "ip_dout"; int_bits = 3 };
+    { Candidate.signal = "mlted_err"; int_bits = 3 };
+    { Candidate.signal = "lf_integ"; int_bits = 1 };
+    { Candidate.signal = "lf_lferr"; int_bits = 1 };
+    { Candidate.signal = "nco_eta"; int_bits = 1 };
+    { Candidate.signal = "nco_mu"; int_bits = 1 };
+    { Candidate.signal = "out"; int_bits = 2 };
+  ]
+
+(* A small drifting-tau PAM-4 acquisition run per candidate.  The
+   feedback loop's OCaml-level control flow (strobe/hold, the sliced
+   decision) is data-dependent, so a frozen one-cycle extraction is not
+   clock-true for it: [compiled] stays [None] and every candidate is
+   evaluated on the clock-true interpreter (same reasoning as the
+   fault wrapper stripping compiled support). *)
+let sync ?(n_symbols = 160) () =
+  let sps = 2 and m = 4 in
+  let make_instance () =
+    let env = Sim.Env.create ~seed:11 () in
+    let cur_seed = ref 0 in
+    let n_samples = n_symbols * sps in
+    let stim = ref (fun (_ : int) -> 0.0) in
+    let regen () =
+      let rng = Stats.Rng.create ~seed:(31 + (7919 * !cur_seed)) in
+      let s, _sent, _n =
+        Dsp.Channel_model.drifting_tau_pam ~sps ~m ~tau0:0.3
+          ~tau_drift:1e-4 ~phase:0.05 ~noise_sigma:0.01 ~rng ~n_symbols ()
+      in
+      stim := s
+    in
+    regen ();
+    let input = Sim.Channel.of_fun "rx" (fun n -> !stim n) in
+    let output = Sim.Channel.create "symbols" in
+    let sy =
+      Dsp.Synchronizer.create env ~ted:Dsp.Synchronizer.Ml ~m ~sps ~input
+        ~output ()
+    in
+    Sim.Signal.range (Dsp.Synchronizer.input_signal sy) (-2.0) 2.0;
+    Sim.Signal.range (Dsp.Nco.mu (Dsp.Synchronizer.nco sy)) 0.0 1.0;
+    Sim.Signal.range (Sim.Env.find_exn env "lf_lferr") (-0.25) 0.25;
+    Sim.Signal.range (Sim.Env.find_exn env "mlted_err") (-4.0) 4.0;
+    Sim.Signal.range (Sim.Env.find_exn env "ip_out") (-2.0) 2.0;
+    Sim.Signal.range (Sim.Env.find_exn env "ip_dout") (-4.0) 4.0;
+    Sim.Signal.range (Sim.Env.find_exn env "out") (-2.0) 2.0;
+    let design =
+      {
+        Refine.Flow.env;
+        reset =
+          (fun () ->
+            Sim.Env.reset env;
+            Sim.Channel.clear input;
+            Sim.Channel.clear output;
+            regen ());
+        run = (fun () -> Dsp.Synchronizer.run sy ~samples:n_samples);
+      }
+    in
+    let baseline = Sim.Env.snapshot env in
+    { env; design; baseline; set_seed = (fun s -> cur_seed := s); compiled = None }
+  in
+  { name = "sync"; probe = "out"; specs = sync_specs; make_instance }
+
+let all () = [ fir (); sync () ]
 
 let find name = List.find_opt (fun w -> w.name = name) (all ())

@@ -36,6 +36,13 @@ type t = {
     uniform stimulus; probe [out]. *)
 val fir : ?n:int -> unit -> t
 
+(** The closed ML-TED PAM-4 synchronizer over [n_symbols] (default
+    160) drifting-tau symbols per candidate; probe [out].  Always
+    interpreter-evaluated ([compiled = None]): the loop's strobe/hold
+    control flow is data-dependent, so a frozen one-cycle extraction is
+    not clock-true for it. *)
+val sync : ?n_symbols:int -> unit -> t
+
 (** Every built-in workload (fresh builders, default sizes). *)
 val all : unit -> t list
 

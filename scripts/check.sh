@@ -20,8 +20,13 @@
 #      BENCH_verify.json throughput guard), the cache/daemon gate
 #      (--serve: no-cache vs cold vs warm vs warm-parallel sweep
 #      reports byte-identical, warm hit coverage, daemon round-trip
-#      byte-equal to the local report), and the bench regression
-#      guard (wall-clock, so deliberately NOT part of `dune runtest`);
+#      byte-equal to the local report), the synchronizer gate (--sync:
+#      the closed ML-TED loop locks on drifting-tau 4-PAM, stays
+#      within 2 dB MER after the §6.1 refinement with the saturating
+#      integrator and error()-overruled NCO phase visible in the
+#      decisions, sweeps jobs-independently; BENCH_sync.json
+#      throughput guard), and the bench regression guard (wall-clock,
+#      so deliberately NOT part of `dune runtest`);
 #   5. the transcript-bearing docs (docs/TUTORIAL.md, docs/CLI.md,
 #      docs/CACHING.md), re-executed command by command, plus a dead
 #      relative-link check over README.md and docs/*.md, so the
@@ -51,5 +56,6 @@ with_timeout 900 dune exec bin/fxrefine.exe -- check --faults
 with_timeout 900 dune exec bin/fxrefine.exe -- check --compiled
 with_timeout 900 dune exec bin/fxrefine.exe -- check --verify
 with_timeout 900 dune exec bin/fxrefine.exe -- check --serve
+with_timeout 900 dune exec bin/fxrefine.exe -- check --sync
 with_timeout 60 sh scripts/check_links.sh
 with_timeout 600 sh scripts/check_tutorial.sh

@@ -24,11 +24,11 @@ let test_all_workloads_covered () =
       Alcotest.(check bool)
         (Printf.sprintf "workload %s registered" expected)
         true (List.mem expected names))
-    [ "fir"; "lms"; "cordic"; "timing"; "ddc" ]
+    [ "fir"; "lms"; "cordic"; "timing"; "ddc"; "sync" ]
 
 let test_run_all_merges () =
   let r = Oracle.Metamorphic.run_all () in
-  Alcotest.(check int) "five workloads" 5
+  Alcotest.(check int) "six workloads" 6
     (List.length r.Oracle.Metamorphic.workloads);
   Alcotest.(check bool) "no failures" true (Oracle.Metamorphic.passed r)
 
@@ -45,5 +45,5 @@ let suite =
     Alcotest.test_case "all paper workloads registered" `Quick
       test_all_workloads_covered
     :: per_workload_cases
-    @ [ Alcotest.test_case "run_all merges all five" `Quick test_run_all_merges ]
+    @ [ Alcotest.test_case "run_all merges all six" `Quick test_run_all_merges ]
   )

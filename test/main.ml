@@ -39,4 +39,5 @@ let () =
       Test_compile.suite;
       Test_verify.suite;
       Test_serve.suite;
+      Test_synchronizer.suite;
     ]

@@ -282,8 +282,8 @@ let test_conformance_gate () =
         Alcotest.failf "%s: %s" x.Oracle.Compile_check.name
           x.Oracle.Compile_check.detail)
     r.Oracle.Compile_check.results;
-  check bool_t "gate covers all five workloads and the sweep" true
-    (List.length r.Oracle.Compile_check.results >= 11)
+  check bool_t "gate covers all six workloads and the sweep" true
+    (List.length r.Oracle.Compile_check.results >= 13)
 
 (* --- satellite: run_until exit semantics ------------------------------- *)
 

@@ -1,0 +1,401 @@
+(* Unit tests: the M-PAM slicer, the raised-cosine singularity guard,
+   channel-model bounds, the ML-TED, the derivative interpolator, the
+   NCO strobe boundary, MER/EVM scoring, and the closed Synchronizer. *)
+
+open Fixrefine
+open Sim.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t eps = Alcotest.float eps
+
+(* --- Slicer.decide_pam --------------------------------------------------- *)
+
+let prop_decide_pam_on_constellation =
+  QCheck2.Test.make ~name:"decide_pam lands on the constellation" ~count:500
+    QCheck2.Gen.(pair (oneofl [ 2; 4; 8 ]) (float_range (-2.0) 2.0))
+    (fun (m, v) ->
+      let d = Dsp.Slicer.decide_pam ~m v in
+      let levels = Dsp.Pam.levels ~m in
+      Array.exists (fun l -> Float.abs (l -. d) < 1e-12) levels)
+
+let prop_decide_pam_idempotent =
+  QCheck2.Test.make ~name:"decide_pam is idempotent" ~count:500
+    QCheck2.Gen.(pair (oneofl [ 2; 4; 8 ]) (float_range (-2.0) 2.0))
+    (fun (m, v) ->
+      let d = Dsp.Slicer.decide_pam ~m v in
+      Dsp.Slicer.decide_pam ~m d = d)
+
+let test_decide_pam_matches_slice_for_m2 () =
+  (* the binary slicer and the 2-PAM multi-level slicer agree everywhere,
+     including at v = 0 (both round up) *)
+  List.iter
+    (fun v ->
+      check (float_t 1e-12)
+        (Printf.sprintf "v=%g" v)
+        (Dsp.Pam.slice v)
+        (Dsp.Slicer.decide_pam ~m:2 v))
+    [ -1.5; -1.0; -0.3; -1e-9; 0.0; 1e-9; 0.3; 1.0; 1.5 ]
+
+let test_decide_pam_clamps () =
+  check (float_t 1e-12) "above" 1.0 (Dsp.Slicer.decide_pam ~m:4 5.0);
+  check (float_t 1e-12) "below" (-1.0) (Dsp.Slicer.decide_pam ~m:4 (-5.0));
+  (* inner 4-PAM levels survive the round trip *)
+  check (float_t 1e-12) "inner" (1.0 /. 3.0)
+    (Dsp.Slicer.decide_pam ~m:4 0.3)
+
+(* --- Pam.raised_cosine ---------------------------------------------------- *)
+
+let test_raised_cosine_basics () =
+  let p = Dsp.Pam.raised_cosine ~beta:0.35 in
+  check (float_t 1e-12) "p(0)=1" 1.0 (p 0.0);
+  List.iter
+    (fun k -> check (float_t 1e-9) (Printf.sprintf "p(%d)=0" k) 0.0
+        (p (Float.of_int k)))
+    [ -3; -2; -1; 1; 2; 3 ];
+  check (float_t 1e-12) "even" (p 0.7) (p (-0.7))
+
+let test_raised_cosine_singularity_value () =
+  (* at t = 1/(2β) the removable singularity evaluates to the classic
+     (π/4)·sinc(1/(2β)) limit *)
+  let beta = 0.35 in
+  let ts = 1.0 /. (2.0 *. beta) in
+  let sinc x = sin (Float.pi *. x) /. (Float.pi *. x) in
+  check (float_t 1e-12) "limit value"
+    (Float.pi /. 4.0 *. sinc ts)
+    (Dsp.Pam.raised_cosine ~beta ts)
+
+let test_raised_cosine_continuous_across_guard () =
+  (* the |u| < 1e-3 guard band must join the textbook form without a
+     jump: adjacent samples straddling both boundaries stay close *)
+  let beta = 0.35 in
+  let ts = 1.0 /. (2.0 *. beta) in
+  let p = Dsp.Pam.raised_cosine ~beta in
+  let step = 1e-5 in
+  let prev = ref (p (ts -. 2e-3)) in
+  let t = ref (ts -. 2e-3 +. step) in
+  while !t < ts +. 2e-3 do
+    let v = p !t in
+    if Float.abs (v -. !prev) > 1e-4 then
+      Alcotest.failf "jump at t=%.8f: %g -> %g" !t !prev v;
+    prev := v;
+    t := !t +. step
+  done
+
+(* --- Channel_model bounds ------------------------------------------------- *)
+
+let test_isi_awgn_zero_fill () =
+  let rng = Stats.Rng.create ~seed:7 in
+  let stimulus, _ = Dsp.Channel_model.isi_awgn ~rng ~n_symbols:16 () in
+  (* out-of-support indices read 0.0 — negative indices used to raise *)
+  check (float_t 0.0) "n=-1" 0.0 (stimulus (-1));
+  check (float_t 0.0) "n=-100" 0.0 (stimulus (-100));
+  check (float_t 0.0) "n=16" 0.0 (stimulus 16);
+  check (float_t 0.0) "n=23" 0.0 (stimulus 23);
+  check bool_t "in-support finite" true (Float.is_finite (stimulus 0));
+  check (float_t 0.0) "repeated reads consistent" (stimulus 5) (stimulus 5)
+
+let test_drifting_tau_zero_fill () =
+  let rng = Stats.Rng.create ~seed:7 in
+  let stimulus, _, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~m:4 ~rng ~n_symbols:8 ()
+  in
+  check int_t "n_samples = n_symbols*sps" 16 n_samples;
+  check (float_t 0.0) "n=-1" 0.0 (stimulus (-1));
+  check (float_t 0.0) "past end" 0.0 (stimulus n_samples)
+
+(* --- Pam.symbol_errors ----------------------------------------------------- *)
+
+let test_symbol_errors_negative_lag () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let sent = Dsp.Pam.symbols_m rng ~m:4 12 in
+  (* receiver delayed by 2 symbols, mild soft noise on the decisions *)
+  let decided =
+    Array.init 12 (fun i ->
+        if i < 2 then 0.0 else sent.(i - 2) +. 0.05)
+  in
+  let errors, counted =
+    Dsp.Pam.symbol_errors ~lag:(-2) ~m:4 ~sent ~decided ()
+  in
+  (* i + lag >= 0 restricts the window to i = 2..11 *)
+  check int_t "counted" 10 counted;
+  check int_t "errors" 0 errors;
+  check (float_t 1e-12) "best_ser finds the lag" 0.0
+    (Dsp.Pam.best_ser ~skip:2 ~m:4 ~sent ~decided ())
+
+let test_symbol_errors_needs_constellation () =
+  (* regression: re-slicing a 4-PAM stream with the hard ±1 slicer
+     counted every inner level as an error *)
+  let rng = Stats.Rng.create ~seed:22 in
+  let sent = Dsp.Pam.symbols_m rng ~m:4 64 in
+  let ser4 = Dsp.Pam.best_ser ~m:4 ~sent ~decided:sent () in
+  let ser2 = Dsp.Pam.best_ser ~m:2 ~sent ~decided:sent () in
+  check (float_t 1e-12) "m=4: perfect" 0.0 ser4;
+  check bool_t "m=2 mis-slices inner levels" true (ser2 > 0.3)
+
+(* --- Nco strobe boundary --------------------------------------------------- *)
+
+let test_nco_exact_zero_phase_is_not_a_strobe () =
+  (* with lferr = 0 and sps = 2 the phase alternates 0.0, 0.5: every
+     second step computes eta_next = 0.0 exactly, which must NOT strobe
+     (strict < 0), in both the sim and the reference *)
+  let env = Sim.Env.create () in
+  let nco = Dsp.Nco.create env ~sps:2 () in
+  let expected = Dsp.Nco.reference ~sps:2 (Array.make 6 0.0) in
+  Array.iteri
+    (fun i (es, em) ->
+      let strobed, mu = Dsp.Nco.step nco (cst 0.0) in
+      check bool_t (Printf.sprintf "strobe %d" i) es strobed;
+      check bool_t (Printf.sprintf "alternating %d" i) (i mod 2 = 0) strobed;
+      check (float_t 1e-12) (Printf.sprintf "mu %d" i) em (Sim.Value.fx mu);
+      if not strobed then
+        check (float_t 0.0) "eta_next is exactly 0.0" 0.0
+          (Sim.Signal.peek_fx (Dsp.Nco.next_phase nco));
+      Sim.Env.tick env)
+    expected
+
+let test_nco_boundary_crossing_sequence () =
+  (* craft a control sequence that lands the phase exactly on 0.0 after
+     a clamped step and verify sim == reference on strobes and mu *)
+  let lferrs = [| 0.25; -0.25; -0.25; 0.0; 0.1; -0.1 |] in
+  let env = Sim.Env.create () in
+  let nco = Dsp.Nco.create env ~sps:2 () in
+  let expected = Dsp.Nco.reference ~sps:2 lferrs in
+  Array.iteri
+    (fun i lferr ->
+      let strobed, mu = Dsp.Nco.step nco (cst lferr) in
+      let es, em = expected.(i) in
+      check bool_t (Printf.sprintf "strobe %d" i) es strobed;
+      check (float_t 1e-12) (Printf.sprintf "mu %d" i) em (Sim.Value.fx mu);
+      Sim.Env.tick env)
+    lferrs
+
+(* --- Interpolator at the mu extremes --------------------------------------- *)
+
+let interp_at mu =
+  let env = Sim.Env.create () in
+  let ip = Dsp.Interpolator.create env () in
+  List.iter
+    (fun v ->
+      Dsp.Interpolator.shift ip (cst v);
+      Sim.Env.tick env)
+    [ 1.0; -2.0; 3.0; -4.0 ];
+  let out = Dsp.Interpolator.interpolate ip (cst mu) in
+  (Sim.Value.fx out, Dsp.Interpolator.reference [| -4.0; 3.0; -2.0; 1.0 |] mu)
+
+let test_interpolator_mu_extremes () =
+  List.iter
+    (fun mu ->
+      let got, want = interp_at mu in
+      check (float_t 1e-9) (Printf.sprintf "mu=%.17g" mu) want got)
+    [ 0.0; 0.5; Float.pred 1.0 ];
+  (* the endpoints reproduce the bracketing taps *)
+  let got0, _ = interp_at 0.0 in
+  check (float_t 1e-12) "mu=0 is x[2]" (-2.0) got0;
+  let got1, _ = interp_at (Float.pred 1.0) in
+  check (float_t 1e-6) "mu->1 approaches x[1]" 3.0 got1
+
+let test_interpolator_derivative () =
+  (* the cubic interpolant of f(t) = t^3 - t has exact mu-derivative
+     3mu^2 - 1; check the float reference and the simulated chain *)
+  let f t = (t ** 3.0) -. t in
+  let fd t = (3.0 *. t *. t) -. 1.0 in
+  let x = [| f 2.0; f 1.0; f 0.0; f (-1.0) |] in
+  List.iter
+    (fun mu ->
+      check (float_t 1e-9)
+        (Printf.sprintf "d/dmu at %g" mu)
+        (fd mu)
+        (Dsp.Interpolator.derivative_reference x mu))
+    [ 0.0; 0.3; 0.5; Float.pred 1.0 ];
+  let env = Sim.Env.create () in
+  let ip = Dsp.Interpolator.create env ~deriv:true () in
+  List.iter
+    (fun v ->
+      Dsp.Interpolator.shift ip (cst v);
+      Sim.Env.tick env)
+    [ f (-1.0); f 0.0; f 1.0; f 2.0 ];
+  ignore (Dsp.Interpolator.interpolate ip (cst 0.3));
+  let d = Dsp.Interpolator.differentiate ip (cst 0.3) in
+  check (float_t 1e-9) "sim derivative" (fd 0.3) (Sim.Value.fx d)
+
+let test_interpolator_deriv_signal_count () =
+  let env = Sim.Env.create () in
+  let ip = Dsp.Interpolator.create env ~deriv:true () in
+  (* 12 of the plain Farrow chain + dh[0..1] + dout *)
+  check int_t "15 signals" 15 (List.length (Dsp.Interpolator.signals ip))
+
+(* --- Ml_ted ----------------------------------------------------------------- *)
+
+let test_mlted_s_curve_sign () =
+  (* sample a lone raised-cosine pulse late (delta > 0, past the peak):
+     y' < 0 and the decision is positive, so err = -a·y' must be
+     positive (larger W -> earlier strobe), matching the decrementing
+     NCO; early sampling gives the opposite sign *)
+  let rc = Dsp.Pam.raised_cosine ~beta:0.35 in
+  let rc' t = (rc (t +. 1e-6) -. rc (t -. 1e-6)) /. 2e-6 in
+  let err ~m ~scale d =
+    Dsp.Ml_ted.reference ~m ~y:(scale *. rc d) ~ydot:(scale *. rc' d)
+  in
+  check bool_t "m=2 late -> positive" true (err ~m:2 ~scale:1.0 0.1 > 0.0);
+  check bool_t "m=2 early -> negative" true (err ~m:2 ~scale:1.0 (-0.1) < 0.0);
+  (* inner 4-PAM level: decision magnitude 1/3, same sign structure *)
+  let s = 1.0 /. 3.0 in
+  check bool_t "m=4 late -> positive" true (err ~m:4 ~scale:s 0.1 > 0.0);
+  check bool_t "m=4 early -> negative" true (err ~m:4 ~scale:s (-0.1) < 0.0);
+  (* Gardner agrees on the sign convention: a late strobe on a +1/-1
+     transition samples the mid point past the zero crossing (mid < 0)
+     and also produces a positive error *)
+  let g_late =
+    Dsp.Gardner_ted.reference ~current:(-1.0) ~previous:1.0 ~mid:(-0.2)
+  in
+  check bool_t "gardner late -> positive too" true
+    (g_late > 0.0 && err ~m:2 ~scale:1.0 0.1 > 0.0)
+
+let test_mlted_detect_sim () =
+  let env = Sim.Env.create () in
+  let ted = Dsp.Ml_ted.create env ~m:4 () in
+  let e = Dsp.Ml_ted.detect ted ~y:(cst 0.35) ~ydot:(cst (-0.4)) in
+  (* decision slices 0.35 to the inner level 1/3 *)
+  check (float_t 1e-12) "decision" (1.0 /. 3.0)
+    (Sim.Signal.peek_fx (Dsp.Ml_ted.decision ted));
+  check (float_t 1e-12) "err = -a*ydot"
+    (Dsp.Ml_ted.reference ~m:4 ~y:0.35 ~ydot:(-0.4))
+    (Sim.Value.fx e)
+
+(* --- Stats.Mer --------------------------------------------------------------- *)
+
+let test_mer_db_and_evm () =
+  let m = Stats.Mer.create () in
+  Array.iter2
+    (fun r a -> Stats.Mer.add m ~reference:r ~actual:a)
+    [| 1.0; 1.0; 1.0; 1.0 |]
+    [| 1.1; 0.9; 1.1; 0.9 |];
+  check (float_t 1e-9) "20 dB" 20.0 (Stats.Mer.db m);
+  check (float_t 1e-9) "EVM 10%" 0.1 (Stats.Mer.evm_rms m);
+  (* non-finite pairs are skipped, not accumulated *)
+  Stats.Mer.add m ~reference:Float.nan ~actual:1.0;
+  Stats.Mer.add m ~reference:1.0 ~actual:Float.infinity;
+  check int_t "count unchanged" 4 (Stats.Mer.count m);
+  Stats.Mer.reset m;
+  check int_t "reset" 0 (Stats.Mer.count m)
+
+let test_mer_of_arrays_perfect () =
+  let r = [| 1.0; -1.0; 0.5 |] in
+  check bool_t "error-free is +inf" true
+    (Stats.Mer.of_arrays ~reference:r ~actual:(Array.copy r) = Float.infinity)
+
+(* --- Synchronizer: the closed loop ------------------------------------------ *)
+
+let run_sync ?(ted = Dsp.Synchronizer.Ml) ?(m = 4) ?(sps = 2)
+    ?(n_symbols = 600) () =
+  let env = Sim.Env.create ~seed:17 () in
+  let rng = Stats.Rng.create ~seed:463 in
+  let stimulus, sent, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~sps ~m ~tau0:0.3 ~tau_drift:1e-4
+      ~phase:0.05 ~noise_sigma:0.01 ~rng ~n_symbols ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "sym" in
+  let decisions = Sim.Channel.create ~record:true "dec" in
+  let sy =
+    Dsp.Synchronizer.create env ~ted ~m ~sps ~input ~output ~decisions ()
+  in
+  Dsp.Synchronizer.run sy ~samples:n_samples;
+  (sy, sent, output, decisions)
+
+let check_sync_locks ~label ?ted ?m ?sps ?n_symbols () =
+  let sy, sent, output, decisions = run_sync ?ted ?m ?sps ?n_symbols () in
+  let n = Array.length sent in
+  let skip = n / 2 in
+  check bool_t (label ^ ": strobe rate within 1%") true
+    (Dsp.Synchronizer.strobe_rate_error sy <= 0.01);
+  let received = Array.of_list (Sim.Channel.recorded output) in
+  let mer_db, _ = Dsp.Pam.best_mer ~skip ~sent ~received () in
+  if mer_db < 15.0 then
+    Alcotest.failf "%s: MER %.2f dB below the 15 dB lock threshold" label
+      mer_db;
+  let decided = Array.of_list (Sim.Channel.recorded decisions) in
+  let m = Dsp.Synchronizer.constellation sy in
+  check (float_t 0.02) (label ^ ": SER after lock") 0.0
+    (Dsp.Pam.best_ser ~skip ~m ~sent ~decided ())
+
+let test_sync_ml_pam4_locks () =
+  check_sync_locks ~label:"ml/pam4/sps2" ~ted:Dsp.Synchronizer.Ml ~m:4 ()
+
+let test_sync_gardner_pam2_locks () =
+  check_sync_locks ~label:"gardner/pam2/sps2" ~ted:Dsp.Synchronizer.Gardner
+    ~m:2 ()
+
+let test_sync_ml_sps4_locks () =
+  check_sync_locks ~label:"ml/pam2/sps4" ~ted:Dsp.Synchronizer.Ml ~m:2 ~sps:4
+    ~n_symbols:400 ()
+
+let test_sync_quantized_input_still_locks () =
+  (* the fixed-point track steers (§4.2): a 10/8-bit saturating input
+     dtype must not break acquisition *)
+  let env = Sim.Env.create ~seed:17 () in
+  let rng = Stats.Rng.create ~seed:463 in
+  let stimulus, sent, n_samples =
+    Dsp.Channel_model.drifting_tau_pam ~m:4 ~tau0:0.3 ~tau_drift:1e-4
+      ~phase:0.05 ~noise_sigma:0.01 ~rng ~n_symbols:600 ()
+  in
+  let input = Sim.Channel.of_fun "rx" stimulus in
+  let output = Sim.Channel.create ~record:true "sym" in
+  let x_dtype =
+    Fixpt.Dtype.make "T_input" ~n:10 ~f:8 ~overflow:Fixpt.Overflow_mode.Saturate ()
+  in
+  let sy =
+    Dsp.Synchronizer.create env ~ted:Dsp.Synchronizer.Ml ~m:4 ~x_dtype ~input
+      ~output ()
+  in
+  Dsp.Synchronizer.run sy ~samples:n_samples;
+  check bool_t "strobe rate within 1%" true
+    (Dsp.Synchronizer.strobe_rate_error sy <= 0.01);
+  let received = Array.of_list (Sim.Channel.recorded output) in
+  let mer_db, _ = Dsp.Pam.best_mer ~skip:300 ~sent ~received () in
+  check bool_t "MER above 15 dB" true (mer_db >= 15.0)
+
+let suite =
+  ( "synchronizer",
+    [
+      Test_support.Qseed.to_alcotest prop_decide_pam_on_constellation;
+      Test_support.Qseed.to_alcotest prop_decide_pam_idempotent;
+      Alcotest.test_case "decide_pam m=2 = slice" `Quick
+        test_decide_pam_matches_slice_for_m2;
+      Alcotest.test_case "decide_pam clamps" `Quick test_decide_pam_clamps;
+      Alcotest.test_case "raised cosine basics" `Quick
+        test_raised_cosine_basics;
+      Alcotest.test_case "raised cosine singularity value" `Quick
+        test_raised_cosine_singularity_value;
+      Alcotest.test_case "raised cosine guard continuity" `Quick
+        test_raised_cosine_continuous_across_guard;
+      Alcotest.test_case "isi_awgn zero fill" `Quick test_isi_awgn_zero_fill;
+      Alcotest.test_case "drifting tau zero fill" `Quick
+        test_drifting_tau_zero_fill;
+      Alcotest.test_case "symbol errors negative lag" `Quick
+        test_symbol_errors_negative_lag;
+      Alcotest.test_case "symbol errors need constellation" `Quick
+        test_symbol_errors_needs_constellation;
+      Alcotest.test_case "nco exact-zero phase no strobe" `Quick
+        test_nco_exact_zero_phase_is_not_a_strobe;
+      Alcotest.test_case "nco boundary sequence" `Quick
+        test_nco_boundary_crossing_sequence;
+      Alcotest.test_case "interp mu extremes" `Quick
+        test_interpolator_mu_extremes;
+      Alcotest.test_case "interp derivative" `Quick
+        test_interpolator_derivative;
+      Alcotest.test_case "interp deriv signal count" `Quick
+        test_interpolator_deriv_signal_count;
+      Alcotest.test_case "ml-ted s-curve sign" `Quick test_mlted_s_curve_sign;
+      Alcotest.test_case "ml-ted detect sim" `Quick test_mlted_detect_sim;
+      Alcotest.test_case "mer db and evm" `Quick test_mer_db_and_evm;
+      Alcotest.test_case "mer perfect" `Quick test_mer_of_arrays_perfect;
+      Alcotest.test_case "sync ml pam4 locks" `Quick test_sync_ml_pam4_locks;
+      Alcotest.test_case "sync gardner pam2 locks" `Quick
+        test_sync_gardner_pam2_locks;
+      Alcotest.test_case "sync ml sps4 locks" `Quick test_sync_ml_sps4_locks;
+      Alcotest.test_case "sync quantized input locks" `Quick
+        test_sync_quantized_input_still_locks;
+    ] )
