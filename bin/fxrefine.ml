@@ -412,8 +412,19 @@ let quantize_cmd =
 (* --- sweep: parallel wordlength exploration ----------------------------- *)
 
 let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
-    target_db cache_dir json trace_file counters_file verbose =
+    target_db cache_dir checkpoint_dir resume json trace_file counters_file
+    verbose =
   setup_logs verbose;
+  if resume && checkpoint_dir = None then begin
+    Format.eprintf "--resume requires --checkpoint DIR@.";
+    exit 1
+  end;
+  if counters_file <> None && checkpoint_dir <> None then begin
+    Format.eprintf
+      "--counters cannot be combined with --checkpoint (counters do not \
+       round-trip through the wave journal)@.";
+    exit 1
+  end;
   let workload =
     match Sweep.Workload.find workload_name with
     | Some w -> w
@@ -449,9 +460,33 @@ let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
      report stays byte-identical either way (the serve gate's contract) *)
   let store = Option.map (fun dir -> Serve.Cache.create ~dir ()) cache_dir in
   let cache = Option.map Serve.Codec.eval_cache store in
+  (* the wave journal is keyed by everything that determines the report
+     byte-for-byte; jobs is excluded (scheduling only), so a resume may
+     change --jobs freely.  The daemon derives the same key for its
+     journaled jobs. *)
+  let checkpoint =
+    Option.map
+      (fun dir ->
+        let key =
+          Sweep.Checkpoint.sweep_key ~workload:workload_name ~strategy
+            ~context:(Serve.Codec.context ())
+            [
+              ("f_min", string_of_int f_min);
+              ("f_max", string_of_int f_max);
+              ("seeds", string_of_int n_seeds);
+              ( "budget",
+                match budget with
+                | Some b -> string_of_int b
+                | None -> "none" );
+              ("target_db", Printf.sprintf "%h" target_db);
+            ]
+        in
+        Sweep.Checkpoint.create ~resume ~dir ~key ())
+      checkpoint_dir
+  in
   let t0 = Unix.gettimeofday () in
   let report =
-    Sweep.Pool.run ~jobs ?budget ?cache
+    Sweep.Pool.run ~jobs ?budget ?cache ?checkpoint
       ~counters:(counters_file <> None)
       ~workload ~generator ()
   in
@@ -473,6 +508,18 @@ let run_sweep workload_name strategy jobs budget f_min f_max n_seeds
   Format.eprintf "sweep: %d candidates in %.3f s (jobs=%d)@."
     (List.length report.Sweep.Report.entries)
     dt jobs;
+  (match checkpoint with
+  | Some cp ->
+      let waves, cands = Sweep.Checkpoint.replayed cp in
+      if resume then
+        Format.eprintf
+          "checkpoint: replayed %d wave(s) (%d candidates) from %s@." waves
+          cands (Sweep.Checkpoint.dir cp)
+      else
+        Format.eprintf "checkpoint: journaled %d wave(s) to %s@."
+          (Sweep.Checkpoint.waves cp)
+          (Sweep.Checkpoint.dir cp)
+  | None -> ());
   match store with
   | Some c ->
       let s = Serve.Cache.stats c in
@@ -538,6 +585,28 @@ let sweep_cmd =
              The report is byte-identical with or without the cache; a \
              hit-rate line goes to stderr.")
   in
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:
+            "Crash-safety journal directory: every completed wave is \
+             recorded durably (atomic rename + fsync) under a key derived \
+             from the sweep parameters, so a killed sweep can be resumed \
+             with \\$(b,--resume) to a byte-identical report. Without \
+             \\$(b,--resume), stale records under the same key are cleared \
+             first.")
+  in
+  let resume_t =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay waves already journaled under \\$(b,--checkpoint) \
+             instead of re-evaluating them; the report is byte-identical \
+             to an uninterrupted run, at any \\$(b,--jobs).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -545,8 +614,8 @@ let sweep_cmd =
           multicore); deterministic for any --jobs.")
     Term.(
       const run_sweep $ workload_t $ strategy_t $ jobs_t $ budget_t $ f_min_t
-      $ f_max_t $ seeds_t $ target_t $ cache_dir_t $ json_t $ trace_file_t
-      $ counters_file_t $ verbose_t)
+      $ f_max_t $ seeds_t $ target_t $ cache_dir_t $ checkpoint_t $ resume_t
+      $ json_t $ trace_file_t $ counters_file_t $ verbose_t)
 
 (* --- faultsim: a sweep under seeded fault injection --------------------- *)
 
@@ -804,7 +873,7 @@ let trace_cmd =
 (* --- check: the conformance oracle ------------------------------------- *)
 
 let run_check seed per_combo update_golden no_bench golden_dir jobs faults
-    compiled with_verify with_serve with_sync verbose =
+    compiled with_verify with_serve with_sync with_chaos verbose =
   setup_logs verbose;
   let seed =
     match seed with Some s -> s | None -> Oracle.Differential.default_seed ()
@@ -819,6 +888,18 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
   Format.printf "%a@." Oracle.Metamorphic.pp_report meta;
   let golden = Oracle.Golden.check ~update:update_golden ?dir:golden_dir () in
   Format.printf "%a@." Oracle.Golden.pp_result golden;
+  (* The chaos gate forks, and OCaml 5 forbids [Unix.fork] once any
+     domain was ever created in the process — so it must run before
+     the sweep/trace/serve gates (and before its own resume legs)
+     spawn worker domains. *)
+  let chaos_ok =
+    if with_chaos then begin
+      let cr = Oracle.Chaos_check.run ?jobs ~seed () in
+      Format.printf "%a@." Oracle.Chaos_check.pp_report cr;
+      Oracle.Chaos_check.passed cr
+    end
+    else true
+  in
   let sweep = Oracle.Sweep_check.run ?jobs () in
   Format.printf "%a@." Oracle.Sweep_check.pp_report sweep;
   let trace = Oracle.Trace_check.run ?jobs () in
@@ -905,7 +986,7 @@ let run_check seed per_combo update_golden no_bench golden_dir jobs faults
     && Oracle.Sweep_check.passed sweep
     && Oracle.Trace_check.passed trace && faults_ok && compiled_ok
     && bench_ok && compile_bench_ok && verify_ok && verify_bench_ok
-    && serve_ok && sync_ok && sync_bench_ok
+    && serve_ok && sync_ok && sync_bench_ok && chaos_ok
   in
   Format.printf "fxrefine check: %s@." (if ok then "PASS" else "FAIL");
   if not ok then exit 1
@@ -1009,6 +1090,19 @@ let check_cmd =
              the syncbench throughput guard against BENCH_sync.json \
              (unless \\$(b,--no-bench)).")
   in
+  let chaos_t =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Also run the chaos gate: fork checkpointed sweeps and a \
+             journaled daemon, \\$(b,SIGKILL) them at seeded points \
+             mid-wave, resume, and require the resumed reports \
+             byte-identical to never-killed runs, every write-ahead \
+             intent recovered on restart, a clean \\$(b,SIGTERM) drain, \
+             and a full-CRC cache scrub that detects every seeded \
+             corruption.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -1018,11 +1112,12 @@ let check_cmd =
           fault-injection gate, \\$(b,--compiled) the compiled-executor \
           gate, \\$(b,--verify) the verification-oracle gate, \
           \\$(b,--serve) the cache/daemon gate, \\$(b,--sync) the \
-          synchronizer lock/refine gate.")
+          synchronizer lock/refine gate, \\$(b,--chaos) the kill-based \
+          crash-safety gate.")
     Term.(
       const run_check $ seed_t $ per_combo_t $ update_t $ no_bench_t
       $ golden_dir_t $ jobs_t $ faults_t $ compiled_t $ verify_t $ serve_t
-      $ sync_t $ verbose_t)
+      $ sync_t $ chaos_t $ verbose_t)
 
 (* --- compile: inspect the flat-schedule executor ------------------------ *)
 
@@ -1352,13 +1447,16 @@ let sfg_cmd =
 
 (* --- serve / submit: refinement-as-a-service ---------------------------- *)
 
-let run_serve socket cache_dir max_entries verbose =
+let run_serve socket cache_dir max_entries journal_dir max_conns verbose =
   setup_logs verbose;
-  Format.eprintf "fxrefine serve: socket %s%s@." socket
+  Format.eprintf "fxrefine serve: socket %s%s%s@." socket
     (match cache_dir with
     | Some d -> Printf.sprintf ", cache %s" d
-    | None -> ", in-memory cache");
-  Serve.Daemon.run ?cache_dir ?max_entries
+    | None -> ", in-memory cache")
+    (match journal_dir with
+    | Some d -> Printf.sprintf ", journal %s" d
+    | None -> "");
+  Serve.Daemon.run ?cache_dir ?max_entries ?journal_dir ?max_conns
     ~log:(fun m -> Format.eprintf "fxrefine serve: %s@." m)
     ~socket ()
 
@@ -1385,20 +1483,46 @@ let serve_cmd =
       & info [ "max-entries" ]
           ~doc:"Cache size bound; oldest entries are evicted first (FIFO).")
   in
+  let journal_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ]
+          ~doc:
+            "Supervision directory: every admitted sweep job is recorded \
+             as a write-ahead intent before it runs (and checkpointed \
+             wave by wave), so a daemon killed mid-job re-runs or \
+             quarantines it on the next start over the same directory. \
+             SIGTERM drains gracefully: in-flight waves finish and are \
+             checkpointed before exit.")
+  in
+  let max_conns_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ]
+          ~doc:
+            "Concurrent connection limit (default 64); connections over \
+             the limit receive one structured \\$(b,busy) reply and are \
+             closed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the refinement daemon: accept sweep jobs over a Unix-domain \
           socket (line-delimited JSON), all jobs sharing one \
           content-addressed evaluation cache.  Stops on a \\$(b,shutdown) \
-          request (see \\$(b,fxrefine submit --op shutdown)).")
-    Term.(const run_serve $ socket_t $ cache_dir_t $ max_entries_t $ verbose_t)
+          request (see \\$(b,fxrefine submit --op shutdown)) or a graceful \
+          SIGTERM drain.")
+    Term.(
+      const run_serve $ socket_t $ cache_dir_t $ max_entries_t $ journal_dir_t
+      $ max_conns_t $ verbose_t)
 
 let run_submit socket op workload strategy f_min f_max n_seeds jobs budget
     target_db timeout_s verbose =
   setup_logs verbose;
   let client =
-    match Serve.Client.connect_retry ~attempts:30 ~delay_s:0.1 socket with
+    match Serve.Client.connect_retry ~attempts:30 socket with
     | c -> c
     | exception exn ->
         Format.eprintf "submit: cannot reach daemon at %s: %s@." socket
@@ -1444,6 +1568,11 @@ let run_submit socket op workload strategy f_min f_max n_seeds jobs budget
           Format.eprintf "job: %d cache hits, %d misses@." hits misses
       | Serve.Protocol.Error { message; _ } ->
           Format.eprintf "daemon error: %s@." message;
+          exit 1
+      | Serve.Protocol.Busy { active; limit; _ } ->
+          Format.eprintf
+            "daemon busy: %d/%d connections in use; retry later@." active
+            limit;
           exit 1
       | exception Serve.Client.Protocol_error m ->
           Format.eprintf "submit: %s@." m;

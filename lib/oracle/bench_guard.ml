@@ -147,6 +147,16 @@ let sync_design ~ted ~m () =
     },
     n_samples )
 
+(* Deflake: wall-clock throughput on a shared machine is noisy in one
+   direction only (preemption can slow a run down, never speed it up),
+   so every guard scores the median of three independently timed
+   measurements against the threshold instead of trusting a single
+   sample. *)
+let median3 f =
+  match List.sort compare [ f (); f (); f () ] with
+  | [ _; m; _ ] -> m
+  | _ -> assert false
+
 (* Same protocol as simbench: one warm-up run, then whole-run
    repetitions for the time budget. *)
 let measure ~budget (design : Refine.Flow.design) ~samples_per_run =
@@ -190,7 +200,10 @@ let run ?(baseline_file = default_baseline_file) ?(threshold = 0.8)
         | None -> None
         | Some baseline ->
             let design, samples_per_run = build () in
-            let measured = measure ~budget:budget_seconds design ~samples_per_run in
+            let measured =
+              median3 (fun () ->
+                  measure ~budget:budget_seconds design ~samples_per_run)
+            in
             Some
               {
                 bench;
@@ -220,7 +233,10 @@ let sync_rows ?(budget_seconds = 0.5) () =
   List.map
     (fun (name, ted, m) ->
       let design, samples_per_run = sync_design ~ted ~m () in
-      (name, samples_per_run, measure ~budget:budget_seconds design ~samples_per_run))
+      ( name,
+        samples_per_run,
+        median3 (fun () ->
+            measure ~budget:budget_seconds design ~samples_per_run) ))
     [
       ("sync-ml-pam4", Dsp.Synchronizer.Ml, 4);
       ("sync-gardner-pam2", Dsp.Synchronizer.Gardner, 2);
@@ -309,7 +325,10 @@ let compiled_rows ?(budget_seconds = 0.5) () =
   List.map
     (fun (name, g, batch, steps) ->
       let prog = Compile.compile ~batch g in
-      (name, steps, measure_compiled ~budget:budget_seconds prog ~steps))
+      ( name,
+        steps,
+        median3 (fun () -> measure_compiled ~budget:budget_seconds prog ~steps)
+      ))
     [
       ("lms-compiled-b1", lms, 1, 4000);
       ("lms-compiled-b64", lms, 64, 4000);
@@ -398,8 +417,14 @@ let measure_verify ~budget once =
 let verify_rows ?(budget_seconds = 0.5) () =
   List.map
     (fun (name, once) ->
-      let per, rate = measure_verify ~budget:budget_seconds once in
-      (name, per, rate))
+      let per = ref 0 in
+      let rate =
+        median3 (fun () ->
+            let p, r = measure_verify ~budget:budget_seconds once in
+            per := p;
+            r)
+      in
+      (name, !per, rate))
     (verify_scenarios ())
 
 let run_verify ?(baseline_file = default_verify_baseline_file)

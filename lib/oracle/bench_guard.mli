@@ -7,7 +7,10 @@
     deliberately {e not} part of [dune runtest]; it runs inside
     [fxrefine check] (skippable with [--no-bench]) and fails only on a
     drastic regression — measured throughput below
-    [threshold × baseline] (default 0.8×). *)
+    [threshold × baseline] (default 0.8×).  Every reported figure is
+    the {e median of three} independently timed measurements, since
+    load noise only ever slows a run down — a single preempted sample
+    must not fail the gate. *)
 
 type entry = {
   bench : string;
@@ -29,10 +32,10 @@ val default_baseline_file : string
     scan; the file is machine-written by [simbench]). *)
 val parse_baselines : string -> (string * float) list
 
-(** [run ()] measures both workloads ([budget_seconds] of repetitions
-    each, default 0.5, after one warm-up run).  A missing or
-    unparseable baseline file yields an empty, passing report with
-    [note] set. *)
+(** [run ()] measures both workloads (three timed runs of
+    [budget_seconds] of repetitions each, default 0.5, each after one
+    warm-up run; the median is scored).  A missing or unparseable
+    baseline file yields an empty, passing report with [note] set. *)
 val run :
   ?baseline_file:string ->
   ?threshold:float ->

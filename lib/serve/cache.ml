@@ -12,15 +12,19 @@
 
     When created with [?dir], every entry is one file
     [<key>.entry] under that directory, written atomically
-    (temporary file + [rename]) with a self-describing header:
+    (temporary file + [fsync] + [rename]) with a self-describing
+    header:
 
-    {v fxcache1 <payload-bytes>\n<payload> v}
+    {v fxcache2 <payload-bytes> <crc32-hex>\n<payload> v}
 
-    The explicit byte count makes truncation detectable: a file whose
-    payload is shorter (or longer) than its header claims — a crashed
-    writer, a filled disk, a hand-edited entry — is {e corrupt}; it is
-    deleted, counted in {!stats}, and treated as a miss.  A later
-    insert under the same key simply rewrites it.
+    The explicit byte count makes truncation detectable and the CRC-32
+    makes {e same-length} corruption (bit-rot, a flipped byte) just as
+    visible: a file whose payload disagrees with either — a crashed
+    writer, a filled disk, a decayed sector, a hand-edited entry — is
+    {e corrupt}; it is deleted, counted in {!stats}, and treated as a
+    miss (healed on read, never served as truth).  A later insert under
+    the same key simply rewrites it.  {!scrub} runs the same check over
+    every entry file eagerly.
 
     {2 Concurrency}
 
@@ -54,7 +58,7 @@ type t = {
   mutable corrupt : int;
 }
 
-let magic = "fxcache1"
+let magic = "fxcache2"
 
 (* Keys become file names; anything outside the hex-digest alphabet
    (plus a few safe extras) stays memory-only rather than risking path
@@ -71,19 +75,25 @@ let key_is_file_safe k =
 let entry_path dir key = Filename.concat dir (key ^ ".entry")
 
 let render_entry payload =
-  Printf.sprintf "%s %d\n%s" magic (String.length payload) payload
+  Printf.sprintf "%s %d %s\n%s" magic (String.length payload)
+    (Crc32.to_hex (Crc32.digest payload))
+    payload
 
-(* [None] = corrupt (bad magic, unparsable length, or a payload whose
-   byte count disagrees with the header). *)
+(* [None] = corrupt (bad magic, unparsable length or checksum, a
+   payload whose byte count disagrees with the header, or a payload
+   whose CRC-32 does not match — bit-rot).  Pre-CRC [fxcache1] entries
+   fail the magic check and are invalidated the same way. *)
 let parse_entry raw =
   match String.index_opt raw '\n' with
   | None -> None
   | Some nl -> (
       match String.split_on_char ' ' (String.sub raw 0 nl) with
-      | [ m; len ] when String.equal m magic -> (
-          match int_of_string_opt len with
-          | Some n when n >= 0 && String.length raw = nl + 1 + n ->
-              Some (String.sub raw (nl + 1) n)
+      | [ m; len; crc ] when String.equal m magic -> (
+          match (int_of_string_opt len, Crc32.of_hex crc) with
+          | Some n, Some sum when n >= 0 && String.length raw = nl + 1 + n ->
+              let payload = String.sub raw (nl + 1) n in
+              if Int32.equal (Crc32.digest payload) sum then Some payload
+              else None
           | _ -> None)
       | _ -> None)
 
@@ -93,16 +103,35 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Atomic publication: write the whole entry beside its final name,
-   then rename — a reader (or a crash) sees the old entry or the new
-   one, never a prefix. *)
+(* Atomic durable publication: write the whole entry beside its final
+   name, fsync it, rename, then fsync the directory — a reader (or a
+   crash, even a power loss) sees the old entry or the new one, never
+   a prefix. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let write_atomic path content =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content);
-  Sys.rename tmp path
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.unsafe_of_string content in
+      let n = Bytes.length b in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd b !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -224,7 +253,7 @@ let insert t key payload =
         (match t.dir with
         | Some dir when key_is_file_safe key -> (
             try write_atomic (entry_path dir key) (render_entry payload)
-            with Sys_error _ -> ())
+            with Sys_error _ | Unix.Unix_error _ -> ())
         | _ -> ());
         evict_over_limit t
       end)
@@ -241,6 +270,41 @@ let stats t =
       })
 
 let entry_count t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+type scrub = { scanned : int; ok : int; healed : int }
+
+(* Full-directory integrity pass: re-read every [*.entry] file from
+   disk (deliberately ignoring the in-memory copy — the point is to
+   catch decay that happened {e after} load) and verify header + CRC.
+   A failing file is deleted, dropped from the memory index, and
+   counted both here and in [stats.corrupt], so the next lookup of its
+   key is a clean miss. *)
+let scrub t =
+  with_lock t (fun () ->
+      match t.dir with
+      | None -> { scanned = 0; ok = 0; healed = 0 }
+      | Some dir ->
+          let names =
+            match Sys.readdir dir with
+            | arr ->
+                Array.sort compare arr;
+                Array.to_list arr
+            | exception Sys_error _ -> []
+          in
+          List.fold_left
+            (fun acc name ->
+              match Filename.chop_suffix_opt ~suffix:".entry" name with
+              | None -> acc
+              | Some key -> (
+                  let path = Filename.concat dir name in
+                  match parse_entry (read_file path) with
+                  | Some _ -> { acc with scanned = acc.scanned + 1; ok = acc.ok + 1 }
+                  | None | (exception Sys_error _) ->
+                      remove_corrupt t path;
+                      Hashtbl.remove t.tbl key;
+                      { acc with scanned = acc.scanned + 1; healed = acc.healed + 1 }))
+            { scanned = 0; ok = 0; healed = 0 }
+            names)
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -5,10 +5,12 @@
     Keys are opaque (in practice {!Refine.Eval.cache_key} digests) and
     payloads are opaque (in practice {!Codec.encode}d metrics).  With
     [?dir], each entry persists as one [<key>.entry] file written
-    atomically (temp file + rename) under the header
-    [fxcache1 <payload-bytes>\n]; the explicit byte count makes
-    truncated or hand-damaged files detectable — they are deleted,
-    counted as [corrupt], and treated as misses.  All operations are
+    atomically and durably (temp file + [fsync] + rename) under the
+    header [fxcache2 <payload-bytes> <crc32-hex>\n]; the byte count
+    makes truncation detectable and the CRC-32 catches same-length
+    bit-rot — damaged files are deleted, counted as [corrupt], and
+    treated as misses (healed on read, never served as truth; {!scrub}
+    applies the same check to every entry eagerly).  All operations are
     mutex-guarded, so one cache serves every {!Sweep.Pool} worker
     domain and every {!Daemon} connection thread concurrently. *)
 
@@ -49,6 +51,18 @@ val stats : t -> stats
 
 (** Current in-memory index size (= [(stats t).entries]). *)
 val entry_count : t -> int
+
+(** {!scrub} result: [scanned] entry files examined, [ok] verified
+    intact, [healed] found damaged — deleted, dropped from the index,
+    and counted in [stats.corrupt].  [scanned = ok + healed]. *)
+type scrub = { scanned : int; ok : int; healed : int }
+
+(** [scrub t] — eager full-directory integrity pass: re-read every
+    [*.entry] file from disk and verify its header and payload CRC-32,
+    healing failures as misses.  Catches bit-rot that happened after
+    load (lookups served from memory would never re-read the file).
+    Memory-only caches scan nothing. *)
+val scrub : t -> scrub
 
 (** One-line human rendering of a {!stats} snapshot. *)
 val pp_stats : Format.formatter -> stats -> unit

@@ -6,9 +6,31 @@ type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 exception Protocol_error of string
 
+type connect_failure =
+  | No_socket  (** the socket path does not exist (yet) *)
+  | Stale_socket
+      (** the path exists but nothing is listening — a leftover socket
+          file from a daemon that died without cleaning up *)
+
+exception
+  Connect_failed of {
+    socket : string;
+    attempts : int;
+    failure : connect_failure;
+  }
+
 let () =
   Printexc.register_printer (function
     | Protocol_error m -> Some (Printf.sprintf "Serve.Client.Protocol_error: %s" m)
+    | Connect_failed { socket; attempts; failure } ->
+        Some
+          (Printf.sprintf "Serve.Client.Connect_failed: %s after %d attempts: %s"
+             socket attempts
+             (match failure with
+             | No_socket -> "socket path does not exist (daemon never started?)"
+             | Stale_socket ->
+                 "socket file exists but nothing is listening (stale socket \
+                  from a dead daemon?)"))
     | _ -> None)
 
 let connect socket =
@@ -19,18 +41,48 @@ let connect socket =
      raise exn);
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
+(* splitmix64 step — a cheap, seedable, allocation-free hash giving
+   each (seed, attempt) pair an independent jitter draw without
+   touching the global Random state. *)
+let jitter ~seed ~attempt =
+  let z = Int64.of_int ((seed * 1_000_003) + attempt) in
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+(* in [0, 1) *)
+
 (* Retry [connect] until the daemon's listener is up — covers the
-   start-up race of a freshly forked/backgrounded daemon. *)
-let connect_retry ?(attempts = 50) ?(delay_s = 0.1) socket =
+   start-up race of a freshly forked/backgrounded daemon and a daemon
+   mid-restart.  Delays grow exponentially from [base_delay_s] up to
+   [max_delay_s], each scaled by a seeded jitter in [0.5, 1.0] so a
+   fleet of clients sharing a seedless default never thunders in
+   lockstep.  Exhaustion raises {!Connect_failed}, distinguishing a
+   socket path that never appeared from a stale socket file nothing
+   listens on (the two failures call for different operator action). *)
+let connect_retry ?(attempts = 50) ?(base_delay_s = 0.02)
+    ?(max_delay_s = 1.0) ?(seed = 0) socket =
+  if attempts < 1 then invalid_arg "Serve.Client.connect_retry: attempts < 1";
+  let classify () =
+    if Sys.file_exists socket then Stale_socket else No_socket
+  in
   let rec go n =
     match connect socket with
     | c -> c
     | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
-      when n > 1 ->
-        Unix.sleepf delay_s;
-        go (n - 1)
+      when n >= attempts ->
+        raise
+          (Connect_failed { socket; attempts = n; failure = classify () })
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        let backoff =
+          Float.min max_delay_s
+            (base_delay_s *. (2.0 ** float_of_int (n - 1)))
+        in
+        Unix.sleepf (backoff *. (0.5 +. (0.5 *. jitter ~seed ~attempt:n)));
+        go (n + 1)
   in
-  go (max 1 attempts)
+  go 1
 
 let request t req =
   output_string t.oc (Protocol.request_to_line req);

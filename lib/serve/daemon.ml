@@ -1,25 +1,51 @@
-(** The [fxrefine serve] daemon: a long-running process executing sweep
-    jobs over a Unix-domain socket, all jobs sharing one
-    content-addressed {!Cache}.
+(** The [fxrefine serve] daemon: a long-running supervised process
+    executing sweep jobs over a Unix-domain socket, all jobs sharing
+    one content-addressed {!Cache}.
 
     Each accepted connection gets its own [Thread] (threads multiplex
     fine with the pool's worker {e domains}; a sweep job spawns domains
     from whichever thread runs it), reading line-delimited
     {!Protocol} requests and answering one response line per request.
     Connections are independent; concurrent sweep jobs interleave
-    safely because every shared structure — the cache, the stats — is
-    mutex-guarded, and a job's report depends only on its parameters
-    (the determinism contract), not on scheduling.
+    safely because every shared structure — the cache, the stats, the
+    journal — is mutex- or rename-guarded, and a job's report depends
+    only on its parameters (the determinism contract), not on
+    scheduling.
+
+    Crash safety (with [?journal_dir]): every admitted sweep job is
+    written ahead to a {!Journal} intent before it executes and marked
+    done once it has a definite answer (report {e or} deterministic
+    error).  A daemon that was SIGKILLed therefore leaves one intent
+    per interrupted job, and the next daemon's recovery pass re-runs
+    each — resuming its {!Sweep.Checkpoint} journal, so completed waves
+    replay instead of re-evaluating — with capped exponential backoff
+    across daemon generations, quarantining jobs whose retry budget is
+    spent.  The chaos gate SIGKILLs a live daemon mid-job to enforce
+    this.
+
+    Backpressure: at most [max_conns] concurrent connections; the
+    listener's accept backlog is bounded to the same figure, and a
+    connection over the limit receives one structured [busy] response
+    and is closed — never an unbounded thread pile-up.
+
+    Graceful drain: [SIGTERM] stops accepting, lets every in-flight
+    job finish its current wave (checkpointed as always), answers it
+    with a [draining] error (the intent survives for the next daemon),
+    EOFs idle readers, waits for all connection threads, then exits.
 
     Degradation mirrors the rest of the engine: a malformed line yields
     an [error] response (the connection stays up), an unknown workload
     or strategy yields an [error] response, a job that raises is caught
     and reported, and a [timeout_s] overrun — checked between waves,
     like the pool's budget — quarantines just that job.  Only
-    [shutdown] (or a signal) stops the daemon. *)
+    [shutdown] or [SIGTERM] stops the daemon. *)
 
 (* Raised inside a job's [on_wave] when its deadline passed. *)
 exception Timeout
+
+(* Raised inside a job's [on_wave] when the daemon is draining: the
+   current wave completed (and was checkpointed), stop cleanly. *)
+exception Drained
 
 let build_generator (p : Protocol.sweep_params)
     (workload : Sweep.Workload.t) =
@@ -40,7 +66,51 @@ let build_generator (p : Protocol.sweep_params)
            ~f_max:p.Protocol.f_max ~seeds ())
   | s -> Result.Error (Printf.sprintf "unknown strategy %S (grid|bisect|pareto)" s)
 
-let run_sweep_job cache ~id (p : Protocol.sweep_params) =
+type t = {
+  cache : Cache.t;
+  journal : Journal.t option;
+  checkpoint_dir : string option;  (** sweep-wave journals, under the job journal *)
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;  (** a [shutdown] request arrived *)
+  draining : bool Atomic.t;  (** SIGTERM arrived *)
+  active : int Atomic.t;  (** live connection threads *)
+  max_conns : int;
+  retries : int;  (** recovery attempts per journaled job, across generations *)
+  backoff_s : float;  (** recovery backoff base (doubles per attempt, capped) *)
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  conns_done : Condition.t;
+  log : string -> unit;
+}
+
+(* The sweep's wave-journal key: everything that determines the report
+   byte-for-byte.  [jobs] and [timeout_s] are deliberately excluded —
+   they affect scheduling and wall-clock, never results — so a job
+   resubmitted with different parallelism still resumes its journal. *)
+let checkpoint_of t (p : Protocol.sweep_params) =
+  match t.checkpoint_dir with
+  | None -> None
+  | Some dir ->
+      let key =
+        Sweep.Checkpoint.sweep_key ~workload:p.Protocol.workload
+          ~strategy:p.Protocol.strategy ~context:(Codec.context ())
+          [
+            ("f_min", string_of_int p.Protocol.f_min);
+            ("f_max", string_of_int p.Protocol.f_max);
+            ("seeds", string_of_int p.Protocol.seeds);
+            ( "budget",
+              match p.Protocol.budget with
+              | Some b -> string_of_int b
+              | None -> "none" );
+            ("target_db", Printf.sprintf "%h" p.Protocol.target_db);
+          ]
+      in
+      (* two concurrent identical jobs may share a key: their wave
+         files are byte-identical by determinism, and writes are atomic
+         renames, so the race is benign *)
+      Some (Sweep.Checkpoint.create ~resume:true ~dir ~key ())
+
+let run_sweep_job t ~id (p : Protocol.sweep_params) =
   match Sweep.Workload.find p.Protocol.workload with
   | None ->
       Protocol.Error
@@ -65,18 +135,20 @@ let run_sweep_job cache ~id (p : Protocol.sweep_params) =
                 p.Protocol.timeout_s
             in
             let on_wave _progress =
-              match deadline with
+              (match deadline with
               | Some d when Unix.gettimeofday () > d -> raise Timeout
-              | _ -> ()
+              | _ -> ());
+              if Atomic.get t.draining then raise Drained
             in
-            let s0 = Cache.stats cache in
+            let checkpoint = checkpoint_of t p in
+            let s0 = Cache.stats t.cache in
             match
               Sweep.Pool.run ~jobs:p.Protocol.jobs ?budget:p.Protocol.budget
-                ~cache:(Codec.eval_cache cache) ~on_wave ~workload ~generator
-                ()
+                ~cache:(Codec.eval_cache t.cache) ?checkpoint ~on_wave
+                ~workload ~generator ()
             with
             | report ->
-                let s1 = Cache.stats cache in
+                let s1 = Cache.stats t.cache in
                 Protocol.Report
                   {
                     id;
@@ -87,23 +159,99 @@ let run_sweep_job cache ~id (p : Protocol.sweep_params) =
             | exception Timeout ->
                 Protocol.Error
                   { id; message = "timeout: job exceeded its wall-clock budget" }
+            | exception Drained ->
+                (* escapes to the journaled wrapper: the intent must
+                   survive so the next daemon re-runs this job *)
+                raise Drained
             | exception exn ->
                 Protocol.Error { id; message = Printexc.to_string exn }))
 
-(* [Some response, stop?] — [stop = true] only for shutdown. *)
-let handle_request cache = function
+let drained_error id =
+  Protocol.Error
+    {
+      id;
+      message =
+        "draining: daemon is shutting down; completed waves are \
+         checkpointed, resubmit after restart";
+    }
+
+(* Write-ahead execution: intent before the job runs, [mark_done] once
+   it has a definite answer.  A drain leaves the intent in place. *)
+let execute_sweep t ~id p =
+  match t.journal with
+  | None -> ( try run_sweep_job t ~id p with Drained -> drained_error id)
+  | Some j -> (
+      let name = Journal.fresh_name j in
+      let line = Protocol.request_to_line (Protocol.Sweep { id; params = p }) in
+      Journal.record_intent j { Journal.name; attempts = 1; line };
+      match run_sweep_job t ~id p with
+      | resp ->
+          Journal.mark_done j ~name;
+          resp
+      | exception Drained -> drained_error id)
+
+(* [response, stop?] — [stop = true] only for shutdown. *)
+let handle_request t = function
   | Protocol.Ping { id } -> (Protocol.Pong { id }, false)
   | Protocol.Stats { id } ->
-      (Protocol.Stats_reply { id; stats = Cache.stats cache }, false)
+      (Protocol.Stats_reply { id; stats = Cache.stats t.cache }, false)
   | Protocol.Shutdown { id } -> (Protocol.Bye { id }, true)
-  | Protocol.Sweep { id; params } -> (run_sweep_job cache ~id params, false)
+  | Protocol.Sweep { id; params } -> (execute_sweep t ~id params, false)
 
-type t = {
-  cache : Cache.t;
-  listener : Unix.file_descr;
-  stopping : bool Atomic.t;
-  log : string -> unit;
-}
+(* --- recovery ------------------------------------------------------------ *)
+
+(* Re-run every intent the previous daemon left behind.  Attempts
+   accumulate in the write-ahead record across daemon generations, so a
+   poisoned job that kills the daemon every time it runs is quarantined
+   after [retries] total admissions instead of crash-looping forever. *)
+let recover_jobs t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let entries = Journal.pending j in
+      if entries <> [] then
+        t.log
+          (Printf.sprintf "recovery: %d interrupted job(s) journaled"
+             (List.length entries));
+      List.iter
+        (fun (e : Journal.entry) ->
+          if not (Atomic.get t.draining || Atomic.get t.stopping) then
+            match Protocol.request_of_line e.Journal.line with
+            | Some (Protocol.Sweep { id; params }) -> (
+                if e.Journal.attempts >= t.retries then begin
+                  Journal.quarantine j e
+                    ~reason:
+                      (Printf.sprintf "retry budget exhausted (%d attempts)"
+                         e.Journal.attempts);
+                  t.log
+                    (Printf.sprintf "recovery: job %s quarantined (%d attempts)"
+                       e.Journal.name e.Journal.attempts)
+                end
+                else begin
+                  (* capped exponential backoff, keyed to how often this
+                     job has already been admitted *)
+                  Unix.sleepf
+                    (Float.min
+                       (t.backoff_s *. (2.0 ** float_of_int e.Journal.attempts))
+                       2.0);
+                  let e = { e with Journal.attempts = e.Journal.attempts + 1 } in
+                  Journal.record_intent j e;
+                  match run_sweep_job t ~id params with
+                  | _resp ->
+                      Journal.mark_done j ~name:e.Journal.name;
+                      t.log
+                        (Printf.sprintf "recovery: job %s re-run to completion"
+                           e.Journal.name)
+                  | exception Drained -> ()
+                end)
+            | Some _ | None ->
+                Journal.quarantine j e ~reason:"intent is not a sweep request";
+                t.log
+                  (Printf.sprintf "recovery: job %s quarantined (unparsable)"
+                     e.Journal.name))
+        entries
+
+(* --- connections --------------------------------------------------------- *)
 
 let handle_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -125,7 +273,7 @@ let handle_connection t fd =
                 (Protocol.Error { id = ""; message = "malformed request line" });
               false
           | Some req ->
-              let resp, stop = handle_request t.cache req in
+              let resp, stop = handle_request t req in
               send resp;
               stop
         in
@@ -139,36 +287,137 @@ let handle_connection t fd =
           try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
           with Unix.Unix_error _ -> ()
         end
+        else if Atomic.get t.draining then ()
+          (* the response above was flushed; stop reading so drain can
+             finish instead of blocking on an idle client *)
         else serve_lines ()
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     serve_lines
 
-let run ?cache_dir ?max_entries ?(log = fun _ -> ()) ~socket () =
+(* One busy line straight onto the raw fd — the connection was never
+   admitted, so no thread, no channel, no request read. *)
+let reject_busy t fd =
+  let line =
+    Protocol.response_to_line
+      (Protocol.Busy
+         { id = ""; active = Atomic.get t.active; limit = t.max_conns })
+    ^ "\n"
+  in
+  (try ignore (Unix.write_substring fd line 0 (String.length line))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let spawn_connection t fd =
+  Atomic.incr t.active;
+  Mutex.lock t.conns_mutex;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.conns_mutex;
+  ignore
+    (Thread.create
+       (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             Mutex.lock t.conns_mutex;
+             Hashtbl.remove t.conns fd;
+             Atomic.decr t.active;
+             Condition.broadcast t.conns_done;
+             Mutex.unlock t.conns_mutex)
+           (fun () -> handle_connection t fd))
+       ())
+
+(* Drain/shutdown barrier: EOF every idle reader (writes — pending
+   responses — still go through), then wait until every connection
+   thread has finished.  In-flight jobs complete their current wave
+   first (checkpointed), answered with a [draining] error. *)
+let await_connections t =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conns;
+  while Atomic.get t.active > 0 do
+    Condition.wait t.conns_done t.conns_mutex
+  done;
+  Mutex.unlock t.conns_mutex
+
+let run ?cache_dir ?max_entries ?journal_dir ?(max_conns = 64) ?(retries = 3)
+    ?(backoff_s = 0.05) ?(log = fun _ -> ()) ~socket () =
+  if max_conns < 1 then invalid_arg "Serve.Daemon.run: max_conns < 1";
+  if retries < 1 then invalid_arg "Serve.Daemon.run: retries < 1";
   let cache = Cache.create ?dir:cache_dir ?max_entries () in
+  let journal = Option.map (fun dir -> Journal.create ~dir) journal_dir in
+  let checkpoint_dir =
+    Option.map (fun dir -> Filename.concat dir "checkpoints") journal_dir
+  in
   (* a stale socket file from a previous run would make [bind] fail *)
   (match Unix.lstat socket with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
   | _ -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let t = { cache; listener; stopping = Atomic.make false; log } in
+  let t =
+    {
+      cache;
+      journal;
+      checkpoint_dir;
+      listener;
+      stopping = Atomic.make false;
+      draining = Atomic.make false;
+      active = Atomic.make 0;
+      max_conns;
+      retries;
+      backoff_s;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      conns_done = Condition.create ();
+      log;
+    }
+  in
+  (* SIGTERM = graceful drain.  The handler body runs as ordinary OCaml
+     code at a safe point: flag + listener shutdown only, no locks. *)
+  let prev_sigterm =
+    match
+      Sys.signal Sys.sigterm
+        (Sys.Signal_handle
+           (fun _ ->
+             Atomic.set t.draining true;
+             try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ()))
+    with
+    | h -> Some h
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
   Fun.protect
     ~finally:(fun () ->
+      (match prev_sigterm with
+      | Some h -> ( try Sys.set_signal Sys.sigterm h with _ -> ())
+      | None -> ());
       (try Unix.close listener with Unix.Unix_error _ -> ());
       try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ())
     (fun () ->
       Unix.bind listener (Unix.ADDR_UNIX socket);
-      Unix.listen listener 16;
+      Unix.listen listener (min max_conns 128);
       log (Printf.sprintf "listening on %s" socket);
+      (* recovery runs beside the accept loop so a restarted daemon
+         serves fresh traffic while it re-runs interrupted jobs *)
+      let recovery = Thread.create (fun () -> recover_jobs t) () in
       let rec accept_loop () =
-        match Unix.accept listener with
+        match Unix.accept t.listener with
         | fd, _addr ->
-            ignore (Thread.create (fun () -> handle_connection t fd) ());
+            if Atomic.get t.stopping || Atomic.get t.draining then (
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            else if Atomic.get t.active >= t.max_conns then reject_busy t fd
+            else spawn_connection t fd;
             accept_loop ()
-        | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+        | exception Unix.Unix_error _
+          when Atomic.get t.stopping || Atomic.get t.draining ->
+            ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
       in
       accept_loop ();
-      log "stopped")
+      if Atomic.get t.draining then log "draining: waiting for in-flight jobs";
+      await_connections t;
+      Thread.join recovery;
+      log (if Atomic.get t.draining then "drained" else "stopped"))

@@ -32,6 +32,9 @@ type response =
   | Bye of { id : string }
   | Report of { id : string; report : string; hits : int; misses : int }
   | Error of { id : string; message : string }
+  | Busy of { id : string; active : int; limit : int }
+      (** structured backpressure: the daemon is at its connection
+          limit; retry later (no request was admitted) *)
 
 (* --- rendering ---------------------------------------------------------- *)
 
@@ -95,6 +98,14 @@ let response_to_line = function
           ("op", Wire.String "error");
           ("id", Wire.String id);
           ("message", Wire.String message);
+        ]
+  | Busy { id; active; limit } ->
+      Wire.to_line
+        [
+          ("op", Wire.String "busy");
+          ("id", Wire.String id);
+          ("active", Wire.Int active);
+          ("limit", Wire.Int limit);
         ]
 
 (* --- parsing ------------------------------------------------------------ *)
@@ -169,4 +180,8 @@ let response_of_line line =
   | "error" ->
       let* message = Wire.get_string fields "message" in
       Some (Error { id; message })
+  | "busy" ->
+      let* active = Wire.get_int fields "active" in
+      let* limit = Wire.get_int fields "limit" in
+      Some (Busy { id; active; limit })
   | _ -> None

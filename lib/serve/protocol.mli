@@ -32,6 +32,11 @@ type response =
           [hits]/[misses] are the shared cache's counter deltas observed
           across this job (approximate under concurrent jobs) *)
   | Error of { id : string; message : string }
+  | Busy of { id : string; active : int; limit : int }
+      (** structured backpressure: the daemon is at its [max_conns]
+          connection limit and admitted nothing — [active]/[limit] let
+          the client report or back off and retry; sent with [id = ""]
+          since no request line was read *)
 
 (** One-line renderings (no trailing newline). *)
 

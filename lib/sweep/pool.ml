@@ -151,12 +151,15 @@ let eval_wave ?cache workload instances ~jobs ~counters wave =
       eval_wave_parallel ?cache workload instances ~jobs ~counters
         (Array.of_list wave)
 
-let run ?(jobs = 1) ?budget ?cache ?on_wave ?(counters = false) ~workload
-    ~generator () =
+let run ?(jobs = 1) ?budget ?cache ?checkpoint ?on_wave ?(counters = false)
+    ~workload ~generator () =
   if jobs < 1 then invalid_arg "Sweep.Pool.run: jobs < 1";
   (match budget with
   | Some b when b < 1 -> invalid_arg "Sweep.Pool.run: budget < 1"
   | _ -> ());
+  if counters && checkpoint <> None then
+    invalid_arg
+      "Sweep.Pool.run: counter-carrying sweeps cannot be checkpointed";
   let instances = Array.make jobs None in
   let remaining = ref budget in
   let all = ref [] in
@@ -177,8 +180,21 @@ let run ?(jobs = 1) ?budget ?cache ?on_wave ?(counters = false) ~workload
     | [] -> ()
     | wave ->
         incr wave_no;
+        (* a journaled wave replays instead of re-evaluating; a fresh
+           one is evaluated then durably journaled before the sweep
+           advances — so a kill mid-wave loses at most that wave *)
         let outcomes =
-          eval_wave ?cache workload instances ~jobs ~counters wave
+          match checkpoint with
+          | None -> eval_wave ?cache workload instances ~jobs ~counters wave
+          | Some cp -> (
+              match Checkpoint.lookup cp ~wave:!wave_no wave with
+              | Some outcomes -> outcomes
+              | None ->
+                  let outcomes =
+                    eval_wave ?cache workload instances ~jobs ~counters wave
+                  in
+                  Checkpoint.record cp ~wave:!wave_no outcomes;
+                  outcomes)
         in
         (* quarantined candidates are kept out of the generator's view
            (it can only score metrics) but still count as evaluated *)

@@ -41,6 +41,17 @@ exception Worker_failure of { worker : int; candidate : int; exn : exn }
     byte-identical cold vs warm and for any [jobs] — the serve gate's
     contract.
 
+    [?checkpoint] is a crash-safety journal ({!Checkpoint}): every
+    completed wave is durably recorded before the sweep advances, and a
+    wave already journaled (same wave number, identical candidate list)
+    is replayed instead of re-evaluated.  Because replayed metrics
+    decode bit-identically and every report merge is commutative, a
+    sweep killed at any instant and resumed produces a report
+    byte-identical to the uninterrupted run, at any [jobs] — the chaos
+    gate's contract.  Checkpointing composes with [?cache] (replayed
+    waves touch neither).  [counters:true] with a checkpoint raises
+    [Invalid_argument]: counters cannot round-trip through the journal.
+
     Graceful degradation: a candidate whose evaluation raises is
     retried once on a {e fresh} instance (which also replaces the
     worker's private instance for later candidates); a persistent
@@ -54,6 +65,7 @@ val run :
   ?jobs:int ->
   ?budget:int ->
   ?cache:Refine.Eval.cache ->
+  ?checkpoint:Checkpoint.t ->
   ?on_wave:(progress -> unit) ->
   ?counters:bool ->
   workload:Workload.t ->

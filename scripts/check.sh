@@ -25,8 +25,13 @@
 #      within 2 dB MER after the §6.1 refinement with the saturating
 #      integrator and error()-overruled NCO phase visible in the
 #      decisions, sweeps jobs-independently; BENCH_sync.json
-#      throughput guard), and the bench regression guard (wall-clock,
-#      so deliberately NOT part of `dune runtest`);
+#      throughput guard), the chaos gate (--chaos: forked sweeps and
+#      daemons SIGKILLed at seeded points mid-wave and mid-job, then
+#      resumed from the wave/intent journals and required
+#      byte-identical to an undisturbed reference; full CRC scrub of
+#      a deliberately corrupted cache), and the bench regression
+#      guard (wall-clock, so deliberately NOT part of `dune
+#      runtest`);
 #   5. the transcript-bearing docs (docs/TUTORIAL.md, docs/CLI.md,
 #      docs/CACHING.md), re-executed command by command, plus a dead
 #      relative-link check over README.md and docs/*.md, so the
@@ -45,6 +50,25 @@ else
   with_timeout() { shift; "$@"; }
 fi
 
+# The chaos gate forks daemons and sweeps and SIGKILLs them; if the
+# gate itself is killed (timeout, ^C), its scratch dirs can be left
+# with live orphan children.  Each scratch dir records the pids it
+# forked in a `pids` file — kill them and remove the dirs on exit,
+# along with any orphaned doc-transcript daemon sockets.
+cleanup_chaos() {
+  for d in "${TMPDIR:-/tmp}"/fxchaos-*; do
+    [ -d "$d" ] || continue
+    if [ -f "$d/pids" ]; then
+      while IFS= read -r pid; do
+        kill -KILL "$pid" 2>/dev/null || true
+      done < "$d/pids"
+    fi
+    rm -rf "$d"
+  done
+  rm -f /tmp/fxterm.sock /tmp/fxcli.sock
+}
+trap cleanup_chaos EXIT INT TERM
+
 with_timeout 600 dune build @all
 with_timeout 600 dune runtest
 if command -v odoc >/dev/null 2>&1; then
@@ -57,5 +81,8 @@ with_timeout 900 dune exec bin/fxrefine.exe -- check --compiled
 with_timeout 900 dune exec bin/fxrefine.exe -- check --verify
 with_timeout 900 dune exec bin/fxrefine.exe -- check --serve
 with_timeout 900 dune exec bin/fxrefine.exe -- check --sync
+# Hard timeout: the chaos gate SIGKILLs its own children, but a hung
+# resume or a daemon that never drains must fail the check, not hang it.
+with_timeout 900 dune exec bin/fxrefine.exe -- check --chaos --no-bench --per-combo 1
 with_timeout 60 sh scripts/check_links.sh
 with_timeout 600 sh scripts/check_tutorial.sh

@@ -236,6 +236,193 @@ let test_cache_corrupt_recovery () =
   check bool_t "truncated key is a clean miss" true
     (Serve.Cache.lookup c2 "trunc" = None)
 
+(* A flipped byte that keeps the length intact is invisible to the
+   header's byte count — only the CRC-32 catches it.  The damaged key
+   must heal as a clean miss and accept a re-insert. *)
+let test_cache_crc_heal_on_read () =
+  let dir = scratch () in
+  let c1 = Serve.Cache.create ~dir () in
+  Serve.Cache.insert c1 "rot" "bitrot target payload";
+  let path = Filename.concat dir "rot.entry" in
+  let raw =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string raw in
+  let off = Bytes.length b - 3 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  check bool_t "length unchanged" true
+    (String.length raw = Bytes.length b);
+  let c2 = Serve.Cache.create ~dir () in
+  check bool_t "flipped payload is a clean miss" true
+    (Serve.Cache.lookup c2 "rot" = None);
+  check bool_t "damaged file deleted" true (not (Sys.file_exists path));
+  check int_t "counted corrupt" 1 (Serve.Cache.stats c2).Serve.Cache.corrupt;
+  Serve.Cache.insert c2 "rot" "fresh payload";
+  check bool_t "key usable again after heal" true
+    (Serve.Cache.lookup c2 "rot" = Some "fresh payload")
+
+(* Decay behind a live cache's back: [scrub] re-reads every entry file,
+   so corruption that happened after the load scan is still caught and
+   dropped from the in-memory index too. *)
+let test_cache_scrub () =
+  let dir = scratch () in
+  let c = Serve.Cache.create ~dir () in
+  Serve.Cache.insert c "keep" "good";
+  Serve.Cache.insert c "rotten" "about to decay";
+  let path = Filename.concat dir "rotten.entry" in
+  let oc = open_out_bin path in
+  output_string oc "fxcache2 14 00000000\nabout to decay";
+  close_out oc;
+  let s = Serve.Cache.scrub c in
+  check int_t "scanned both" 2 s.Serve.Cache.scanned;
+  check int_t "one ok" 1 s.Serve.Cache.ok;
+  check int_t "one healed" 1 s.Serve.Cache.healed;
+  check bool_t "rotten dropped from memory too" true
+    (Serve.Cache.lookup c "rotten" = None);
+  check bool_t "rotten file deleted" true (not (Sys.file_exists path));
+  check bool_t "clean entry untouched" true
+    (Serve.Cache.lookup c "keep" = Some "good")
+
+(* Fuzz the torn-write/bit-rot surface: truncate, flip or extend an
+   entry file at a random offset — every subsequent lookup must be a
+   clean miss (never a crash, never damaged data served), the file
+   must be gone, and the damage must be counted. *)
+let prop_torn_entry_clean_miss =
+  let root = scratch () in
+  let ctr = ref 0 in
+  QCheck2.Test.make
+    ~name:"torn/corrupted cache entries always heal as clean misses"
+    ~count:150
+    QCheck2.Gen.(
+      triple
+        (string_size (int_range 0 64))
+        (int_range 0 2)
+        (pair nat (int_range 1 255)))
+    (fun (payload, mode, (off, x)) ->
+      incr ctr;
+      let dir = Filename.concat root (string_of_int !ctr) in
+      let c1 = Serve.Cache.create ~dir () in
+      Serve.Cache.insert c1 "fuzz" payload;
+      let path = Filename.concat dir "fuzz.entry" in
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let len = String.length raw in
+      let damaged =
+        match mode with
+        | 0 -> String.sub raw 0 (off mod len) (* truncate: strictly shorter *)
+        | 1 ->
+            (* same-length byte flip at a random offset; x <> 0 *)
+            let b = Bytes.of_string raw in
+            let i = off mod len in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor x));
+            Bytes.to_string b
+        | _ -> raw ^ String.make (1 + (off mod 7)) 'Z' (* trailing garbage *)
+      in
+      let oc = open_out_bin path in
+      output_string oc damaged;
+      close_out oc;
+      let c2 = Serve.Cache.create ~dir () in
+      Serve.Cache.lookup c2 "fuzz" = None
+      && (not (Sys.file_exists path))
+      && (Serve.Cache.stats c2).Serve.Cache.corrupt = 1)
+
+(* The CRC-32 itself: the classic IEEE 802.3 check vector, and strict
+   hex parsing. *)
+let test_crc32_vector () =
+  check string_t "crc32(\"123456789\")" "cbf43926"
+    (Serve.Crc32.to_hex (Serve.Crc32.digest "123456789"));
+  check bool_t "of_hex round-trips" true
+    (Serve.Crc32.of_hex "cbf43926"
+    = Some (Serve.Crc32.digest "123456789"));
+  check bool_t "of_hex rejects short" true (Serve.Crc32.of_hex "cbf4392" = None);
+  check bool_t "of_hex rejects uppercase" true
+    (Serve.Crc32.of_hex "CBF43926" = None);
+  check bool_t "of_hex rejects non-hex" true
+    (Serve.Crc32.of_hex "cbf4392g" = None)
+
+(* --- job journal ---------------------------------------------------------- *)
+
+let test_journal_lifecycle () =
+  let dir = scratch () in
+  let j = Serve.Journal.create ~dir in
+  let name = Serve.Journal.fresh_name j in
+  let e = { Serve.Journal.name; attempts = 1; line = "sweep request line" } in
+  Serve.Journal.record_intent j e;
+  (match Serve.Journal.pending j with
+  | [ p ] ->
+      check string_t "name preserved" name p.Serve.Journal.name;
+      check int_t "attempts preserved" 1 p.Serve.Journal.attempts;
+      check string_t "line verbatim" "sweep request line" p.Serve.Journal.line
+  | l -> Alcotest.failf "expected one pending intent, got %d" (List.length l));
+  (* rewriting with a bumped attempt count is the recovery WAL step *)
+  Serve.Journal.record_intent j { e with Serve.Journal.attempts = 2 };
+  (match Serve.Journal.pending j with
+  | [ p ] -> check int_t "attempts bumped" 2 p.Serve.Journal.attempts
+  | _ -> Alcotest.fail "intent lost on rewrite");
+  Serve.Journal.mark_done j ~name;
+  check int_t "done drops the intent" 0
+    (List.length (Serve.Journal.pending j));
+  (* quarantine keeps the record, under a different suffix *)
+  let name2 = Serve.Journal.fresh_name j in
+  let e2 = { Serve.Journal.name = name2; attempts = 3; line = "poison" } in
+  Serve.Journal.record_intent j e2;
+  Serve.Journal.quarantine j e2 ~reason:"retry budget exhausted";
+  check int_t "quarantined job no longer pending" 0
+    (List.length (Serve.Journal.pending j));
+  check bool_t "quarantine file named" true
+    (List.mem name2 (Serve.Journal.quarantined j));
+  (* an unparsable intent is quarantined on sight, never re-run blind *)
+  let oc = open_out_bin (Filename.concat dir "job-zz.intent") in
+  output_string oc "not an intent record";
+  close_out oc;
+  check int_t "garbage intent not pending" 0
+    (List.length (Serve.Journal.pending j));
+  check bool_t "garbage intent quarantined" true
+    (List.mem "zz" (Serve.Journal.quarantined j))
+
+(* --- connect_retry failure taxonomy --------------------------------------- *)
+
+let test_connect_retry_failures () =
+  let dir = scratch () in
+  (* no socket path at all: the daemon never started *)
+  let missing = Filename.concat dir "never.sock" in
+  (match
+     Serve.Client.connect_retry ~attempts:3 ~base_delay_s:0.001 missing
+   with
+  | exception Serve.Client.Connect_failed { failure; attempts; _ } ->
+      check bool_t "no-socket diagnosis" true
+        (failure = Serve.Client.No_socket);
+      check int_t "gave up after the budget" 3 attempts
+  | _ -> Alcotest.fail "connect to a missing socket should fail");
+  (* stale socket: the path exists but nothing is listening — a daemon
+     that died without cleaning up *)
+  let stale = Filename.concat dir "stale.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd (* closed without listen or unlink: refuses connections *);
+  (match
+     Serve.Client.connect_retry ~attempts:3 ~base_delay_s:0.001 stale
+   with
+  | exception Serve.Client.Connect_failed { failure; _ } ->
+      check bool_t "stale-socket diagnosis" true
+        (failure = Serve.Client.Stale_socket)
+  | _ -> Alcotest.fail "connect to a stale socket should fail");
+  check bool_t "attempts < 1 rejected" true
+    (try
+       ignore (Serve.Client.connect_retry ~attempts:0 missing);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- cold/warm sweep byte equality --------------------------------------- *)
 
 let run_sweep ?cache () =
@@ -319,6 +506,7 @@ let test_protocol_roundtrip () =
       Serve.Protocol.Error { id = "e"; message = "no \"such\" workload" };
       Serve.Protocol.Report
         { id = "d"; report = "{\n  \"k\": 1\n}\n"; hits = 3; misses = 4 };
+      Serve.Protocol.Busy { id = ""; active = 64; limit = 64 };
     ]
   in
   List.iter
@@ -387,6 +575,14 @@ let suite =
       Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
       Alcotest.test_case "cache corrupt recovery" `Quick
         test_cache_corrupt_recovery;
+      Alcotest.test_case "cache CRC heal on read" `Quick
+        test_cache_crc_heal_on_read;
+      Alcotest.test_case "cache scrub" `Quick test_cache_scrub;
+      Test_support.Qseed.to_alcotest prop_torn_entry_clean_miss;
+      Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+      Alcotest.test_case "journal lifecycle" `Quick test_journal_lifecycle;
+      Alcotest.test_case "connect_retry failures" `Quick
+        test_connect_retry_failures;
       Alcotest.test_case "cold/warm byte equality" `Quick
         test_cold_warm_byte_equal;
       Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;

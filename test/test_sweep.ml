@@ -209,6 +209,144 @@ let test_pool_sqnr_monotone () =
   let worst f = List.fold_left Float.min Float.infinity (by_f f) in
   check bool_t "sqnr grows with f" true (worst 6 > worst 5 && worst 5 > worst 4)
 
+(* --- checkpoint / resume -------------------------------------------------- *)
+
+let scratch =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fxsweep-test-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* Count real evaluations via the one per-candidate call both the
+   interpreter and the compiled paths make. *)
+let counting_workload counter (w : Sweep.Workload.t) =
+  {
+    w with
+    Sweep.Workload.make_instance =
+      (fun () ->
+        let inst = w.Sweep.Workload.make_instance () in
+        {
+          inst with
+          Sweep.Workload.set_seed =
+            (fun s ->
+              incr counter;
+              inst.Sweep.Workload.set_seed s);
+        });
+  }
+
+let ckpt_key =
+  Sweep.Checkpoint.sweep_key ~workload:"fir-64" ~strategy:"bisect"
+    ~context:"fxeval/test"
+    [ ("f_min", "2"); ("f_max", "8"); ("seeds", "2") ]
+
+(* A multi-wave bisect sweep (one 2-candidate wave per midpoint), with
+   an optional checkpoint over [dir] and an optional evaluation
+   counter. *)
+let ckpt_sweep ?counter ?checkpoint () =
+  let workload = Sweep.Workload.fir ~n:64 () in
+  let workload =
+    match counter with
+    | None -> workload
+    | Some c -> counting_workload c workload
+  in
+  let generator =
+    Sweep.Generator.bisect ~specs:workload.Sweep.Workload.specs ~f_min:2
+      ~f_max:8 ~target_db:40.0 ~seeds:[ 0; 1 ]
+  in
+  Sweep.Report.to_json
+    (Sweep.Pool.run ~jobs:1 ?checkpoint ~workload ~generator ())
+
+let test_checkpoint_resume_identical () =
+  let dir = scratch () in
+  let reference = ckpt_sweep () in
+  (* fresh checkpointed run: journals every wave, changes no bytes *)
+  let cp1 = Sweep.Checkpoint.create ~dir ~key:ckpt_key () in
+  check string_t "checkpointing is byte-transparent" reference
+    (ckpt_sweep ~checkpoint:cp1 ());
+  check bool_t "multiple waves journaled" true
+    (Sweep.Checkpoint.waves cp1 >= 2);
+  (* resume: every wave replays, zero re-evaluations, same bytes *)
+  let n = ref 0 in
+  let cp2 = Sweep.Checkpoint.create ~resume:true ~dir ~key:ckpt_key () in
+  check string_t "resumed report byte-identical" reference
+    (ckpt_sweep ~counter:n ~checkpoint:cp2 ());
+  check int_t "resume re-evaluated nothing" 0 !n;
+  let waves, candidates = Sweep.Checkpoint.replayed cp2 in
+  check int_t "every wave replayed" (Sweep.Checkpoint.waves cp1) waves;
+  check bool_t "candidates accounted" true (candidates = 2 * waves)
+
+let wave_files cp =
+  Sys.readdir (Sweep.Checkpoint.dir cp)
+  |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".wv")
+  |> List.sort compare
+
+let test_checkpoint_partial_resume () =
+  let dir = scratch () in
+  let reference = ckpt_sweep () in
+  let cp1 = Sweep.Checkpoint.create ~dir ~key:ckpt_key () in
+  ignore (ckpt_sweep ~checkpoint:cp1 ());
+  (* lose the last journaled wave — as a kill between waves would *)
+  (match List.rev (wave_files cp1) with
+  | last :: _ ->
+      Sys.remove (Filename.concat (Sweep.Checkpoint.dir cp1) last)
+  | [] -> Alcotest.fail "no wave files journaled");
+  let n = ref 0 in
+  let cp2 = Sweep.Checkpoint.create ~resume:true ~dir ~key:ckpt_key () in
+  check string_t "partial resume byte-identical" reference
+    (ckpt_sweep ~counter:n ~checkpoint:cp2 ());
+  check int_t "only the missing wave re-evaluated" 2 !n
+
+let test_checkpoint_corrupt_wave_reevaluated () =
+  let dir = scratch () in
+  let reference = ckpt_sweep () in
+  let cp1 = Sweep.Checkpoint.create ~dir ~key:ckpt_key () in
+  ignore (ckpt_sweep ~checkpoint:cp1 ());
+  (* flip one byte in the first wave record: strict decoding must treat
+     it as not-journaled, never replay damaged metrics *)
+  (match wave_files cp1 with
+  | first :: _ ->
+      let path = Filename.concat (Sweep.Checkpoint.dir cp1) first in
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string raw in
+      let off = Bytes.length b / 2 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x04));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc
+  | [] -> Alcotest.fail "no wave files journaled");
+  let n = ref 0 in
+  let cp2 = Sweep.Checkpoint.create ~resume:true ~dir ~key:ckpt_key () in
+  check string_t "corrupt wave re-evaluated, bytes identical" reference
+    (ckpt_sweep ~counter:n ~checkpoint:cp2 ());
+  check bool_t "damage cost time, not correctness" true (!n >= 2)
+
+let test_checkpoint_rejects_counters () =
+  let dir = scratch () in
+  let workload = Sweep.Workload.fir ~n:64 () in
+  let generator =
+    Sweep.Generator.grid ~specs:workload.Sweep.Workload.specs ~f_min:4
+      ~f_max:5 ~seeds:[ 0 ]
+  in
+  let cp = Sweep.Checkpoint.create ~dir ~key:ckpt_key () in
+  check bool_t "counter sweeps cannot checkpoint" true
+    (try
+       ignore
+         (Sweep.Pool.run ~counters:true ~checkpoint:cp ~workload ~generator ());
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   ( "sweep",
     [
@@ -226,4 +364,12 @@ let suite =
         test_pool_jobs_deterministic;
       Alcotest.test_case "pool budget" `Quick test_pool_budget;
       Alcotest.test_case "pool sqnr monotone" `Quick test_pool_sqnr_monotone;
+      Alcotest.test_case "checkpoint resume identical" `Quick
+        test_checkpoint_resume_identical;
+      Alcotest.test_case "checkpoint partial resume" `Quick
+        test_checkpoint_partial_resume;
+      Alcotest.test_case "checkpoint corrupt wave" `Quick
+        test_checkpoint_corrupt_wave_reevaluated;
+      Alcotest.test_case "checkpoint rejects counters" `Quick
+        test_checkpoint_rejects_counters;
     ] )
